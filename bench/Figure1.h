@@ -1,0 +1,57 @@
+//===--- bench/Figure1.h - Shared Figure 1 fixture for benches -*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Figure 1 program, shared by the figure-regeneration
+/// benchmark binaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_BENCH_FIGURE1_H
+#define PTRAN_BENCH_FIGURE1_H
+
+#include "ir/Builder.h"
+#include "support/FatalError.h"
+
+#include <memory>
+
+namespace ptran {
+namespace bench {
+
+inline std::unique_ptr<Program> makeFigure1Program() {
+  auto Prog = std::make_unique<Program>();
+  DiagnosticEngine Diags;
+  {
+    FunctionBuilder B(*Prog, "main", Diags);
+    VarId M = B.intVar("m");
+    VarId N = B.intVar("n");
+    B.assign(M, B.lit(1));
+    B.assign(N, B.lit(8));
+    B.label(10).ifGoto(B.ge(B.var(M), B.lit(0)), 30);
+    B.ifGoto(B.ge(B.var(N), B.lit(0)), 20);
+    B.gotoLabel(40);
+    B.label(30).ifGoto(B.lt(B.var(N), B.lit(0)), 20);
+    B.label(40).callSub("foo", {B.var(M), B.var(N)});
+    B.gotoLabel(10);
+    B.label(20).cont();
+    if (!B.finish())
+      reportFatalError("figure 1 failed to build:\n" + Diags.str());
+  }
+  {
+    FunctionBuilder B(*Prog, "foo", Diags);
+    B.intParam("m");
+    VarId N = B.intParam("n");
+    B.assign(N, B.sub(B.var(N), B.lit(1)));
+    if (!B.finish())
+      reportFatalError("foo failed to build:\n" + Diags.str());
+  }
+  return Prog;
+}
+
+} // namespace bench
+} // namespace ptran
+
+#endif // PTRAN_BENCH_FIGURE1_H

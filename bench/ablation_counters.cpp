@@ -1,0 +1,143 @@
+//===--- bench/ablation_counters.cpp - Ablation A1: counter placement -----===//
+//
+// Isolates the contribution of each Section 3 optimization:
+//
+//   naive   one counter per basic block (+ DO add for straight bodies)
+//   opt1    one counter per control condition
+//   opt1+2  + sum-complement / exit-complement / latch derivations
+//   smart   + the DO-loop trip-count optimizations
+//
+// reporting static counter counts, dynamic update counts and simulated
+// overhead cycles per workload, plus aggregate reductions over a pool of
+// random programs. Benchmarks cover plan construction and TOTAL_FREQ
+// recovery.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/Builder.h"
+#include "profile/ProfileRuntime.h"
+#include "profile/Recovery.h"
+#include "support/Rng.h"
+#include "support/FatalError.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace ptran;
+
+namespace {
+
+constexpr ProfileMode AllModes[] = {ProfileMode::Naive, ProfileMode::Opt1,
+                                    ProfileMode::Opt12, ProfileMode::Smart};
+
+void ablateWorkload(const Workload &W) {
+  std::unique_ptr<Program> Prog = parseWorkload(W);
+  DiagnosticEngine Diags;
+  auto PA = ProgramAnalysis::compute(*Prog, Diags);
+  if (!PA)
+    reportFatalError("analysis failed for " + W.Name);
+  CostModel CM = CostModel::optimizing();
+
+  Interpreter Interp(*Prog, CM);
+  std::vector<ProgramPlan> Plans;
+  std::vector<std::unique_ptr<ProfileRuntime>> Rts;
+  for (ProfileMode M : AllModes) {
+    Plans.push_back(ProgramPlan::build(*PA, M));
+    Rts.push_back(std::make_unique<ProfileRuntime>(*PA, Plans.back(), CM));
+    Interp.addObserver(Rts.back().get());
+  }
+  RunResult R = Interp.run(W.MaxSteps);
+  if (!R.Ok)
+    reportFatalError(W.Name + " failed: " + R.Error);
+
+  std::printf("%s (%s cycles uninstrumented):\n", W.Name.c_str(),
+              formatDouble(R.Cycles).c_str());
+  TablePrinter T({"placement", "counters", "dyn updates", "overhead cyc",
+                  "overhead %"});
+  for (size_t I = 0; I < Plans.size(); ++I) {
+    double Ovh = Rts[I]->overheadCycles();
+    T.addRow({profileModeName(AllModes[I]),
+              std::to_string(Plans[I].totalCounters()),
+              std::to_string(Rts[I]->dynamicIncrements() +
+                             Rts[I]->dynamicAdds()),
+              formatDouble(Ovh),
+              formatDouble(100.0 * Ovh / R.Cycles, 3) + "%"});
+  }
+  std::printf("%s\n", T.str().c_str());
+}
+
+/// Aggregate reduction over a pool of deterministic scaling programs.
+void ablateScalingPool() {
+  std::printf("aggregate over generated nest programs (units x depth):\n");
+  TablePrinter T({"program", "naive", "opt1", "opt1+2", "smart"});
+  for (unsigned Units : {4u, 16u, 64u}) {
+    for (unsigned Depth : {1u, 3u}) {
+      std::unique_ptr<Program> Prog = makeScalingProgram(Units, Depth);
+      DiagnosticEngine Diags;
+      auto PA = ProgramAnalysis::compute(*Prog, Diags);
+      if (!PA)
+        reportFatalError("analysis failed for scaling program");
+      std::vector<std::string> Row = {"nest " + std::to_string(Units) +
+                                      "x" + std::to_string(Depth)};
+      for (ProfileMode M : AllModes)
+        Row.push_back(
+            std::to_string(ProgramPlan::build(*PA, M).totalCounters()));
+      T.addRow(std::move(Row));
+    }
+  }
+  std::printf("%s\n", T.str().c_str());
+}
+
+void benchPlanBuild(benchmark::State &State, int ModeTag) {
+  std::unique_ptr<Program> Prog = parseWorkload(livermoreLoops());
+  DiagnosticEngine Diags;
+  auto PA = ProgramAnalysis::compute(*Prog, Diags);
+  for (auto _ : State) {
+    ProgramPlan Plan =
+        ProgramPlan::build(*PA, static_cast<ProfileMode>(ModeTag));
+    benchmark::DoNotOptimize(Plan.totalCounters());
+  }
+}
+BENCHMARK_CAPTURE(benchPlanBuild, naive,
+                  static_cast<int>(ProfileMode::Naive));
+BENCHMARK_CAPTURE(benchPlanBuild, smart,
+                  static_cast<int>(ProfileMode::Smart));
+
+void benchRecovery(benchmark::State &State) {
+  std::unique_ptr<Program> Prog = parseWorkload(livermoreLoops());
+  DiagnosticEngine Diags;
+  auto PA = ProgramAnalysis::compute(*Prog, Diags);
+  CostModel CM = CostModel::optimizing();
+  ProgramPlan Plan = ProgramPlan::build(*PA, ProfileMode::Smart);
+  ProfileRuntime Rt(*PA, Plan, CM);
+  Interpreter Interp(*Prog, CM);
+  Interp.addObserver(&Rt);
+  if (!Interp.run().Ok)
+    reportFatalError("run failed");
+  for (auto _ : State) {
+    for (const auto &F : Prog->functions()) {
+      FrequencyTotals T = Rt.recover(*F);
+      benchmark::DoNotOptimize(T.Ok);
+    }
+  }
+}
+BENCHMARK(benchRecovery);
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::printf("=== Ablation A1: counter placement optimizations ===\n\n");
+  for (const Workload *W : table1Workloads())
+    ablateWorkload(*W);
+  ablateScalingPool();
+
+  benchmark::Initialize(&Argc, Argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

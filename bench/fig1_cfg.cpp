@@ -1,0 +1,93 @@
+//===--- bench/fig1_cfg.cpp - Regenerate Figure 1 -------------------------===//
+//
+// Figure 1 of the paper shows a Fortran fragment and its statement-level
+// control flow graph. This binary prints both (source listing, edge list
+// and Graphviz), then benchmarks CFG construction (with GOTO elision) on
+// the figure program and on the Table 1 workloads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Figure1.h"
+
+#include "cfg/Cfg.h"
+#include "ir/Printer.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace ptran;
+using namespace ptran::bench;
+
+namespace {
+
+void printFigure1() {
+  std::unique_ptr<Program> Prog = makeFigure1Program();
+  const Function *Main = Prog->entry();
+  std::printf("=== Figure 1: original control flow graph, CFG ===\n\n");
+  std::printf("%s\n", printFunction(*Main).c_str());
+
+  Cfg C = buildCfg(*Main);
+  unsigned Elided = elideGotoNodes(C);
+  std::printf("statement-level CFG (%u GOTO nodes folded into edges):\n",
+              Elided);
+  const Digraph &G = C.graph();
+  for (EdgeId E = 0; E < G.numEdgeSlots(); ++E) {
+    if (!G.isLive(E))
+      continue;
+    const Digraph::Edge &Ed = G.edge(E);
+    std::printf("  %-32s --%s--> %s\n", C.nodeName(Ed.From).c_str(),
+                cfgLabelName(static_cast<CfgLabel>(Ed.Label)).c_str(),
+                C.nodeName(Ed.To).c_str());
+  }
+  for (const Cfg::ExitBranch &B : C.exitBranches())
+    std::printf("  %-32s --%s--> (procedure exit)\n",
+                C.nodeName(B.Node).c_str(), cfgLabelName(B.Label).c_str());
+  std::printf("\nGraphviz:\n%s\n", C.dot("Figure 1 CFG").c_str());
+}
+
+void benchBuildCfgFigure1(benchmark::State &State) {
+  std::unique_ptr<Program> Prog = makeFigure1Program();
+  const Function *Main = Prog->entry();
+  for (auto _ : State) {
+    Cfg C = buildCfg(*Main);
+    elideGotoNodes(C);
+    benchmark::DoNotOptimize(C.numNodes());
+  }
+}
+BENCHMARK(benchBuildCfgFigure1);
+
+void benchBuildCfgWorkload(benchmark::State &State, const Workload *W) {
+  std::unique_ptr<Program> Prog = parseWorkload(*W);
+  unsigned Nodes = 0;
+  for (auto _ : State) {
+    for (const auto &F : Prog->functions()) {
+      Cfg C = buildCfg(*F);
+      elideGotoNodes(C);
+      Nodes += C.numNodes();
+      benchmark::DoNotOptimize(Nodes);
+    }
+  }
+  State.counters["nodes"] = Nodes / static_cast<double>(State.iterations());
+}
+BENCHMARK_CAPTURE(benchBuildCfgWorkload, LOOPS, &livermoreLoops());
+BENCHMARK_CAPTURE(benchBuildCfgWorkload, SIMPLE, &simpleKernel());
+
+void benchParseWorkload(benchmark::State &State, const Workload *W) {
+  for (auto _ : State) {
+    std::unique_ptr<Program> Prog = parseWorkload(*W);
+    benchmark::DoNotOptimize(Prog->functions().size());
+  }
+}
+BENCHMARK_CAPTURE(benchParseWorkload, LOOPS, &livermoreLoops());
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  printFigure1();
+  benchmark::Initialize(&Argc, Argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,161 @@
+//===--- examples/chunk_advisor.cpp - Variance-guided loop chunking -------===//
+//
+// The paper's motivating application (Sections 1 and 5): use the
+// estimated execution-time variance of a parallel loop's body to choose
+// the Kruskal-Weiss chunk size. Two loops with the same average body time
+// but very different variance get very different advice, and a
+// self-scheduling simulation confirms the choice.
+//
+// Build & run:  ./build/examples/chunk_advisor
+//
+//===----------------------------------------------------------------------===//
+
+#include "cost/Estimator.h"
+#include "ir/Builder.h"
+#include "sched/ChunkScheduling.h"
+#include "support/FatalError.h"
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace ptran;
+
+namespace {
+
+/// main with two 512-iteration loops of equal mean body cost:
+///   - "flat":  every iteration does the same work;
+///   - "spiky": 1 iteration in 16 does 16x the work.
+struct Demo {
+  std::unique_ptr<Program> Prog;
+  StmtId FlatLoop = 0;
+  StmtId SpikyLoop = 0;
+};
+
+Demo buildDemo() {
+  Demo Out;
+  Out.Prog = std::make_unique<Program>();
+  DiagnosticEngine Diags;
+  FunctionBuilder B(*Out.Prog, "main", Diags);
+  VarId A = B.intVar("acc");
+  VarId I = B.intVar("i"), J = B.intVar("j");
+
+  // Flat loop: 16 units of work each iteration.
+  Out.FlatLoop = B.doLoop(I, B.lit(1), B.lit(512));
+  for (int W = 0; W < 16; ++W)
+    B.assign(A, B.add(B.var(A), B.lit(W)));
+  B.endDo();
+
+  // Spiky loop: 1 unit normally, 241 units on every 16th iteration
+  // (mean = 16, like the flat loop, but hugely skewed).
+  Out.SpikyLoop = B.doLoop(J, B.lit(1), B.lit(512));
+  B.assign(A, B.add(B.var(A), B.lit(1)));
+  B.ifGoto(B.ne(B.intrinsic(Intrinsic::Mod, {B.var(J), B.lit(16)}),
+                B.lit(0)),
+           10);
+  for (int W = 0; W < 240; ++W)
+    B.assign(A, B.add(B.var(A), B.lit(W)));
+  B.label(10).cont();
+  B.endDo();
+  B.print({B.var(A)});
+  if (!B.finish())
+    reportFatalError("demo failed to build:\n" + Diags.str());
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  Demo D = buildDemo();
+  DiagnosticEngine Diags;
+  auto Est = Estimator::create(*D.Prog, CostModel::optimizing(), Diags);
+  if (!Est) {
+    std::fprintf(stderr, "analysis failed:\n%s", Diags.str().c_str());
+    return 1;
+  }
+  RunResult Run = Est->profiledRun();
+  if (!Run.Ok) {
+    std::fprintf(stderr, "run failed: %s\n", Run.Error.c_str());
+    return 1;
+  }
+  TimeAnalysis TA = Est->analyze();
+
+  const Function *Main = D.Prog->entry();
+  const FunctionAnalysis &FA = Est->analysis().of(*Main);
+  Frequencies Freqs = computeFrequencies(FA, Est->totalsFor(*Main));
+
+  const unsigned P = 16;
+  const double Overhead = 25.0;
+
+  struct LoopCase {
+    const char *Name;
+    StmtId Header;
+  } Cases[] = {{"flat", D.FlatLoop}, {"spiky", D.SpikyLoop}};
+
+  TablePrinter Advice({"loop", "E[body]", "VAR[body]", "STD_DEV",
+                       "KW chunk (P=16)"});
+  LoopScheduleAdvice Advised[2];
+  for (int I = 0; I < 2; ++I) {
+    NodeId H = FA.cfg().nodeForStmt(Cases[I].Header);
+    Advised[I] = adviseChunkSize(TA, FA, Freqs, H, P, Overhead);
+    Advice.addRow({Cases[I].Name, formatDouble(Advised[I].BodyMean, 5),
+                   formatDouble(Advised[I].BodyVar, 5),
+                   formatDouble(std::sqrt(Advised[I].BodyVar), 4),
+                   std::to_string(Advised[I].Chunk)});
+  }
+  std::printf("variance-guided chunk advice (overhead %s cycles per "
+              "dispatch):\n%s\n",
+              formatDouble(Overhead).c_str(), Advice.str().c_str());
+
+  // Validate by simulation: iteration-time generators mirroring the two
+  // loop bodies.
+  Rng SpikeRng(7);
+  auto FlatDraw = [&]() { return Advised[0].BodyMean; };
+  auto SpikyDraw = [&]() {
+    // A random 1-in-16 spike of 241 units over a base of 1 unit, scaled
+    // so the mean matches the analysed body mean
+    // ((15*1 + 241)/16 = 16 units). Randomness is what makes large
+    // chunks risky: one unlucky chunk can collect several spikes.
+    double Unit = Advised[1].BodyMean / 16.0;
+    return SpikeRng.bernoulli(1.0 / 16.0) ? 241.0 * Unit : Unit;
+  };
+
+  TablePrinter Sim({"loop", "chunk", "avg makespan", "efficiency"});
+  for (int I = 0; I < 2; ++I) {
+    auto Draw = I == 0 ? std::function<double()>(FlatDraw)
+                       : std::function<double()>(SpikyDraw);
+    std::vector<uint64_t> Ks = {1, 8, 512 / P};
+    if (std::find(Ks.begin(), Ks.end(), Advised[I].Chunk) == Ks.end())
+      Ks.push_back(Advised[I].Chunk);
+    std::sort(Ks.begin(), Ks.end());
+    for (uint64_t K : Ks) {
+      // Average 20 trials to tame sampling noise.
+      double Makespan = 0.0, Work = 0.0;
+      const int Trials = 20;
+      for (int T = 0; T < Trials; ++T) {
+        ChunkSimResult S = simulateChunkedLoop(512, P, K, Overhead, Draw);
+        Makespan += S.Makespan;
+        Work += S.TotalWork;
+      }
+      Makespan /= Trials;
+      Work /= Trials;
+      std::string Label = std::to_string(K);
+      if (K == Advised[I].Chunk)
+        Label += " (KW)";
+      Sim.addRow({Cases[I].Name, Label, formatDouble(Makespan, 6),
+                  formatDouble(100.0 * Work / (P * Makespan), 3) + "%"});
+    }
+    if (I == 0)
+      Sim.addSeparator();
+  }
+  std::printf("self-scheduling simulation (512 iterations, %u "
+              "processors):\n%s\n",
+              P, Sim.str().c_str());
+
+  std::printf("zero variance -> chunk N/P (fewest dispatches); large "
+              "variance -> smaller chunks rebalance stragglers, exactly "
+              "the trade-off Section 5 motivates.\n");
+  return 0;
+}

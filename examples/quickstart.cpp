@@ -1,0 +1,98 @@
+//===--- examples/quickstart.cpp - Five-minute tour of the library --------===//
+//
+// Parses a small mini-language program, profiles one run with the paper's
+// optimized counter placement, and prints the recovered frequencies and
+// the TIME / VAR / STD_DEV estimates for every statement.
+//
+// Build & run:  ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "cost/Estimator.h"
+#include "ir/Printer.h"
+#include "parser/Parser.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+
+using namespace ptran;
+
+static const char *Source = R"(
+program main
+  integer i, n, s
+  n = 40
+  s = 0
+  do 10 i = 1, n
+    if (mod(i, 4) .eq. 0) then
+      s = s + i * i
+    else
+      s = s + i
+    endif
+10 continue
+  print s
+end
+)";
+
+int main() {
+  DiagnosticEngine Diags;
+
+  // 1. Front end: source -> MiniIR (finalized + verified).
+  std::unique_ptr<Program> Prog = parseProgram(Source, Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "parse failed:\n%s", Diags.str().c_str());
+    return 1;
+  }
+
+  // 2. Analysis pipeline + counter plan + instrumented interpreter.
+  CostModel CM = CostModel::optimizing();
+  std::unique_ptr<Estimator> Est = Estimator::create(*Prog, CM, Diags);
+  if (!Est) {
+    std::fprintf(stderr, "analysis failed:\n%s", Diags.str().c_str());
+    return 1;
+  }
+
+  RunResult Run = Est->profiledRun();
+  if (!Run.Ok) {
+    std::fprintf(stderr, "execution failed: %s\n", Run.Error.c_str());
+    return 1;
+  }
+  std::printf("program output: %s", Run.Output.c_str());
+  std::printf("simulated cycles: %s\n", formatDouble(Run.Cycles).c_str());
+  std::printf("profiling counters: %u (smart placement), %llu dynamic "
+              "updates\n\n",
+              Est->plan().totalCounters(),
+              static_cast<unsigned long long>(
+                  Est->runtime().dynamicIncrements() +
+                  Est->runtime().dynamicAdds()));
+
+  // 3. Estimates: frequencies, average times and variance per statement.
+  TimeAnalysisOptions Opts;
+  Opts.LoopVariance = LoopVarianceMode::Profiled;
+  TimeAnalysis TA = Est->analyze(Opts);
+
+  const Function *Main = Prog->entry();
+  const FunctionAnalysis &FA = Est->analysis().of(*Main);
+  FrequencyTotals Totals = Est->totalsFor(*Main);
+  Frequencies Freqs = computeFrequencies(FA, Totals);
+
+  TablePrinter Table({"statement", "NODE_FREQ", "COST", "TIME", "VAR",
+                      "STD_DEV"});
+  for (StmtId S = 0; S < Main->numStmts(); ++S) {
+    NodeId N = FA.cfg().nodeForStmt(S);
+    if (N == InvalidNode)
+      continue;
+    const NodeEstimates &E = TA.of(*Main, N);
+    Table.addRow({printStmt(*Main, Main->stmt(S)),
+                  formatDouble(Freqs.NodeFreq[N], 4),
+                  formatDouble(E.Cost, 4), formatDouble(E.Time, 5),
+                  formatDouble(E.Var, 5), formatDouble(E.StdDev, 4)});
+  }
+  std::printf("%s\n", Table.str().c_str());
+
+  std::printf("TIME(START)    = %s cycles (whole program average)\n",
+              formatDouble(TA.programTime(), 8).c_str());
+  std::printf("STD_DEV(START) = %s cycles\n",
+              formatDouble(TA.programStdDev(), 6).c_str());
+  return 0;
+}

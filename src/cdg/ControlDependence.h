@@ -1,0 +1,102 @@
+//===--- cdg/ControlDependence.h - (Forward) control dependence -*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control dependence per Ferrante-Ottenstein-Warren (Definition 2 in the
+/// paper) and the *forward* control dependence graph (FCDG) the estimation
+/// framework runs on.
+///
+/// The FCDG is the control dependence of the **forward ECFG**: the
+/// extended CFG with every interval back edge removed (dangling latches
+/// are routed to STOP so postdominators stay defined). This is the
+/// acyclic form of [Hsi88, CHH89] that the paper's "ignoring all back
+/// edges" refers to, and it is the construction under which the paper's
+/// recurrences are exact: computing control dependence on the cyclic
+/// ECFG and merely deleting the CDG's cyclic edges leaves loop-carried
+/// dependences (e.g. a latch branch "deciding" the next iteration's body)
+/// in the graph, and equation 3 of Section 3 then double-counts node
+/// frequencies — observable on Livermore kernel 2's stride-halving loop.
+/// Thanks to the ECFG's preheaders and pseudo edges, every interval hangs
+/// below its preheader and the graph is rooted at START (Figure 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_CDG_CONTROLDEPENDENCE_H
+#define PTRAN_CDG_CONTROLDEPENDENCE_H
+
+#include "ecfg/Ecfg.h"
+#include "graph/Dominators.h"
+#include "interval/Intervals.h"
+
+#include <optional>
+#include <vector>
+
+namespace ptran {
+
+/// A control condition: "node U takes the branch labelled L". These are
+/// the entities Section 3 profiles and Sections 4-5 weight by.
+struct ControlCondition {
+  NodeId Node = InvalidNode;
+  CfgLabel Label = CfgLabel::U;
+
+  bool operator==(const ControlCondition &O) const = default;
+  bool operator<(const ControlCondition &O) const {
+    return Node != O.Node ? Node < O.Node : Label < O.Label;
+  }
+};
+
+/// The forward control dependence graph and its supporting structures.
+class ControlDependence {
+public:
+  /// Computes the FCDG for \p E. \p IS must be the interval structure of
+  /// the CFG \p E was built from (it identifies the back edges). Nodes
+  /// that cannot reach STOP even in the forward graph acquire no control
+  /// dependences; the paper assumes the program completes execution.
+  ControlDependence(const Ecfg &E, const IntervalStructure &IS);
+
+  /// The acyclic "forward ECFG" the dependence was computed on: the ECFG
+  /// minus interval back edges, with dangling latches connected to STOP.
+  const Digraph &forwardGraph() const { return ForwardG; }
+
+  /// Forward control dependence graph over the ECFG's node ids.
+  /// Guaranteed acyclic.
+  const Digraph &fcdg() const { return FcdgGraph; }
+
+  /// The postdominator tree of the forward ECFG.
+  const DominatorTree &postDominators() const { return Pdt; }
+
+  /// Topological order of the FCDG (parents before children), covering
+  /// every node reachable from START in the FCDG.
+  const std::vector<NodeId> &topoOrder() const { return Topo; }
+
+  /// All control conditions (U, L) that appear as FCDG edge labels,
+  /// sorted. Only branch points appear: real conditionals, preheaders
+  /// (loop frequency on U, pseudo on Z) and START.
+  const std::vector<ControlCondition> &conditions() const { return Conds; }
+
+  /// FCDG children of \p U reached via label \p L — the set C(u, l) of
+  /// Section 5.
+  std::vector<NodeId> childrenOf(NodeId U, CfgLabel L) const;
+
+  /// Distinct labels on FCDG out-edges of \p U — the set L(u) of
+  /// Section 5.
+  std::vector<CfgLabel> labelsOf(NodeId U) const;
+
+  /// Graphviz rendering of the FCDG; node names come from \p Ecfg (the
+  /// ECFG the dependence was computed for).
+  std::string dot(const Cfg &Ecfg, std::string_view Title) const;
+
+private:
+  Digraph ForwardG;
+  Digraph FcdgGraph;
+  DominatorTree Pdt;
+  std::vector<NodeId> Topo;
+  std::vector<ControlCondition> Conds;
+};
+
+} // namespace ptran
+
+#endif // PTRAN_CDG_CONTROLDEPENDENCE_H

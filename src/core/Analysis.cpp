@@ -1,0 +1,48 @@
+//===--- core/Analysis.cpp - Per-function analysis pipeline ---------------===//
+
+#include "core/Analysis.h"
+
+#include "support/FatalError.h"
+
+using namespace ptran;
+
+std::unique_ptr<FunctionAnalysis>
+FunctionAnalysis::compute(const Function &F, DiagnosticEngine &Diags,
+                          const AnalysisOptions &Opts) {
+  auto FA = std::unique_ptr<FunctionAnalysis>(new FunctionAnalysis());
+  FA->F = &F;
+  FA->C = buildCfg(F);
+  if (Opts.ElideGotos)
+    elideGotoNodes(FA->C);
+
+  std::optional<IntervalStructure> IS =
+      IntervalStructure::compute(FA->C, Diags);
+  if (!IS)
+    return nullptr;
+  FA->IS = std::move(*IS);
+
+  FA->E = buildEcfg(FA->C, FA->IS);
+  FA->CD = std::make_unique<ControlDependence>(FA->E, FA->IS);
+  return FA;
+}
+
+std::unique_ptr<ProgramAnalysis>
+ProgramAnalysis::compute(const Program &P, DiagnosticEngine &Diags,
+                         const AnalysisOptions &Opts) {
+  auto PA = std::unique_ptr<ProgramAnalysis>(new ProgramAnalysis());
+  PA->P = &P;
+  for (const auto &F : P.functions()) {
+    auto FA = FunctionAnalysis::compute(*F, Diags, Opts);
+    if (!FA)
+      return nullptr;
+    PA->PerFunction.emplace(F.get(), std::move(FA));
+  }
+  return PA;
+}
+
+const FunctionAnalysis &ProgramAnalysis::of(const Function &F) const {
+  auto It = PerFunction.find(&F);
+  if (It == PerFunction.end())
+    reportFatalError("no analysis for function " + F.name());
+  return *It->second;
+}

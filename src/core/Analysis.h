@@ -1,0 +1,84 @@
+//===--- core/Analysis.h - Per-function analysis pipeline ------*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience drivers chaining the paper's program representations:
+/// statement CFG -> interval structure -> extended CFG -> (forward)
+/// control dependence graph, per function and per program. Everything
+/// downstream (profiling plans, frequency recovery, time and variance
+/// estimation) consumes these bundles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_CORE_ANALYSIS_H
+#define PTRAN_CORE_ANALYSIS_H
+
+#include "cdg/ControlDependence.h"
+#include "cfg/Cfg.h"
+#include "ecfg/Ecfg.h"
+#include "interval/Intervals.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+
+namespace ptran {
+
+/// Options controlling the per-function pipeline.
+struct AnalysisOptions {
+  /// Fold GOTO statements into edges first (recovers the compact CFGs the
+  /// paper draws; on by default).
+  bool ElideGotos = true;
+};
+
+/// All derived representations of one function.
+class FunctionAnalysis {
+public:
+  /// Runs the pipeline on \p F. Fails (null) on irreducible control flow
+  /// or other structural errors, reported to \p Diags.
+  static std::unique_ptr<FunctionAnalysis>
+  compute(const Function &F, DiagnosticEngine &Diags,
+          const AnalysisOptions &Opts = AnalysisOptions());
+
+  const Function &function() const { return *F; }
+  const Cfg &cfg() const { return C; }
+  const IntervalStructure &intervals() const { return IS; }
+  const Ecfg &ecfg() const { return E; }
+  const ControlDependence &cd() const { return *CD; }
+
+private:
+  FunctionAnalysis() = default;
+
+  const Function *F = nullptr;
+  Cfg C;
+  IntervalStructure IS;
+  Ecfg E;
+  std::unique_ptr<ControlDependence> CD;
+};
+
+/// FunctionAnalysis for every procedure of a program.
+class ProgramAnalysis {
+public:
+  /// Analyzes all procedures. Fails (null) if any function fails.
+  static std::unique_ptr<ProgramAnalysis>
+  compute(const Program &P, DiagnosticEngine &Diags,
+          const AnalysisOptions &Opts = AnalysisOptions());
+
+  const Program &program() const { return *P; }
+  const FunctionAnalysis &of(const Function &F) const;
+  const std::map<const Function *, std::unique_ptr<FunctionAnalysis>> &
+  all() const {
+    return PerFunction;
+  }
+
+private:
+  const Program *P = nullptr;
+  std::map<const Function *, std::unique_ptr<FunctionAnalysis>> PerFunction;
+};
+
+} // namespace ptran
+
+#endif // PTRAN_CORE_ANALYSIS_H

@@ -1,0 +1,49 @@
+//===--- cost/Estimator.cpp - End-to-end estimation pipeline --------------===//
+
+#include "cost/Estimator.h"
+
+#include "support/FatalError.h"
+
+using namespace ptran;
+
+std::unique_ptr<Estimator> Estimator::create(const Program &P,
+                                             const CostModel &CM,
+                                             DiagnosticEngine &Diags,
+                                             ProfileMode Mode) {
+  auto Est = std::unique_ptr<Estimator>(new Estimator());
+  Est->P = &P;
+  Est->CM = CM;
+  Est->PA = ProgramAnalysis::compute(P, Diags);
+  if (!Est->PA)
+    return nullptr;
+  AnalysisOptions Raw;
+  Raw.ElideGotos = false;
+  Est->RawPA = ProgramAnalysis::compute(P, Diags, Raw);
+  if (!Est->RawPA)
+    return nullptr;
+  Est->Plan = ProgramPlan::build(*Est->PA, Mode);
+  Est->Runtime = std::make_unique<ProfileRuntime>(*Est->PA, Est->Plan, CM);
+  Est->Stats = std::make_unique<LoopFrequencyStats>(*Est->RawPA);
+  return Est;
+}
+
+RunResult Estimator::profiledRun(uint64_t MaxSteps) {
+  Interpreter Interp(*P, CM);
+  Interp.addObserver(Runtime.get());
+  Interp.addObserver(Stats.get());
+  return Interp.run(MaxSteps);
+}
+
+TimeAnalysis Estimator::analyze(TimeAnalysisOptions Opts) {
+  if (Opts.LoopVariance == LoopVarianceMode::Profiled && !Opts.Stats)
+    Opts.Stats = Stats.get();
+
+  std::map<const Function *, Frequencies> Freqs;
+  for (const auto &F : P->functions()) {
+    FrequencyTotals Totals = Runtime->recover(*F);
+    if (!Totals.Ok)
+      reportFatalError("counter recovery failed for function " + F->name());
+    Freqs[F.get()] = computeFrequencies(PA->of(*F), Totals);
+  }
+  return TimeAnalysis::run(*PA, Freqs, CM, Opts);
+}

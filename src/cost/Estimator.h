@@ -1,0 +1,74 @@
+//===--- cost/Estimator.h - End-to-end estimation pipeline ------*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A convenience facade running the whole framework end to end: analyze
+/// the program, build a counter plan, execute one or more profiled runs on
+/// the interpreter (accumulating totals across runs, as the paper's
+/// program database does), recover TOTAL_FREQ, compute relative
+/// frequencies, and finally the TIME/VAR estimates. Examples, tests and
+/// benchmarks all drive this class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_COST_ESTIMATOR_H
+#define PTRAN_COST_ESTIMATOR_H
+
+#include "cost/TimeAnalysis.h"
+#include "interp/Interpreter.h"
+
+#include <memory>
+
+namespace ptran {
+
+/// Owns the per-program state of one estimation campaign.
+class Estimator {
+public:
+  /// Analyzes \p P (which must outlive the estimator). Returns null on
+  /// analysis failure (e.g. irreducible control flow), reported to
+  /// \p Diags.
+  static std::unique_ptr<Estimator>
+  create(const Program &P, const CostModel &CM, DiagnosticEngine &Diags,
+         ProfileMode Mode = ProfileMode::Smart);
+
+  /// Runs the program once with profiling attached, accumulating counter
+  /// values and loop-frequency moments. \returns the interpreter result.
+  RunResult profiledRun(uint64_t MaxSteps = 200'000'000);
+
+  /// Recovers totals and frequencies for every function from the counters
+  /// accumulated so far, then runs the time/variance analysis.
+  /// \p Opts.Stats is filled in automatically when LoopVariance ==
+  /// Profiled and no stats were supplied.
+  TimeAnalysis analyze(TimeAnalysisOptions Opts = TimeAnalysisOptions());
+
+  const ProgramAnalysis &analysis() const { return *PA; }
+  const ProgramPlan &plan() const { return Plan; }
+  const ProfileRuntime &runtime() const { return *Runtime; }
+  /// Mutable runtime access (e.g. to reset counters between epochs).
+  ProfileRuntime &runtimeMutable() { return *Runtime; }
+  const LoopFrequencyStats &loopStats() const { return *Stats; }
+
+  /// Recovered totals of one function (after at least one profiledRun).
+  FrequencyTotals totalsFor(const Function &F) const {
+    return Runtime->recover(F);
+  }
+
+private:
+  Estimator() = default;
+
+  const Program *P = nullptr;
+  CostModel CM;
+  std::unique_ptr<ProgramAnalysis> PA;
+  /// Goto-preserving analysis for run-time loop tracking.
+  std::unique_ptr<ProgramAnalysis> RawPA;
+  ProgramPlan Plan;
+  std::unique_ptr<ProfileRuntime> Runtime;
+  std::unique_ptr<LoopFrequencyStats> Stats;
+};
+
+} // namespace ptran
+
+#endif // PTRAN_COST_ESTIMATOR_H

@@ -1,0 +1,66 @@
+//===--- cost/Report.h - gprof-style procedure report ----------*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A flat, gprof-style [GKM82] per-procedure report derived from the
+/// estimation results: calls, average time per call (rule 2's
+/// TIME(START)), its standard deviation, the self time (local work only,
+/// callee bodies excluded), and each procedure's share of the whole
+/// program's time. The paper cites gprof as the precedent for rule 2's
+/// "same average time at every call site" assumption — this module shows
+/// the framework subsumes that style of report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_COST_REPORT_H
+#define PTRAN_COST_REPORT_H
+
+#include "cost/TimeAnalysis.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ptran {
+
+/// One row of the flat profile.
+struct ProcedureReportRow {
+  std::string Name;
+  /// Total activations recorded by the profile.
+  double Calls = 0.0;
+  /// TIME(START): average cycles per activation, callees included.
+  double TimePerCall = 0.0;
+  /// STD_DEV(START).
+  double StdDevPerCall = 0.0;
+  /// Average cycles of local work per activation (callees excluded).
+  double SelfPerCall = 0.0;
+  /// Calls * SelfPerCall: this procedure's own share of the program.
+  double TotalSelf = 0.0;
+  /// TotalSelf as a fraction of the program's total (0 when unknown).
+  double SelfFraction = 0.0;
+};
+
+/// Builds the flat profile, sorted by descending TotalSelf.
+std::vector<ProcedureReportRow> buildProcedureReport(
+    const ProgramAnalysis &PA,
+    const std::map<const Function *, Frequencies> &FreqsByFunction,
+    const TimeAnalysis &TA);
+
+/// Renders the report as an aligned text table.
+std::string formatProcedureReport(const std::vector<ProcedureReportRow> &Rows);
+
+/// An annotated source listing — the counter-based profiler's classic
+/// output ("Statement S was executed n times"), extended with the paper's
+/// estimates: every statement of \p F prefixed with its total execution
+/// count, its average TIME and its STD_DEV. \p Totals supplies the counts
+/// (pass the recovered totals); \p TA the estimates.
+std::string annotatedListing(const FunctionAnalysis &FA,
+                             const FrequencyTotals &Totals,
+                             const TimeAnalysis &TA);
+
+} // namespace ptran
+
+#endif // PTRAN_COST_REPORT_H

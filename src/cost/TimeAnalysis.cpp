@@ -1,0 +1,242 @@
+//===--- cost/TimeAnalysis.cpp - Average times and variance ---------------===//
+
+#include "cost/TimeAnalysis.h"
+
+#include "graph/Scc.h"
+#include "support/Casting.h"
+#include "support/FatalError.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace ptran;
+
+namespace {
+
+/// TIME/VAR of every procedure START node, visible to callers.
+struct ProcedureSummary {
+  double Time = 0.0;
+  double Var = 0.0;
+};
+
+/// Computes one function's estimates bottom-up over its FCDG.
+std::vector<NodeEstimates>
+computeFunction(const FunctionAnalysis &FA, const Frequencies &Freqs,
+                const CostModel &CM, const TimeAnalysisOptions &Opts,
+                const std::map<const Function *, ProcedureSummary> &Callees,
+                const Program &Prog) {
+  const ControlDependence &CD = FA.cd();
+  const Ecfg &E = FA.ecfg();
+  const Cfg &C = E.cfg();
+  const Function &F = FA.function();
+
+  std::vector<NodeEstimates> Est(C.numNodes());
+
+  // Local cost and local cost-variance of a node.
+  auto LocalCost = [&](NodeId N, double &Cost, double &SelfCost,
+                       double &VarCost) {
+    Cost = 0.0;
+    SelfCost = 0.0;
+    VarCost = 0.0;
+    StmtId S = C.origin(N);
+    if (S == InvalidStmt)
+      return; // START/STOP/preheader/postexit carry no local work.
+    const Stmt *St = F.stmt(S);
+    std::optional<double> Overridden;
+    if (Opts.LocalCostOverride)
+      Overridden = Opts.LocalCostOverride(F, St);
+    Cost = Overridden ? *Overridden : CM.statementCost(St);
+    SelfCost = Cost;
+    if (const auto *Call = dyn_cast<CallStmt>(St)) {
+      // Rule 2: a call's cost includes the callee's average time.
+      const Function *Callee = Prog.findFunction(Call->callee());
+      auto It = Callee ? Callees.find(Callee) : Callees.end();
+      if (It != Callees.end()) {
+        Cost += It->second.Time;
+        if (Opts.PropagateCalleeVariance)
+          VarCost = It->second.Var;
+      }
+    }
+  };
+
+  // Loop-frequency variance per Section 5, Case 1.
+  auto LoopFreqVariance = [&](NodeId Ph, double Mean) {
+    switch (Opts.LoopVariance) {
+    case LoopVarianceMode::Zero:
+      return 0.0;
+    case LoopVarianceMode::Profiled: {
+      if (!Opts.Stats)
+        return 0.0;
+      NodeId Header = E.headerOf(Ph);
+      assert(Header != InvalidNode && "loop variance on a non-preheader");
+      const LoopFrequencyStats::Moments *M =
+          Opts.Stats->momentsFor(F, C.origin(Header));
+      return M ? M->variance() : 0.0;
+    }
+    case LoopVarianceMode::Geometric: {
+      // Header executions >= 1 with mean m modelled as 1 + Geometric:
+      // VAR = m^2 - m.
+      double V = Mean * Mean - Mean;
+      return V > 0.0 ? V : 0.0;
+    }
+    case LoopVarianceMode::Uniform: {
+      // Header executions ~ U{1, .., 2m-1}: VAR = ((2m-1)^2 - 1) / 12.
+      double Width = 2.0 * Mean - 1.0;
+      double V = (Width * Width - 1.0) / 12.0;
+      return V > 0.0 ? V : 0.0;
+    }
+    }
+    PTRAN_UNREACHABLE("unknown LoopVarianceMode");
+  };
+
+  // Bottom-up: children before parents.
+  const std::vector<NodeId> &Topo = CD.topoOrder();
+  for (auto It = Topo.rbegin(); It != Topo.rend(); ++It) {
+    NodeId U = *It;
+    NodeEstimates &EU = Est[U];
+    double VarCost = 0.0;
+    LocalCost(U, EU.Cost, EU.SelfCost, VarCost);
+
+    bool IsPreheader = E.headerOf(U) != InvalidNode;
+    if (IsPreheader) {
+      // Case 1. Only the U label matters; the pseudo labels have zero
+      // frequency (and the body sum below therefore ignores them).
+      double Freq = Freqs.freqOf({U, CfgLabel::U});
+      double SumTime = 0.0;
+      double SumVar = 0.0;
+      for (NodeId V : CD.childrenOf(U, CfgLabel::U)) {
+        SumTime += Est[V].Time;
+        SumVar += Est[V].Var;
+      }
+      double FreqVar = LoopFreqVariance(U, Freq);
+      EU.Time = EU.Cost + Freq * SumTime;
+      EU.Var = VarCost + Freq * Freq * SumVar +
+               FreqVar * SumTime * SumTime + FreqVar * SumVar;
+    } else {
+      // Case 2: TIME_C and E[TIME_C^2] over the label outcomes.
+      bool Deterministic =
+          Opts.DeterministicDoHeaders && U < E.numOriginalNodes() &&
+          FA.intervals().isHeader(U) &&
+          FA.intervals().isExitFreeDoLoop(FA.cfg(), U);
+      double TimeC = 0.0;
+      double TimeCSq = 0.0;
+      double ChildVar = 0.0;
+      for (CfgLabel L : CD.labelsOf(U)) {
+        double Freq = Freqs.freqOf({U, L});
+        double SumTime = 0.0;
+        double SumVar = 0.0;
+        for (NodeId V : CD.childrenOf(U, L)) {
+          SumTime += Est[V].Time;
+          SumVar += Est[V].Var;
+        }
+        TimeC += Freq * SumTime;
+        TimeCSq += Freq * (SumVar + SumTime * SumTime);
+        ChildVar += Freq * SumVar;
+      }
+      EU.Time = EU.Cost + TimeC;
+      if (Deterministic) {
+        // The header's outcome is not a random draw; only the children's
+        // variance flows through.
+        EU.Var = VarCost + ChildVar;
+      } else {
+        EU.Var = VarCost + (TimeCSq - TimeC * TimeC);
+      }
+      if (EU.Var < 0.0)
+        EU.Var = 0.0; // Floating-point cancellation guard.
+    }
+    EU.TimeSq = EU.Var + EU.Time * EU.Time;
+    EU.StdDev = std::sqrt(EU.Var);
+  }
+  return Est;
+}
+
+} // namespace
+
+TimeAnalysis TimeAnalysis::run(
+    const ProgramAnalysis &PA,
+    const std::map<const Function *, Frequencies> &FreqsByFunction,
+    const CostModel &CM, const TimeAnalysisOptions &Opts) {
+  const Program &Prog = PA.program();
+  TimeAnalysis Out;
+  Out.PA = &PA;
+
+  // Call graph over the program's functions.
+  std::vector<const Function *> Funcs;
+  std::map<const Function *, NodeId> Index;
+  for (const auto &F : Prog.functions()) {
+    Index[F.get()] = static_cast<NodeId>(Funcs.size());
+    Funcs.push_back(F.get());
+  }
+  Digraph CallGraph(static_cast<unsigned>(Funcs.size()));
+  for (const Function *F : Funcs)
+    for (StmtId S = 0; S < F->numStmts(); ++S)
+      if (const auto *Call = dyn_cast<CallStmt>(F->stmt(S)))
+        if (const Function *Callee = Prog.findFunction(Call->callee()))
+          CallGraph.addEdge(Index[F], Index[Callee], 0);
+
+  SccResult Sccs = computeSccs(CallGraph);
+  std::map<const Function *, ProcedureSummary> Summaries;
+
+  auto FreqsOf = [&](const Function *F) -> const Frequencies & {
+    auto It = FreqsByFunction.find(F);
+    if (It == FreqsByFunction.end())
+      reportFatalError("no frequencies for function " + F->name());
+    return It->second;
+  };
+
+  auto Recompute = [&](const Function *F) {
+    const FunctionAnalysis &FA = PA.of(*F);
+    std::vector<NodeEstimates> Est =
+        computeFunction(FA, FreqsOf(F), CM, Opts, Summaries, Prog);
+    NodeId Start = FA.ecfg().start();
+    Summaries[F] = {Est[Start].Time, Est[Start].Var};
+    Out.PerFunction[F] = std::move(Est);
+  };
+
+  // Components come callees-first from Tarjan.
+  for (unsigned Comp = 0; Comp < Sccs.numComponents(); ++Comp) {
+    const std::vector<NodeId> &Members = Sccs.Members[Comp];
+    bool Cyclic = Sccs.isInCycle(CallGraph, Members.front());
+    if (!Cyclic) {
+      Recompute(Funcs[Members.front()]);
+      continue;
+    }
+    // Recursive cycle: fixed-point iteration, starting from zero-cost
+    // recursive calls (the paper defers recursion; see DESIGN.md).
+    Out.Recursive = true;
+    for (NodeId M : Members)
+      Summaries[Funcs[M]] = {0.0, 0.0};
+    for (unsigned Iter = 0; Iter < Opts.RecursionIterations; ++Iter)
+      for (NodeId M : Members)
+        Recompute(Funcs[M]);
+  }
+
+  return Out;
+}
+
+const NodeEstimates &TimeAnalysis::of(const Function &F, NodeId N) const {
+  auto It = PerFunction.find(&F);
+  if (It == PerFunction.end())
+    reportFatalError("no time analysis for function " + F.name());
+  return It->second.at(N);
+}
+
+double TimeAnalysis::functionTime(const Function &F) const {
+  return of(F, PA->of(F).ecfg().start()).Time;
+}
+
+double TimeAnalysis::functionVariance(const Function &F) const {
+  return of(F, PA->of(F).ecfg().start()).Var;
+}
+
+double TimeAnalysis::programTime() const {
+  const Function *Entry = PA->program().entry();
+  assert(Entry && "program has no entry");
+  return functionTime(*Entry);
+}
+
+double TimeAnalysis::programStdDev() const {
+  const Function *Entry = PA->program().entry();
+  assert(Entry && "program has no entry");
+  return std::sqrt(functionVariance(*Entry));
+}

@@ -1,0 +1,120 @@
+//===--- cost/TimeAnalysis.h - Average times and variance -------*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's core contribution (Sections 4 and 5): average execution
+/// times TIME(u) and their variance VAR(u) for every node of the forward
+/// control dependence graph, in one linear bottom-up pass per procedure,
+/// and bottom-up over the call graph interprocedurally (rule 2:
+/// COST(call) = TIME(callee START)).
+///
+/// Variance follows Section 5 exactly: Case 1 (preheaders) uses the
+/// product-variance identity with the loop-frequency variance
+/// VAR(FREQ(u,l)) supplied by a configurable model — identically zero, a
+/// closed-form distribution assumption (geometric/uniform), or the
+/// profiled second moment E[FREQ^2]; Case 2 (branch probabilities)
+/// computes E[TIME_C^2] across the label outcomes. As an extension
+/// (flagged), a call's COST may carry the callee's variance instead of the
+/// paper's VAR(COST(u)) = 0 assumption, and recursive call graphs are
+/// handled by fixed-point iteration (the paper defers them).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_COST_TIMEANALYSIS_H
+#define PTRAN_COST_TIMEANALYSIS_H
+
+#include "freq/Frequencies.h"
+#include "interp/CostModel.h"
+#include "profile/ProfileRuntime.h"
+
+#include <functional>
+#include <map>
+#include <optional>
+
+namespace ptran {
+
+/// How VAR(FREQ) of a loop frequency is modelled (Section 5, Case 1).
+enum class LoopVarianceMode {
+  Zero,      ///< VAR(FREQ) = 0 (the paper's simplified final equation).
+  Profiled,  ///< E[FREQ^2] from LoopFrequencyStats.
+  Geometric, ///< Header executions ~ shifted geometric with the observed
+             ///< mean: VAR = mean^2 - mean.
+  Uniform,   ///< Header executions ~ uniform on {1 .. 2*mean-1}:
+             ///< VAR = ((2*mean-1)^2 - 1) / 12.
+};
+
+/// Options for the time/variance analysis.
+struct TimeAnalysisOptions {
+  LoopVarianceMode LoopVariance = LoopVarianceMode::Zero;
+  /// Required when LoopVariance == Profiled.
+  const LoopFrequencyStats *Stats = nullptr;
+  /// Replace the local COST(u) of specific statements (used to reproduce
+  /// Figure 3's literal COST assignments). Returning nullopt keeps the
+  /// CostModel's estimate.
+  std::function<std::optional<double>(const Function &, const Stmt *)>
+      LocalCostOverride;
+  /// Extension: propagate the callee's variance into call nodes instead of
+  /// the paper's VAR(COST) = 0 assumption.
+  bool PropagateCalleeVariance = true;
+  /// Extension: the paper's Case 2 treats every branch — including a DO
+  /// header's continue/exit test — as an independent Bernoulli draw, so
+  /// even a compile-time-constant loop acquires variance. With this flag
+  /// the headers of exit-free DO loops are treated as deterministic: only
+  /// their children's variance propagates, no branch-outcome term.
+  bool DeterministicDoHeaders = false;
+  /// Fixed-point iterations for recursive call-graph cycles.
+  unsigned RecursionIterations = 16;
+};
+
+/// Per-node estimation results (the [...] tuples of Figure 3).
+struct NodeEstimates {
+  double Cost = 0.0;   ///< COST(u): local average execution time; for a
+                       ///< call node this includes TIME(callee START).
+  double SelfCost = 0.0; ///< COST(u) without any callee contribution
+                         ///< (linkage only, for calls).
+  double Time = 0.0;   ///< TIME(u): total average execution time.
+  double TimeSq = 0.0; ///< E[T^2].
+  double Var = 0.0;    ///< VAR(u).
+  double StdDev = 0.0; ///< sqrt(VAR(u)).
+};
+
+/// The analysis results for a whole program.
+class TimeAnalysis {
+public:
+  /// Runs the analysis. \p FreqsByFunction must contain Frequencies for
+  /// every procedure of \p PA's program.
+  static TimeAnalysis
+  run(const ProgramAnalysis &PA,
+      const std::map<const Function *, Frequencies> &FreqsByFunction,
+      const CostModel &CM,
+      const TimeAnalysisOptions &Opts = TimeAnalysisOptions());
+
+  /// Estimates of ECFG node \p N of \p F.
+  const NodeEstimates &of(const Function &F, NodeId N) const;
+
+  /// TIME(START) of \p F: the procedure's average execution time.
+  double functionTime(const Function &F) const;
+  /// VAR(START) of \p F.
+  double functionVariance(const Function &F) const;
+
+  /// The whole program's TIME(START) (of the entry procedure).
+  double programTime() const;
+  /// The whole program's STD_DEV(START).
+  double programStdDev() const;
+
+  /// True if the call graph contains recursion (handled by fixed-point
+  /// iteration).
+  bool hasRecursion() const { return Recursive; }
+
+private:
+  const ProgramAnalysis *PA = nullptr;
+  std::map<const Function *, std::vector<NodeEstimates>> PerFunction;
+  bool Recursive = false;
+};
+
+} // namespace ptran
+
+#endif // PTRAN_COST_TIMEANALYSIS_H

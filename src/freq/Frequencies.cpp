@@ -1,0 +1,43 @@
+//===--- freq/Frequencies.cpp - Relative frequency computation ------------===//
+
+#include "freq/Frequencies.h"
+
+#include <cassert>
+
+using namespace ptran;
+
+Frequencies ptran::computeFrequencies(const FunctionAnalysis &FA,
+                                      const FrequencyTotals &Totals) {
+  assert(Totals.Ok && "frequency computation requires recovered totals");
+  const ControlDependence &CD = FA.cd();
+  const Digraph &Fcdg = CD.fcdg();
+  NodeId Start = FA.ecfg().start();
+
+  Frequencies Out;
+  Out.NodeFreq.assign(Fcdg.numNodes(), 0.0);
+  Out.Invocations = Totals.condTotal({Start, CfgLabel::U});
+
+  // Equation 1.
+  if (Start < Out.NodeFreq.size())
+    Out.NodeFreq[Start] = 1.0;
+
+  // One top-down pass: FREQ at a node needs its NODE_FREQ, which equation
+  // 3 provides from the (already processed) FCDG parents.
+  for (NodeId U : CD.topoOrder()) {
+    double NodeFreqU = Out.NodeFreq[U];
+    // Equation 2 per outgoing condition, with the division-by-zero guard.
+    for (CfgLabel L : CD.labelsOf(U)) {
+      ControlCondition Cond{U, L};
+      double Total = Totals.condTotal(Cond);
+      double Denominator = Out.Invocations * NodeFreqU;
+      Out.Freq[Cond] = Denominator == 0.0 ? 0.0 : Total / Denominator;
+    }
+    // Equation 3: push frequency to the children.
+    for (EdgeId E : Fcdg.outEdges(U)) {
+      const Digraph::Edge &Ed = Fcdg.edge(E);
+      ControlCondition Cond{U, static_cast<CfgLabel>(Ed.Label)};
+      Out.NodeFreq[Ed.To] += NodeFreqU * Out.Freq[Cond];
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,55 @@
+//===--- freq/Frequencies.h - Relative frequency computation ----*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts TOTAL_FREQ counts into the relative frequencies of
+/// Definition 3 using the three recurrence equations of Section 3, in one
+/// top-down pass over the FCDG:
+///
+///   1.  NODE_FREQ(START) = 1
+///   2.  FREQ(u, l) = TOTAL_FREQ(u, l)
+///                    / (TOTAL_FREQ(START, U) * NODE_FREQ(u))
+///   3.  NODE_FREQ(v) = Sigma_(u,v,l) NODE_FREQ(u) * FREQ(u, l)
+///
+/// with the footnote-2 guard: a zero denominator forces FREQ(u, l) = 0
+/// (the numerator is then necessarily zero too).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_FREQ_FREQUENCIES_H
+#define PTRAN_FREQ_FREQUENCIES_H
+
+#include "profile/Recovery.h"
+
+#include <map>
+#include <vector>
+
+namespace ptran {
+
+/// Relative execution frequencies of one function.
+struct Frequencies {
+  /// FREQ(u, l): loop frequency for preheader conditions (>= 0), branch
+  /// probability otherwise (in [0, 1]).
+  std::map<ControlCondition, double> Freq;
+  /// NODE_FREQ(u): average executions of u per procedure invocation,
+  /// indexed by ECFG node (nodes outside the FCDG hold 0).
+  std::vector<double> NodeFreq;
+  /// TOTAL_FREQ(START, U): how many activations the totals cover.
+  double Invocations = 0.0;
+
+  double freqOf(const ControlCondition &C) const {
+    auto It = Freq.find(C);
+    return It == Freq.end() ? 0.0 : It->second;
+  }
+};
+
+/// Runs the top-down pass on \p Totals (which must be Ok).
+Frequencies computeFrequencies(const FunctionAnalysis &FA,
+                               const FrequencyTotals &Totals);
+
+} // namespace ptran
+
+#endif // PTRAN_FREQ_FREQUENCIES_H

@@ -1,0 +1,58 @@
+//===--- freq/StaticFrequencies.h - Compile-time frequencies ---*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compile-time frequency analysis for the restricted cases Section 3
+/// enumerates — "a Fortran DO loop with constant bounds and no
+/// conditional loop exits, an IF condition that can be computed at
+/// compile-time" — with explicit heuristics everywhere else, and a hybrid
+/// mode that uses the profile where one exists and the static estimate
+/// where it does not (the complementation the paper recommends).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_FREQ_STATICFREQUENCIES_H
+#define PTRAN_FREQ_STATICFREQUENCIES_H
+
+#include "freq/Frequencies.h"
+
+namespace ptran {
+
+/// Heuristic parameters for conditions the analysis cannot decide.
+struct StaticFrequencyOptions {
+  /// Probability assigned to an undecidable conditional branch label.
+  double DefaultBranchTaken = 0.5;
+  /// Header executions per entry assumed for loops with unknown trip
+  /// counts (DO loops with non-constant bounds, GOTO loops).
+  double DefaultLoopFrequency = 10.0;
+};
+
+/// Static frequencies plus provenance: which conditions were decided by
+/// analysis (exact) and which fell back to heuristics.
+struct StaticFrequencies {
+  Frequencies Freqs; ///< Invocations is fixed at 1.
+  /// True where compile-time analysis decided the condition.
+  std::map<ControlCondition, bool> Exact;
+
+  /// Fraction of non-pseudo conditions decided exactly.
+  double exactFraction() const;
+};
+
+/// Runs the compile-time analysis over one function's FCDG.
+StaticFrequencies
+computeStaticFrequencies(const FunctionAnalysis &FA,
+                         const StaticFrequencyOptions &Opts = {});
+
+/// The paper's recommended combination: profiled frequencies when the
+/// profile observed the procedure at least once (\p Totals non-null and
+/// covering an invocation), the static estimate otherwise.
+Frequencies hybridFrequencies(const FunctionAnalysis &FA,
+                              const StaticFrequencies &Static,
+                              const FrequencyTotals *Totals);
+
+} // namespace ptran
+
+#endif // PTRAN_FREQ_STATICFREQUENCIES_H

@@ -1,0 +1,102 @@
+//===--- graph/DepthFirst.cpp - DFS numbering and edge classes ------------===//
+
+#include "graph/DepthFirst.h"
+
+#include <algorithm>
+
+using namespace ptran;
+
+DfsResult::DfsResult(const Digraph &G, NodeId Root)
+    : Pre(G.numNodes(), InvalidOrder), Post(G.numNodes(), InvalidOrder),
+      Parent(G.numNodes(), InvalidNode),
+      EdgeKinds(G.numEdgeSlots(), DfsEdgeKind::Unreached) {
+  if (G.numNodes() == 0)
+    return;
+  assert(Root < G.numNodes() && "root out of range");
+
+  unsigned PreCounter = 0;
+  unsigned PostCounter = 0;
+  std::vector<NodeId> PostorderNodes;
+  PostorderNodes.reserve(G.numNodes());
+
+  // Explicit stack of (node, out-edge list, next index) frames.
+  struct Frame {
+    NodeId N;
+    std::vector<EdgeId> Out;
+    size_t Next = 0;
+  };
+  std::vector<Frame> Stack;
+  // On-stack marker distinguishes retreating edges from cross edges.
+  std::vector<bool> OnStack(G.numNodes(), false);
+
+  Pre[Root] = PreCounter++;
+  OnStack[Root] = true;
+  Stack.push_back({Root, G.outEdges(Root), 0});
+
+  while (!Stack.empty()) {
+    Frame &F = Stack.back();
+    if (F.Next == F.Out.size()) {
+      Post[F.N] = PostCounter++;
+      PostorderNodes.push_back(F.N);
+      OnStack[F.N] = false;
+      Stack.pop_back();
+      continue;
+    }
+    EdgeId E = F.Out[F.Next++];
+    NodeId To = G.edge(E).To;
+    if (Pre[To] == InvalidOrder) {
+      EdgeKinds[E] = DfsEdgeKind::Tree;
+      Parent[To] = F.N;
+      Pre[To] = PreCounter++;
+      OnStack[To] = true;
+      Stack.push_back({To, G.outEdges(To), 0});
+    } else if (OnStack[To]) {
+      EdgeKinds[E] = DfsEdgeKind::Retreating;
+    } else if (Pre[To] > Pre[F.N]) {
+      EdgeKinds[E] = DfsEdgeKind::Forward;
+    } else {
+      EdgeKinds[E] = DfsEdgeKind::Cross;
+    }
+  }
+
+  Rpo.assign(PostorderNodes.rbegin(), PostorderNodes.rend());
+}
+
+bool DfsResult::isTreeAncestor(NodeId Ancestor, NodeId N) const {
+  assert(isReachable(Ancestor) && isReachable(N) &&
+         "tree ancestry queries require reachable nodes");
+  // In a DFS, Ancestor is a tree ancestor of N iff N's discovery lies within
+  // Ancestor's discovery/finish bracket. Using pre/post numbering:
+  return Pre[Ancestor] <= Pre[N] && Post[Ancestor] >= Post[N];
+}
+
+std::vector<NodeId> ptran::reversePostorder(const Digraph &G, NodeId Root) {
+  return DfsResult(G, Root).reversePostorder();
+}
+
+std::optional<std::vector<NodeId>>
+ptran::topologicalOrder(const Digraph &G) {
+  unsigned N = G.numNodes();
+  std::vector<unsigned> InDeg(N, 0);
+  for (NodeId Node = 0; Node < N; ++Node)
+    InDeg[Node] = G.inDegree(Node);
+
+  std::vector<NodeId> Worklist;
+  for (NodeId Node = 0; Node < N; ++Node)
+    if (InDeg[Node] == 0)
+      Worklist.push_back(Node);
+
+  std::vector<NodeId> Order;
+  Order.reserve(N);
+  // Pop from the front to keep the order stable w.r.t. node ids.
+  for (size_t I = 0; I < Worklist.size(); ++I) {
+    NodeId Node = Worklist[I];
+    Order.push_back(Node);
+    for (NodeId Succ : G.successors(Node))
+      if (--InDeg[Succ] == 0)
+        Worklist.push_back(Succ);
+  }
+  if (Order.size() != N)
+    return std::nullopt; // A cycle keeps some in-degrees positive.
+  return Order;
+}

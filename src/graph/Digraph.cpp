@@ -1,0 +1,103 @@
+//===--- graph/Digraph.cpp - Directed labelled multigraph -----------------===//
+
+#include "graph/Digraph.h"
+
+using namespace ptran;
+
+NodeId Digraph::addNode() {
+  Succs.emplace_back();
+  Preds.emplace_back();
+  return static_cast<NodeId>(Succs.size() - 1);
+}
+
+NodeId Digraph::addNodes(unsigned Count) {
+  NodeId First = static_cast<NodeId>(Succs.size());
+  for (unsigned I = 0; I < Count; ++I)
+    addNode();
+  return First;
+}
+
+EdgeId Digraph::addEdge(NodeId From, NodeId To, LabelId Label) {
+  assert(From < numNodes() && To < numNodes() && "edge endpoint out of range");
+  EdgeId E = static_cast<EdgeId>(Edges.size());
+  Edges.push_back({From, To, Label, false});
+  Succs[From].push_back(E);
+  Preds[To].push_back(E);
+  ++NumLiveEdges;
+  return E;
+}
+
+void Digraph::eraseEdge(EdgeId E) {
+  assert(E < Edges.size() && "edge id out of range");
+  if (Edges[E].Dead)
+    return;
+  Edges[E].Dead = true;
+  --NumLiveEdges;
+}
+
+std::vector<EdgeId> Digraph::outEdges(NodeId N) const {
+  assert(N < numNodes() && "node id out of range");
+  std::vector<EdgeId> Live;
+  for (EdgeId E : Succs[N])
+    if (!Edges[E].Dead)
+      Live.push_back(E);
+  return Live;
+}
+
+std::vector<EdgeId> Digraph::inEdges(NodeId N) const {
+  assert(N < numNodes() && "node id out of range");
+  std::vector<EdgeId> Live;
+  for (EdgeId E : Preds[N])
+    if (!Edges[E].Dead)
+      Live.push_back(E);
+  return Live;
+}
+
+std::vector<NodeId> Digraph::successors(NodeId N) const {
+  std::vector<NodeId> Nodes;
+  for (EdgeId E : Succs[N])
+    if (!Edges[E].Dead)
+      Nodes.push_back(Edges[E].To);
+  return Nodes;
+}
+
+std::vector<NodeId> Digraph::predecessors(NodeId N) const {
+  std::vector<NodeId> Nodes;
+  for (EdgeId E : Preds[N])
+    if (!Edges[E].Dead)
+      Nodes.push_back(Edges[E].From);
+  return Nodes;
+}
+
+unsigned Digraph::outDegree(NodeId N) const {
+  unsigned Count = 0;
+  for (EdgeId E : Succs[N])
+    if (!Edges[E].Dead)
+      ++Count;
+  return Count;
+}
+
+unsigned Digraph::inDegree(NodeId N) const {
+  unsigned Count = 0;
+  for (EdgeId E : Preds[N])
+    if (!Edges[E].Dead)
+      ++Count;
+  return Count;
+}
+
+EdgeId Digraph::findEdge(NodeId From, NodeId To, LabelId Label) const {
+  for (EdgeId E : Succs[From]) {
+    const Edge &Ed = Edges[E];
+    if (!Ed.Dead && Ed.To == To && Ed.Label == Label)
+      return E;
+  }
+  return InvalidEdge;
+}
+
+Digraph Digraph::reversed() const {
+  Digraph R(numNodes());
+  for (const Edge &Ed : Edges)
+    if (!Ed.Dead)
+      R.addEdge(Ed.To, Ed.From, Ed.Label);
+  return R;
+}

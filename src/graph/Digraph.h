@@ -1,0 +1,115 @@
+//===--- graph/Digraph.h - Directed labelled multigraph --------*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense-id directed multigraph with labelled edges. This is the carrier
+/// for every graph in the pipeline: the control flow graph (Definition 1 in
+/// the paper allows multiple differently-labelled edges between the same
+/// node pair), the extended CFG, and the (forward) control dependence graph.
+///
+/// Nodes and edges are identified by dense 32-bit ids. Edges can be erased;
+/// erased edges keep their id but are skipped during iteration, so edge ids
+/// held by clients stay stable across mutation (the ECFG construction
+/// replaces edges in place).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_GRAPH_DIGRAPH_H
+#define PTRAN_GRAPH_DIGRAPH_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace ptran {
+
+using NodeId = uint32_t;
+using EdgeId = uint32_t;
+using LabelId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId InvalidNode = static_cast<NodeId>(-1);
+/// Sentinel for "no edge".
+inline constexpr EdgeId InvalidEdge = static_cast<EdgeId>(-1);
+
+/// A directed multigraph with a LabelId on every edge.
+class Digraph {
+public:
+  /// One labelled edge. Erased edges remain in the edge table with
+  /// Dead == true and are skipped by succ/pred iteration.
+  struct Edge {
+    NodeId From = InvalidNode;
+    NodeId To = InvalidNode;
+    LabelId Label = 0;
+    bool Dead = false;
+  };
+
+  Digraph() = default;
+  explicit Digraph(unsigned NumNodes) { addNodes(NumNodes); }
+
+  /// Adds a new node and returns its id.
+  NodeId addNode();
+
+  /// Adds \p Count nodes; returns the id of the first one.
+  NodeId addNodes(unsigned Count);
+
+  /// Adds an edge From -> To with the given label; returns its id.
+  EdgeId addEdge(NodeId From, NodeId To, LabelId Label);
+
+  /// Marks edge \p E erased. Iteration skips it; its id stays valid.
+  void eraseEdge(EdgeId E);
+
+  unsigned numNodes() const { return static_cast<unsigned>(Succs.size()); }
+
+  /// Total number of edge slots including erased ones. Useful for sizing
+  /// side tables indexed by EdgeId.
+  unsigned numEdgeSlots() const { return static_cast<unsigned>(Edges.size()); }
+
+  /// Number of live (non-erased) edges.
+  unsigned numEdges() const { return NumLiveEdges; }
+
+  const Edge &edge(EdgeId E) const {
+    assert(E < Edges.size() && "edge id out of range");
+    return Edges[E];
+  }
+
+  bool isLive(EdgeId E) const { return !edge(E).Dead; }
+
+  /// Live outgoing edge ids of \p N.
+  std::vector<EdgeId> outEdges(NodeId N) const;
+
+  /// Live incoming edge ids of \p N.
+  std::vector<EdgeId> inEdges(NodeId N) const;
+
+  /// Live successor nodes of \p N (with multiplicity, in insertion order).
+  std::vector<NodeId> successors(NodeId N) const;
+
+  /// Live predecessor nodes of \p N (with multiplicity).
+  std::vector<NodeId> predecessors(NodeId N) const;
+
+  /// Number of live outgoing edges of \p N.
+  unsigned outDegree(NodeId N) const;
+
+  /// Number of live incoming edges of \p N.
+  unsigned inDegree(NodeId N) const;
+
+  /// \returns the id of a live edge From -> To with \p Label, or InvalidEdge.
+  EdgeId findEdge(NodeId From, NodeId To, LabelId Label) const;
+
+  /// \returns a copy of this graph with every live edge reversed; erased
+  /// edges are dropped, so edge ids do not correspond.
+  Digraph reversed() const;
+
+private:
+  std::vector<Edge> Edges;
+  std::vector<std::vector<EdgeId>> Succs;
+  std::vector<std::vector<EdgeId>> Preds;
+  unsigned NumLiveEdges = 0;
+};
+
+} // namespace ptran
+
+#endif // PTRAN_GRAPH_DIGRAPH_H

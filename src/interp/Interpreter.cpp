@@ -1,0 +1,629 @@
+//===--- interp/Interpreter.cpp - MiniIR interpreter ----------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "support/Casting.h"
+#include "support/FatalError.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <memory>
+
+using namespace ptran;
+
+Storage Storage::allocate(Type Ty, const std::vector<int64_t> &Dims) {
+  Storage S;
+  S.Ty = Ty;
+  S.Dims = Dims;
+  int64_t N = S.elementCount();
+  if (Ty == Type::Real)
+    S.Reals.assign(static_cast<size_t>(N), 0.0);
+  else
+    S.Ints.assign(static_cast<size_t>(N), 0);
+  return S;
+}
+
+namespace {
+
+/// Hard cap on activation records; recursion beyond this is a fault.
+constexpr unsigned MaxCallDepth = 512;
+
+struct DoState {
+  int64_t Remaining = 0;
+  int64_t Step = 1;
+};
+
+/// One procedure activation.
+struct Frame {
+  const Function *F = nullptr;
+  /// Per-VarId storage; parameters may alias a caller's Storage.
+  std::vector<Storage *> Slots;
+  std::vector<std::unique_ptr<Storage>> Owned;
+  StmtId Pc = 0;
+  std::map<StmtId, DoState> Loops;
+  /// True when the pending DoStart execution came from its ENDDO.
+  bool ViaLatch = false;
+};
+
+/// The actual execution engine; one per run() call.
+class Engine {
+public:
+  Engine(const Program &Prog, const CostModel &CM,
+         const std::vector<ExecutionObserver *> &Obs)
+      : Prog(Prog), CM(CM), Obs(Obs) {}
+
+  RunResult run(uint64_t MaxSteps);
+
+private:
+  void fail(std::string Message) {
+    if (!Failed) {
+      Failed = true;
+      Result.Error = std::move(Message);
+    }
+  }
+
+  unsigned depth() const { return static_cast<unsigned>(Stack.size()) - 1; }
+
+  const std::vector<double> &stmtCosts(const Function *F);
+
+  Value eval(Frame &Fr, const Expr *E);
+  Value evalBinary(Frame &Fr, const BinaryExpr *B);
+  Value evalIntrinsic(Frame &Fr, const IntrinsicExpr *I);
+  /// Computes the flat element index of an array access, with bounds
+  /// checks (Fortran column-major, 1-based).
+  bool flatIndex(Frame &Fr, const Storage &S, const std::vector<Expr *> &Idx,
+                 int64_t &Out);
+
+  void pushFrame(const Function *F);
+  void popFrame();
+  bool bindArguments(Frame &Caller, const CallStmt *C, Frame &Callee);
+
+  /// Executes one statement of the top frame; updates Pc / the stack.
+  void step(uint64_t &Steps, uint64_t MaxSteps);
+
+  /// Fires the transfer event and moves the Pc, popping the frame when
+  /// control leaves the procedure.
+  void transfer(Frame &Fr, StmtId From, CfgLabel Label, StmtId To);
+
+  const Program &Prog;
+  const CostModel &CM;
+  const std::vector<ExecutionObserver *> &Obs;
+  RunResult Result;
+  bool Failed = false;
+  std::vector<std::unique_ptr<Frame>> Stack;
+  std::map<const Function *, std::vector<double>> CostCache;
+};
+
+const std::vector<double> &Engine::stmtCosts(const Function *F) {
+  auto It = CostCache.find(F);
+  if (It != CostCache.end())
+    return It->second;
+  std::vector<double> Costs(F->numStmts());
+  for (StmtId S = 0; S < F->numStmts(); ++S)
+    Costs[S] = CM.statementCost(F->stmt(S));
+  return CostCache.emplace(F, std::move(Costs)).first->second;
+}
+
+bool Engine::flatIndex(Frame &Fr, const Storage &S,
+                       const std::vector<Expr *> &Idx, int64_t &Out) {
+  if (Idx.size() != S.Dims.size()) {
+    fail("array accessed with wrong number of subscripts");
+    return false;
+  }
+  int64_t Flat = 0;
+  int64_t Stride = 1;
+  for (size_t D = 0; D < Idx.size(); ++D) {
+    int64_t I = eval(Fr, Idx[D]).asInt();
+    if (Failed)
+      return false;
+    if (I < 1 || I > S.Dims[D]) {
+      fail("array subscript " + std::to_string(I) + " out of bounds [1, " +
+           std::to_string(S.Dims[D]) + "]");
+      return false;
+    }
+    Flat += (I - 1) * Stride;
+    Stride *= S.Dims[D];
+  }
+  Out = Flat;
+  return true;
+}
+
+Value Engine::evalBinary(Frame &Fr, const BinaryExpr *B) {
+  if (B->op() == BinaryOp::And || B->op() == BinaryOp::Or) {
+    // Short-circuit evaluation.
+    Value L = eval(Fr, B->lhs());
+    if (Failed)
+      return Value();
+    bool LV = L.asBool();
+    if (B->op() == BinaryOp::And && !LV)
+      return Value::makeLogical(false);
+    if (B->op() == BinaryOp::Or && LV)
+      return Value::makeLogical(true);
+    Value R = eval(Fr, B->rhs());
+    return Value::makeLogical(R.asBool());
+  }
+
+  Value L = eval(Fr, B->lhs());
+  Value R = eval(Fr, B->rhs());
+  if (Failed)
+    return Value();
+
+  if (isComparison(B->op())) {
+    double A = L.asReal(), C = R.asReal();
+    switch (B->op()) {
+    case BinaryOp::Lt:
+      return Value::makeLogical(A < C);
+    case BinaryOp::Le:
+      return Value::makeLogical(A <= C);
+    case BinaryOp::Gt:
+      return Value::makeLogical(A > C);
+    case BinaryOp::Ge:
+      return Value::makeLogical(A >= C);
+    case BinaryOp::Eq:
+      return Value::makeLogical(A == C);
+    case BinaryOp::Ne:
+      return Value::makeLogical(A != C);
+    default:
+      break;
+    }
+    PTRAN_UNREACHABLE("non-comparison in comparison path");
+  }
+
+  bool RealOp = L.Ty == Type::Real || R.Ty == Type::Real;
+  switch (B->op()) {
+  case BinaryOp::Add:
+    return RealOp ? Value::makeReal(L.asReal() + R.asReal())
+                  : Value::makeInt(L.I + R.I);
+  case BinaryOp::Sub:
+    return RealOp ? Value::makeReal(L.asReal() - R.asReal())
+                  : Value::makeInt(L.I - R.I);
+  case BinaryOp::Mul:
+    return RealOp ? Value::makeReal(L.asReal() * R.asReal())
+                  : Value::makeInt(L.I * R.I);
+  case BinaryOp::Div:
+    if (RealOp) {
+      if (R.asReal() == 0.0) {
+        fail("real division by zero");
+        return Value();
+      }
+      return Value::makeReal(L.asReal() / R.asReal());
+    }
+    if (R.I == 0) {
+      fail("integer division by zero");
+      return Value();
+    }
+    return Value::makeInt(L.I / R.I);
+  case BinaryOp::Pow: {
+    if (!RealOp && R.I >= 0) {
+      int64_t Base = L.I, Out = 1;
+      for (int64_t K = 0; K < R.I; ++K)
+        Out *= Base;
+      return Value::makeInt(Out);
+    }
+    return Value::makeReal(std::pow(L.asReal(), R.asReal()));
+  }
+  default:
+    break;
+  }
+  PTRAN_UNREACHABLE("unhandled binary operator");
+}
+
+Value Engine::evalIntrinsic(Frame &Fr, const IntrinsicExpr *I) {
+  std::vector<Value> Args;
+  Args.reserve(I->args().size());
+  for (const Expr *A : I->args()) {
+    Args.push_back(eval(Fr, A));
+    if (Failed)
+      return Value();
+  }
+  bool RealArgs = false;
+  for (const Value &V : Args)
+    RealArgs |= V.Ty == Type::Real;
+
+  switch (I->fn()) {
+  case Intrinsic::Abs:
+    return RealArgs ? Value::makeReal(std::fabs(Args[0].asReal()))
+                    : Value::makeInt(std::llabs(Args[0].I));
+  case Intrinsic::Min: {
+    if (RealArgs) {
+      double Out = Args[0].asReal();
+      for (const Value &V : Args)
+        Out = std::min(Out, V.asReal());
+      return Value::makeReal(Out);
+    }
+    int64_t Out = Args[0].I;
+    for (const Value &V : Args)
+      Out = std::min(Out, V.I);
+    return Value::makeInt(Out);
+  }
+  case Intrinsic::Max: {
+    if (RealArgs) {
+      double Out = Args[0].asReal();
+      for (const Value &V : Args)
+        Out = std::max(Out, V.asReal());
+      return Value::makeReal(Out);
+    }
+    int64_t Out = Args[0].I;
+    for (const Value &V : Args)
+      Out = std::max(Out, V.I);
+    return Value::makeInt(Out);
+  }
+  case Intrinsic::Mod:
+    if (RealArgs) {
+      if (Args[1].asReal() == 0.0) {
+        fail("MOD with zero divisor");
+        return Value();
+      }
+      return Value::makeReal(std::fmod(Args[0].asReal(), Args[1].asReal()));
+    }
+    if (Args[1].I == 0) {
+      fail("MOD with zero divisor");
+      return Value();
+    }
+    return Value::makeInt(Args[0].I % Args[1].I);
+  case Intrinsic::Sqrt: {
+    double V = Args[0].asReal();
+    if (V < 0.0) {
+      fail("SQRT of a negative value");
+      return Value();
+    }
+    return Value::makeReal(std::sqrt(V));
+  }
+  case Intrinsic::Exp:
+    return Value::makeReal(std::exp(Args[0].asReal()));
+  case Intrinsic::Log: {
+    double V = Args[0].asReal();
+    if (V <= 0.0) {
+      fail("LOG of a non-positive value");
+      return Value();
+    }
+    return Value::makeReal(std::log(V));
+  }
+  case Intrinsic::Sin:
+    return Value::makeReal(std::sin(Args[0].asReal()));
+  case Intrinsic::Cos:
+    return Value::makeReal(std::cos(Args[0].asReal()));
+  case Intrinsic::Real:
+    return Value::makeReal(Args[0].asReal());
+  case Intrinsic::Int:
+    return Value::makeInt(Args[0].asInt());
+  }
+  PTRAN_UNREACHABLE("unknown Intrinsic");
+}
+
+Value Engine::eval(Frame &Fr, const Expr *E) {
+  if (Failed)
+    return Value();
+  switch (E->kind()) {
+  case ExprKind::IntLiteral:
+    return Value::makeInt(cast<IntLiteral>(E)->value());
+  case ExprKind::RealLiteral:
+    return Value::makeReal(cast<RealLiteral>(E)->value());
+  case ExprKind::VarRef: {
+    VarId V = cast<VarRef>(E)->var();
+    const Storage *S = Fr.Slots[V];
+    if (!S->Dims.empty()) {
+      fail("whole-array reference to " + Fr.F->symbol(V).Name +
+           " used as a scalar value in " + Fr.F->name());
+      return Value();
+    }
+    return S->load(0);
+  }
+  case ExprKind::ArrayRef: {
+    const auto *A = cast<ArrayRef>(E);
+    Storage *S = Fr.Slots[A->var()];
+    int64_t Flat = 0;
+    if (!flatIndex(Fr, *S, A->indices(), Flat))
+      return Value();
+    return S->load(Flat);
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    Value V = eval(Fr, U->operand());
+    if (Failed)
+      return Value();
+    if (U->op() == UnaryOp::Not)
+      return Value::makeLogical(!V.asBool());
+    return V.Ty == Type::Real ? Value::makeReal(-V.R) : Value::makeInt(-V.I);
+  }
+  case ExprKind::Binary:
+    return evalBinary(Fr, cast<BinaryExpr>(E));
+  case ExprKind::Intrinsic:
+    return evalIntrinsic(Fr, cast<IntrinsicExpr>(E));
+  }
+  PTRAN_UNREACHABLE("unknown ExprKind");
+}
+
+void Engine::pushFrame(const Function *F) {
+  auto Fr = std::make_unique<Frame>();
+  Fr->F = F;
+  Fr->Slots.resize(F->numSymbols(), nullptr);
+  Stack.push_back(std::move(Fr));
+  for (ExecutionObserver *O : Obs)
+    O->onProcedureEntry(*F, depth());
+}
+
+void Engine::popFrame() {
+  for (ExecutionObserver *O : Obs)
+    O->onProcedureExit(*Stack.back()->F, depth());
+  Stack.pop_back();
+}
+
+bool Engine::bindArguments(Frame &Caller, const CallStmt *C, Frame &Callee) {
+  const Function *F = Callee.F;
+  const std::vector<VarId> &Params = F->params();
+  if (Params.size() != C->args().size()) {
+    fail("call to " + F->name() + " with wrong argument count");
+    return false;
+  }
+
+  for (size_t I = 0; I < Params.size(); ++I) {
+    const Symbol &Param = F->symbol(Params[I]);
+    const Expr *Arg = C->args()[I];
+
+    // Scalar or whole-array variable: pass by reference.
+    if (const auto *V = dyn_cast<VarRef>(Arg)) {
+      Storage *S = Caller.Slots[V->var()];
+      if (S->Ty != Param.Ty) {
+        fail("argument " + std::to_string(I + 1) + " of " + F->name() +
+             " has mismatched type");
+        return false;
+      }
+      Storage ParamShape = Storage::allocate(Param.Ty, Param.Dims);
+      if (ParamShape.elementCount() > S->elementCount()) {
+        fail("argument " + std::to_string(I + 1) + " of " + F->name() +
+             " is smaller than the parameter's declared shape");
+        return false;
+      }
+      Callee.Slots[Params[I]] = S;
+      continue;
+    }
+
+    // Anything else: evaluate and pass by value.
+    if (Param.isArray()) {
+      fail("argument " + std::to_string(I + 1) + " of " + F->name() +
+           " must be a whole array");
+      return false;
+    }
+    Value V = eval(Caller, Arg);
+    if (Failed)
+      return false;
+    auto Owned = std::make_unique<Storage>(Storage::allocate(Param.Ty, {}));
+    Owned->store(0, V);
+    Callee.Slots[Params[I]] = Owned.get();
+    Callee.Owned.push_back(std::move(Owned));
+  }
+
+  // Locals get fresh zeroed storage.
+  for (VarId V = 0; V < F->numSymbols(); ++V) {
+    if (Callee.Slots[V])
+      continue;
+    const Symbol &Sym = F->symbol(V);
+    auto Owned =
+        std::make_unique<Storage>(Storage::allocate(Sym.Ty, Sym.Dims));
+    Callee.Slots[V] = Owned.get();
+    Callee.Owned.push_back(std::move(Owned));
+  }
+  return true;
+}
+
+void Engine::transfer(Frame &Fr, StmtId From, CfgLabel Label, StmtId To) {
+  bool Leaves = To == InvalidStmt || To >= Fr.F->numStmts();
+  StmtId Dest = Leaves ? InvalidStmt : To;
+  for (ExecutionObserver *O : Obs)
+    O->onTransfer(*Fr.F, From, Label, Dest, depth());
+  if (Leaves) {
+    popFrame();
+    return;
+  }
+  Fr.Pc = Dest;
+}
+
+void Engine::step(uint64_t &Steps, uint64_t MaxSteps) {
+  Frame &Fr = *Stack.back();
+  const Function *F = Fr.F;
+
+  if (Fr.Pc >= F->numStmts()) {
+    // Entering an empty procedure.
+    popFrame();
+    return;
+  }
+  if (++Steps > MaxSteps) {
+    fail("statement budget exhausted (possible runaway loop)");
+    return;
+  }
+
+  StmtId Pc = Fr.Pc;
+  const Stmt *S = F->stmt(Pc);
+  ++Result.StatementsExecuted;
+  Result.Cycles += stmtCosts(F)[Pc];
+  for (ExecutionObserver *O : Obs)
+    O->onStatement(*F, Pc, depth());
+
+  switch (S->kind()) {
+  case StmtKind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    Value V = eval(Fr, A->value());
+    if (Failed)
+      return;
+    Storage *Store = Fr.Slots[A->target().Var];
+    int64_t Flat = 0;
+    if (A->target().isArrayElement()) {
+      if (!flatIndex(Fr, *Store, A->target().Indices, Flat))
+        return;
+    } else if (!Store->Dims.empty()) {
+      fail("whole-array assignment is not supported");
+      return;
+    }
+    Store->store(Flat, V);
+    transfer(Fr, Pc, CfgLabel::U, Pc + 1);
+    return;
+  }
+  case StmtKind::IfGoto: {
+    const auto *If = cast<IfGotoStmt>(S);
+    Value Cond = eval(Fr, If->cond());
+    if (Failed)
+      return;
+    if (Cond.asBool())
+      transfer(Fr, Pc, CfgLabel::T, If->target());
+    else
+      transfer(Fr, Pc, CfgLabel::F, Pc + 1);
+    return;
+  }
+  case StmtKind::Goto:
+    transfer(Fr, Pc, CfgLabel::U, cast<GotoStmt>(S)->target());
+    return;
+  case StmtKind::ComputedGoto: {
+    const auto *Cg = cast<ComputedGotoStmt>(S);
+    int64_t Index = eval(Fr, Cg->index()).asInt();
+    if (Failed)
+      return;
+    if (Index >= 1 && Index <= static_cast<int64_t>(Cg->targets().size()))
+      transfer(Fr, Pc, caseLabel(static_cast<unsigned>(Index)),
+               Cg->targets()[static_cast<size_t>(Index - 1)]);
+    else
+      transfer(Fr, Pc, CfgLabel::U, Pc + 1); // Out of range: fall through.
+    return;
+  }
+  case StmtKind::DoStart: {
+    const auto *Do = cast<DoStmt>(S);
+    bool ViaLatch = Fr.ViaLatch;
+    Fr.ViaLatch = false;
+    if (!ViaLatch) {
+      // Fresh entry: evaluate bounds once (Fortran-77 semantics).
+      int64_t Lo = eval(Fr, Do->lo()).asInt();
+      int64_t Hi = eval(Fr, Do->hi()).asInt();
+      int64_t Step = Do->step() ? eval(Fr, Do->step()).asInt() : 1;
+      if (Failed)
+        return;
+      if (Step == 0) {
+        fail("DO loop with zero step");
+        return;
+      }
+      int64_t Trip = (Hi - Lo + Step) / Step;
+      if (Trip < 0)
+        Trip = 0;
+      Fr.Slots[Do->indexVar()]->store(0, Value::makeInt(Lo));
+      Fr.Loops[Pc] = {Trip, Step};
+      for (ExecutionObserver *O : Obs)
+        O->onDoLoopEntry(*F, Pc, Trip + 1, depth());
+    }
+    DoState &State = Fr.Loops[Pc];
+    if (State.Remaining > 0)
+      transfer(Fr, Pc, CfgLabel::T, Pc + 1);
+    else
+      transfer(Fr, Pc, CfgLabel::F, Do->matchingEnd() + 1);
+    return;
+  }
+  case StmtKind::DoEnd: {
+    const auto *End = cast<EndDoStmt>(S);
+    StmtId Header = End->matchingDo();
+    auto It = Fr.Loops.find(Header);
+    if (It == Fr.Loops.end()) {
+      fail("ENDDO reached without an active DO (jump into loop body?)");
+      return;
+    }
+    Storage *Index =
+        Fr.Slots[cast<DoStmt>(F->stmt(Header))->indexVar()];
+    Index->store(0, Value::makeInt(Index->load(0).I + It->second.Step));
+    --It->second.Remaining;
+    Fr.ViaLatch = true;
+    transfer(Fr, Pc, CfgLabel::U, Header);
+    return;
+  }
+  case StmtKind::Call: {
+    const auto *C = cast<CallStmt>(S);
+    const Function *Callee = Prog.findFunction(C->callee());
+    if (!Callee) {
+      fail("call to undefined procedure " + C->callee());
+      return;
+    }
+    if (Stack.size() >= MaxCallDepth) {
+      fail("call depth limit exceeded (runaway recursion?)");
+      return;
+    }
+    auto CalleeFr = std::make_unique<Frame>();
+    CalleeFr->F = Callee;
+    CalleeFr->Slots.resize(Callee->numSymbols(), nullptr);
+    if (!bindArguments(Fr, C, *CalleeFr))
+      return;
+    // Observers see the caller's onward transfer now; the callee's events
+    // are bracketed by onProcedureEntry/Exit one level deeper. The caller
+    // frame must stay alive while the callee runs (by-reference arguments
+    // alias its storage), so even when the CALL is the caller's last
+    // statement we only advance the Pc here — the main loop pops the
+    // frame once the callee returns and the Pc is found past the end.
+    StmtId Next = Pc + 1;
+    bool Leaves = Next >= F->numStmts();
+    for (ExecutionObserver *O : Obs)
+      O->onTransfer(*F, Pc, CfgLabel::U, Leaves ? InvalidStmt : Next,
+                    depth());
+    Fr.Pc = Next;
+    Stack.push_back(std::move(CalleeFr));
+    for (ExecutionObserver *O : Obs)
+      O->onProcedureEntry(*Callee, depth());
+    return;
+  }
+  case StmtKind::Return:
+    transfer(Fr, Pc, CfgLabel::U, InvalidStmt);
+    return;
+  case StmtKind::Continue:
+    transfer(Fr, Pc, CfgLabel::U, Pc + 1);
+    return;
+  case StmtKind::Print: {
+    const auto *P = cast<PrintStmt>(S);
+    std::vector<std::string> Parts;
+    for (const Expr *A : P->args()) {
+      Value V = eval(Fr, A);
+      if (Failed)
+        return;
+      Parts.push_back(V.Ty == Type::Real ? formatDouble(V.R)
+                                         : std::to_string(V.asInt()));
+    }
+    Result.Output += join(Parts, " ");
+    Result.Output += '\n';
+    transfer(Fr, Pc, CfgLabel::U, Pc + 1);
+    return;
+  }
+  }
+  PTRAN_UNREACHABLE("unknown StmtKind");
+}
+
+RunResult Engine::run(uint64_t MaxSteps) {
+  const Function *Entry = Prog.entry();
+  if (!Entry) {
+    fail("program has no entry procedure");
+    Result.Ok = false;
+    return Result;
+  }
+  pushFrame(Entry);
+  {
+    Frame &Fr = *Stack.back();
+    // The entry procedure takes no arguments; allocate all locals.
+    for (VarId V = 0; V < Entry->numSymbols(); ++V) {
+      const Symbol &Sym = Entry->symbol(V);
+      auto Owned =
+          std::make_unique<Storage>(Storage::allocate(Sym.Ty, Sym.Dims));
+      Fr.Slots[V] = Owned.get();
+      Fr.Owned.push_back(std::move(Owned));
+    }
+  }
+
+  uint64_t Steps = 0;
+  while (!Stack.empty() && !Failed)
+    step(Steps, MaxSteps);
+
+  Result.Ok = !Failed;
+  return Result;
+}
+
+} // namespace
+
+Interpreter::Interpreter(const Program &P, const CostModel &Model)
+    : Prog(P), CM(Model) {}
+
+RunResult Interpreter::run(uint64_t MaxSteps) {
+  return Engine(Prog, CM, Observers).run(MaxSteps);
+}

@@ -1,0 +1,15 @@
+//===--- interp/Observer.cpp - Execution observation hooks ----------------===//
+
+#include "interp/Observer.h"
+
+using namespace ptran;
+
+ExecutionObserver::~ExecutionObserver() = default;
+
+void ExecutionObserver::onProcedureEntry(const Function &, unsigned) {}
+void ExecutionObserver::onProcedureExit(const Function &, unsigned) {}
+void ExecutionObserver::onStatement(const Function &, StmtId, unsigned) {}
+void ExecutionObserver::onTransfer(const Function &, StmtId, CfgLabel, StmtId,
+                                   unsigned) {}
+void ExecutionObserver::onDoLoopEntry(const Function &, StmtId, int64_t,
+                                      unsigned) {}

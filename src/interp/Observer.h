@@ -1,0 +1,54 @@
+//===--- interp/Observer.h - Execution observation hooks --------*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Observation hooks fired by the interpreter. The profiling runtimes
+/// (naive per-basic-block and the paper's optimized counter placement)
+/// attach as observers; so do the loop-frequency trackers that collect
+/// E[FREQ^2] for the variance analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_INTERP_OBSERVER_H
+#define PTRAN_INTERP_OBSERVER_H
+
+#include "cfg/Cfg.h"
+#include "ir/Function.h"
+
+namespace ptran {
+
+/// Receives execution events. All hooks default to no-ops; `Depth` is the
+/// call-frame depth (0 = the program entry), which lets observers keep
+/// per-activation state under recursion.
+class ExecutionObserver {
+public:
+  virtual ~ExecutionObserver();
+
+  /// A procedure activation begins (fired before its first statement).
+  virtual void onProcedureEntry(const Function &F, unsigned Depth);
+
+  /// A procedure activation ends.
+  virtual void onProcedureExit(const Function &F, unsigned Depth);
+
+  /// Statement \p S of \p F is about to execute.
+  virtual void onStatement(const Function &F, StmtId S, unsigned Depth);
+
+  /// Control leaves statement \p From along \p Label towards \p To
+  /// (InvalidStmt when the transfer leaves the procedure).
+  virtual void onTransfer(const Function &F, StmtId From, CfgLabel Label,
+                          StmtId To, unsigned Depth);
+
+  /// A DO loop is entered from outside; \p HeaderExecutions is the number
+  /// of times its header will execute for this entry (trip count + 1).
+  /// Fired only for DO loops, whose trip count is known on entry — the
+  /// fact the paper's third profiling optimization exploits.
+  virtual void onDoLoopEntry(const Function &F, StmtId DoHeader,
+                             int64_t HeaderExecutions, unsigned Depth);
+};
+
+} // namespace ptran
+
+#endif // PTRAN_INTERP_OBSERVER_H

@@ -1,0 +1,75 @@
+//===--- interp/Value.h - Runtime values ------------------------*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime scalar values and variable storage for the MiniIR interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_INTERP_VALUE_H
+#define PTRAN_INTERP_VALUE_H
+
+#include "ir/Type.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ptran {
+
+/// A runtime scalar: integer, real or logical (stored as 0/1 integer).
+struct Value {
+  Type Ty = Type::Integer;
+  int64_t I = 0;
+  double R = 0.0;
+
+  static Value makeInt(int64_t V) { return {Type::Integer, V, 0.0}; }
+  static Value makeReal(double V) { return {Type::Real, 0, V}; }
+  static Value makeLogical(bool V) { return {Type::Logical, V ? 1 : 0, 0.0}; }
+
+  /// Numeric value as a double (integers widen).
+  double asReal() const { return Ty == Type::Real ? R : static_cast<double>(I); }
+  /// Numeric value as an integer (reals truncate toward zero).
+  int64_t asInt() const {
+    return Ty == Type::Real ? static_cast<int64_t>(R) : I;
+  }
+  bool asBool() const { return Ty == Type::Real ? R != 0.0 : I != 0; }
+};
+
+/// Backing store for one variable: scalars use element 0. Integer and real
+/// variables use separate payload vectors so that by-reference parameter
+/// passing aliases the caller's storage without conversions.
+struct Storage {
+  Type Ty = Type::Integer;
+  /// Array extents (empty for scalars), column-major addressing.
+  std::vector<int64_t> Dims;
+  std::vector<int64_t> Ints;
+  std::vector<double> Reals;
+
+  /// Allocates zero-initialized storage of the given shape.
+  static Storage allocate(Type Ty, const std::vector<int64_t> &Dims);
+
+  int64_t elementCount() const {
+    int64_t N = 1;
+    for (int64_t D : Dims)
+      N *= D;
+    return N;
+  }
+
+  Value load(int64_t Flat) const {
+    return Ty == Type::Real ? Value::makeReal(Reals[Flat])
+                            : Value::makeInt(Ints[Flat]);
+  }
+  void store(int64_t Flat, const Value &V) {
+    if (Ty == Type::Real)
+      Reals[Flat] = V.asReal();
+    else
+      Ints[Flat] = V.asInt();
+  }
+};
+
+} // namespace ptran
+
+#endif // PTRAN_INTERP_VALUE_H

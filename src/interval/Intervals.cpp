@@ -1,0 +1,291 @@
+//===--- interval/Intervals.cpp - Interval (loop) structure ---------------===//
+
+#include "interval/Intervals.h"
+
+#include "graph/DepthFirst.h"
+#include "graph/Dominators.h"
+#include "support/Casting.h"
+#include "support/FatalError.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ptran;
+
+unsigned IntervalStructure::loopIndex(NodeId H) const {
+  assert(H < BodyIndex.size() && BodyIndex[H] != NoLoop &&
+         "node is not a loop header");
+  return BodyIndex[H];
+}
+
+const std::vector<NodeId> &IntervalStructure::loopBody(NodeId H) const {
+  return Bodies[loopIndex(H)];
+}
+
+bool IntervalStructure::contains(NodeId H, NodeId N) const {
+  return InBody[loopIndex(H)][N];
+}
+
+NodeId IntervalStructure::hdrParent(NodeId H) const {
+  return Parent[loopIndex(H)];
+}
+
+NodeId IntervalStructure::hdrLca(NodeId A, NodeId B) const {
+  // Walk both headers up the header tree to equal depth, then in lockstep.
+  auto DepthOf = [&](NodeId H) {
+    return H == InvalidNode ? 0u : Depth[loopIndex(H)] + 1;
+  };
+  while (DepthOf(A) > DepthOf(B))
+    A = hdrParent(A);
+  while (DepthOf(B) > DepthOf(A))
+    B = hdrParent(B);
+  while (A != B) {
+    A = hdrParent(A);
+    B = hdrParent(B);
+  }
+  return A;
+}
+
+unsigned IntervalStructure::loopDepth(NodeId N) const {
+  NodeId H = Hdr[N];
+  unsigned D = 0;
+  while (H != InvalidNode) {
+    ++D;
+    H = hdrParent(H);
+  }
+  return D;
+}
+
+const std::vector<EdgeId> &IntervalStructure::backEdges(NodeId H) const {
+  return Latches[loopIndex(H)];
+}
+
+const std::vector<EdgeId> &IntervalStructure::entryEdges(NodeId H) const {
+  return Entries[loopIndex(H)];
+}
+
+const std::vector<EdgeId> &IntervalStructure::exitEdges(NodeId H) const {
+  return ExitsOf[loopIndex(H)];
+}
+
+const std::vector<Cfg::ExitBranch> &
+IntervalStructure::exitBranches(NodeId H) const {
+  return ExitBranchesOf[loopIndex(H)];
+}
+
+bool IntervalStructure::isExitFreeDoLoop(const Cfg &C, NodeId H) const {
+  const Function *F = C.function();
+  if (!F)
+    return false;
+  StmtId S = C.origin(H);
+  if (S == InvalidStmt || !isa<DoStmt>(F->stmt(S)))
+    return false;
+  // The only ways out must be the DO header's own F branch.
+  for (EdgeId E : exitEdges(H)) {
+    const Digraph::Edge &Ed = C.graph().edge(E);
+    if (Ed.From != H || static_cast<CfgLabel>(Ed.Label) != CfgLabel::F)
+      return false;
+  }
+  for (const Cfg::ExitBranch &B : exitBranches(H))
+    if (B.Node != H || B.Label != CfgLabel::F)
+      return false;
+  return true;
+}
+
+std::optional<IntervalStructure>
+IntervalStructure::compute(const Cfg &C, DiagnosticEngine &Diags) {
+  const Digraph &G = C.graph();
+  IntervalStructure IS;
+  IS.Hdr.assign(G.numNodes(), InvalidNode);
+  IS.BodyIndex.assign(G.numNodes(), NoLoop);
+  if (G.numNodes() == 0)
+    return IS;
+
+  NodeId Entry = C.entry();
+  assert(Entry != InvalidNode && "CFG has no entry");
+  DfsResult Dfs(G, Entry);
+  DominatorTree Dom(G, Entry);
+
+  // Group back edges by header, rejecting irreducible retreating edges.
+  std::map<NodeId, std::vector<EdgeId>> LatchesByHeader;
+  for (EdgeId E = 0; E < G.numEdgeSlots(); ++E) {
+    if (!G.isLive(E) || Dfs.edgeKind(E) != DfsEdgeKind::Retreating)
+      continue;
+    const Digraph::Edge &Ed = G.edge(E);
+    if (!Dom.dominates(Ed.To, Ed.From)) {
+      Diags.error("irreducible control flow: retreating edge " +
+                  C.nodeName(Ed.From) + " -> " + C.nodeName(Ed.To) +
+                  " does not target a dominator");
+      return std::nullopt;
+    }
+    LatchesByHeader[Ed.To].push_back(E);
+  }
+
+  // Natural loop of each header: backward reachability from the latches
+  // that stays inside the region dominated by the header.
+  for (auto &[Header, LatchEdges] : LatchesByHeader) {
+    std::vector<bool> InThisBody(G.numNodes(), false);
+    InThisBody[Header] = true;
+    std::vector<NodeId> Worklist;
+    for (EdgeId E : LatchEdges) {
+      NodeId Latch = G.edge(E).From;
+      if (!InThisBody[Latch]) {
+        InThisBody[Latch] = true;
+        Worklist.push_back(Latch);
+      }
+    }
+    while (!Worklist.empty()) {
+      NodeId N = Worklist.back();
+      Worklist.pop_back();
+      for (NodeId P : G.predecessors(N)) {
+        if (!Dfs.isReachable(P) || InThisBody[P])
+          continue;
+        InThisBody[P] = true;
+        Worklist.push_back(P);
+      }
+    }
+
+    unsigned Index = static_cast<unsigned>(IS.Bodies.size());
+    IS.BodyIndex[Header] = Index;
+    std::vector<NodeId> Body;
+    for (NodeId N = 0; N < G.numNodes(); ++N)
+      if (InThisBody[N])
+        Body.push_back(N);
+    IS.Bodies.push_back(std::move(Body));
+    IS.InBody.push_back(std::move(InThisBody));
+    IS.Latches.push_back(LatchEdges);
+  }
+
+  unsigned NumLoops = static_cast<unsigned>(IS.Bodies.size());
+  IS.Parent.assign(NumLoops, InvalidNode);
+  IS.Depth.assign(NumLoops, 0);
+  IS.Entries.resize(NumLoops);
+  IS.ExitsOf.resize(NumLoops);
+  IS.ExitBranchesOf.resize(NumLoops);
+
+  // Headers of loops in this map, for nesting queries.
+  std::vector<NodeId> AllHeaders;
+  for (auto &[Header, LatchEdges] : LatchesByHeader)
+    AllHeaders.push_back(Header);
+
+  // Nesting: loop A properly encloses loop B iff A's body contains B's
+  // header and A != B. The parent is the smallest enclosing body.
+  for (NodeId H : AllHeaders) {
+    unsigned I = IS.BodyIndex[H];
+    NodeId Best = InvalidNode;
+    size_t BestSize = 0;
+    for (NodeId Other : AllHeaders) {
+      if (Other == H)
+        continue;
+      unsigned J = IS.BodyIndex[Other];
+      if (!IS.InBody[J][H])
+        continue;
+      if (Best == InvalidNode || IS.Bodies[J].size() < BestSize) {
+        Best = Other;
+        BestSize = IS.Bodies[J].size();
+      }
+    }
+    IS.Parent[I] = Best;
+  }
+  // Depths from parent chains.
+  for (NodeId H : AllHeaders) {
+    unsigned D = 0;
+    NodeId P = IS.Parent[IS.BodyIndex[H]];
+    while (P != InvalidNode) {
+      ++D;
+      P = IS.Parent[IS.BodyIndex[P]];
+    }
+    IS.Depth[IS.BodyIndex[H]] = D;
+  }
+  // Headers outermost-first.
+  IS.Headers = AllHeaders;
+  std::sort(IS.Headers.begin(), IS.Headers.end(), [&](NodeId A, NodeId B) {
+    unsigned DA = IS.Depth[IS.BodyIndex[A]];
+    unsigned DB = IS.Depth[IS.BodyIndex[B]];
+    return DA != DB ? DA < DB : A < B;
+  });
+
+  // HDR(n): innermost loop containing n = smallest containing body.
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    NodeId Best = InvalidNode;
+    size_t BestSize = 0;
+    for (NodeId H : AllHeaders) {
+      unsigned I = IS.BodyIndex[H];
+      if (!IS.InBody[I][N])
+        continue;
+      if (Best == InvalidNode || IS.Bodies[I].size() < BestSize) {
+        Best = H;
+        BestSize = IS.Bodies[I].size();
+      }
+    }
+    IS.Hdr[N] = Best;
+  }
+
+  // Entry edges, exit edges and procedure-exit branches per loop.
+  for (NodeId H : AllHeaders) {
+    unsigned I = IS.BodyIndex[H];
+    for (EdgeId E : G.inEdges(H))
+      if (!IS.InBody[I][G.edge(E).From])
+        IS.Entries[I].push_back(E);
+    for (NodeId N : IS.Bodies[I])
+      for (EdgeId E : G.outEdges(N))
+        if (!IS.InBody[I][G.edge(E).To])
+          IS.ExitsOf[I].push_back(E);
+  }
+  for (const Cfg::ExitBranch &B : C.exitBranches())
+    for (NodeId H : AllHeaders) {
+      unsigned I = IS.BodyIndex[H];
+      if (IS.InBody[I][B.Node])
+        IS.ExitBranchesOf[I].push_back(B);
+    }
+
+  return IS;
+}
+
+unsigned ptran::splitNodes(Cfg &C, DiagnosticEngine &Diags) {
+  if (C.function()) {
+    Diags.error("node splitting is only supported on synthetic CFGs");
+    return 0;
+  }
+  unsigned Copies = 0;
+  // Growth bound: give up rather than explode on adversarial graphs.
+  unsigned MaxNodes = C.numNodes() * 8 + 16;
+
+  while (!isReducible(C.graph(), C.entry())) {
+    if (C.numNodes() > MaxNodes) {
+      Diags.error("node splitting exceeded its growth budget");
+      return Copies;
+    }
+    const Digraph &G = C.graph();
+    DfsResult Dfs(G, C.entry());
+    DominatorTree Dom(G, C.entry());
+
+    // Find an offending retreating edge and split its target: the copy
+    // takes over all offending retreating in-edges; both keep the
+    // original's out-edges. This preserves all execution paths.
+    NodeId Victim = InvalidNode;
+    for (EdgeId E = 0; E < G.numEdgeSlots() && Victim == InvalidNode; ++E) {
+      if (!G.isLive(E) || Dfs.edgeKind(E) != DfsEdgeKind::Retreating)
+        continue;
+      const Digraph::Edge &Ed = G.edge(E);
+      if (!Dom.dominates(Ed.To, Ed.From))
+        Victim = Ed.To;
+    }
+    assert(Victim != InvalidNode && "irreducible graph must have a witness");
+
+    NodeId Copy = C.createNode(C.nodeType(Victim), C.origin(Victim));
+    ++Copies;
+    for (EdgeId E : G.outEdges(Victim))
+      C.addEdge(Copy, G.edge(E).To, static_cast<CfgLabel>(G.edge(E).Label));
+    for (EdgeId E : G.inEdges(Victim)) {
+      if (Dfs.edgeKind(E) != DfsEdgeKind::Retreating)
+        continue;
+      const Digraph::Edge &Ed = G.edge(E);
+      if (Dom.dominates(Victim, Ed.From))
+        continue; // Well-formed back edge; leave it.
+      C.addEdge(Ed.From, Copy, static_cast<CfgLabel>(Ed.Label));
+      C.eraseEdge(E);
+    }
+  }
+  return Copies;
+}

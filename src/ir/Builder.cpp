@@ -1,0 +1,196 @@
+//===--- ir/Builder.cpp - Programmatic MiniIR construction ----------------===//
+
+#include "ir/Builder.h"
+
+#include "support/FatalError.h"
+
+#include <cassert>
+
+using namespace ptran;
+
+FunctionBuilder::FunctionBuilder(Program &P, std::string Name,
+                                 DiagnosticEngine &Diags)
+    : Diags(Diags) {
+  F = P.createFunction(std::move(Name), Diags);
+}
+
+VarId FunctionBuilder::declare(std::string Name, Type Ty,
+                               std::vector<int64_t> Dims, bool IsParam) {
+  assert(F && "builder is inert after a construction failure");
+  if (F->lookup(Name) != static_cast<VarId>(-1))
+    Diags.error("duplicate variable " + Name + " in procedure " + F->name());
+  Symbol Sym;
+  Sym.Name = std::move(Name);
+  Sym.Ty = Ty;
+  Sym.Dims = std::move(Dims);
+  Sym.IsParam = IsParam;
+  VarId V = F->declare(std::move(Sym));
+  if (IsParam)
+    F->addParam(V);
+  return V;
+}
+
+VarId FunctionBuilder::intVar(std::string Name) {
+  return declare(std::move(Name), Type::Integer, {}, false);
+}
+
+VarId FunctionBuilder::realVar(std::string Name) {
+  return declare(std::move(Name), Type::Real, {}, false);
+}
+
+VarId FunctionBuilder::intArray(std::string Name, std::vector<int64_t> Dims) {
+  return declare(std::move(Name), Type::Integer, std::move(Dims), false);
+}
+
+VarId FunctionBuilder::realArray(std::string Name, std::vector<int64_t> Dims) {
+  return declare(std::move(Name), Type::Real, std::move(Dims), false);
+}
+
+VarId FunctionBuilder::intParam(std::string Name) {
+  return declare(std::move(Name), Type::Integer, {}, true);
+}
+
+VarId FunctionBuilder::realParam(std::string Name) {
+  return declare(std::move(Name), Type::Real, {}, true);
+}
+
+VarId FunctionBuilder::realArrayParam(std::string Name,
+                                      std::vector<int64_t> Dims) {
+  return declare(std::move(Name), Type::Real, std::move(Dims), true);
+}
+
+VarId FunctionBuilder::intArrayParam(std::string Name,
+                                     std::vector<int64_t> Dims) {
+  return declare(std::move(Name), Type::Integer, std::move(Dims), true);
+}
+
+Expr *FunctionBuilder::lit(int64_t V) {
+  return F->make<IntLiteral>(V, SourceLoc());
+}
+
+Expr *FunctionBuilder::lit(double V) {
+  return F->make<RealLiteral>(V, SourceLoc());
+}
+
+Expr *FunctionBuilder::var(VarId V) { return F->make<VarRef>(V, SourceLoc()); }
+
+Expr *FunctionBuilder::var(std::string_view Name) {
+  VarId V = F->lookup(Name);
+  if (V == static_cast<VarId>(-1)) {
+    Diags.error("reference to undeclared variable " + std::string(Name) +
+                " in procedure " + F->name());
+    V = 0;
+  }
+  return var(V);
+}
+
+Expr *FunctionBuilder::idx(VarId Array, Expr *I, Expr *J) {
+  std::vector<Expr *> Indices = {I};
+  if (J)
+    Indices.push_back(J);
+  return F->make<ArrayRef>(Array, std::move(Indices), SourceLoc());
+}
+
+Expr *FunctionBuilder::neg(Expr *E) {
+  return F->make<UnaryExpr>(UnaryOp::Neg, E, SourceLoc());
+}
+
+Expr *FunctionBuilder::logicalNot(Expr *E) {
+  return F->make<UnaryExpr>(UnaryOp::Not, E, SourceLoc());
+}
+
+Expr *FunctionBuilder::intrinsic(Intrinsic Fn, std::vector<Expr *> Args) {
+  return F->make<IntrinsicExpr>(Fn, std::move(Args), SourceLoc());
+}
+
+Expr *FunctionBuilder::binary(BinaryOp Op, Expr *L, Expr *R) {
+  return F->make<BinaryExpr>(Op, L, R, SourceLoc());
+}
+
+FunctionBuilder &FunctionBuilder::label(int L) {
+  assert(L > 0 && "statement labels are positive");
+  PendingLabel = L;
+  return *this;
+}
+
+StmtId FunctionBuilder::appendStmt(std::unique_ptr<Stmt> S) {
+  assert(F && "builder is inert after a construction failure");
+  if (PendingLabel != 0) {
+    S->setLabel(PendingLabel);
+    PendingLabel = 0;
+  }
+  return F->append(std::move(S));
+}
+
+StmtId FunctionBuilder::assign(VarId Target, Expr *Value) {
+  return assign(LValue{Target, {}}, Value);
+}
+
+StmtId FunctionBuilder::assign(LValue Target, Expr *Value) {
+  return appendStmt(
+      std::make_unique<AssignStmt>(std::move(Target), Value, SourceLoc()));
+}
+
+StmtId FunctionBuilder::assignElem(VarId Array, Expr *I, Expr *Value) {
+  return assign(LValue{Array, {I}}, Value);
+}
+
+StmtId FunctionBuilder::assignElem(VarId Array, Expr *I, Expr *J,
+                                   Expr *Value) {
+  return assign(LValue{Array, {I, J}}, Value);
+}
+
+StmtId FunctionBuilder::ifGoto(Expr *Cond, int TargetLabel) {
+  return appendStmt(
+      std::make_unique<IfGotoStmt>(Cond, TargetLabel, SourceLoc()));
+}
+
+StmtId FunctionBuilder::gotoLabel(int TargetLabel) {
+  return appendStmt(std::make_unique<GotoStmt>(TargetLabel, SourceLoc()));
+}
+
+StmtId FunctionBuilder::computedGoto(Expr *Index,
+                                     std::vector<int> TargetLabels) {
+  return appendStmt(std::make_unique<ComputedGotoStmt>(
+      Index, std::move(TargetLabels), SourceLoc()));
+}
+
+StmtId FunctionBuilder::doLoop(VarId Index, Expr *Lo, Expr *Hi, Expr *Step) {
+  return appendStmt(
+      std::make_unique<DoStmt>(Index, Lo, Hi, Step, SourceLoc()));
+}
+
+StmtId FunctionBuilder::endDo() {
+  return appendStmt(std::make_unique<EndDoStmt>(SourceLoc()));
+}
+
+StmtId FunctionBuilder::callSub(std::string Callee, std::vector<Expr *> Args) {
+  return appendStmt(std::make_unique<CallStmt>(std::move(Callee),
+                                               std::move(Args), SourceLoc()));
+}
+
+StmtId FunctionBuilder::ret() {
+  return appendStmt(std::make_unique<ReturnStmt>(SourceLoc()));
+}
+
+StmtId FunctionBuilder::cont() {
+  return appendStmt(std::make_unique<ContinueStmt>(SourceLoc()));
+}
+
+StmtId FunctionBuilder::print(std::vector<Expr *> Args) {
+  return appendStmt(std::make_unique<PrintStmt>(std::move(Args), SourceLoc()));
+}
+
+Function *FunctionBuilder::finish() {
+  if (!F)
+    return nullptr;
+  if (PendingLabel != 0) {
+    Diags.error("dangling label " + std::to_string(PendingLabel) +
+                " at end of procedure " + F->name());
+    PendingLabel = 0;
+    return nullptr;
+  }
+  if (!F->finalize(Diags))
+    return nullptr;
+  return F;
+}

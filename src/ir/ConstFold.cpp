@@ -1,0 +1,241 @@
+//===--- ir/ConstFold.cpp - Compile-time expression evaluation ------------===//
+
+#include "ir/ConstFold.h"
+
+#include "support/Casting.h"
+
+#include <cmath>
+
+using namespace ptran;
+
+namespace {
+
+FoldedValue makeInt(int64_t V) { return {Type::Integer, V, 0.0}; }
+FoldedValue makeReal(double V) { return {Type::Real, 0, V}; }
+FoldedValue makeLogical(bool V) { return {Type::Logical, V ? 1 : 0, 0.0}; }
+
+} // namespace
+
+static std::optional<FoldedValue>
+foldImpl(const Expr *E, const std::map<VarId, FoldedValue> *Env);
+
+std::optional<FoldedValue> ptran::foldConstant(const Expr *E) {
+  return foldImpl(E, nullptr);
+}
+
+std::optional<FoldedValue>
+ptran::foldConstant(const Expr *E, const std::map<VarId, FoldedValue> *Env) {
+  return foldImpl(E, Env);
+}
+
+static std::optional<FoldedValue>
+foldImpl(const Expr *E, const std::map<VarId, FoldedValue> *Env) {
+  switch (E->kind()) {
+  case ExprKind::IntLiteral:
+    return makeInt(cast<IntLiteral>(E)->value());
+  case ExprKind::RealLiteral:
+    return makeReal(cast<RealLiteral>(E)->value());
+  case ExprKind::VarRef: {
+    if (Env) {
+      auto It = Env->find(cast<VarRef>(E)->var());
+      if (It != Env->end())
+        return It->second;
+    }
+    return std::nullopt;
+  }
+  case ExprKind::ArrayRef:
+    return std::nullopt;
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    std::optional<FoldedValue> V = foldImpl(U->operand(), Env);
+    if (!V)
+      return std::nullopt;
+    if (U->op() == UnaryOp::Not)
+      return makeLogical(!V->asBool());
+    return V->Ty == Type::Real ? makeReal(-V->R) : makeInt(-V->I);
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    std::optional<FoldedValue> L = foldImpl(B->lhs(), Env);
+    if (!L)
+      return std::nullopt;
+    // Short-circuit forms fold with only the left operand when decisive.
+    if (B->op() == BinaryOp::And && !L->asBool())
+      return makeLogical(false);
+    if (B->op() == BinaryOp::Or && L->asBool())
+      return makeLogical(true);
+    std::optional<FoldedValue> R = foldImpl(B->rhs(), Env);
+    if (!R)
+      return std::nullopt;
+    if (isLogicalOp(B->op()))
+      return makeLogical(R->asBool());
+    if (isComparison(B->op())) {
+      double A = L->asReal(), C = R->asReal();
+      switch (B->op()) {
+      case BinaryOp::Lt:
+        return makeLogical(A < C);
+      case BinaryOp::Le:
+        return makeLogical(A <= C);
+      case BinaryOp::Gt:
+        return makeLogical(A > C);
+      case BinaryOp::Ge:
+        return makeLogical(A >= C);
+      case BinaryOp::Eq:
+        return makeLogical(A == C);
+      case BinaryOp::Ne:
+        return makeLogical(A != C);
+      default:
+        return std::nullopt;
+      }
+    }
+    bool RealOp = L->Ty == Type::Real || R->Ty == Type::Real;
+    switch (B->op()) {
+    case BinaryOp::Add:
+      return RealOp ? makeReal(L->asReal() + R->asReal())
+                    : makeInt(L->I + R->I);
+    case BinaryOp::Sub:
+      return RealOp ? makeReal(L->asReal() - R->asReal())
+                    : makeInt(L->I - R->I);
+    case BinaryOp::Mul:
+      return RealOp ? makeReal(L->asReal() * R->asReal())
+                    : makeInt(L->I * R->I);
+    case BinaryOp::Div:
+      if (RealOp)
+        return R->asReal() == 0.0
+                   ? std::nullopt
+                   : std::optional(makeReal(L->asReal() / R->asReal()));
+      return R->I == 0 ? std::nullopt : std::optional(makeInt(L->I / R->I));
+    case BinaryOp::Pow:
+      if (!RealOp && R->I >= 0) {
+        int64_t Out = 1;
+        for (int64_t K = 0; K < R->I; ++K)
+          Out *= L->I;
+        return makeInt(Out);
+      }
+      return makeReal(std::pow(L->asReal(), R->asReal()));
+    default:
+      return std::nullopt;
+    }
+  }
+  case ExprKind::Intrinsic: {
+    const auto *I = cast<IntrinsicExpr>(E);
+    std::vector<FoldedValue> Args;
+    for (const Expr *A : I->args()) {
+      std::optional<FoldedValue> V = foldImpl(A, Env);
+      if (!V)
+        return std::nullopt;
+      Args.push_back(*V);
+    }
+    bool RealArgs = false;
+    for (const FoldedValue &V : Args)
+      RealArgs |= V.Ty == Type::Real;
+    switch (I->fn()) {
+    case Intrinsic::Abs:
+      return RealArgs ? makeReal(std::fabs(Args[0].asReal()))
+                      : makeInt(std::llabs(Args[0].I));
+    case Intrinsic::Min: {
+      if (RealArgs) {
+        double Out = Args[0].asReal();
+        for (const FoldedValue &V : Args)
+          Out = std::min(Out, V.asReal());
+        return makeReal(Out);
+      }
+      int64_t Out = Args[0].I;
+      for (const FoldedValue &V : Args)
+        Out = std::min(Out, V.I);
+      return makeInt(Out);
+    }
+    case Intrinsic::Max: {
+      if (RealArgs) {
+        double Out = Args[0].asReal();
+        for (const FoldedValue &V : Args)
+          Out = std::max(Out, V.asReal());
+        return makeReal(Out);
+      }
+      int64_t Out = Args[0].I;
+      for (const FoldedValue &V : Args)
+        Out = std::max(Out, V.I);
+      return makeInt(Out);
+    }
+    case Intrinsic::Mod:
+      if (RealArgs)
+        return Args[1].asReal() == 0.0
+                   ? std::nullopt
+                   : std::optional(makeReal(
+                         std::fmod(Args[0].asReal(), Args[1].asReal())));
+      return Args[1].I == 0 ? std::nullopt
+                            : std::optional(makeInt(Args[0].I % Args[1].I));
+    case Intrinsic::Sqrt:
+      return Args[0].asReal() < 0.0
+                 ? std::nullopt
+                 : std::optional(makeReal(std::sqrt(Args[0].asReal())));
+    case Intrinsic::Exp:
+      return makeReal(std::exp(Args[0].asReal()));
+    case Intrinsic::Log:
+      return Args[0].asReal() <= 0.0
+                 ? std::nullopt
+                 : std::optional(makeReal(std::log(Args[0].asReal())));
+    case Intrinsic::Sin:
+      return makeReal(std::sin(Args[0].asReal()));
+    case Intrinsic::Cos:
+      return makeReal(std::cos(Args[0].asReal()));
+    case Intrinsic::Real:
+      return makeReal(Args[0].asReal());
+    case Intrinsic::Int:
+      return makeInt(Args[0].Ty == Type::Real
+                         ? static_cast<int64_t>(Args[0].R)
+                         : Args[0].I);
+    }
+    return std::nullopt;
+  }
+  }
+  return std::nullopt;
+}
+
+std::map<VarId, FoldedValue>
+ptran::singleConstantAssignments(const Function &F) {
+  // Count scalar assignments per variable and remember the single value
+  // expression; disqualify variables that can be mutated some other way.
+  std::vector<unsigned> AssignCount(F.numSymbols(), 0);
+  std::vector<const Expr *> ValueOf(F.numSymbols(), nullptr);
+  std::vector<bool> Disqualified(F.numSymbols(), false);
+
+  for (VarId V = 0; V < F.numSymbols(); ++V)
+    if (F.symbol(V).IsParam || F.symbol(V).isArray())
+      Disqualified[V] = true;
+
+  for (StmtId S = 0; S < F.numStmts(); ++S) {
+    const Stmt *St = F.stmt(S);
+    if (const auto *A = dyn_cast<AssignStmt>(St)) {
+      if (A->target().isArrayElement())
+        continue;
+      VarId V = A->target().Var;
+      if (++AssignCount[V] == 1)
+        ValueOf[V] = A->value();
+    } else if (const auto *Do = dyn_cast<DoStmt>(St)) {
+      Disqualified[Do->indexVar()] = true;
+    } else if (const auto *Call = dyn_cast<CallStmt>(St)) {
+      // Whole-variable arguments are by reference and may be mutated.
+      for (const Expr *Arg : Call->args())
+        if (const auto *Ref = dyn_cast<VarRef>(Arg))
+          Disqualified[Ref->var()] = true;
+    }
+  }
+
+  // Iterate to a fixpoint so chains like `n = 64; m = n + 1` resolve.
+  std::map<VarId, FoldedValue> Env;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (VarId V = 0; V < F.numSymbols(); ++V) {
+      if (Disqualified[V] || AssignCount[V] != 1 || !ValueOf[V] ||
+          Env.count(V))
+        continue;
+      if (std::optional<FoldedValue> Val = foldConstant(ValueOf[V], &Env)) {
+        Env[V] = *Val;
+        Changed = true;
+      }
+    }
+  }
+  return Env;
+}

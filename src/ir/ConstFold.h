@@ -1,0 +1,56 @@
+//===--- ir/ConstFold.h - Compile-time expression evaluation ---*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constant folding over MiniIR expressions: evaluates literal-only
+/// subtrees (arithmetic, comparisons, logical operators and the pure
+/// intrinsics). Used by the compile-time frequency analysis Section 3
+/// sketches — IF conditions "that can be computed at compile-time" and DO
+/// loops with constant bounds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_IR_CONSTFOLD_H
+#define PTRAN_IR_CONSTFOLD_H
+
+#include "ir/Function.h"
+
+#include <map>
+#include <optional>
+
+namespace ptran {
+
+/// A folded compile-time value.
+struct FoldedValue {
+  Type Ty = Type::Integer;
+  int64_t I = 0;
+  double R = 0.0;
+
+  double asReal() const {
+    return Ty == Type::Real ? R : static_cast<double>(I);
+  }
+  bool asBool() const { return Ty == Type::Real ? R != 0.0 : I != 0; }
+};
+
+/// Evaluates \p E if it contains only literals; std::nullopt otherwise
+/// (also on folds that would fault, e.g. division by zero).
+std::optional<FoldedValue> foldConstant(const Expr *E);
+
+/// Like foldConstant, but scalar variable references may resolve through
+/// \p Env (e.g. the single-constant-assignment environment the static
+/// frequency analysis derives). Null \p Env behaves like foldConstant.
+std::optional<FoldedValue>
+foldConstant(const Expr *E, const std::map<VarId, FoldedValue> *Env);
+
+/// Scalars of \p F that are assigned exactly once, by a foldable constant,
+/// and never exposed to mutation by reference (no whole-variable CALL
+/// argument, no DO index use). Sound for estimation purposes: any read
+/// observes either that constant or the zero initialization.
+std::map<VarId, FoldedValue> singleConstantAssignments(const Function &F);
+
+} // namespace ptran
+
+#endif // PTRAN_IR_CONSTFOLD_H

@@ -1,0 +1,85 @@
+//===--- ir/Expr.cpp - MiniIR expression trees ----------------------------===//
+
+#include "ir/Expr.h"
+
+#include "support/FatalError.h"
+
+using namespace ptran;
+
+bool ptran::isComparison(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Lt:
+  case BinaryOp::Le:
+  case BinaryOp::Gt:
+  case BinaryOp::Ge:
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool ptran::isLogicalOp(BinaryOp Op) {
+  return Op == BinaryOp::And || Op == BinaryOp::Or;
+}
+
+const char *ptran::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Pow:
+    return "**";
+  case BinaryOp::Lt:
+    return ".LT.";
+  case BinaryOp::Le:
+    return ".LE.";
+  case BinaryOp::Gt:
+    return ".GT.";
+  case BinaryOp::Ge:
+    return ".GE.";
+  case BinaryOp::Eq:
+    return ".EQ.";
+  case BinaryOp::Ne:
+    return ".NE.";
+  case BinaryOp::And:
+    return ".AND.";
+  case BinaryOp::Or:
+    return ".OR.";
+  }
+  PTRAN_UNREACHABLE("unknown BinaryOp");
+}
+
+const char *ptran::intrinsicName(Intrinsic I) {
+  switch (I) {
+  case Intrinsic::Abs:
+    return "ABS";
+  case Intrinsic::Min:
+    return "MIN";
+  case Intrinsic::Max:
+    return "MAX";
+  case Intrinsic::Mod:
+    return "MOD";
+  case Intrinsic::Sqrt:
+    return "SQRT";
+  case Intrinsic::Exp:
+    return "EXP";
+  case Intrinsic::Log:
+    return "LOG";
+  case Intrinsic::Sin:
+    return "SIN";
+  case Intrinsic::Cos:
+    return "COS";
+  case Intrinsic::Real:
+    return "REAL";
+  case Intrinsic::Int:
+    return "INT";
+  }
+  PTRAN_UNREACHABLE("unknown Intrinsic");
+}

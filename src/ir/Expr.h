@@ -1,0 +1,233 @@
+//===--- ir/Expr.h - MiniIR expression trees --------------------*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Expression trees for the MiniIR. Expressions are immutable once built
+/// and are owned by the enclosing Function's arena; statements hold raw
+/// `Expr *` pointers into that arena. The hierarchy uses LLVM-style
+/// isa/cast/dyn_cast dispatch via ExprKind.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_IR_EXPR_H
+#define PTRAN_IR_EXPR_H
+
+#include "ir/Type.h"
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ptran {
+
+/// Index of a variable in its Function's symbol table.
+using VarId = unsigned;
+
+/// Discriminator for the Expr hierarchy.
+enum class ExprKind {
+  IntLiteral,
+  RealLiteral,
+  VarRef,
+  ArrayRef,
+  Unary,
+  Binary,
+  Intrinsic,
+};
+
+/// Base class of all MiniIR expressions.
+class Expr {
+public:
+  ExprKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+
+  /// Static type of the expression; filled in by the verifier/type checker
+  /// (Type::Integer until then for literals-free nodes).
+  Type type() const { return Ty; }
+  void setType(Type T) { Ty = T; }
+
+  virtual ~Expr() = default;
+
+protected:
+  Expr(ExprKind K, SourceLoc L, Type T) : Kind(K), Loc(L), Ty(T) {}
+
+private:
+  ExprKind Kind;
+  SourceLoc Loc;
+  Type Ty;
+};
+
+/// An integer literal, e.g. `42`.
+class IntLiteral : public Expr {
+public:
+  IntLiteral(int64_t V, SourceLoc L)
+      : Expr(ExprKind::IntLiteral, L, Type::Integer), Value(V) {}
+
+  int64_t value() const { return Value; }
+
+  /// Experiment drivers may re-parameterize a program between runs (e.g.
+  /// a fresh random seed) without changing its shape; the analyses only
+  /// see the literal's position, not its value.
+  void setValue(int64_t V) { Value = V; }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::IntLiteral;
+  }
+
+private:
+  int64_t Value;
+};
+
+/// A real literal, e.g. `3.5`.
+class RealLiteral : public Expr {
+public:
+  RealLiteral(double V, SourceLoc L)
+      : Expr(ExprKind::RealLiteral, L, Type::Real), Value(V) {}
+
+  double value() const { return Value; }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::RealLiteral;
+  }
+
+private:
+  double Value;
+};
+
+/// A scalar variable reference.
+class VarRef : public Expr {
+public:
+  VarRef(VarId V, SourceLoc L)
+      : Expr(ExprKind::VarRef, L, Type::Integer), Var(V) {}
+
+  VarId var() const { return Var; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::VarRef; }
+
+private:
+  VarId Var;
+};
+
+/// An array element reference with one or two index expressions.
+class ArrayRef : public Expr {
+public:
+  ArrayRef(VarId V, std::vector<Expr *> Indices, SourceLoc L)
+      : Expr(ExprKind::ArrayRef, L, Type::Integer), Var(V),
+        Idx(std::move(Indices)) {}
+
+  VarId var() const { return Var; }
+  const std::vector<Expr *> &indices() const { return Idx; }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::ArrayRef;
+  }
+
+private:
+  VarId Var;
+  std::vector<Expr *> Idx;
+};
+
+/// Unary operators.
+enum class UnaryOp { Neg, Not };
+
+/// A unary expression: -x or .NOT. x.
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOp O, Expr *Operand, SourceLoc L)
+      : Expr(ExprKind::Unary, L, Type::Integer), Op(O), Sub(Operand) {}
+
+  UnaryOp op() const { return Op; }
+  Expr *operand() const { return Sub; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Unary; }
+
+private:
+  UnaryOp Op;
+  Expr *Sub;
+};
+
+/// Binary operators, covering arithmetic, comparison and logical forms.
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Pow,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  And,
+  Or,
+};
+
+/// True for .LT. .LE. .GT. .GE. .EQ. .NE.
+bool isComparison(BinaryOp Op);
+/// True for .AND. / .OR.
+bool isLogicalOp(BinaryOp Op);
+/// Fortran-style spelling, e.g. ".LT." or "+".
+const char *binaryOpSpelling(BinaryOp Op);
+
+/// A binary expression.
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOp O, Expr *L, Expr *R, SourceLoc Loc)
+      : Expr(ExprKind::Binary, Loc, Type::Integer), Op(O), Lhs(L), Rhs(R) {}
+
+  BinaryOp op() const { return Op; }
+  Expr *lhs() const { return Lhs; }
+  Expr *rhs() const { return Rhs; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Binary; }
+
+private:
+  BinaryOp Op;
+  Expr *Lhs;
+  Expr *Rhs;
+};
+
+/// Intrinsic functions available in expressions.
+enum class Intrinsic {
+  Abs,
+  Min,
+  Max,
+  Mod,
+  Sqrt,
+  Exp,
+  Log,
+  Sin,
+  Cos,
+  Real, ///< INTEGER -> REAL conversion.
+  Int,  ///< REAL -> INTEGER truncation.
+};
+
+/// Spelling of an intrinsic, e.g. "SQRT".
+const char *intrinsicName(Intrinsic I);
+
+/// An intrinsic call expression, e.g. SQRT(X) or MIN(A, B, C).
+class IntrinsicExpr : public Expr {
+public:
+  IntrinsicExpr(Intrinsic Fn, std::vector<Expr *> Args, SourceLoc L)
+      : Expr(ExprKind::Intrinsic, L, Type::Integer), Fn(Fn),
+        Arguments(std::move(Args)) {}
+
+  Intrinsic fn() const { return Fn; }
+  const std::vector<Expr *> &args() const { return Arguments; }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::Intrinsic;
+  }
+
+private:
+  Intrinsic Fn;
+  std::vector<Expr *> Arguments;
+};
+
+} // namespace ptran
+
+#endif // PTRAN_IR_EXPR_H

@@ -1,0 +1,41 @@
+//===--- ir/Printer.h - MiniIR pretty printer -------------------*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders MiniIR back to mini-language source text. Used by tests
+/// (round-tripping), examples and debugging dumps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_IR_PRINTER_H
+#define PTRAN_IR_PRINTER_H
+
+#include "ir/Function.h"
+
+#include <string>
+
+namespace ptran {
+
+/// Renders a single expression.
+std::string printExpr(const Function &F, const Expr *E);
+
+/// Renders one statement (without its label prefix or newline).
+std::string printStmt(const Function &F, const Stmt *S);
+
+/// The label value printStmt/printFunction display for \p Label:
+/// compiler-generated labels are renumbered into the user range so that
+/// printed programs reparse. User labels pass through unchanged.
+int printedLabel(const Function &F, int Label);
+
+/// Renders a whole function, declarations included.
+std::string printFunction(const Function &F);
+
+/// Renders a whole program.
+std::string printProgram(const Program &P);
+
+} // namespace ptran
+
+#endif // PTRAN_IR_PRINTER_H

@@ -1,0 +1,55 @@
+//===--- ir/Stmt.cpp - MiniIR statements ----------------------------------===//
+
+#include "ir/Stmt.h"
+
+#include "support/Casting.h"
+#include "support/FatalError.h"
+
+using namespace ptran;
+
+const char *ptran::stmtKindName(StmtKind K) {
+  switch (K) {
+  case StmtKind::Assign:
+    return "assign";
+  case StmtKind::IfGoto:
+    return "ifgoto";
+  case StmtKind::Goto:
+    return "goto";
+  case StmtKind::ComputedGoto:
+    return "computed-goto";
+  case StmtKind::DoStart:
+    return "do";
+  case StmtKind::DoEnd:
+    return "enddo";
+  case StmtKind::Call:
+    return "call";
+  case StmtKind::Return:
+    return "return";
+  case StmtKind::Continue:
+    return "continue";
+  case StmtKind::Print:
+    return "print";
+  }
+  PTRAN_UNREACHABLE("unknown StmtKind");
+}
+
+bool DoStmt::constantTripCount(int64_t &TripCount) const {
+  const auto *LoLit = dyn_cast<IntLiteral>(Lo);
+  const auto *HiLit = dyn_cast<IntLiteral>(Hi);
+  if (!LoLit || !HiLit)
+    return false;
+  int64_t StepVal = 1;
+  if (Step) {
+    const auto *StepLit = dyn_cast<IntLiteral>(Step);
+    if (!StepLit)
+      return false;
+    StepVal = StepLit->value();
+  }
+  if (StepVal == 0)
+    return false;
+  // Fortran-77 iteration count, clamped at zero.
+  int64_t Span = HiLit->value() - LoLit->value() + StepVal;
+  int64_t Count = Span / StepVal;
+  TripCount = Count > 0 ? Count : 0;
+  return true;
+}

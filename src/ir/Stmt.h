@@ -1,0 +1,272 @@
+//===--- ir/Stmt.h - MiniIR statements --------------------------*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statements of the MiniIR. A Function is a flat, ordered list of
+/// statements with optional numeric labels, exactly the granularity at
+/// which the paper builds its statement-level control flow graph
+/// (Figure 1): assignments, logical IF-GOTOs, GOTOs, DO/ENDDO pairs,
+/// CALLs, RETURNs, CONTINUEs and PRINTs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_IR_STMT_H
+#define PTRAN_IR_STMT_H
+
+#include "ir/Expr.h"
+
+#include <string>
+#include <vector>
+
+namespace ptran {
+
+/// Index of a statement within its Function.
+using StmtId = unsigned;
+/// Sentinel for "no statement".
+inline constexpr StmtId InvalidStmt = static_cast<StmtId>(-1);
+
+/// First compiler-generated statement label. The front end restricts user
+/// labels to values below this, so lowering of structured constructs can
+/// allocate labels freely; the printer renumbers them back into the user
+/// range so printed programs reparse.
+inline constexpr int FirstCompilerLabel = 1000000;
+
+/// Discriminator for the Stmt hierarchy.
+enum class StmtKind {
+  Assign,
+  IfGoto,
+  Goto,
+  ComputedGoto,
+  DoStart,
+  DoEnd,
+  Call,
+  Return,
+  Continue,
+  Print,
+};
+
+/// \returns a stable name such as "assign" or "ifgoto".
+const char *stmtKindName(StmtKind K);
+
+/// The target of an assignment: a scalar variable or an array element.
+struct LValue {
+  VarId Var = 0;
+  /// Empty for scalars; one or two index expressions for array elements.
+  std::vector<Expr *> Indices;
+
+  bool isArrayElement() const { return !Indices.empty(); }
+};
+
+/// Base class of all MiniIR statements. Statements are owned by their
+/// Function and identified by their StmtId (position in the list).
+class Stmt {
+public:
+  StmtKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+
+  /// Numeric Fortran-style statement label; 0 when unlabelled.
+  int label() const { return Label; }
+  void setLabel(int L) { Label = L; }
+
+  virtual ~Stmt() = default;
+
+protected:
+  Stmt(StmtKind K, SourceLoc L) : Kind(K), Loc(L) {}
+
+private:
+  StmtKind Kind;
+  SourceLoc Loc;
+  int Label = 0;
+};
+
+/// `target = expr`
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(LValue Target, Expr *Value, SourceLoc L)
+      : Stmt(StmtKind::Assign, L), Target(std::move(Target)), Value(Value) {}
+
+  const LValue &target() const { return Target; }
+  Expr *value() const { return Value; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Assign; }
+
+private:
+  LValue Target;
+  Expr *Value;
+};
+
+/// `IF (cond) GOTO target` — the only conditional branch form. Control
+/// flows to the labelled statement when the condition holds, and falls
+/// through otherwise. In the CFG this node gets a T edge and an F edge.
+class IfGotoStmt : public Stmt {
+public:
+  IfGotoStmt(Expr *Cond, int TargetLabel, SourceLoc L)
+      : Stmt(StmtKind::IfGoto, L), Cond(Cond), TargetLabel(TargetLabel) {}
+
+  Expr *cond() const { return Cond; }
+  int targetLabel() const { return TargetLabel; }
+
+  /// Resolved target statement; set by Function::finalize().
+  StmtId target() const { return Target; }
+  void setTarget(StmtId S) { Target = S; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::IfGoto; }
+
+private:
+  Expr *Cond;
+  int TargetLabel;
+  StmtId Target = InvalidStmt;
+};
+
+/// `GOTO target`
+class GotoStmt : public Stmt {
+public:
+  GotoStmt(int TargetLabel, SourceLoc L)
+      : Stmt(StmtKind::Goto, L), TargetLabel(TargetLabel) {}
+
+  int targetLabel() const { return TargetLabel; }
+  StmtId target() const { return Target; }
+  void setTarget(StmtId S) { Target = S; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Goto; }
+
+private:
+  int TargetLabel;
+  StmtId Target = InvalidStmt;
+};
+
+/// `GOTO (l1, l2, ..., ln), index` — Fortran's computed GOTO, an n-way
+/// branch. When the index evaluates to k in [1, n], control moves to the
+/// statement labelled lk (CFG label Ck); any other value falls through
+/// (CFG label U), per the Fortran-77 rules.
+class ComputedGotoStmt : public Stmt {
+public:
+  ComputedGotoStmt(Expr *Index, std::vector<int> TargetLabels, SourceLoc L)
+      : Stmt(StmtKind::ComputedGoto, L), Index(Index),
+        TargetLabels(std::move(TargetLabels)) {
+    Targets.assign(this->TargetLabels.size(), InvalidStmt);
+  }
+
+  Expr *index() const { return Index; }
+  const std::vector<int> &targetLabels() const { return TargetLabels; }
+
+  /// Resolved targets, aligned with targetLabels(); set by finalize().
+  const std::vector<StmtId> &targets() const { return Targets; }
+  void setTarget(size_t K, StmtId S) { Targets[K] = S; }
+
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::ComputedGoto;
+  }
+
+private:
+  Expr *Index;
+  std::vector<int> TargetLabels;
+  std::vector<StmtId> Targets;
+};
+
+/// `DO var = lo, hi [, step]` — the loop header statement. Fortran-77
+/// semantics: the trip count max(0, floor((hi - lo + step) / step)) is
+/// evaluated once on entry; the body never executes for a zero trip count.
+/// The matching EndDo is recorded during Function::finalize().
+class DoStmt : public Stmt {
+public:
+  DoStmt(VarId IndexVar, Expr *Lo, Expr *Hi, Expr *Step, SourceLoc L)
+      : Stmt(StmtKind::DoStart, L), IndexVar(IndexVar), Lo(Lo), Hi(Hi),
+        Step(Step) {}
+
+  VarId indexVar() const { return IndexVar; }
+  Expr *lo() const { return Lo; }
+  Expr *hi() const { return Hi; }
+  /// Null means an implicit step of 1.
+  Expr *step() const { return Step; }
+
+  StmtId matchingEnd() const { return End; }
+  void setMatchingEnd(StmtId S) { End = S; }
+
+  /// If lo/hi/step are all integer literals, returns true and sets
+  /// \p TripCount to the compile-time trip count (the paper's opt 3 "known
+  /// at compile time" case).
+  bool constantTripCount(int64_t &TripCount) const;
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::DoStart; }
+
+private:
+  VarId IndexVar;
+  Expr *Lo;
+  Expr *Hi;
+  Expr *Step;
+  StmtId End = InvalidStmt;
+};
+
+/// `ENDDO` — increments the index variable and branches back to the
+/// matching DO header.
+class EndDoStmt : public Stmt {
+public:
+  explicit EndDoStmt(SourceLoc L) : Stmt(StmtKind::DoEnd, L) {}
+
+  StmtId matchingDo() const { return Start; }
+  void setMatchingDo(StmtId S) { Start = S; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::DoEnd; }
+
+private:
+  StmtId Start = InvalidStmt;
+};
+
+/// `CALL sub(args...)`. Scalar variable and whole-array arguments are
+/// passed by reference (Fortran style); any other expression argument is
+/// passed by value.
+class CallStmt : public Stmt {
+public:
+  CallStmt(std::string Callee, std::vector<Expr *> Args, SourceLoc L)
+      : Stmt(StmtKind::Call, L), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+
+  const std::string &callee() const { return Callee; }
+  const std::vector<Expr *> &args() const { return Args; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Call; }
+
+private:
+  std::string Callee;
+  std::vector<Expr *> Args;
+};
+
+/// `RETURN` — exits the enclosing procedure.
+class ReturnStmt : public Stmt {
+public:
+  explicit ReturnStmt(SourceLoc L) : Stmt(StmtKind::Return, L) {}
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Return; }
+};
+
+/// `CONTINUE` — a no-op, typically a label anchor (e.g. `20 CONTINUE`).
+class ContinueStmt : public Stmt {
+public:
+  explicit ContinueStmt(SourceLoc L) : Stmt(StmtKind::Continue, L) {}
+
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::Continue;
+  }
+};
+
+/// `PRINT expr...` — appends formatted values to the run's output buffer.
+class PrintStmt : public Stmt {
+public:
+  PrintStmt(std::vector<Expr *> Args, SourceLoc L)
+      : Stmt(StmtKind::Print, L), Args(std::move(Args)) {}
+
+  const std::vector<Expr *> &args() const { return Args; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Print; }
+
+private:
+  std::vector<Expr *> Args;
+};
+
+} // namespace ptran
+
+#endif // PTRAN_IR_STMT_H

@@ -1,0 +1,19 @@
+//===--- ir/Type.cpp - MiniIR scalar types --------------------------------===//
+
+#include "ir/Type.h"
+
+#include "support/FatalError.h"
+
+using namespace ptran;
+
+const char *ptran::typeName(Type T) {
+  switch (T) {
+  case Type::Integer:
+    return "integer";
+  case Type::Real:
+    return "real";
+  case Type::Logical:
+    return "logical";
+  }
+  PTRAN_UNREACHABLE("unknown Type");
+}

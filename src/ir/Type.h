@@ -1,0 +1,37 @@
+//===--- ir/Type.h - MiniIR scalar types ------------------------*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scalar types of the MiniIR, the Fortran-77-flavoured statement-level
+/// representation the analyses run on. The paper's framework only observes
+/// statement-level control flow, so two numeric types plus a logical type
+/// for branch conditions suffice to express the LOOPS / SIMPLE workloads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_IR_TYPE_H
+#define PTRAN_IR_TYPE_H
+
+namespace ptran {
+
+/// Scalar type of an expression or variable.
+enum class Type {
+  Integer, ///< 64-bit signed integer (Fortran INTEGER).
+  Real,    ///< Double-precision float (Fortran REAL/DOUBLE PRECISION).
+  Logical, ///< Boolean; only produced by comparisons and .AND./.OR./.NOT.
+};
+
+/// \returns a stable lower-case name ("integer", "real", "logical").
+const char *typeName(Type T);
+
+/// Usual arithmetic promotion: Real wins over Integer.
+inline Type promote(Type A, Type B) {
+  return (A == Type::Real || B == Type::Real) ? Type::Real : Type::Integer;
+}
+
+} // namespace ptran
+
+#endif // PTRAN_IR_TYPE_H

@@ -1,0 +1,319 @@
+//===--- ir/Verifier.cpp - MiniIR verifier and type checker ---------------===//
+
+#include "ir/Verifier.h"
+
+#include "support/Casting.h"
+#include "support/FatalError.h"
+
+#include <string>
+
+using namespace ptran;
+
+namespace {
+
+/// Walks one function, checking uses and computing expression types.
+class FunctionVerifier {
+public:
+  FunctionVerifier(Function &F, const Program *P, DiagnosticEngine &Diags)
+      : F(F), Prog(P), Diags(Diags) {}
+
+  bool run();
+
+private:
+  /// Type-checks \p E, annotating it; returns its type. Emits diagnostics
+  /// for malformed subtrees and returns Integer as a recovery type.
+  Type check(Expr *E);
+
+  void checkLValue(const LValue &L, SourceLoc Loc);
+  void checkStmt(Stmt *S);
+
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.error(Loc, std::move(Message) + " in procedure " + F.name());
+  }
+
+  Function &F;
+  const Program *Prog;
+  DiagnosticEngine &Diags;
+};
+
+bool FunctionVerifier::run() {
+  unsigned Before = Diags.errorCount();
+  if (!F.isFinalized()) {
+    error(SourceLoc(), "procedure was not finalized before verification");
+    return false;
+  }
+  for (StmtId I = 0; I < F.numStmts(); ++I)
+    checkStmt(F.stmt(I));
+  return Diags.errorCount() == Before;
+}
+
+Type FunctionVerifier::check(Expr *E) {
+  switch (E->kind()) {
+  case ExprKind::IntLiteral:
+    E->setType(Type::Integer);
+    return Type::Integer;
+  case ExprKind::RealLiteral:
+    E->setType(Type::Real);
+    return Type::Real;
+  case ExprKind::VarRef: {
+    auto *V = cast<VarRef>(E);
+    if (V->var() >= F.numSymbols()) {
+      error(E->loc(), "reference to undeclared variable id");
+      return Type::Integer;
+    }
+    const Symbol &Sym = F.symbol(V->var());
+    if (Sym.isArray())
+      error(E->loc(), "array " + Sym.Name + " used without subscripts");
+    E->setType(Sym.Ty);
+    return Sym.Ty;
+  }
+  case ExprKind::ArrayRef: {
+    auto *A = cast<ArrayRef>(E);
+    if (A->var() >= F.numSymbols()) {
+      error(E->loc(), "reference to undeclared variable id");
+      return Type::Integer;
+    }
+    const Symbol &Sym = F.symbol(A->var());
+    if (!Sym.isArray())
+      error(E->loc(), "scalar " + Sym.Name + " used with subscripts");
+    else if (Sym.Dims.size() != A->indices().size())
+      error(E->loc(), "array " + Sym.Name + " expects " +
+                          std::to_string(Sym.Dims.size()) +
+                          " subscripts, got " +
+                          std::to_string(A->indices().size()));
+    for (Expr *Idx : A->indices())
+      if (check(Idx) != Type::Integer)
+        error(Idx->loc(), "array subscript must be integer");
+    E->setType(Sym.Ty);
+    return Sym.Ty;
+  }
+  case ExprKind::Unary: {
+    auto *U = cast<UnaryExpr>(E);
+    Type Sub = check(U->operand());
+    if (U->op() == UnaryOp::Neg) {
+      if (Sub == Type::Logical)
+        error(E->loc(), "cannot negate a logical value arithmetically");
+      E->setType(Sub == Type::Logical ? Type::Integer : Sub);
+    } else { // Not
+      if (Sub != Type::Logical)
+        error(E->loc(), ".NOT. requires a logical operand");
+      E->setType(Type::Logical);
+    }
+    return E->type();
+  }
+  case ExprKind::Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    Type L = check(B->lhs());
+    Type R = check(B->rhs());
+    if (isLogicalOp(B->op())) {
+      if (L != Type::Logical || R != Type::Logical)
+        error(E->loc(), ".AND./.OR. require logical operands");
+      E->setType(Type::Logical);
+    } else if (isComparison(B->op())) {
+      if (L == Type::Logical || R == Type::Logical)
+        error(E->loc(), "comparisons require numeric operands");
+      E->setType(Type::Logical);
+    } else {
+      if (L == Type::Logical || R == Type::Logical)
+        error(E->loc(), "arithmetic requires numeric operands");
+      E->setType(promote(L == Type::Logical ? Type::Integer : L,
+                         R == Type::Logical ? Type::Integer : R));
+    }
+    return E->type();
+  }
+  case ExprKind::Intrinsic: {
+    auto *I = cast<IntrinsicExpr>(E);
+    Type Arg = Type::Integer;
+    bool First = true;
+    for (Expr *A : I->args()) {
+      Type T = check(A);
+      if (T == Type::Logical)
+        error(A->loc(), "intrinsic arguments must be numeric");
+      Arg = First ? T : promote(Arg, T);
+      First = false;
+    }
+    size_t N = I->args().size();
+    switch (I->fn()) {
+    case Intrinsic::Abs:
+    case Intrinsic::Sqrt:
+    case Intrinsic::Exp:
+    case Intrinsic::Log:
+    case Intrinsic::Sin:
+    case Intrinsic::Cos:
+    case Intrinsic::Real:
+    case Intrinsic::Int:
+      if (N != 1)
+        error(E->loc(), std::string(intrinsicName(I->fn())) +
+                            " expects exactly one argument");
+      break;
+    case Intrinsic::Mod:
+      if (N != 2)
+        error(E->loc(), "MOD expects exactly two arguments");
+      break;
+    case Intrinsic::Min:
+    case Intrinsic::Max:
+      if (N < 2)
+        error(E->loc(), std::string(intrinsicName(I->fn())) +
+                            " expects at least two arguments");
+      break;
+    }
+    switch (I->fn()) {
+    case Intrinsic::Abs:
+    case Intrinsic::Min:
+    case Intrinsic::Max:
+    case Intrinsic::Mod:
+      E->setType(Arg);
+      break;
+    case Intrinsic::Sqrt:
+    case Intrinsic::Exp:
+    case Intrinsic::Log:
+    case Intrinsic::Sin:
+    case Intrinsic::Cos:
+    case Intrinsic::Real:
+      E->setType(Type::Real);
+      break;
+    case Intrinsic::Int:
+      E->setType(Type::Integer);
+      break;
+    }
+    return E->type();
+  }
+  }
+  PTRAN_UNREACHABLE("unknown ExprKind");
+}
+
+void FunctionVerifier::checkLValue(const LValue &L, SourceLoc Loc) {
+  if (L.Var >= F.numSymbols()) {
+    error(Loc, "assignment to undeclared variable id");
+    return;
+  }
+  const Symbol &Sym = F.symbol(L.Var);
+  if (Sym.isArray() != L.isArrayElement()) {
+    error(Loc, Sym.isArray()
+                   ? "array " + Sym.Name + " assigned without subscripts"
+                   : "scalar " + Sym.Name + " assigned with subscripts");
+    return;
+  }
+  if (L.isArrayElement() && Sym.Dims.size() != L.Indices.size())
+    error(Loc, "array " + Sym.Name + " expects " +
+                   std::to_string(Sym.Dims.size()) + " subscripts");
+  for (Expr *Idx : L.Indices)
+    if (check(Idx) != Type::Integer)
+      error(Idx->loc(), "array subscript must be integer");
+}
+
+void FunctionVerifier::checkStmt(Stmt *S) {
+  switch (S->kind()) {
+  case StmtKind::Assign: {
+    auto *A = cast<AssignStmt>(S);
+    checkLValue(A->target(), S->loc());
+    if (check(A->value()) == Type::Logical)
+      error(S->loc(), "cannot assign a logical value to a numeric variable");
+    break;
+  }
+  case StmtKind::IfGoto: {
+    auto *I = cast<IfGotoStmt>(S);
+    if (check(I->cond()) != Type::Logical)
+      error(S->loc(), "IF condition must be logical");
+    assert(I->target() != InvalidStmt && "finalize resolved all targets");
+    break;
+  }
+  case StmtKind::Goto:
+    assert(cast<GotoStmt>(S)->target() != InvalidStmt &&
+           "finalize resolved all targets");
+    break;
+  case StmtKind::ComputedGoto: {
+    auto *Cg = cast<ComputedGotoStmt>(S);
+    if (Cg->targetLabels().empty())
+      error(S->loc(), "computed GOTO needs at least one target");
+    if (check(Cg->index()) != Type::Integer)
+      error(S->loc(), "computed GOTO index must be integer");
+    break;
+  }
+  case StmtKind::DoStart: {
+    auto *D = cast<DoStmt>(S);
+    if (D->indexVar() >= F.numSymbols()) {
+      error(S->loc(), "DO index variable not declared");
+      break;
+    }
+    const Symbol &Sym = F.symbol(D->indexVar());
+    if (Sym.Ty != Type::Integer || Sym.isArray())
+      error(S->loc(), "DO index " + Sym.Name + " must be an integer scalar");
+    if (check(D->lo()) != Type::Integer)
+      error(S->loc(), "DO lower bound must be integer");
+    if (check(D->hi()) != Type::Integer)
+      error(S->loc(), "DO upper bound must be integer");
+    if (D->step() && check(D->step()) != Type::Integer)
+      error(S->loc(), "DO step must be integer");
+    break;
+  }
+  case StmtKind::DoEnd:
+    break;
+  case StmtKind::Call: {
+    auto *C = cast<CallStmt>(S);
+    for (Expr *A : C->args()) {
+      // Whole-array arguments are legal in calls (passed by reference), so
+      // bypass the scalar-use check for them.
+      if (auto *V = dyn_cast<VarRef>(A); V && V->var() < F.numSymbols() &&
+                                         F.symbol(V->var()).isArray()) {
+        A->setType(F.symbol(V->var()).Ty);
+        continue;
+      }
+      if (check(A) == Type::Logical)
+        error(A->loc(), "logical values cannot be passed as arguments");
+    }
+    if (!Prog)
+      break;
+    const Function *Callee = Prog->findFunction(C->callee());
+    if (!Callee) {
+      error(S->loc(), "call to undefined procedure " + C->callee());
+      break;
+    }
+    if (Callee->params().size() != C->args().size()) {
+      error(S->loc(), "procedure " + C->callee() + " expects " +
+                          std::to_string(Callee->params().size()) +
+                          " arguments, got " +
+                          std::to_string(C->args().size()));
+      break;
+    }
+    // Array parameters require whole-array arguments of matching shape.
+    for (size_t I = 0; I < C->args().size(); ++I) {
+      const Symbol &Param = Callee->symbol(Callee->params()[I]);
+      const Expr *Arg = C->args()[I];
+      if (!Param.isArray())
+        continue;
+      const auto *V = dyn_cast<VarRef>(Arg);
+      if (!V || !F.symbol(V->var()).isArray())
+        error(Arg->loc(), "argument " + std::to_string(I + 1) + " of " +
+                              C->callee() + " must be a whole array");
+    }
+    break;
+  }
+  case StmtKind::Return:
+  case StmtKind::Continue:
+    break;
+  case StmtKind::Print:
+    for (Expr *A : cast<PrintStmt>(S)->args())
+      check(A);
+    break;
+  }
+}
+
+} // namespace
+
+bool ptran::verifyFunction(Function &F, const Program *P,
+                           DiagnosticEngine &Diags) {
+  return FunctionVerifier(F, P, Diags).run();
+}
+
+bool ptran::verifyProgram(Program &P, DiagnosticEngine &Diags) {
+  bool Ok = true;
+  if (!P.entry()) {
+    Diags.error("program has no entry procedure named '" + P.entryName() +
+                "'");
+    Ok = false;
+  }
+  for (const auto &F : P.functions())
+    Ok &= verifyFunction(*F, &P, Diags);
+  return Ok;
+}

@@ -1,0 +1,33 @@
+//===--- ir/Verifier.h - MiniIR verifier and type checker ------*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural and type verification of MiniIR programs: every variable
+/// reference is declared and used with the right shape, branch conditions
+/// are logical, DO index variables are integer scalars, CALLs match their
+/// callee's parameter list, and every procedure can terminate. Also fills
+/// in the static Type of every expression (needed by the interpreter).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_IR_VERIFIER_H
+#define PTRAN_IR_VERIFIER_H
+
+#include "ir/Function.h"
+
+namespace ptran {
+
+/// Verifies and type-annotates \p P. Reports problems to \p Diags.
+/// \returns true if the program is well formed.
+bool verifyProgram(Program &P, DiagnosticEngine &Diags);
+
+/// Verifies a single function against its program (for call checking;
+/// \p P may be null to skip call signature checks).
+bool verifyFunction(Function &F, const Program *P, DiagnosticEngine &Diags);
+
+} // namespace ptran
+
+#endif // PTRAN_IR_VERIFIER_H

@@ -1,0 +1,359 @@
+//===--- parser/Lexer.cpp - Mini-language lexer ---------------------------===//
+
+#include "parser/Lexer.h"
+
+#include "support/FatalError.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdlib>
+
+using namespace ptran;
+
+const char *ptran::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Newline:
+    return "end of line";
+  case TokKind::Identifier:
+    return "identifier";
+  case TokKind::IntLit:
+    return "integer literal";
+  case TokKind::RealLit:
+    return "real literal";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::StarStar:
+    return "'**'";
+  case TokKind::Lt:
+    return "'.LT.'";
+  case TokKind::Le:
+    return "'.LE.'";
+  case TokKind::Gt:
+    return "'.GT.'";
+  case TokKind::Ge:
+    return "'.GE.'";
+  case TokKind::EqCmp:
+    return "'.EQ.'";
+  case TokKind::NeCmp:
+    return "'.NE.'";
+  case TokKind::And:
+    return "'.AND.'";
+  case TokKind::Or:
+    return "'.OR.'";
+  case TokKind::Not:
+    return "'.NOT.'";
+  }
+  PTRAN_UNREACHABLE("unknown TokKind");
+}
+
+namespace {
+
+/// Cursor over the source buffer tracking line/column.
+class Cursor {
+public:
+  Cursor(std::string_view Source, DiagnosticEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  bool atEnd() const { return Pos >= Source.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = Source[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Column = 1;
+    } else {
+      ++Column;
+    }
+    return C;
+  }
+  SourceLoc loc() const { return {Line, Column}; }
+
+  std::vector<Token> run();
+
+private:
+  Token lexNumber();
+  Token lexIdentifier();
+  /// Lexes a dotted operator (.LT. etc). Returns false if the dot does not
+  /// begin one.
+  bool lexDotOperator(Token &Tok);
+
+  void emit(std::vector<Token> &Out, Token Tok) { Out.push_back(std::move(Tok)); }
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+};
+
+/// The dotted operator words, lower-case, without the dots.
+struct DotOp {
+  const char *Word;
+  TokKind Kind;
+};
+constexpr DotOp DotOps[] = {
+    {"lt", TokKind::Lt},    {"le", TokKind::Le},  {"gt", TokKind::Gt},
+    {"ge", TokKind::Ge},    {"eq", TokKind::EqCmp}, {"ne", TokKind::NeCmp},
+    {"and", TokKind::And},  {"or", TokKind::Or},  {"not", TokKind::Not},
+};
+
+bool Cursor::lexDotOperator(Token &Tok) {
+  assert(peek() == '.' && "dot operator must start at a dot");
+  // Collect the letters between the dots without consuming.
+  size_t I = 1;
+  std::string Word;
+  while (std::isalpha(static_cast<unsigned char>(peek(I)))) {
+    Word += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(peek(I))));
+    ++I;
+  }
+  if (Word.empty() || peek(I) != '.')
+    return false;
+  for (const DotOp &Op : DotOps) {
+    if (Word == Op.Word) {
+      Tok.Kind = Op.Kind;
+      Tok.Loc = loc();
+      for (size_t K = 0; K < I + 1; ++K)
+        advance();
+      return true;
+    }
+  }
+  return false;
+}
+
+Token Cursor::lexNumber() {
+  Token Tok;
+  Tok.Loc = loc();
+  std::string Digits;
+  bool IsReal = false;
+
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    Digits += advance();
+
+  // A trailing dot is part of the number only if it is not a dotted
+  // operator (e.g. `10.AND.` lexes as `10` `.AND.`).
+  if (peek() == '.') {
+    // Probe without consuming.
+    size_t I = 1;
+    std::string Word;
+    while (std::isalpha(static_cast<unsigned char>(peek(I)))) {
+      Word += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(peek(I))));
+      ++I;
+    }
+    bool IsOp = false;
+    if (!Word.empty() && peek(I) == '.')
+      for (const DotOp &Op : DotOps)
+        if (Word == Op.Word) {
+          IsOp = true;
+          break;
+        }
+    if (!IsOp) {
+      IsReal = true;
+      Digits += advance(); // consume '.'
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        Digits += advance();
+    }
+  }
+
+  // Exponent part: e/E/d/D [+/-] digits.
+  char ExpChar = static_cast<char>(
+      std::tolower(static_cast<unsigned char>(peek())));
+  if ((ExpChar == 'e' || ExpChar == 'd') &&
+      (std::isdigit(static_cast<unsigned char>(peek(1))) ||
+       ((peek(1) == '+' || peek(1) == '-') &&
+        std::isdigit(static_cast<unsigned char>(peek(2)))))) {
+    IsReal = true;
+    advance(); // e/d
+    Digits += 'e';
+    if (peek() == '+' || peek() == '-')
+      Digits += advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Digits += advance();
+  }
+
+  if (IsReal) {
+    Tok.Kind = TokKind::RealLit;
+    Tok.RealValue = std::strtod(Digits.c_str(), nullptr);
+  } else {
+    Tok.Kind = TokKind::IntLit;
+    Tok.IntValue = std::strtoll(Digits.c_str(), nullptr, 10);
+  }
+  return Tok;
+}
+
+Token Cursor::lexIdentifier() {
+  Token Tok;
+  Tok.Loc = loc();
+  Tok.Kind = TokKind::Identifier;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    Tok.Text += advance();
+  return Tok;
+}
+
+std::vector<Token> Cursor::run() {
+  std::vector<Token> Out;
+  while (!atEnd()) {
+    char C = peek();
+
+    if (C == '!') { // Comment to end of line.
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '\n' || C == ';') {
+      Token Tok;
+      Tok.Kind = TokKind::Newline;
+      Tok.Loc = loc();
+      advance();
+      // Collapse runs of blank lines into one Newline.
+      if (!Out.empty() && Out.back().Kind == TokKind::Newline)
+        continue;
+      emit(Out, std::move(Tok));
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      emit(Out, lexNumber());
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      emit(Out, lexIdentifier());
+      continue;
+    }
+
+    if (C == '.') {
+      Token Tok;
+      if (lexDotOperator(Tok)) {
+        emit(Out, std::move(Tok));
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        // A leading-dot real literal like `.5`.
+        Token Num;
+        Num.Loc = loc();
+        Num.Kind = TokKind::RealLit;
+        std::string Digits = "0";
+        Digits += advance(); // '.'
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+          Digits += advance();
+        Num.RealValue = std::strtod(Digits.c_str(), nullptr);
+        emit(Out, std::move(Num));
+        continue;
+      }
+      Diags.error(loc(), "stray '.' in input");
+      advance();
+      continue;
+    }
+
+    Token Tok;
+    Tok.Loc = loc();
+    switch (C) {
+    case '(':
+      Tok.Kind = TokKind::LParen;
+      advance();
+      break;
+    case ')':
+      Tok.Kind = TokKind::RParen;
+      advance();
+      break;
+    case ',':
+      Tok.Kind = TokKind::Comma;
+      advance();
+      break;
+    case '+':
+      Tok.Kind = TokKind::Plus;
+      advance();
+      break;
+    case '-':
+      Tok.Kind = TokKind::Minus;
+      advance();
+      break;
+    case '*':
+      advance();
+      if (peek() == '*') {
+        advance();
+        Tok.Kind = TokKind::StarStar;
+      } else {
+        Tok.Kind = TokKind::Star;
+      }
+      break;
+    case '/':
+      advance();
+      if (peek() == '=') {
+        advance();
+        Tok.Kind = TokKind::NeCmp;
+      } else {
+        Tok.Kind = TokKind::Slash;
+      }
+      break;
+    case '<':
+      advance();
+      if (peek() == '=') {
+        advance();
+        Tok.Kind = TokKind::Le;
+      } else {
+        Tok.Kind = TokKind::Lt;
+      }
+      break;
+    case '>':
+      advance();
+      if (peek() == '=') {
+        advance();
+        Tok.Kind = TokKind::Ge;
+      } else {
+        Tok.Kind = TokKind::Gt;
+      }
+      break;
+    case '=':
+      advance();
+      if (peek() == '=') {
+        advance();
+        Tok.Kind = TokKind::EqCmp;
+      } else {
+        Tok.Kind = TokKind::Assign;
+      }
+      break;
+    default:
+      Diags.error(loc(), std::string("unexpected character '") + C + "'");
+      advance();
+      continue;
+    }
+    emit(Out, std::move(Tok));
+  }
+
+  Token Eof;
+  Eof.Kind = TokKind::Eof;
+  Eof.Loc = loc();
+  Out.push_back(std::move(Eof));
+  return Out;
+}
+
+} // namespace
+
+std::vector<Token> Lexer::tokenize(std::string_view Source,
+                                   DiagnosticEngine &Diags) {
+  return Cursor(Source, Diags).run();
+}

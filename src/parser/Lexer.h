@@ -1,0 +1,80 @@
+//===--- parser/Lexer.h - Mini-language lexer -------------------*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the Fortran-77-flavoured mini language. The language is
+/// case-insensitive and line-oriented; `!` starts a comment. Dotted
+/// operators (.LT., .AND., ...) are disambiguated from real literals the
+/// way Fortran compilers do it: a dot followed by an operator word is an
+/// operator, otherwise it may begin or continue a number.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_PARSER_LEXER_H
+#define PTRAN_PARSER_LEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ptran {
+
+/// Token kinds of the mini language. Keywords are lexed as Identifier and
+/// recognized contextually by the parser (Fortran has no reserved words).
+enum class TokKind {
+  Eof,
+  Newline,
+  Identifier,
+  IntLit,
+  RealLit,
+  LParen,
+  RParen,
+  Comma,
+  Assign,  ///< =
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  StarStar, ///< **
+  Lt,       ///< .LT. or <
+  Le,       ///< .LE. or <=
+  Gt,       ///< .GT. or >
+  Ge,       ///< .GE. or >=
+  EqCmp,    ///< .EQ. or ==
+  NeCmp,    ///< .NE. or /=
+  And,      ///< .AND.
+  Or,       ///< .OR.
+  Not,      ///< .NOT.
+};
+
+/// \returns a printable name for diagnostics, e.g. "identifier" or "','".
+const char *tokKindName(TokKind K);
+
+/// One token with its source location and payload.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SourceLoc Loc;
+  /// Identifier text (original spelling) for Identifier tokens.
+  std::string Text;
+  int64_t IntValue = 0;
+  double RealValue = 0.0;
+};
+
+/// Tokenizes an entire buffer up front.
+class Lexer {
+public:
+  /// Lexes \p Source; malformed tokens are reported to \p Diags and
+  /// skipped. Always produces a trailing Eof token.
+  static std::vector<Token> tokenize(std::string_view Source,
+                                     DiagnosticEngine &Diags);
+};
+
+} // namespace ptran
+
+#endif // PTRAN_PARSER_LEXER_H

@@ -1,0 +1,802 @@
+//===--- parser/Parser.cpp - Mini-language parser -------------------------===//
+
+#include "parser/Parser.h"
+
+#include "ir/Verifier.h"
+#include "parser/Lexer.h"
+#include "support/Casting.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace ptran;
+
+namespace {
+
+/// First compiler-generated label (see ir/Stmt.h). User labels this large
+/// are rejected so lowering of structured IFs can never collide.
+constexpr int FirstSyntheticLabel = FirstCompilerLabel;
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  std::unique_ptr<Program> run();
+
+private:
+  // -- Token helpers ------------------------------------------------------
+  const Token &peek(size_t Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  const Token &advance() {
+    const Token &T = Tokens[Pos];
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+    return T;
+  }
+  bool check(TokKind K) const { return peek().Kind == K; }
+  bool accept(TokKind K) {
+    if (!check(K))
+      return false;
+    advance();
+    return true;
+  }
+  bool expect(TokKind K, const char *Context) {
+    if (accept(K))
+      return true;
+    error(peek().Loc, std::string("expected ") + tokKindName(K) + " " +
+                          Context + ", got " + tokKindName(peek().Kind));
+    return false;
+  }
+  /// True if the current token is the (case-insensitive) keyword \p Word.
+  bool checkKeyword(std::string_view Word) const {
+    return check(TokKind::Identifier) && equalsLower(peek().Text, Word);
+  }
+  bool acceptKeyword(std::string_view Word) {
+    if (!checkKeyword(Word))
+      return false;
+    advance();
+    return true;
+  }
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.error(Loc, std::move(Message));
+  }
+  /// Skips to just past the next Newline (error recovery).
+  void syncToNextLine() {
+    while (!check(TokKind::Eof) && !accept(TokKind::Newline))
+      advance();
+  }
+
+  // -- Grammar ------------------------------------------------------------
+  void parseProcedure();
+  void parseDeclaration();
+  /// Parses one (possibly labelled) statement line, appending MiniIR
+  /// statements to the current function.
+  void parseStatementLine();
+  /// Parses a simple (non-block) statement after any label; \p Label is
+  /// attached to the first appended statement.
+  void parseSimpleStatement(int Label);
+  void parseBlockIf(Expr *Cond, SourceLoc Loc, int Label);
+  void parseDo(int Label);
+  void parseCall(int Label);
+  void parseAssignment(int Label);
+  void parsePrint(int Label);
+
+  Expr *parseExpr();
+  Expr *parseOr();
+  Expr *parseAnd();
+  Expr *parseNot();
+  Expr *parseComparison();
+  Expr *parseAddSub();
+  Expr *parseMulDiv();
+  Expr *parseUnary();
+  Expr *parsePower();
+  Expr *parsePrimary();
+
+  // -- Symbols ------------------------------------------------------------
+  /// Looks up \p Name, implicitly declaring a scalar if unknown.
+  VarId lookupOrImplicit(const std::string &Name, SourceLoc Loc);
+  static Type implicitType(std::string_view Name);
+
+  // -- Statement emission --------------------------------------------------
+  StmtId emit(std::unique_ptr<Stmt> S, int Label) {
+    if (Label != 0)
+      S->setLabel(Label);
+    // Close any labelled DO loops terminated by this statement's label.
+    StmtId Id = F->append(std::move(S));
+    closeLabelledDos(Label);
+    return Id;
+  }
+  void closeLabelledDos(int Label) {
+    while (Label != 0 && !LabelledDoStack.empty() &&
+           LabelledDoStack.back() == Label) {
+      LabelledDoStack.pop_back();
+      F->append(std::make_unique<EndDoStmt>(peek().Loc));
+    }
+  }
+  int freshLabel() { return NextSyntheticLabel++; }
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+
+  std::unique_ptr<Program> Prog;
+  Function *F = nullptr;
+  /// Terminal labels of open labelled DO loops, innermost last.
+  std::vector<int> LabelledDoStack;
+  /// Structures an ENDDO can close, innermost last: a counted DO (needs
+  /// an EndDoStmt) or a DO WHILE (lowered to a goto loop; needs the back
+  /// jump and the exit anchor).
+  struct OpenLoop {
+    bool IsWhile = false;
+    int HeadLabel = 0;
+    int ExitLabel = 0;
+  };
+  std::vector<OpenLoop> EnddoStack;
+  int NextSyntheticLabel = FirstSyntheticLabel;
+  bool SawProgramUnit = false;
+};
+
+Type Parser::implicitType(std::string_view Name) {
+  assert(!Name.empty());
+  char C = static_cast<char>(
+      std::tolower(static_cast<unsigned char>(Name.front())));
+  return (C >= 'i' && C <= 'n') ? Type::Integer : Type::Real;
+}
+
+VarId Parser::lookupOrImplicit(const std::string &Name, SourceLoc Loc) {
+  VarId V = F->lookup(Name);
+  if (V != static_cast<VarId>(-1))
+    return V;
+  (void)Loc;
+  Symbol Sym;
+  Sym.Name = Name;
+  Sym.Ty = implicitType(Name);
+  return F->declare(std::move(Sym));
+}
+
+std::unique_ptr<Program> Parser::run() {
+  Prog = std::make_unique<Program>();
+  accept(TokKind::Newline);
+  while (!check(TokKind::Eof)) {
+    if (checkKeyword("subroutine") || checkKeyword("program")) {
+      parseProcedure();
+    } else {
+      error(peek().Loc, "expected PROGRAM or SUBROUTINE, got " +
+                            std::string(tokKindName(peek().Kind)));
+      syncToNextLine();
+    }
+    accept(TokKind::Newline);
+  }
+  if (!SawProgramUnit)
+    error(SourceLoc(), "source contains no program units");
+  if (Diags.hasErrors())
+    return nullptr;
+  if (!Prog->finalize(Diags))
+    return nullptr;
+  if (!verifyProgram(*Prog, Diags))
+    return nullptr;
+  return std::move(Prog);
+}
+
+void Parser::parseProcedure() {
+  bool IsMain = checkKeyword("program");
+  advance(); // subroutine / program
+  if (!check(TokKind::Identifier)) {
+    error(peek().Loc, "expected procedure name");
+    syncToNextLine();
+    return;
+  }
+  std::string Name = advance().Text;
+  F = Prog->createFunction(Name, Diags);
+  if (!F) {
+    syncToNextLine();
+    return;
+  }
+  SawProgramUnit = true;
+  if (IsMain)
+    Prog->setEntryName(Name);
+
+  std::vector<std::string> ParamNames;
+  if (accept(TokKind::LParen)) {
+    if (!check(TokKind::RParen)) {
+      do {
+        if (!check(TokKind::Identifier)) {
+          error(peek().Loc, "expected parameter name");
+          break;
+        }
+        ParamNames.push_back(advance().Text);
+      } while (accept(TokKind::Comma));
+    }
+    expect(TokKind::RParen, "after parameter list");
+  }
+  for (const std::string &P : ParamNames) {
+    Symbol Sym;
+    Sym.Name = P;
+    Sym.Ty = implicitType(P);
+    Sym.IsParam = true;
+    VarId V = F->declare(std::move(Sym));
+    F->addParam(V);
+  }
+  expect(TokKind::Newline, "after procedure header");
+
+  // Declarations first, then executable statements, then END.
+  while (checkKeyword("integer") || checkKeyword("real"))
+    parseDeclaration();
+
+  while (!check(TokKind::Eof)) {
+    if (checkKeyword("end") &&
+        (peek(1).Kind == TokKind::Newline || peek(1).Kind == TokKind::Eof)) {
+      advance(); // end
+      break;
+    }
+    parseStatementLine();
+  }
+
+  for (int Open : LabelledDoStack)
+    error(peek().Loc, "labelled DO loop terminated by label " +
+                          std::to_string(Open) + " was never closed");
+  LabelledDoStack.clear();
+  for (const OpenLoop &Open : EnddoStack)
+    error(peek().Loc, Open.IsWhile
+                          ? "DO WHILE without matching ENDDO"
+                          : "DO without matching ENDDO");
+  EnddoStack.clear();
+  F = nullptr;
+}
+
+void Parser::parseDeclaration() {
+  Type Ty = checkKeyword("integer") ? Type::Integer : Type::Real;
+  advance(); // type keyword
+  do {
+    if (!check(TokKind::Identifier)) {
+      error(peek().Loc, "expected variable name in declaration");
+      break;
+    }
+    Token NameTok = advance();
+    std::vector<int64_t> Dims;
+    if (accept(TokKind::LParen)) {
+      do {
+        if (!check(TokKind::IntLit)) {
+          error(peek().Loc, "array extents must be integer literals");
+          break;
+        }
+        Dims.push_back(advance().IntValue);
+      } while (accept(TokKind::Comma));
+      expect(TokKind::RParen, "after array extents");
+      if (Dims.size() > 2)
+        error(NameTok.Loc, "arrays are limited to two dimensions");
+    }
+
+    VarId Existing = F->lookup(NameTok.Text);
+    if (Existing != static_cast<VarId>(-1)) {
+      Symbol &Sym = F->symbolMutable(Existing);
+      if (!Sym.IsParam) {
+        error(NameTok.Loc, "duplicate declaration of " + NameTok.Text);
+      } else {
+        // A declaration refining a parameter's type/shape.
+        Sym.Ty = Ty;
+        Sym.Dims = std::move(Dims);
+      }
+    } else {
+      Symbol Sym;
+      Sym.Name = NameTok.Text;
+      Sym.Ty = Ty;
+      Sym.Dims = std::move(Dims);
+      F->declare(std::move(Sym));
+    }
+  } while (accept(TokKind::Comma));
+  expect(TokKind::Newline, "after declaration");
+}
+
+void Parser::parseStatementLine() {
+  if (accept(TokKind::Newline))
+    return;
+
+  int Label = 0;
+  if (check(TokKind::IntLit)) {
+    Label = static_cast<int>(advance().IntValue);
+    if (Label <= 0 || Label >= FirstSyntheticLabel) {
+      error(peek().Loc, "statement labels must be in [1, " +
+                            std::to_string(FirstSyntheticLabel - 1) + "]");
+      Label = 0;
+    }
+  }
+  parseSimpleStatement(Label);
+}
+
+void Parser::parseSimpleStatement(int Label) {
+  SourceLoc Loc = peek().Loc;
+
+  if (acceptKeyword("continue")) {
+    emit(std::make_unique<ContinueStmt>(Loc), Label);
+    expect(TokKind::Newline, "after CONTINUE");
+    return;
+  }
+  if (acceptKeyword("return") || acceptKeyword("stop")) {
+    emit(std::make_unique<ReturnStmt>(Loc), Label);
+    expect(TokKind::Newline, "after RETURN");
+    return;
+  }
+  if (acceptKeyword("goto") ||
+      (checkKeyword("go") && peek(1).Kind == TokKind::Identifier &&
+       equalsLower(peek(1).Text, "to") && (advance(), advance(), true))) {
+    // Computed GOTO: `GOTO (l1, l2, ...), index`.
+    if (accept(TokKind::LParen)) {
+      std::vector<int> Targets;
+      do {
+        if (!check(TokKind::IntLit)) {
+          error(peek().Loc, "expected statement label in computed GOTO");
+          syncToNextLine();
+          return;
+        }
+        Targets.push_back(static_cast<int>(advance().IntValue));
+      } while (accept(TokKind::Comma));
+      expect(TokKind::RParen, "after computed GOTO labels");
+      accept(TokKind::Comma); // The comma before the index is optional.
+      Expr *Index = parseExpr();
+      emit(std::make_unique<ComputedGotoStmt>(Index, std::move(Targets),
+                                              Loc),
+           Label);
+      expect(TokKind::Newline, "after computed GOTO");
+      return;
+    }
+    if (!check(TokKind::IntLit)) {
+      error(peek().Loc, "expected statement label after GOTO");
+      syncToNextLine();
+      return;
+    }
+    int Target = static_cast<int>(advance().IntValue);
+    emit(std::make_unique<GotoStmt>(Target, Loc), Label);
+    expect(TokKind::Newline, "after GOTO");
+    return;
+  }
+  if (acceptKeyword("if")) {
+    if (!expect(TokKind::LParen, "after IF")) {
+      syncToNextLine();
+      return;
+    }
+    Expr *Cond = parseExpr();
+    expect(TokKind::RParen, "after IF condition");
+    if (acceptKeyword("then")) {
+      expect(TokKind::Newline, "after THEN");
+      parseBlockIf(Cond, Loc, Label);
+      return;
+    }
+    if (acceptKeyword("goto")) {
+      if (!check(TokKind::IntLit)) {
+        error(peek().Loc, "expected statement label after IF (...) GOTO");
+        syncToNextLine();
+        return;
+      }
+      int Target = static_cast<int>(advance().IntValue);
+      emit(std::make_unique<IfGotoStmt>(Cond, Target, Loc), Label);
+      expect(TokKind::Newline, "after IF (...) GOTO");
+      return;
+    }
+    // General logical IF: `IF (c) stmt` becomes
+    //   IF (.NOT. c) GOTO fresh ; stmt ; fresh CONTINUE
+    int Skip = freshLabel();
+    Expr *NotCond = F->make<UnaryExpr>(UnaryOp::Not, Cond, Loc);
+    emit(std::make_unique<IfGotoStmt>(NotCond, Skip, Loc), Label);
+    parseSimpleStatement(0);
+    auto Anchor = std::make_unique<ContinueStmt>(Loc);
+    Anchor->setLabel(Skip);
+    F->append(std::move(Anchor));
+    return;
+  }
+  if (acceptKeyword("enddo")) {
+    if (!EnddoStack.empty() && EnddoStack.back().IsWhile) {
+      // Close a DO WHILE: jump back to the test, anchor the exit.
+      OpenLoop While = EnddoStack.back();
+      EnddoStack.pop_back();
+      emit(std::make_unique<GotoStmt>(While.HeadLabel, Loc), Label);
+      auto Exit = std::make_unique<ContinueStmt>(Loc);
+      Exit->setLabel(While.ExitLabel);
+      F->append(std::move(Exit));
+    } else {
+      if (!EnddoStack.empty())
+        EnddoStack.pop_back();
+      emit(std::make_unique<EndDoStmt>(Loc), Label);
+    }
+    expect(TokKind::Newline, "after ENDDO");
+    return;
+  }
+  if (checkKeyword("do")) {
+    parseDo(Label);
+    return;
+  }
+  if (checkKeyword("call")) {
+    parseCall(Label);
+    return;
+  }
+  if (checkKeyword("print")) {
+    parsePrint(Label);
+    return;
+  }
+  if (check(TokKind::Identifier)) {
+    parseAssignment(Label);
+    return;
+  }
+
+  error(Loc, std::string("expected a statement, got ") +
+                 tokKindName(peek().Kind));
+  syncToNextLine();
+}
+
+void Parser::parseBlockIf(Expr *Cond, SourceLoc Loc, int Label) {
+  // IF (c) THEN body [ELSE IF ... | ELSE body] ENDIF lowers to tests and
+  // jumps; `Label` anchors on the first lowered statement.
+  int EndLabel = freshLabel();
+  int ElseLabel = freshLabel();
+  Expr *NotCond = F->make<UnaryExpr>(UnaryOp::Not, Cond, Loc);
+  emit(std::make_unique<IfGotoStmt>(NotCond, ElseLabel, Loc), Label);
+
+  bool SawTerminator = false;
+  bool HasElse = false;
+  while (!check(TokKind::Eof)) {
+    if (checkKeyword("endif") ||
+        (checkKeyword("end") && peek(1).Kind == TokKind::Identifier &&
+         equalsLower(peek(1).Text, "if"))) {
+      if (checkKeyword("endif")) {
+        advance();
+      } else {
+        advance();
+        advance();
+      }
+      expect(TokKind::Newline, "after ENDIF");
+      SawTerminator = true;
+      break;
+    }
+    if (acceptKeyword("else")) {
+      // Either ELSE IF (c) THEN or a plain ELSE.
+      F->append(std::make_unique<GotoStmt>(EndLabel, peek().Loc));
+      auto ElseAnchor = std::make_unique<ContinueStmt>(peek().Loc);
+      ElseAnchor->setLabel(ElseLabel);
+      F->append(std::move(ElseAnchor));
+      ElseLabel = freshLabel();
+      if (acceptKeyword("if")) {
+        expect(TokKind::LParen, "after ELSE IF");
+        Expr *ElseCond = parseExpr();
+        expect(TokKind::RParen, "after ELSE IF condition");
+        if (!acceptKeyword("then"))
+          error(peek().Loc, "expected THEN after ELSE IF (...)");
+        expect(TokKind::Newline, "after THEN");
+        Expr *NotElse =
+            F->make<UnaryExpr>(UnaryOp::Not, ElseCond, peek().Loc);
+        F->append(
+            std::make_unique<IfGotoStmt>(NotElse, ElseLabel, peek().Loc));
+        HasElse = false;
+        continue;
+      }
+      expect(TokKind::Newline, "after ELSE");
+      HasElse = true;
+      continue;
+    }
+    parseStatementLine();
+  }
+  if (!SawTerminator)
+    error(Loc, "IF block is missing its ENDIF");
+
+  if (!HasElse) {
+    // The last arm's failure label falls through to the end.
+    auto Anchor = std::make_unique<ContinueStmt>(Loc);
+    Anchor->setLabel(ElseLabel);
+    F->append(std::move(Anchor));
+  }
+  auto End = std::make_unique<ContinueStmt>(Loc);
+  End->setLabel(EndLabel);
+  F->append(std::move(End));
+}
+
+void Parser::parseDo(int Label) {
+  SourceLoc Loc = peek().Loc;
+  advance(); // do
+
+  // DO WHILE (cond): lowered to a goto loop closed by ENDDO.
+  if (checkKeyword("while")) {
+    advance();
+    if (!expect(TokKind::LParen, "after DO WHILE")) {
+      syncToNextLine();
+      return;
+    }
+    Expr *Cond = parseExpr();
+    expect(TokKind::RParen, "after DO WHILE condition");
+    expect(TokKind::Newline, "after DO WHILE header");
+    int Head = freshLabel();
+    int Exit = freshLabel();
+    auto Anchor = std::make_unique<ContinueStmt>(Loc);
+    if (Label != 0)
+      Anchor->setLabel(Label);
+    else
+      Anchor->setLabel(Head);
+    // When the statement carries a user label, that label doubles as the
+    // loop head; otherwise the fresh one does.
+    int HeadLabel = Label != 0 ? Label : Head;
+    F->append(std::move(Anchor));
+    Expr *NotCond = F->make<UnaryExpr>(UnaryOp::Not, Cond, Loc);
+    F->append(std::make_unique<IfGotoStmt>(NotCond, Exit, Loc));
+    EnddoStack.push_back({true, HeadLabel, Exit});
+    return;
+  }
+
+  int TerminalLabel = 0;
+  if (check(TokKind::IntLit))
+    TerminalLabel = static_cast<int>(advance().IntValue);
+
+  if (!check(TokKind::Identifier)) {
+    error(peek().Loc, "expected DO index variable");
+    syncToNextLine();
+    return;
+  }
+  Token IndexTok = advance();
+  VarId Index = lookupOrImplicit(IndexTok.Text, IndexTok.Loc);
+  if (!expect(TokKind::Assign, "after DO index variable")) {
+    syncToNextLine();
+    return;
+  }
+  Expr *Lo = parseExpr();
+  expect(TokKind::Comma, "after DO lower bound");
+  Expr *Hi = parseExpr();
+  Expr *Step = nullptr;
+  if (accept(TokKind::Comma))
+    Step = parseExpr();
+  expect(TokKind::Newline, "after DO bounds");
+
+  emit(std::make_unique<DoStmt>(Index, Lo, Hi, Step, Loc), Label);
+  if (TerminalLabel != 0)
+    LabelledDoStack.push_back(TerminalLabel);
+  else
+    EnddoStack.push_back({false, 0, 0});
+}
+
+void Parser::parseCall(int Label) {
+  SourceLoc Loc = peek().Loc;
+  advance(); // call
+  if (!check(TokKind::Identifier)) {
+    error(peek().Loc, "expected procedure name after CALL");
+    syncToNextLine();
+    return;
+  }
+  std::string Callee = advance().Text;
+  std::vector<Expr *> Args;
+  if (accept(TokKind::LParen)) {
+    if (!check(TokKind::RParen)) {
+      do
+        Args.push_back(parseExpr());
+      while (accept(TokKind::Comma));
+    }
+    expect(TokKind::RParen, "after CALL arguments");
+  }
+  emit(std::make_unique<CallStmt>(std::move(Callee), std::move(Args), Loc),
+       Label);
+  expect(TokKind::Newline, "after CALL");
+}
+
+void Parser::parsePrint(int Label) {
+  SourceLoc Loc = peek().Loc;
+  advance(); // print
+  std::vector<Expr *> Args;
+  if (!check(TokKind::Newline) && !check(TokKind::Eof)) {
+    do
+      Args.push_back(parseExpr());
+    while (accept(TokKind::Comma));
+  }
+  emit(std::make_unique<PrintStmt>(std::move(Args), Loc), Label);
+  expect(TokKind::Newline, "after PRINT");
+}
+
+void Parser::parseAssignment(int Label) {
+  Token NameTok = advance();
+  SourceLoc Loc = NameTok.Loc;
+  VarId Var = lookupOrImplicit(NameTok.Text, Loc);
+
+  LValue Target;
+  Target.Var = Var;
+  if (accept(TokKind::LParen)) {
+    do
+      Target.Indices.push_back(parseExpr());
+    while (accept(TokKind::Comma));
+    expect(TokKind::RParen, "after array subscripts");
+  }
+  if (!expect(TokKind::Assign, "in assignment")) {
+    syncToNextLine();
+    return;
+  }
+  Expr *Value = parseExpr();
+  emit(std::make_unique<AssignStmt>(std::move(Target), Value, Loc), Label);
+  expect(TokKind::Newline, "after assignment");
+}
+
+// -- Expressions -----------------------------------------------------------
+
+Expr *Parser::parseExpr() { return parseOr(); }
+
+Expr *Parser::parseOr() {
+  Expr *L = parseAnd();
+  while (check(TokKind::Or)) {
+    SourceLoc Loc = advance().Loc;
+    Expr *R = parseAnd();
+    L = F->make<BinaryExpr>(BinaryOp::Or, L, R, Loc);
+  }
+  return L;
+}
+
+Expr *Parser::parseAnd() {
+  Expr *L = parseNot();
+  while (check(TokKind::And)) {
+    SourceLoc Loc = advance().Loc;
+    Expr *R = parseNot();
+    L = F->make<BinaryExpr>(BinaryOp::And, L, R, Loc);
+  }
+  return L;
+}
+
+Expr *Parser::parseNot() {
+  if (check(TokKind::Not)) {
+    SourceLoc Loc = advance().Loc;
+    return F->make<UnaryExpr>(UnaryOp::Not, parseNot(), Loc);
+  }
+  return parseComparison();
+}
+
+Expr *Parser::parseComparison() {
+  Expr *L = parseAddSub();
+  BinaryOp Op;
+  switch (peek().Kind) {
+  case TokKind::Lt:
+    Op = BinaryOp::Lt;
+    break;
+  case TokKind::Le:
+    Op = BinaryOp::Le;
+    break;
+  case TokKind::Gt:
+    Op = BinaryOp::Gt;
+    break;
+  case TokKind::Ge:
+    Op = BinaryOp::Ge;
+    break;
+  case TokKind::EqCmp:
+    Op = BinaryOp::Eq;
+    break;
+  case TokKind::NeCmp:
+    Op = BinaryOp::Ne;
+    break;
+  default:
+    return L;
+  }
+  SourceLoc Loc = advance().Loc;
+  Expr *R = parseAddSub();
+  return F->make<BinaryExpr>(Op, L, R, Loc);
+}
+
+Expr *Parser::parseAddSub() {
+  Expr *L = parseMulDiv();
+  while (check(TokKind::Plus) || check(TokKind::Minus)) {
+    BinaryOp Op = check(TokKind::Plus) ? BinaryOp::Add : BinaryOp::Sub;
+    SourceLoc Loc = advance().Loc;
+    Expr *R = parseMulDiv();
+    L = F->make<BinaryExpr>(Op, L, R, Loc);
+  }
+  return L;
+}
+
+Expr *Parser::parseMulDiv() {
+  Expr *L = parseUnary();
+  while (check(TokKind::Star) || check(TokKind::Slash)) {
+    BinaryOp Op = check(TokKind::Star) ? BinaryOp::Mul : BinaryOp::Div;
+    SourceLoc Loc = advance().Loc;
+    Expr *R = parseUnary();
+    L = F->make<BinaryExpr>(Op, L, R, Loc);
+  }
+  return L;
+}
+
+Expr *Parser::parseUnary() {
+  if (check(TokKind::Minus)) {
+    SourceLoc Loc = advance().Loc;
+    return F->make<UnaryExpr>(UnaryOp::Neg, parseUnary(), Loc);
+  }
+  if (check(TokKind::Plus)) {
+    advance();
+    return parseUnary();
+  }
+  return parsePower();
+}
+
+Expr *Parser::parsePower() {
+  Expr *L = parsePrimary();
+  if (check(TokKind::StarStar)) {
+    SourceLoc Loc = advance().Loc;
+    // Right-associative, and `-x ** y` in the exponent binds as expected.
+    Expr *R = parseUnary();
+    return F->make<BinaryExpr>(BinaryOp::Pow, L, R, Loc);
+  }
+  return L;
+}
+
+/// Known intrinsic spellings.
+static bool lookupIntrinsic(std::string_view Name, Intrinsic &Out) {
+  struct Entry {
+    const char *Name;
+    Intrinsic Fn;
+  };
+  static constexpr Entry Table[] = {
+      {"abs", Intrinsic::Abs},   {"min", Intrinsic::Min},
+      {"max", Intrinsic::Max},   {"mod", Intrinsic::Mod},
+      {"sqrt", Intrinsic::Sqrt}, {"exp", Intrinsic::Exp},
+      {"log", Intrinsic::Log},   {"sin", Intrinsic::Sin},
+      {"cos", Intrinsic::Cos},   {"real", Intrinsic::Real},
+      {"int", Intrinsic::Int},   {"float", Intrinsic::Real},
+      {"amin1", Intrinsic::Min}, {"amax1", Intrinsic::Max},
+  };
+  for (const Entry &E : Table)
+    if (equalsLower(Name, E.Name)) {
+      Out = E.Fn;
+      return true;
+    }
+  return false;
+}
+
+Expr *Parser::parsePrimary() {
+  const Token &T = peek();
+  switch (T.Kind) {
+  case TokKind::IntLit: {
+    const Token &Lit = advance();
+    return F->make<IntLiteral>(Lit.IntValue, Lit.Loc);
+  }
+  case TokKind::RealLit: {
+    const Token &Lit = advance();
+    return F->make<RealLiteral>(Lit.RealValue, Lit.Loc);
+  }
+  case TokKind::LParen: {
+    advance();
+    Expr *E = parseExpr();
+    expect(TokKind::RParen, "to close parenthesized expression");
+    return E;
+  }
+  case TokKind::Identifier: {
+    Token NameTok = advance();
+    if (!check(TokKind::LParen)) {
+      VarId V = lookupOrImplicit(NameTok.Text, NameTok.Loc);
+      return F->make<VarRef>(V, NameTok.Loc);
+    }
+    advance(); // (
+    std::vector<Expr *> Args;
+    if (!check(TokKind::RParen)) {
+      do
+        Args.push_back(parseExpr());
+      while (accept(TokKind::Comma));
+    }
+    expect(TokKind::RParen, "after subscripts or intrinsic arguments");
+
+    // Declared arrays win over intrinsics of the same name.
+    VarId V = F->lookup(NameTok.Text);
+    if (V != static_cast<VarId>(-1) && F->symbol(V).isArray())
+      return F->make<ArrayRef>(V, std::move(Args), NameTok.Loc);
+    Intrinsic Fn;
+    if (lookupIntrinsic(NameTok.Text, Fn))
+      return F->make<IntrinsicExpr>(Fn, std::move(Args), NameTok.Loc);
+    error(NameTok.Loc,
+          NameTok.Text + " is neither a declared array nor an intrinsic");
+    return F->make<IntLiteral>(0, NameTok.Loc);
+  }
+  default:
+    error(T.Loc, std::string("expected an expression, got ") +
+                     tokKindName(T.Kind));
+    advance();
+    return F->make<IntLiteral>(0, T.Loc);
+  }
+}
+
+} // namespace
+
+std::unique_ptr<Program> ptran::parseProgram(std::string_view Source,
+                                             DiagnosticEngine &Diags) {
+  std::vector<Token> Tokens = Lexer::tokenize(Source, Diags);
+  if (Diags.hasErrors())
+    return nullptr;
+  return Parser(std::move(Tokens), Diags).run();
+}

@@ -1,0 +1,42 @@
+//===--- parser/Parser.h - Mini-language parser -----------------*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the Fortran-77-flavoured mini language,
+/// producing MiniIR. Supported constructs:
+///
+///   PROGRAM name / SUBROUTINE name(params) ... END
+///   INTEGER / REAL declarations (scalars and 1-2 dimensional arrays)
+///   assignment, logical IF (`IF (c) stmt`), block IF/ELSE IF/ELSE/ENDIF,
+///   GOTO (also GO TO), DO ... ENDDO and labelled `DO 10 I = ...`,
+///   CALL, RETURN, CONTINUE, PRINT, STOP
+///
+/// Implicit typing applies to undeclared scalars (I-N integer, otherwise
+/// real), as in Fortran. Structured IF constructs are lowered to
+/// IF-GOTO/GOTO/CONTINUE statements so that every procedure becomes the
+/// flat statement list the paper's statement-level CFG is built from.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_PARSER_PARSER_H
+#define PTRAN_PARSER_PARSER_H
+
+#include "ir/Function.h"
+
+#include <memory>
+#include <string_view>
+
+namespace ptran {
+
+/// Parses \p Source into a Program, finalizes and verifies it.
+/// \returns the program, or null if any diagnostics of error severity were
+/// produced (inspect \p Diags for details).
+std::unique_ptr<Program> parseProgram(std::string_view Source,
+                                      DiagnosticEngine &Diags);
+
+} // namespace ptran
+
+#endif // PTRAN_PARSER_PARSER_H

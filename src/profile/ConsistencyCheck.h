@@ -1,0 +1,46 @@
+//===--- profile/ConsistencyCheck.h - Profile sanity checking --*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks a set of TOTAL_FREQ values against the algebraic identities
+/// Section 3's optimizations are built on:
+///
+///   - pseudo (Z) conditions are zero;
+///   - all totals are non-negative, and branch totals never exceed their
+///     node's execution total;
+///   - when every branch label of a node is a condition, their totals sum
+///     to the node's execution total (the basis of optimization 2);
+///   - per loop, the exit totals sum to the entry count (observation 1)
+///     and latch traversals equal header executions minus entries
+///     (observation 2);
+///   - node totals satisfy equation 3 against the condition totals.
+///
+/// Useful for validating externally supplied or database-merged profiles
+/// before feeding them to the estimator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_PROFILE_CONSISTENCYCHECK_H
+#define PTRAN_PROFILE_CONSISTENCYCHECK_H
+
+#include "profile/Recovery.h"
+
+#include <string>
+#include <vector>
+
+namespace ptran {
+
+/// Checks \p Totals against the identities above. \returns human-readable
+/// findings; empty means consistent. \p Tolerance absorbs floating-point
+/// accumulation error.
+std::vector<std::string>
+checkFrequencyConsistency(const FunctionAnalysis &FA,
+                          const FrequencyTotals &Totals,
+                          double Tolerance = 1e-6);
+
+} // namespace ptran
+
+#endif // PTRAN_PROFILE_CONSISTENCYCHECK_H

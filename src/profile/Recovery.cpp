@@ -1,0 +1,164 @@
+//===--- profile/Recovery.cpp - TOTAL_FREQ recovery -----------------------===//
+
+#include "profile/Recovery.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace ptran;
+
+FrequencyTotals ptran::recoverTotals(const FunctionAnalysis &FA,
+                                     const FunctionPlan &Plan,
+                                     const std::vector<double> &Counters) {
+  assert(Counters.size() == Plan.numCounters() &&
+         "counter vector does not match the plan");
+  if (Plan.mode() == ProfileMode::Naive) {
+    // Naive plans measure basic blocks, not conditions; nothing to solve.
+    FrequencyTotals Empty;
+    Empty.Ok = false;
+    return Empty;
+  }
+
+  const ControlDependence &CD = FA.cd();
+  const Digraph &Fcdg = CD.fcdg();
+  NodeId Start = FA.ecfg().start();
+
+  FrequencyTotals Out;
+  Out.Node.assign(Fcdg.numNodes(), -1.0);
+  std::map<ControlCondition, double> Known;
+
+  auto CondKnown = [&](const ControlCondition &C) {
+    return Known.count(C) != 0;
+  };
+
+  // Fixpoint propagation over node totals and condition rules.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+
+    // Node totals: START's equals its own U condition (the procedure's
+    // invocation count); every other node sums its incoming conditions.
+    for (NodeId N : CD.topoOrder()) {
+      if (Out.Node[N] >= 0.0)
+        continue;
+      if (N == Start) {
+        ControlCondition StartCond{Start, CfgLabel::U};
+        if (CondKnown(StartCond)) {
+          Out.Node[N] = Known[StartCond];
+          Changed = true;
+        }
+        continue;
+      }
+      double Sum = 0.0;
+      bool AllKnown = true;
+      for (EdgeId In : Fcdg.inEdges(N)) {
+        const Digraph::Edge &Ed = Fcdg.edge(In);
+        ControlCondition C{Ed.From, static_cast<CfgLabel>(Ed.Label)};
+        if (!CondKnown(C)) {
+          AllKnown = false;
+          break;
+        }
+        Sum += Known[C];
+      }
+      if (AllKnown && Fcdg.inDegree(N) > 0) {
+        Out.Node[N] = Sum;
+        Changed = true;
+      }
+    }
+
+    // Condition rules.
+    for (const auto &[Cond, R] : Plan.resolutions()) {
+      if (CondKnown(Cond))
+        continue;
+      switch (R.K) {
+      case Resolution::Kind::Measured:
+        Known[Cond] = Counters[R.Counter];
+        Changed = true;
+        continue;
+      case Resolution::Kind::Zero:
+        Known[Cond] = 0.0;
+        Changed = true;
+        continue;
+      default:
+        break;
+      }
+      // Linear rule: resolvable when every term is known.
+      double Value = 0.0;
+      bool AllKnown = true;
+      for (const RecoveryTerm &T : R.Terms) {
+        switch (T.K) {
+        case RecoveryTerm::Kind::CondTotal:
+          if (!CondKnown(T.Cond)) {
+            AllKnown = false;
+            break;
+          }
+          Value += T.Coeff * Known[T.Cond];
+          break;
+        case RecoveryTerm::Kind::NodeTotal:
+          if (Out.Node[T.Node] < 0.0) {
+            AllKnown = false;
+            break;
+          }
+          Value += T.Coeff * Out.Node[T.Node];
+          break;
+        case RecoveryTerm::Kind::CounterVal:
+          Value += T.Coeff * Counters[T.Counter];
+          break;
+        }
+        if (!AllKnown)
+          break;
+      }
+      if (AllKnown) {
+        // Counter noise can produce tiny negative values for identically
+        // zero paths; clamp.
+        Known[Cond] = Value < 0.0 ? 0.0 : Value;
+        Changed = true;
+      }
+    }
+  }
+
+  Out.Cond = Known;
+  Out.Ok = true;
+  for (const ControlCondition &C : CD.conditions())
+    if (!CondKnown(C)) {
+      Out.Ok = false;
+      Out.Unresolved.push_back(C);
+    }
+  for (NodeId N : CD.topoOrder())
+    if (Out.Node[N] < 0.0)
+      Out.Ok = false;
+  return Out;
+}
+
+std::vector<double> ptran::nodeTotalsFromConds(
+    const FunctionAnalysis &FA,
+    const std::map<ControlCondition, double> &Cond) {
+  const ControlDependence &CD = FA.cd();
+  const Digraph &Fcdg = CD.fcdg();
+  NodeId Start = FA.ecfg().start();
+
+  std::vector<double> Node(Fcdg.numNodes(), -1.0);
+  for (NodeId N : CD.topoOrder()) {
+    if (N == Start) {
+      auto It = Cond.find({Start, CfgLabel::U});
+      Node[N] = It == Cond.end() ? 0.0 : It->second;
+      continue;
+    }
+    double Sum = 0.0;
+    for (EdgeId In : Fcdg.inEdges(N)) {
+      const Digraph::Edge &Ed = Fcdg.edge(In);
+      auto It = Cond.find({Ed.From, static_cast<CfgLabel>(Ed.Label)});
+      Sum += It == Cond.end() ? 0.0 : It->second;
+    }
+    Node[N] = Sum;
+  }
+  return Node;
+}
+
+bool ptran::planIsRecoverable(const FunctionAnalysis &FA,
+                              const FunctionPlan &Plan) {
+  if (Plan.mode() == ProfileMode::Naive)
+    return true; // Naive plans have no condition rules to resolve.
+  std::vector<double> Zeros(Plan.numCounters(), 0.0);
+  return recoverTotals(FA, Plan, Zeros).Ok;
+}

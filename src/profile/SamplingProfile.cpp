@@ -1,0 +1,82 @@
+//===--- profile/SamplingProfile.cpp - PC-sampling profiler ---------------===//
+
+#include "profile/SamplingProfile.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <vector>
+
+using namespace ptran;
+
+SamplingProfile::SamplingProfile(const CostModel &Model, double Period,
+                                 double Phase)
+    : CM(Model), Period(Period), NextSample(Phase > 0.0 ? Phase : Period),
+      InitialPhase(Phase) {
+  assert(Period > 0.0 && "sampling period must be positive");
+}
+
+const std::vector<double> &SamplingProfile::costsFor(const Function &F) {
+  auto It = CostCache.find(&F);
+  if (It != CostCache.end())
+    return It->second;
+  std::vector<double> Costs(F.numStmts());
+  for (StmtId S = 0; S < F.numStmts(); ++S)
+    Costs[S] = CM.statementCost(F.stmt(S));
+  return CostCache.emplace(&F, std::move(Costs)).first->second;
+}
+
+void SamplingProfile::onStatement(const Function &F, StmtId S, unsigned) {
+  Cycles += costsFor(F)[S];
+  while (Cycles >= NextSample) {
+    // The "timer" fires during this statement: attribute the sample here.
+    ++Samples;
+    ++BySub[&F];
+    ++ByStmt[{&F, S}];
+    NextSample += Period;
+  }
+}
+
+uint64_t SamplingProfile::samplesIn(const Function &F) const {
+  auto It = BySub.find(&F);
+  return It == BySub.end() ? 0 : It->second;
+}
+
+double SamplingProfile::fractionIn(const Function &F) const {
+  return Samples == 0
+             ? 0.0
+             : static_cast<double>(samplesIn(F)) /
+                   static_cast<double>(Samples);
+}
+
+uint64_t SamplingProfile::samplesAt(const Function &F, StmtId S) const {
+  auto It = ByStmt.find({&F, S});
+  return It == ByStmt.end() ? 0 : It->second;
+}
+
+std::string SamplingProfile::report() const {
+  std::vector<std::pair<const Function *, uint64_t>> Rows(BySub.begin(),
+                                                          BySub.end());
+  std::sort(Rows.begin(), Rows.end(),
+            [](const auto &A, const auto &B) { return A.second > B.second; });
+  std::ostringstream OS;
+  OS << "sampling profile (" << Samples << " samples, period "
+     << formatDouble(Period) << " cycles):\n";
+  for (const auto &[F, Count] : Rows)
+    OS << "  procedure " << F->name() << " was found executing "
+       << formatDouble(100.0 * static_cast<double>(Count) /
+                           static_cast<double>(Samples ? Samples : 1),
+                       4)
+       << "% of the time (" << Count << " samples)\n";
+  return OS.str();
+}
+
+void SamplingProfile::reset() {
+  Cycles = 0.0;
+  Samples = 0;
+  NextSample = InitialPhase > 0.0 ? InitialPhase : Period;
+  BySub.clear();
+  ByStmt.clear();
+}

@@ -1,0 +1,97 @@
+//===--- sched/ChunkScheduling.cpp - Variance-guided chunking -------------===//
+
+#include "sched/ChunkScheduling.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+using namespace ptran;
+
+uint64_t ptran::kruskalWeissChunkSize(uint64_t N, unsigned P, double Mean,
+                                      double Var, double Overhead) {
+  (void)Mean;
+  assert(P > 0 && "need at least one processor");
+  if (N == 0)
+    return 1;
+  uint64_t MaxChunk = (N + P - 1) / P;
+  if (Var <= 0.0 || P == 1)
+    return MaxChunk;
+  double Sigma = std::sqrt(Var);
+  double LogP = std::log(static_cast<double>(P));
+  if (LogP < 1.0)
+    LogP = 1.0; // P = 2: avoid a degenerate denominator.
+  double Num = std::sqrt(2.0) * static_cast<double>(N) * Overhead;
+  double Den = Sigma * static_cast<double>(P) * std::sqrt(LogP);
+  double K = std::pow(Num / Den, 2.0 / 3.0);
+  uint64_t Chunk = static_cast<uint64_t>(std::llround(K));
+  return std::clamp<uint64_t>(Chunk, 1, MaxChunk);
+}
+
+LoopScheduleAdvice ptran::adviseChunkSize(const TimeAnalysis &TA,
+                                          const FunctionAnalysis &FA,
+                                          const Frequencies &Freqs,
+                                          NodeId Header, unsigned P,
+                                          double Overhead) {
+  const Function &F = FA.function();
+  const Ecfg &E = FA.ecfg();
+
+  LoopScheduleAdvice Advice;
+  // Per-iteration time: the header's own cost plus its T-dependent body.
+  Advice.BodyMean = TA.of(F, Header).Cost;
+  for (NodeId V : FA.cd().childrenOf(Header, CfgLabel::T)) {
+    Advice.BodyMean += TA.of(F, V).Time;
+    Advice.BodyVar += TA.of(F, V).Var;
+  }
+
+  NodeId Ph = E.preheaderOf(Header);
+  if (Ph != InvalidNode) {
+    // Loop frequency counts header executions; iterations are one fewer.
+    double HeaderExecs = Freqs.freqOf({Ph, CfgLabel::U});
+    Advice.TripCount = HeaderExecs > 1.0 ? HeaderExecs - 1.0 : 0.0;
+  }
+
+  uint64_t N = static_cast<uint64_t>(std::llround(Advice.TripCount));
+  if (N == 0)
+    N = 1;
+  Advice.Chunk =
+      kruskalWeissChunkSize(N, P, Advice.BodyMean, Advice.BodyVar, Overhead);
+  return Advice;
+}
+
+ChunkSimResult
+ptran::simulateChunkedLoop(uint64_t N, unsigned P, uint64_t Chunk,
+                           double Overhead,
+                           const std::function<double()> &DrawTime) {
+  assert(P > 0 && Chunk > 0 && "degenerate schedule");
+  ChunkSimResult Result;
+
+  // Min-heap of processor-available times.
+  std::priority_queue<double, std::vector<double>, std::greater<double>>
+      Free;
+  for (unsigned I = 0; I < P; ++I)
+    Free.push(0.0);
+
+  uint64_t Next = 0;
+  while (Next < N) {
+    uint64_t End = std::min(N, Next + Chunk);
+    double Work = 0.0;
+    for (uint64_t I = Next; I < End; ++I)
+      Work += DrawTime();
+    Next = End;
+
+    double Start = Free.top();
+    Free.pop();
+    Free.push(Start + Overhead + Work);
+    Result.TotalWork += Work;
+    ++Result.Chunks;
+  }
+
+  while (!Free.empty()) {
+    Result.Makespan = std::max(Result.Makespan, Free.top());
+    Free.pop();
+  }
+  return Result;
+}

@@ -1,0 +1,92 @@
+//===--- sched/ChunkScheduling.h - Variance-guided chunking -----*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's motivating application for variance (Section 5): choosing
+/// the chunk size of a self-scheduled parallel loop per Kruskal-Weiss
+/// [KW85]. With zero body variance the best chunk is ~N/P (one chunk per
+/// processor, minimal dispatch overhead); with large variance smaller
+/// chunks rebalance the load at the cost of more dispatches. This module
+/// provides
+///
+///   - the closed-form Kruskal-Weiss chunk size from (mean, variance,
+///     overhead, N, P),
+///   - an adviser that pulls the mean and variance of a DO loop's body
+///     straight out of a TimeAnalysis,
+///   - a discrete-event self-scheduling simulator to measure the actual
+///     makespan of any chunk size (used by tests and the A3 bench).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_SCHED_CHUNKSCHEDULING_H
+#define PTRAN_SCHED_CHUNKSCHEDULING_H
+
+#include "cost/TimeAnalysis.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <functional>
+
+namespace ptran {
+
+/// Kruskal-Weiss chunk size for \p N iterations on \p P processors with
+/// per-iteration mean \p Mean, variance \p Var and per-chunk dispatch
+/// overhead \p Overhead:
+///
+///   K = ( sqrt(2) * N * Overhead / (Sigma * P * sqrt(log P)) )^(2/3)
+///
+/// clamped to [1, ceil(N / P)]. Zero variance yields ceil(N / P).
+uint64_t kruskalWeissChunkSize(uint64_t N, unsigned P, double Mean,
+                               double Var, double Overhead);
+
+/// Chunk-size advice for one DO loop derived from the analysis results.
+struct LoopScheduleAdvice {
+  /// Average per-iteration execution time of the loop body.
+  double BodyMean = 0.0;
+  /// Variance of the per-iteration execution time.
+  double BodyVar = 0.0;
+  /// Average trip count observed by the profile.
+  double TripCount = 0.0;
+  /// The recommended chunk size.
+  uint64_t Chunk = 1;
+};
+
+/// Derives (mean, variance) of the body of the loop headed by ECFG node
+/// \p Header in \p F, and the Kruskal-Weiss chunk size for \p P
+/// processors with dispatch overhead \p Overhead. The per-iteration time
+/// is COST(header) plus the TIME of the nodes control dependent on the
+/// header's T branch; its variance sums their VARs.
+LoopScheduleAdvice adviseChunkSize(const TimeAnalysis &TA,
+                                   const FunctionAnalysis &FA,
+                                   const Frequencies &Freqs, NodeId Header,
+                                   unsigned P, double Overhead);
+
+/// Result of one simulated self-scheduled execution.
+struct ChunkSimResult {
+  double Makespan = 0.0;
+  /// Total chunk dispatches performed.
+  uint64_t Chunks = 0;
+  /// Sum of iteration times (the ideal work, excluding overhead).
+  double TotalWork = 0.0;
+
+  /// Parallel efficiency: ideal time / (P * makespan).
+  double efficiency(unsigned P) const {
+    return Makespan > 0.0 ? TotalWork / (static_cast<double>(P) * Makespan)
+                          : 1.0;
+  }
+};
+
+/// Simulates self-scheduling \p N iterations on \p P processors with
+/// chunk size \p Chunk: an idle processor grabs the next \p Chunk
+/// iterations, paying \p Overhead per grab. Iteration times come from
+/// \p DrawTime (invoked once per iteration, in iteration order).
+ChunkSimResult simulateChunkedLoop(uint64_t N, unsigned P, uint64_t Chunk,
+                                   double Overhead,
+                                   const std::function<double()> &DrawTime);
+
+} // namespace ptran
+
+#endif // PTRAN_SCHED_CHUNKSCHEDULING_H

@@ -1,0 +1,53 @@
+//===--- support/Casting.h - LLVM-style isa/cast/dyn_cast ------*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal hand-rolled RTTI scheme in the LLVM style. Classes opt in by
+/// providing `static bool classof(const Base *)`; clients then use
+/// isa<Derived>(p), cast<Derived>(p) and dyn_cast<Derived>(p). The library
+/// is built without relying on C++ RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_SUPPORT_CASTING_H
+#define PTRAN_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace ptran {
+
+/// True if \p Val points to an instance of \p To (per To::classof).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast; asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Checked downcast, const overload.
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null when \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Checking downcast, const overload.
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace ptran
+
+#endif // PTRAN_SUPPORT_CASTING_H

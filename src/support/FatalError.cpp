@@ -1,0 +1,21 @@
+//===--- support/FatalError.cpp - Fatal error reporting -------------------===//
+
+#include "support/FatalError.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ptran;
+
+void ptran::reportFatalError(std::string_view Message) {
+  std::fprintf(stderr, "ptran fatal error: %.*s\n",
+               static_cast<int>(Message.size()), Message.data());
+  std::abort();
+}
+
+void ptran::unreachableInternal(const char *Message, const char *File,
+                                unsigned Line) {
+  std::fprintf(stderr, "ptran unreachable at %s:%u: %s\n", File, Line,
+               Message ? Message : "");
+  std::abort();
+}

@@ -1,0 +1,36 @@
+//===--- support/FatalError.h - Fatal error reporting ----------*- C++ -*-===//
+//
+// Part of the ptran-times project: a reproduction of "Determining Average
+// Program Execution Times and their Variance" (V. Sarkar, PLDI 1989).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal error reporting for invariant violations that must abort even in
+/// release builds, plus an unreachable marker. The library does not use
+/// exceptions; recoverable errors travel through ptran::DiagnosticEngine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_SUPPORT_FATALERROR_H
+#define PTRAN_SUPPORT_FATALERROR_H
+
+#include <string_view>
+
+namespace ptran {
+
+/// Prints \p Message to stderr and aborts. Use for broken invariants that
+/// indicate a bug in the library itself, never for malformed user input.
+[[noreturn]] void reportFatalError(std::string_view Message);
+
+/// Marks a point in control flow that must never be reached.
+[[noreturn]] void unreachableInternal(const char *Message, const char *File,
+                                      unsigned Line);
+
+} // namespace ptran
+
+/// Aborts with a diagnostic naming the unreachable location.
+#define PTRAN_UNREACHABLE(MSG)                                                 \
+  ::ptran::unreachableInternal(MSG, __FILE__, __LINE__)
+
+#endif // PTRAN_SUPPORT_FATALERROR_H

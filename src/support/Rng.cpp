@@ -1,0 +1,86 @@
+//===--- support/Rng.cpp - Deterministic random number generation ---------===//
+
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace ptran;
+
+static uint64_t splitMix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+void Rng::reseed(uint64_t Seed) {
+  uint64_t S = Seed;
+  for (uint64_t &Word : State)
+    Word = splitMix64(S);
+}
+
+uint64_t Rng::next() {
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+int64_t Rng::uniformInt(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty uniformInt range");
+  uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  if (Span == 0) // Full 64-bit range.
+    return static_cast<int64_t>(next());
+  // Rejection sampling to avoid modulo bias.
+  uint64_t Limit = UINT64_MAX - UINT64_MAX % Span;
+  uint64_t Value = next();
+  while (Value >= Limit)
+    Value = next();
+  return Lo + static_cast<int64_t>(Value % Span);
+}
+
+double Rng::uniformReal() {
+  // 53 high bits -> uniform in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniformReal(double Lo, double Hi) {
+  return Lo + (Hi - Lo) * uniformReal();
+}
+
+bool Rng::bernoulli(double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  return uniformReal() < P;
+}
+
+uint64_t Rng::geometric(double P) {
+  assert(P > 0.0 && P <= 1.0 && "geometric requires 0 < P <= 1");
+  if (P >= 1.0)
+    return 0;
+  // Inversion: floor(log(U) / log(1-P)).
+  double U = uniformReal();
+  if (U <= 0.0)
+    U = 0x1.0p-53;
+  return static_cast<uint64_t>(std::floor(std::log(U) / std::log1p(-P)));
+}
+
+double Rng::normal(double Mean, double StdDev) {
+  double U1 = uniformReal();
+  double U2 = uniformReal();
+  if (U1 <= 0.0)
+    U1 = 0x1.0p-53;
+  double R = std::sqrt(-2.0 * std::log(U1));
+  return Mean + StdDev * R * std::cos(2.0 * M_PI * U2);
+}

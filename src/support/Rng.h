@@ -1,0 +1,60 @@
+//===--- support/Rng.h - Deterministic random number generation -*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (xoshiro256**) with sampling helpers. Used by
+/// the random program generator, the Monte-Carlo validation tests and the
+/// chunk-scheduling simulator. Deterministic across platforms so that tests
+/// and benchmark workloads are reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_SUPPORT_RNG_H
+#define PTRAN_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace ptran {
+
+/// Deterministic xoshiro256** generator seeded via splitmix64.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) { reseed(Seed); }
+
+  /// Re-seeds the generator; identical seeds yield identical streams.
+  void reseed(uint64_t Seed);
+
+  /// \returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// \returns a uniform integer in [Lo, Hi], inclusive. Requires Lo <= Hi.
+  int64_t uniformInt(int64_t Lo, int64_t Hi);
+
+  /// \returns a uniform double in [0, 1).
+  double uniformReal();
+
+  /// \returns a uniform double in [Lo, Hi).
+  double uniformReal(double Lo, double Hi);
+
+  /// \returns true with probability \p P (clamped to [0, 1]).
+  bool bernoulli(double P);
+
+  /// \returns a sample from Geometric(P) counting the number of failures
+  /// before the first success, i.e. values in {0, 1, 2, ...} with mean
+  /// (1-P)/P. Requires 0 < P <= 1.
+  uint64_t geometric(double P);
+
+  /// \returns a sample from a normal distribution with the given mean and
+  /// standard deviation (Box-Muller).
+  double normal(double Mean, double StdDev);
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace ptran
+
+#endif // PTRAN_SUPPORT_RNG_H

@@ -1,0 +1,75 @@
+//===--- support/StringUtils.cpp - Small string helpers -------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+using namespace ptran;
+
+std::string ptran::join(const std::vector<std::string> &Parts,
+                        std::string_view Sep) {
+  std::string Result;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Result += Sep;
+    Result += Parts[I];
+  }
+  return Result;
+}
+
+std::vector<std::string> ptran::split(std::string_view Text, char Sep) {
+  std::vector<std::string> Fields;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = Text.find(Sep, Start);
+    if (Pos == std::string_view::npos) {
+      Fields.emplace_back(Text.substr(Start));
+      return Fields;
+    }
+    Fields.emplace_back(Text.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string_view ptran::trim(std::string_view Text) {
+  size_t Begin = 0;
+  while (Begin < Text.size() &&
+         std::isspace(static_cast<unsigned char>(Text[Begin])))
+    ++Begin;
+  size_t End = Text.size();
+  while (End > Begin && std::isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+bool ptran::equalsLower(std::string_view A, std::string_view B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (std::tolower(static_cast<unsigned char>(A[I])) !=
+        std::tolower(static_cast<unsigned char>(B[I])))
+      return false;
+  return true;
+}
+
+std::string ptran::toLower(std::string_view Text) {
+  std::string Result(Text);
+  for (char &C : Result)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  return Result;
+}
+
+std::string ptran::formatDouble(double Value, int Precision) {
+  if (std::isfinite(Value) && Value == std::floor(Value) &&
+      std::fabs(Value) < 1e15) {
+    char Buffer[32];
+    std::snprintf(Buffer, sizeof(Buffer), "%lld",
+                  static_cast<long long>(Value));
+    return Buffer;
+  }
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*g", Precision, Value);
+  return Buffer;
+}

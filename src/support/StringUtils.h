@@ -1,0 +1,43 @@
+//===--- support/StringUtils.h - Small string helpers ----------*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers shared by printers, the parser and the program database.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_SUPPORT_STRINGUTILS_H
+#define PTRAN_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ptran {
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Parts, std::string_view Sep);
+
+/// Splits \p Text on \p Sep, keeping empty fields.
+std::vector<std::string> split(std::string_view Text, char Sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view Text);
+
+/// Case-insensitive ASCII equality (the mini language is case-insensitive,
+/// like Fortran).
+bool equalsLower(std::string_view A, std::string_view B);
+
+/// Lower-cases ASCII letters.
+std::string toLower(std::string_view Text);
+
+/// Formats a double compactly: integers without a fractional part,
+/// otherwise up to \p Precision significant decimal digits.
+std::string formatDouble(double Value, int Precision = 6);
+
+} // namespace ptran
+
+#endif // PTRAN_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,63 @@
+//===--- support/TablePrinter.cpp - Aligned text tables -------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace ptran;
+
+TablePrinter::TablePrinter(std::vector<std::string> HeaderCells)
+    : Header(std::move(HeaderCells)) {}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  Rows.push_back({false, std::move(Cells)});
+}
+
+void TablePrinter::addSeparator() { Rows.push_back({true, {}}); }
+
+std::string TablePrinter::str() const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t I = 0; I < Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const Row &R : Rows)
+    for (size_t I = 0; I < R.Cells.size(); ++I) {
+      if (I >= Widths.size())
+        Widths.resize(I + 1, 0);
+      Widths[I] = std::max(Widths[I], R.Cells[I].size());
+    }
+
+  auto EmitRow = [&](std::ostringstream &OS,
+                     const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I < Widths.size(); ++I) {
+      std::string Cell = I < Cells.size() ? Cells[I] : std::string();
+      OS << "| ";
+      if (I == 0) {
+        OS << Cell << std::string(Widths[I] - Cell.size(), ' ');
+      } else {
+        OS << std::string(Widths[I] - Cell.size(), ' ') << Cell;
+      }
+      OS << ' ';
+    }
+    OS << "|\n";
+  };
+
+  auto EmitSeparator = [&](std::ostringstream &OS) {
+    for (size_t Width : Widths)
+      OS << '+' << std::string(Width + 2, '-');
+    OS << "+\n";
+  };
+
+  std::ostringstream OS;
+  EmitSeparator(OS);
+  EmitRow(OS, Header);
+  EmitSeparator(OS);
+  for (const Row &R : Rows) {
+    if (R.IsSeparator)
+      EmitSeparator(OS);
+    else
+      EmitRow(OS, R.Cells);
+  }
+  EmitSeparator(OS);
+  return OS.str();
+}

@@ -1,0 +1,49 @@
+//===--- support/TablePrinter.h - Aligned text tables ----------*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders aligned, monospace text tables. The benchmark harness uses this
+/// to print rows in the same layout as the paper's Table 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_SUPPORT_TABLEPRINTER_H
+#define PTRAN_SUPPORT_TABLEPRINTER_H
+
+#include <string>
+#include <vector>
+
+namespace ptran {
+
+/// Accumulates rows of string cells and renders them with per-column
+/// alignment. The first added row is treated as the header.
+class TablePrinter {
+public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> Header);
+
+  /// Appends one data row; missing trailing cells render as empty.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator line.
+  void addSeparator();
+
+  /// Renders the table. Column 0 is left-aligned, all others right-aligned.
+  std::string str() const;
+
+private:
+  struct Row {
+    bool IsSeparator = false;
+    std::vector<std::string> Cells;
+  };
+
+  std::vector<std::string> Header;
+  std::vector<Row> Rows;
+};
+
+} // namespace ptran
+
+#endif // PTRAN_SUPPORT_TABLEPRINTER_H

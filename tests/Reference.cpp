@@ -1,0 +1,105 @@
+//===--- tests/Reference.cpp - Brute-force reference algorithms -----------===//
+
+#include "Reference.h"
+
+using namespace ptran;
+using namespace ptran::testing;
+
+namespace {
+
+/// Nodes reachable from \p From, optionally pretending \p Removed is
+/// absent.
+std::vector<bool> reachableFrom(const Digraph &G, NodeId From,
+                                NodeId Removed = InvalidNode) {
+  std::vector<bool> Seen(G.numNodes(), false);
+  if (From == Removed)
+    return Seen;
+  std::vector<NodeId> Worklist = {From};
+  Seen[From] = true;
+  while (!Worklist.empty()) {
+    NodeId N = Worklist.back();
+    Worklist.pop_back();
+    for (NodeId S : G.successors(N)) {
+      if (S == Removed || Seen[S])
+        continue;
+      Seen[S] = true;
+      Worklist.push_back(S);
+    }
+  }
+  return Seen;
+}
+
+} // namespace
+
+std::vector<std::set<NodeId>>
+ptran::testing::bruteForceDominators(const Digraph &G, NodeId Root) {
+  std::vector<std::set<NodeId>> Dom(G.numNodes());
+  std::vector<bool> Base = reachableFrom(G, Root);
+  for (NodeId A = 0; A < G.numNodes(); ++A) {
+    if (!Base[A])
+      continue;
+    std::vector<bool> Without = reachableFrom(G, Root, A);
+    for (NodeId B = 0; B < G.numNodes(); ++B)
+      if (Base[B] && (B == A || !Without[B]))
+        Dom[B].insert(A);
+  }
+  return Dom;
+}
+
+std::vector<std::set<NodeId>>
+ptran::testing::bruteForcePostDominators(const Digraph &G, NodeId Stop) {
+  return bruteForceDominators(G.reversed(), Stop);
+}
+
+std::set<std::tuple<NodeId, NodeId, LabelId>>
+ptran::testing::bruteForceControlDependence(const Digraph &G, NodeId Stop) {
+  std::vector<std::set<NodeId>> Pdom = bruteForcePostDominators(G, Stop);
+
+  auto Postdom = [&](NodeId A, NodeId B) { return Pdom[B].count(A) != 0; };
+
+  std::set<std::tuple<NodeId, NodeId, LabelId>> Out;
+  for (EdgeId E = 0; E < G.numEdgeSlots(); ++E) {
+    if (!G.isLive(E))
+      continue;
+    const Digraph::Edge &Ed = G.edge(E);
+    NodeId X = Ed.From;
+    NodeId Z = Ed.To;
+    // Skip nodes with undefined postdominators (cannot reach Stop).
+    if (Pdom[X].empty() || Pdom[Z].empty())
+      continue;
+    for (NodeId Y = 0; Y < G.numNodes(); ++Y) {
+      if (Pdom[Y].empty())
+        continue;
+      if (Postdom(Y, X))
+        continue; // Condition 1 fails (note: reflexive, so Y != X holds).
+      // Condition 2/3: a path X -> Z -> ... -> Y whose intermediate nodes
+      // (everything after X and before Y) are postdominated by Y.
+      bool Found = false;
+      if (Z == Y) {
+        Found = true; // Single-edge path: no intermediates.
+      } else if (Postdom(Y, Z)) {
+        // BFS from Z over nodes postdominated by Y, looking for Y.
+        std::vector<bool> Seen(G.numNodes(), false);
+        std::vector<NodeId> Worklist = {Z};
+        Seen[Z] = true;
+        while (!Worklist.empty() && !Found) {
+          NodeId N = Worklist.back();
+          Worklist.pop_back();
+          for (NodeId S : G.successors(N)) {
+            if (S == Y) {
+              Found = true;
+              break;
+            }
+            if (!Seen[S] && !Pdom[S].empty() && Postdom(Y, S)) {
+              Seen[S] = true;
+              Worklist.push_back(S);
+            }
+          }
+        }
+      }
+      if (Found)
+        Out.insert({X, Y, Ed.Label});
+    }
+  }
+  return Out;
+}

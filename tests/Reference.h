@@ -1,0 +1,48 @@
+//===--- tests/Reference.h - Brute-force reference algorithms ---*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Slow, obviously-correct reference implementations used to validate the
+/// production algorithms: reachability-based dominators and a literal
+/// transcription of the paper's Definition 2 of control dependence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_TESTS_REFERENCE_H
+#define PTRAN_TESTS_REFERENCE_H
+
+#include "cdg/ControlDependence.h"
+#include "graph/Digraph.h"
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+namespace ptran {
+namespace testing {
+
+/// Brute-force dominator sets: A dominates B iff removing A makes B
+/// unreachable from Root (plus A dominating itself). Unreachable nodes
+/// have empty sets.
+std::vector<std::set<NodeId>> bruteForceDominators(const Digraph &G,
+                                                   NodeId Root);
+
+/// Brute-force postdominator relation on \p G with exit \p Stop:
+/// Result[B] contains every A that postdominates B.
+std::vector<std::set<NodeId>> bruteForcePostDominators(const Digraph &G,
+                                                       NodeId Stop);
+
+/// A literal implementation of Definition 2: Y is control dependent on
+/// (X, L) iff Y does not postdominate X, and there is a path from X to Y,
+/// starting with an L-labelled edge, whose intermediate nodes are all
+/// postdominated by Y. Returns (X, Y, L) triples.
+std::set<std::tuple<NodeId, NodeId, LabelId>>
+bruteForceControlDependence(const Digraph &G, NodeId Stop);
+
+} // namespace testing
+} // namespace ptran
+
+#endif // PTRAN_TESTS_REFERENCE_H

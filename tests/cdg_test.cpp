@@ -1,0 +1,160 @@
+//===--- tests/cdg_test.cpp - Control dependence tests --------------------===//
+//
+// Validates the Ferrante-Ottenstein-Warren computation against a literal
+// brute-force implementation of Definition 2 (on the forward ECFG), and
+// checks the FCDG's structural guarantees: acyclic, rooted at START,
+// interval nesting under preheaders.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Reference.h"
+#include "TestPrograms.h"
+
+#include "core/Analysis.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace ptran;
+using namespace ptran::testing;
+
+namespace {
+
+/// Collects the FCDG edge set of \p FA as (From, To, Label) triples.
+std::set<std::tuple<NodeId, NodeId, LabelId>>
+fcdgEdges(const FunctionAnalysis &FA) {
+  std::set<std::tuple<NodeId, NodeId, LabelId>> Out;
+  const Digraph &F = FA.cd().fcdg();
+  for (EdgeId E = 0; E < F.numEdgeSlots(); ++E) {
+    if (!F.isLive(E))
+      continue;
+    const Digraph::Edge &Ed = F.edge(E);
+    Out.insert({Ed.From, Ed.To, Ed.Label});
+  }
+  return Out;
+}
+
+void expectMatchesDefinition2(const FunctionAnalysis &FA,
+                              const std::string &Context) {
+  std::set<std::tuple<NodeId, NodeId, LabelId>> Got = fcdgEdges(FA);
+  std::set<std::tuple<NodeId, NodeId, LabelId>> Truth =
+      bruteForceControlDependence(FA.cd().forwardGraph(),
+                                  FA.ecfg().stop());
+
+  for (const auto &[X, Y, L] : Truth)
+    EXPECT_TRUE(Got.count({X, Y, L}))
+        << Context << ": missing CD (" << FA.ecfg().cfg().nodeName(X) << ", "
+        << FA.ecfg().cfg().nodeName(Y) << ", "
+        << cfgLabelName(static_cast<CfgLabel>(L)) << ")";
+  for (const auto &[X, Y, L] : Got)
+    EXPECT_TRUE(Truth.count({X, Y, L}))
+        << Context << ": spurious CD (" << FA.ecfg().cfg().nodeName(X)
+        << ", " << FA.ecfg().cfg().nodeName(Y) << ", "
+        << cfgLabelName(static_cast<CfgLabel>(L)) << ")";
+}
+
+TEST(ControlDependenceTest, MatchesDefinition2OnFigure1) {
+  Figure1Program Fix = makeFigure1();
+  DiagnosticEngine Diags;
+  auto FA = FunctionAnalysis::compute(*Fix.Main, Diags);
+  ASSERT_NE(FA, nullptr) << Diags.str();
+  expectMatchesDefinition2(*FA, "figure1");
+}
+
+class RandomProgramCd : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomProgramCd, MatchesDefinition2) {
+  std::unique_ptr<Program> Prog =
+      makeRandomProgram(GetParam(), RandomProgramConfig());
+  DiagnosticEngine Diags;
+  auto PA = ProgramAnalysis::compute(*Prog, Diags);
+  ASSERT_NE(PA, nullptr) << Diags.str();
+  for (const auto &F : Prog->functions())
+    expectMatchesDefinition2(PA->of(*F), F->name());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramCd,
+                         ::testing::Range<uint64_t>(400, 425));
+
+TEST(ControlDependenceTest, FcdgIsRootedAndAcyclicOnWorkloads) {
+  for (const Workload *W : table1Workloads()) {
+    std::unique_ptr<Program> Prog = parseWorkload(*W);
+    DiagnosticEngine Diags;
+    auto PA = ProgramAnalysis::compute(*Prog, Diags);
+    ASSERT_NE(PA, nullptr) << Diags.str();
+    for (const auto &F : Prog->functions()) {
+      const FunctionAnalysis &FA = PA->of(*F);
+      // Acyclic by construction (would have aborted otherwise); rooted:
+      // the topological order covers everything with FCDG in-edges.
+      std::set<NodeId> InTopo(FA.cd().topoOrder().begin(),
+                              FA.cd().topoOrder().end());
+      const Digraph &Fcdg = FA.cd().fcdg();
+      for (NodeId N = 0; N < Fcdg.numNodes(); ++N)
+        if (Fcdg.inDegree(N) > 0) {
+          EXPECT_TRUE(InTopo.count(N))
+              << W->Name << "/" << F->name() << " node "
+              << FA.ecfg().cfg().nodeName(N) << " not reachable from START";
+        }
+      // START comes first.
+      ASSERT_FALSE(FA.cd().topoOrder().empty());
+      EXPECT_EQ(FA.cd().topoOrder().front(), FA.ecfg().start());
+    }
+  }
+}
+
+TEST(ControlDependenceTest, IntervalsNestUnderPreheaders) {
+  // Every node of a loop body must be directly or indirectly control
+  // dependent on the loop's preheader (the property the pseudo edges were
+  // introduced for).
+  Figure1Program Fix = makeFigure1();
+  DiagnosticEngine Diags;
+  auto FA = FunctionAnalysis::compute(*Fix.Main, Diags);
+  ASSERT_NE(FA, nullptr) << Diags.str();
+
+  ASSERT_EQ(FA->intervals().headers().size(), 1u);
+  NodeId H = FA->intervals().headers()[0];
+  NodeId Ph = FA->ecfg().preheaderOf(H);
+
+  // BFS in the FCDG from the preheader.
+  const Digraph &Fcdg = FA->cd().fcdg();
+  std::vector<bool> Reach(Fcdg.numNodes(), false);
+  std::vector<NodeId> Worklist = {Ph};
+  Reach[Ph] = true;
+  while (!Worklist.empty()) {
+    NodeId N = Worklist.back();
+    Worklist.pop_back();
+    for (NodeId S : Fcdg.successors(N))
+      if (!Reach[S]) {
+        Reach[S] = true;
+        Worklist.push_back(S);
+      }
+  }
+  for (NodeId N : FA->intervals().loopBody(H))
+    EXPECT_TRUE(Reach[N]) << FA->ecfg().cfg().nodeName(N);
+}
+
+TEST(ControlDependenceTest, ConditionsOnlyAtBranchPoints) {
+  std::unique_ptr<Program> Prog = parseWorkload(livermoreLoops());
+  DiagnosticEngine Diags;
+  auto PA = ProgramAnalysis::compute(*Prog, Diags);
+  ASSERT_NE(PA, nullptr) << Diags.str();
+  for (const auto &F : Prog->functions()) {
+    const FunctionAnalysis &FA = PA->of(*F);
+    for (const ControlCondition &C : FA.cd().conditions()) {
+      const Cfg &E = FA.ecfg().cfg();
+      CfgNodeType Ty = E.nodeType(C.Node);
+      bool IsBranchStmt = false;
+      if (E.origin(C.Node) != InvalidStmt) {
+        StmtKind K = F->stmt(E.origin(C.Node))->kind();
+        IsBranchStmt = K == StmtKind::IfGoto || K == StmtKind::DoStart;
+      }
+      EXPECT_TRUE(Ty == CfgNodeType::Start || Ty == CfgNodeType::Preheader ||
+                  Ty == CfgNodeType::Iterate || IsBranchStmt)
+          << F->name() << ": condition at " << E.nodeName(C.Node);
+    }
+  }
+}
+
+} // namespace

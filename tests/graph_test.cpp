@@ -1,0 +1,251 @@
+//===--- tests/graph_test.cpp - Graph algorithm tests ---------------------===//
+//
+// Unit and property tests for the generic graph layer: the labelled
+// multigraph, DFS classification, (post)dominators (validated against the
+// brute-force reference on random graphs), SCCs and topological order.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Reference.h"
+
+#include "graph/DepthFirst.h"
+#include "graph/Dominators.h"
+#include "graph/Scc.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace ptran;
+using namespace ptran::testing;
+
+namespace {
+
+TEST(Digraph, BasicMutationAndQueries) {
+  Digraph G;
+  NodeId A = G.addNode();
+  NodeId B = G.addNode();
+  NodeId C = G.addNodes(2);
+  EXPECT_EQ(G.numNodes(), 4u);
+
+  EdgeId E1 = G.addEdge(A, B, 0);
+  EdgeId E2 = G.addEdge(A, B, 1); // Parallel edge, different label.
+  EdgeId E3 = G.addEdge(B, C, 0);
+  EXPECT_EQ(G.numEdges(), 3u);
+  EXPECT_EQ(G.outDegree(A), 2u);
+  EXPECT_EQ(G.inDegree(B), 2u);
+  EXPECT_EQ(G.findEdge(A, B, 1), E2);
+  EXPECT_EQ(G.findEdge(A, B, 2), InvalidEdge);
+
+  G.eraseEdge(E1);
+  EXPECT_EQ(G.numEdges(), 2u);
+  EXPECT_EQ(G.outDegree(A), 1u);
+  EXPECT_FALSE(G.isLive(E1));
+  EXPECT_TRUE(G.isLive(E2));
+  // Erasing twice is a no-op.
+  G.eraseEdge(E1);
+  EXPECT_EQ(G.numEdges(), 2u);
+
+  Digraph R = G.reversed();
+  EXPECT_EQ(R.numEdges(), 2u);
+  EXPECT_EQ(R.successors(B), std::vector<NodeId>{A});
+  (void)E3;
+}
+
+TEST(DepthFirst, ClassifiesEdgesOnDiamondWithLoop) {
+  // 0 -> 1 -> 2 -> 4, 1 -> 3 -> 4, 4 -> 1 (retreating), 0 -> 4 (forward).
+  Digraph G(5);
+  G.addEdge(0, 1, 0);
+  EdgeId ToTwo = G.addEdge(1, 2, 0);
+  G.addEdge(2, 4, 0);
+  EdgeId ToThree = G.addEdge(1, 3, 0);
+  EdgeId Cross = G.addEdge(3, 4, 0);
+  EdgeId Back = G.addEdge(4, 1, 0);
+  EdgeId Fwd = G.addEdge(0, 4, 0);
+
+  DfsResult Dfs(G, 0);
+  EXPECT_EQ(Dfs.edgeKind(ToTwo), DfsEdgeKind::Tree);
+  EXPECT_EQ(Dfs.edgeKind(Back), DfsEdgeKind::Retreating);
+  EXPECT_EQ(Dfs.edgeKind(Fwd), DfsEdgeKind::Forward);
+  // 3 -> 4: 4 was finished via the 2-branch first (DFS visits edge order).
+  EXPECT_EQ(Dfs.edgeKind(Cross), DfsEdgeKind::Cross);
+  EXPECT_TRUE(Dfs.isTreeAncestor(0, 4));
+  EXPECT_TRUE(Dfs.isTreeAncestor(1, 2));
+  EXPECT_FALSE(Dfs.isTreeAncestor(2, 3));
+  EXPECT_EQ(Dfs.reversePostorder().front(), 0u);
+  (void)ToThree;
+}
+
+TEST(DepthFirst, UnreachableNodesAreSkipped) {
+  Digraph G(4);
+  G.addEdge(0, 1, 0);
+  G.addEdge(2, 3, 0); // 2, 3 unreachable from 0.
+  DfsResult Dfs(G, 0);
+  EXPECT_TRUE(Dfs.isReachable(1));
+  EXPECT_FALSE(Dfs.isReachable(2));
+  EXPECT_EQ(Dfs.numReachable(), 2u);
+}
+
+TEST(Topological, OrdersDagsAndRejectsCycles) {
+  Digraph Dag(4);
+  Dag.addEdge(0, 1, 0);
+  Dag.addEdge(0, 2, 0);
+  Dag.addEdge(1, 3, 0);
+  Dag.addEdge(2, 3, 0);
+  auto Order = topologicalOrder(Dag);
+  ASSERT_TRUE(Order.has_value());
+  std::vector<unsigned> Pos(4);
+  for (unsigned I = 0; I < Order->size(); ++I)
+    Pos[(*Order)[I]] = I;
+  EXPECT_LT(Pos[0], Pos[1]);
+  EXPECT_LT(Pos[1], Pos[3]);
+  EXPECT_LT(Pos[2], Pos[3]);
+
+  Dag.addEdge(3, 0, 0);
+  EXPECT_FALSE(topologicalOrder(Dag).has_value());
+}
+
+/// Random digraph over N nodes, edges kept with probability P, always
+/// including a spine 0 -> 1 -> ... so most nodes are reachable.
+Digraph randomDigraph(Rng &R, unsigned N, double P) {
+  Digraph G(N);
+  for (NodeId I = 0; I + 1 < N; ++I)
+    if (R.bernoulli(0.8))
+      G.addEdge(I, I + 1, 0);
+  for (NodeId A = 0; A < N; ++A)
+    for (NodeId B = 0; B < N; ++B)
+      if (A != B && R.bernoulli(P))
+        G.addEdge(A, B, 0);
+  return G;
+}
+
+class DominatorProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DominatorProperty, MatchesBruteForceOnRandomGraphs) {
+  Rng R(GetParam());
+  unsigned N = static_cast<unsigned>(R.uniformInt(3, 14));
+  Digraph G = randomDigraph(R, N, 0.18);
+
+  DominatorTree Dom(G, 0);
+  std::vector<std::set<NodeId>> Truth = bruteForceDominators(G, 0);
+  DfsResult Dfs(G, 0);
+
+  for (NodeId B = 0; B < N; ++B) {
+    if (!Dfs.isReachable(B)) {
+      EXPECT_FALSE(Dom.isReachable(B));
+      continue;
+    }
+    for (NodeId A = 0; A < N; ++A) {
+      if (!Dfs.isReachable(A))
+        continue;
+      EXPECT_EQ(Dom.dominates(A, B), Truth[B].count(A) != 0)
+          << A << " dom " << B << " seed " << GetParam();
+    }
+    // The idom must be the unique closest strict dominator.
+    if (B != 0u) {
+      NodeId Idom = Dom.idom(B);
+      EXPECT_TRUE(Truth[B].count(Idom));
+      for (NodeId A : Truth[B])
+        if (A != B && A != Idom) {
+          EXPECT_TRUE(Truth[Idom].count(A)) << "idom not closest";
+        }
+    }
+  }
+
+  // Nearest common dominator agrees with set intersection.
+  for (NodeId A = 0; A < N; ++A)
+    for (NodeId B = 0; B < N; ++B) {
+      if (!Dfs.isReachable(A) || !Dfs.isReachable(B))
+        continue;
+      NodeId Nca = Dom.findNearestCommonDominator(A, B);
+      EXPECT_TRUE(Truth[A].count(Nca) && Truth[B].count(Nca));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DominatorProperty,
+                         ::testing::Range<uint64_t>(1, 31));
+
+TEST(PostDominators, SimpleDiamond) {
+  // 0 -> {1, 2} -> 3; 3 postdominates everything.
+  Digraph G(4);
+  G.addEdge(0, 1, 0);
+  G.addEdge(0, 2, 0);
+  G.addEdge(1, 3, 0);
+  G.addEdge(2, 3, 0);
+  DominatorTree Pdt(G, 3, DominatorTree::Direction::Post);
+  EXPECT_TRUE(Pdt.dominates(3, 0));
+  EXPECT_TRUE(Pdt.dominates(3, 1));
+  EXPECT_FALSE(Pdt.dominates(1, 0));
+  EXPECT_EQ(Pdt.idom(0), 3u);
+}
+
+TEST(Reducibility, DetectsClassicIrreducibleTriangle) {
+  // 0 -> 1, 0 -> 2, 1 <-> 2: the textbook irreducible region.
+  Digraph G(3);
+  G.addEdge(0, 1, 0);
+  G.addEdge(0, 2, 0);
+  G.addEdge(1, 2, 0);
+  G.addEdge(2, 1, 0);
+  EXPECT_FALSE(isReducible(G, 0));
+
+  // A natural loop is reducible.
+  Digraph L(3);
+  L.addEdge(0, 1, 0);
+  L.addEdge(1, 2, 0);
+  L.addEdge(2, 1, 0);
+  EXPECT_TRUE(isReducible(L, 0));
+}
+
+TEST(Scc, FindsComponentsInCalleeFirstOrder) {
+  // 0 -> 1 <-> 2, 1 -> 3; components: {0}, {1,2}, {3}.
+  Digraph G(4);
+  G.addEdge(0, 1, 0);
+  G.addEdge(1, 2, 0);
+  G.addEdge(2, 1, 0);
+  G.addEdge(1, 3, 0);
+  SccResult S = computeSccs(G);
+  EXPECT_EQ(S.numComponents(), 3u);
+  EXPECT_EQ(S.Component[1], S.Component[2]);
+  EXPECT_NE(S.Component[0], S.Component[1]);
+  // Callee-first: an edge A -> B implies Component[A] > Component[B].
+  EXPECT_GT(S.Component[0], S.Component[1]);
+  EXPECT_GT(S.Component[1], S.Component[3]);
+  EXPECT_TRUE(S.isInCycle(G, 1));
+  EXPECT_FALSE(S.isInCycle(G, 0));
+
+  // Self loops count as cycles.
+  Digraph Self(1);
+  Self.addEdge(0, 0, 0);
+  SccResult S2 = computeSccs(Self);
+  EXPECT_TRUE(S2.isInCycle(Self, 0));
+}
+
+class SccProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SccProperty, ComponentNumberingIsReverseTopological) {
+  Rng R(GetParam());
+  unsigned N = static_cast<unsigned>(R.uniformInt(3, 16));
+  Digraph G = randomDigraph(R, N, 0.15);
+  SccResult S = computeSccs(G);
+  for (NodeId A = 0; A < N; ++A)
+    for (NodeId B : G.successors(A))
+      if (S.Component[A] != S.Component[B]) {
+        EXPECT_GT(S.Component[A], S.Component[B]);
+      }
+  // Mutual reachability iff same component.
+  for (NodeId A = 0; A < N; ++A) {
+    DfsResult FromA(G, A);
+    for (NodeId B = 0; B < N; ++B) {
+      if (S.Component[A] != S.Component[B])
+        continue;
+      EXPECT_TRUE(FromA.isReachable(B))
+          << A << " cannot reach same-component " << B;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SccProperty,
+                         ::testing::Range<uint64_t>(100, 120));
+
+} // namespace

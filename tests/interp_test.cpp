@@ -1,0 +1,330 @@
+//===--- tests/interp_test.cpp - Interpreter semantics tests --------------===//
+
+#include "interp/Interpreter.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ptran;
+
+namespace {
+
+/// Parses, runs, and returns the PRINT output.
+std::string runAndPrint(std::string_view Src,
+                        uint64_t MaxSteps = 10'000'000) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = parseProgram(Src, Diags);
+  EXPECT_NE(P, nullptr) << Diags.str();
+  if (!P)
+    return "";
+  Interpreter I(*P, CostModel::optimizing());
+  RunResult R = I.run(MaxSteps);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return R.Output;
+}
+
+/// Runs and returns the failure message (empty when the run succeeded).
+std::string runExpectFault(std::string_view Src,
+                           uint64_t MaxSteps = 1'000'000) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = parseProgram(Src, Diags);
+  EXPECT_NE(P, nullptr) << Diags.str();
+  if (!P)
+    return "";
+  Interpreter I(*P, CostModel::optimizing());
+  RunResult R = I.run(MaxSteps);
+  EXPECT_FALSE(R.Ok);
+  return R.Error;
+}
+
+TEST(Interp, IntegerAndRealArithmetic) {
+  EXPECT_EQ(runAndPrint(R"(
+program main
+  i = 7 / 2
+  j = mod(7, 3)
+  k = 2 ** 10
+  x = 7.0 / 2.0
+  print i, j, k, x
+end
+)"),
+            "3 1 1024 3.5\n");
+}
+
+TEST(Interp, IntrinsicsEvaluate) {
+  EXPECT_EQ(runAndPrint(R"(
+program main
+  print abs(-3), min(4, 2, 9), max(1.5, 2.5), int(3.9), sqrt(16.0)
+end
+)"),
+            "3 2 2.5 3 4\n");
+}
+
+TEST(Interp, DoLoopSemantics) {
+  // Standard, stepped, negative-step and zero-trip loops.
+  EXPECT_EQ(runAndPrint(R"(
+program main
+  integer i, s
+  s = 0
+  do i = 1, 5
+    s = s + i
+  enddo
+  print s, i
+  s = 0
+  do i = 1, 10, 3
+    s = s + 1
+  enddo
+  print s
+  s = 0
+  do i = 5, 1, -1
+    s = s + i
+  enddo
+  print s
+  s = 0
+  do i = 3, 1
+    s = s + 1
+  enddo
+  print s
+end
+)"),
+            // After `do i = 1, 5` the index has been advanced past the
+            // bound (Fortran-77 semantics).
+            "15 6\n4\n15\n0\n");
+}
+
+TEST(Interp, NestedSharedLabelDoLoops) {
+  EXPECT_EQ(runAndPrint(R"(
+program main
+  integer i, j, s
+  s = 0
+  do 10 i = 1, 3
+    do 10 j = 1, 4
+      s = s + 1
+10 continue
+  print s
+end
+)"),
+            "12\n");
+}
+
+TEST(Interp, GotoLoopAndBlockIf) {
+  EXPECT_EQ(runAndPrint(R"(
+program main
+  integer w, odd, even
+  w = 0
+10 w = w + 1
+  if (mod(w, 2) .eq. 0) then
+    even = even + 1
+  else
+    odd = odd + 1
+  endif
+  if (w .lt. 7) goto 10
+  print w, odd, even
+end
+)"),
+            "7 4 3\n");
+}
+
+TEST(Interp, ElseIfChain) {
+  EXPECT_EQ(runAndPrint(R"(
+program main
+  integer a, r
+  do 10 a = -1, 1
+    if (a .lt. 0) then
+      r = 1
+    else if (a .eq. 0) then
+      r = 2
+    else
+      r = 3
+    endif
+    print r
+10 continue
+end
+)"),
+            "1\n2\n3\n");
+}
+
+TEST(Interp, ByReferenceScalarAndArrayArguments) {
+  EXPECT_EQ(runAndPrint(R"(
+program main
+  integer a, b
+  real v(4)
+  a = 1
+  b = 2
+  call swap(a, b)
+  print a, b
+  v(3) = 5.0
+  call scale(v, 2.0)
+  print v(3)
+  call swap(a, a + 0)
+  print a
+end
+subroutine swap(x, y)
+  integer x, y, t
+  t = x
+  x = y
+  y = t
+end
+subroutine scale(arr, f)
+  real arr(4), f
+  integer i
+  do i = 1, 4
+    arr(i) = arr(i) * f
+  enddo
+end
+)"),
+            // `a + 0` is an expression: passed by value, its mutation is
+            // lost, while `a` itself receives the old a + 0.
+            "2 1\n10\n2\n");
+}
+
+TEST(Interp, TwoDimensionalArraysAreColumnMajorConsistent) {
+  EXPECT_EQ(runAndPrint(R"(
+program main
+  integer m(3, 2), i, j, s
+  do 10 i = 1, 3
+    do 10 j = 1, 2
+      m(i, j) = 10 * i + j
+10 continue
+  s = 0
+  do 20 i = 1, 3
+    do 20 j = 1, 2
+      s = s + m(i, j)
+20 continue
+  print s, m(3, 2)
+end
+)"),
+            "129 32\n");
+}
+
+TEST(Interp, ShortCircuitLogicalOperators) {
+  // .AND. short-circuits: the out-of-bounds access never happens.
+  EXPECT_EQ(runAndPrint(R"(
+program main
+  real a(3)
+  integer i
+  i = 7
+  if (i .le. 3 .and. a(i) .gt. 0.0) then
+    print 1
+  else
+    print 0
+  endif
+end
+)"),
+            "0\n");
+}
+
+TEST(Interp, RecursionWorksWithinDepthLimit) {
+  EXPECT_EQ(runAndPrint(R"(
+program main
+  integer n, r
+  n = 10
+  r = 0
+  call sumto(n, r)
+  print r
+end
+subroutine sumto(n, r)
+  integer n, r, m
+  if (n .le. 0) return
+  r = r + n
+  m = n - 1
+  call sumto(m, r)
+end
+)"),
+            "55\n");
+}
+
+TEST(InterpFaults, ArrayIndexOutOfBounds) {
+  EXPECT_NE(runExpectFault(R"(
+program main
+  real a(3)
+  i = 4
+  a(i) = 1.0
+end
+)")
+                .find("out of bounds"),
+            std::string::npos);
+}
+
+TEST(InterpFaults, IntegerDivisionByZero) {
+  EXPECT_NE(runExpectFault(R"(
+program main
+  i = 0
+  j = 5 / i
+end
+)")
+                .find("division by zero"),
+            std::string::npos);
+}
+
+TEST(InterpFaults, StepBudgetStopsRunawayLoops) {
+  EXPECT_NE(runExpectFault(R"(
+program main
+10 continue
+  goto 10
+end
+)",
+                           1000)
+                .find("budget"),
+            std::string::npos);
+}
+
+TEST(InterpFaults, RunawayRecursionHitsDepthLimit) {
+  EXPECT_NE(runExpectFault(R"(
+program main
+  call f()
+end
+subroutine f()
+  call f()
+end
+)")
+                .find("depth"),
+            std::string::npos);
+}
+
+TEST(InterpFaults, SqrtOfNegative) {
+  EXPECT_NE(runExpectFault(R"(
+program main
+  x = sqrt(-1.0)
+end
+)")
+                .find("SQRT"),
+            std::string::npos);
+}
+
+TEST(InterpFaults, ZeroStepDoLoop) {
+  EXPECT_NE(runExpectFault(R"(
+program main
+  integer i, k
+  k = 0
+  do i = 1, 5, k
+  enddo
+end
+)")
+                .find("zero step"),
+            std::string::npos);
+}
+
+TEST(Interp, SimulatedCyclesScaleWithCostModel) {
+  const char *Src = R"(
+program main
+  integer i, s
+  do i = 1, 100
+    s = s + i
+  enddo
+  print s
+end
+)";
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = parseProgram(Src, Diags);
+  ASSERT_NE(P, nullptr) << Diags.str();
+
+  RunResult Fast = Interpreter(*P, CostModel::optimizing()).run();
+  RunResult Slow = Interpreter(*P, CostModel::nonOptimizing()).run();
+  ASSERT_TRUE(Fast.Ok && Slow.Ok);
+  EXPECT_EQ(Fast.StatementsExecuted, Slow.StatementsExecuted);
+  // The non-optimizing model is substantially slower (Table 1's
+  // optimization ON/OFF gap).
+  EXPECT_GT(Slow.Cycles, 2.0 * Fast.Cycles);
+}
+
+} // namespace

@@ -1,0 +1,187 @@
+//===--- tests/sampling_report_test.cpp - Sampling profiler & flat report -===//
+//
+// Section 3's comparison of profiler styles, quantified: the simulated
+// sampling profiler recovers relative *procedure* times well but is
+// useless for statement-level frequencies — the reason the paper builds
+// a counter-based profiler. Plus the gprof-style flat report derived
+// from the estimates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+
+#include "cost/Estimator.h"
+#include "cost/Report.h"
+#include "interp/Interpreter.h"
+#include "profile/SamplingProfile.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace ptran;
+using namespace ptran::testing;
+
+namespace {
+
+TEST(SamplingProfile, ClockMatchesInterpreter) {
+  std::unique_ptr<Program> Prog = parseWorkload(livermoreLoops());
+  CostModel CM = CostModel::optimizing();
+  SamplingProfile Sampler(CM, 1000.0);
+  Interpreter Interp(*Prog, CM);
+  Interp.addObserver(&Sampler);
+  RunResult R = Interp.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // The sampler accumulates the identical per-statement costs.
+  EXPECT_NEAR(Sampler.cycles(), R.Cycles, 1e-6 * R.Cycles);
+  EXPECT_NEAR(static_cast<double>(Sampler.totalSamples()),
+              R.Cycles / 1000.0, 1.5);
+}
+
+TEST(SamplingProfile, ProcedureFractionsTrackEstimatedSelfTime) {
+  std::unique_ptr<Program> Prog = parseWorkload(livermoreLoops());
+  DiagnosticEngine Diags;
+  CostModel CM = CostModel::optimizing();
+  auto Est = Estimator::create(*Prog, CM, Diags);
+  ASSERT_NE(Est, nullptr) << Diags.str();
+
+  SamplingProfile Sampler(CM, 500.0);
+  Interpreter Interp(*Prog, CM);
+  Interp.addObserver(&Est->runtimeMutable());
+  Interp.addObserver(&Sampler);
+  ASSERT_TRUE(Interp.run().Ok);
+
+  std::map<const Function *, Frequencies> Freqs;
+  for (const auto &F : Prog->functions())
+    Freqs[F.get()] =
+        computeFrequencies(Est->analysis().of(*F), Est->totalsFor(*F));
+  TimeAnalysis TA = TimeAnalysis::run(Est->analysis(), Freqs, CM);
+  std::vector<ProcedureReportRow> Rows =
+      buildProcedureReport(Est->analysis(), Freqs, TA);
+
+  // For every procedure: sampled fraction within a few points of the
+  // estimated self fraction ("an approximate but realistic measure of
+  // the relative execution time spent in each procedure").
+  for (const ProcedureReportRow &Row : Rows) {
+    const Function *F = Prog->findFunction(Row.Name);
+    ASSERT_NE(F, nullptr);
+    EXPECT_NEAR(Sampler.fractionIn(*F), Row.SelfFraction, 0.03)
+        << Row.Name;
+  }
+}
+
+TEST(SamplingProfile, TooCoarseForStatementFrequencies) {
+  // The paper's argument against sampling: with a realistic period, most
+  // executed statements receive no samples at all, so per-statement
+  // frequencies cannot be recovered.
+  std::unique_ptr<Program> Prog = parseWorkload(livermoreLoops());
+  DiagnosticEngine Diags;
+  auto PA = ProgramAnalysis::compute(*Prog, Diags);
+  ASSERT_NE(PA, nullptr) << Diags.str();
+  CostModel CM = CostModel::optimizing();
+
+  SamplingProfile Sampler(CM, 2000.0);
+  ExactProfile Exact(*PA);
+  Interpreter Interp(*Prog, CM);
+  Interp.addObserver(&Sampler);
+  Interp.addObserver(&Exact);
+  ASSERT_TRUE(Interp.run().Ok);
+
+  unsigned Executed = 0, Unsampled = 0;
+  for (const auto &F : Prog->functions())
+    for (StmtId S = 0; S < F->numStmts(); ++S) {
+      if (Exact.stmtCount(*F, S) == 0.0)
+        continue;
+      ++Executed;
+      Unsampled += Sampler.samplesAt(*F, S) == 0;
+    }
+  ASSERT_GT(Executed, 100u);
+  EXPECT_GT(static_cast<double>(Unsampled) / Executed, 0.5)
+      << "sampling unexpectedly covered most statements";
+}
+
+TEST(SamplingProfile, ResetClearsState) {
+  std::unique_ptr<Program> Prog = parseWorkload(livermoreLoops());
+  CostModel CM = CostModel::optimizing();
+  SamplingProfile Sampler(CM, 1000.0);
+  Interpreter Interp(*Prog, CM);
+  Interp.addObserver(&Sampler);
+  ASSERT_TRUE(Interp.run().Ok);
+  ASSERT_GT(Sampler.totalSamples(), 0u);
+  Sampler.reset();
+  EXPECT_EQ(Sampler.totalSamples(), 0u);
+  EXPECT_DOUBLE_EQ(Sampler.cycles(), 0.0);
+}
+
+TEST(ProcedureReport, Figure1FlatProfile) {
+  Figure1Program Fix = makeFigure1();
+  DiagnosticEngine Diags;
+  auto Est = Estimator::create(*Fix.Prog, CostModel::optimizing(), Diags);
+  ASSERT_NE(Est, nullptr) << Diags.str();
+  ASSERT_TRUE(Est->profiledRun().Ok);
+
+  std::map<const Function *, Frequencies> Freqs;
+  for (const auto &F : Fix.Prog->functions())
+    Freqs[F.get()] =
+        computeFrequencies(Est->analysis().of(*F), Est->totalsFor(*F));
+  TimeAnalysis TA = TimeAnalysis::run(Est->analysis(), Freqs,
+                                      CostModel::optimizing(),
+                                      figure3CostOptions());
+  std::vector<ProcedureReportRow> Rows =
+      buildProcedureReport(Est->analysis(), Freqs, TA);
+  ASSERT_EQ(Rows.size(), 2u);
+
+  // foo: 9 calls of 100 each, all self time — it dominates the profile.
+  EXPECT_EQ(Rows[0].Name, "foo");
+  EXPECT_DOUBLE_EQ(Rows[0].Calls, 9.0);
+  EXPECT_DOUBLE_EQ(Rows[0].TimePerCall, 100.0);
+  EXPECT_DOUBLE_EQ(Rows[0].SelfPerCall, 100.0);
+  EXPECT_DOUBLE_EQ(Rows[0].TotalSelf, 900.0);
+
+  // main: one call, TIME 920, self = the 20 cycles of IF tests.
+  EXPECT_EQ(Rows[1].Name, "main");
+  EXPECT_DOUBLE_EQ(Rows[1].Calls, 1.0);
+  EXPECT_DOUBLE_EQ(Rows[1].TimePerCall, 920.0);
+  EXPECT_DOUBLE_EQ(Rows[1].SelfPerCall, 20.0);
+  EXPECT_DOUBLE_EQ(Rows[1].TotalSelf, 20.0);
+  EXPECT_DOUBLE_EQ(Rows[1].StdDevPerCall, 300.0);
+
+  // Fractions sum to one; self times sum to the program total.
+  EXPECT_NEAR(Rows[0].SelfFraction + Rows[1].SelfFraction, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Rows[0].TotalSelf + Rows[1].TotalSelf, 920.0);
+
+  // The renderer produces a table containing both procedures.
+  std::string Text = formatProcedureReport(Rows);
+  EXPECT_NE(Text.find("foo"), std::string::npos);
+  EXPECT_NE(Text.find("920"), std::string::npos);
+}
+
+TEST(ProcedureReport, SelfTimesSumToProgramTimeOnWorkloads) {
+  for (const Workload *W : table1Workloads()) {
+    std::unique_ptr<Program> Prog = parseWorkload(*W);
+    DiagnosticEngine Diags;
+    auto Est = Estimator::create(*Prog, CostModel::optimizing(), Diags);
+    ASSERT_NE(Est, nullptr) << Diags.str();
+    ASSERT_TRUE(Est->profiledRun(W->MaxSteps).Ok);
+
+    std::map<const Function *, Frequencies> Freqs;
+    for (const auto &F : Prog->functions())
+      Freqs[F.get()] =
+          computeFrequencies(Est->analysis().of(*F), Est->totalsFor(*F));
+    TimeAnalysis TA = TimeAnalysis::run(Est->analysis(), Freqs,
+                                        CostModel::optimizing());
+    std::vector<ProcedureReportRow> Rows =
+        buildProcedureReport(Est->analysis(), Freqs, TA);
+
+    double SumSelf = 0.0;
+    for (const ProcedureReportRow &Row : Rows)
+      SumSelf += Row.TotalSelf;
+    // Total self time across procedures equals the program's TIME(START)
+    // (every cycle is some procedure's local work).
+    EXPECT_NEAR(SumSelf, TA.programTime(), 1e-6 * TA.programTime())
+        << W->Name;
+  }
+}
+
+} // namespace

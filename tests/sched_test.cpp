@@ -1,0 +1,176 @@
+//===--- tests/sched_test.cpp - Chunk scheduling tests --------------------===//
+//
+// The Kruskal-Weiss application of Section 5: the chunk-size formula's
+// limiting behaviour, the self-scheduling simulator, and the end-to-end
+// adviser driven by TIME/VAR analysis results.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+
+#include "cost/Estimator.h"
+#include "sched/ChunkScheduling.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace ptran;
+using namespace ptran::testing;
+
+namespace {
+
+TEST(KruskalWeiss, ZeroVarianceMeansOneChunkPerProcessor) {
+  EXPECT_EQ(kruskalWeissChunkSize(1000, 10, 5.0, 0.0, 2.0), 100u);
+  EXPECT_EQ(kruskalWeissChunkSize(1001, 10, 5.0, 0.0, 2.0), 101u);
+  EXPECT_EQ(kruskalWeissChunkSize(5, 10, 5.0, 0.0, 2.0), 1u);
+}
+
+TEST(KruskalWeiss, ChunkShrinksAsVarianceGrows) {
+  uint64_t Prev = kruskalWeissChunkSize(10000, 16, 10.0, 0.0, 4.0);
+  for (double Var : {0.5, 2.0, 8.0, 32.0, 128.0}) {
+    uint64_t K = kruskalWeissChunkSize(10000, 16, 10.0, Var, 4.0);
+    EXPECT_LE(K, Prev) << "variance " << Var;
+    EXPECT_GE(K, 1u);
+    Prev = K;
+  }
+  // Extreme variance approaches single-iteration chunks.
+  EXPECT_LE(kruskalWeissChunkSize(10000, 16, 10.0, 1e9, 4.0), 4u);
+}
+
+TEST(KruskalWeiss, ChunkGrowsWithOverhead) {
+  uint64_t Small = kruskalWeissChunkSize(10000, 16, 10.0, 25.0, 0.5);
+  uint64_t Large = kruskalWeissChunkSize(10000, 16, 10.0, 25.0, 50.0);
+  EXPECT_GT(Large, Small);
+}
+
+TEST(KruskalWeiss, SingleProcessorTakesEverything) {
+  EXPECT_EQ(kruskalWeissChunkSize(640, 1, 3.0, 100.0, 1.0), 640u);
+}
+
+TEST(ChunkSimulator, DeterministicWorkBalancesPerfectly) {
+  // 100 iterations of cost 2 on 4 processors, chunk 25, no overhead:
+  // makespan is exactly 50.
+  ChunkSimResult R = simulateChunkedLoop(100, 4, 25, 0.0,
+                                         [] { return 2.0; });
+  EXPECT_DOUBLE_EQ(R.Makespan, 50.0);
+  EXPECT_EQ(R.Chunks, 4u);
+  EXPECT_DOUBLE_EQ(R.TotalWork, 200.0);
+  EXPECT_DOUBLE_EQ(R.efficiency(4), 1.0);
+}
+
+TEST(ChunkSimulator, OverheadAccumulatesPerChunk) {
+  ChunkSimResult OneChunk =
+      simulateChunkedLoop(64, 1, 64, 10.0, [] { return 1.0; });
+  ChunkSimResult ManyChunks =
+      simulateChunkedLoop(64, 1, 1, 10.0, [] { return 1.0; });
+  EXPECT_DOUBLE_EQ(OneChunk.Makespan, 64.0 + 10.0);
+  EXPECT_DOUBLE_EQ(ManyChunks.Makespan, 64.0 + 64.0 * 10.0);
+}
+
+TEST(ChunkSimulator, HighVariancePrefersSmallChunks) {
+  // Bimodal iteration times: mostly cheap, occasionally very expensive.
+  // With N/P chunks one unlucky processor drags the makespan; smaller
+  // chunks rebalance. This is the paper's motivation for variance.
+  auto MakeDraw = [](uint64_t Seed) {
+    auto R = std::make_shared<Rng>(Seed);
+    return [R]() { return R->bernoulli(0.05) ? 200.0 : 1.0; };
+  };
+  const uint64_t N = 2000;
+  const unsigned P = 8;
+  const double Overhead = 0.5;
+
+  double BigAvg = 0.0, SmallAvg = 0.0;
+  for (uint64_t Trial = 0; Trial < 10; ++Trial) {
+    BigAvg += simulateChunkedLoop(N, P, N / P, Overhead,
+                                  MakeDraw(1000 + Trial))
+                  .Makespan;
+    SmallAvg += simulateChunkedLoop(N, P, 8, Overhead,
+                                    MakeDraw(1000 + Trial))
+                    .Makespan;
+  }
+  EXPECT_LT(SmallAvg, BigAvg);
+}
+
+TEST(ChunkSimulator, KruskalWeissChoiceIsCompetitive) {
+  // The KW chunk must not lose badly to either extreme.
+  const uint64_t N = 4000;
+  const unsigned P = 8;
+  const double Overhead = 2.0;
+  const double Mean = 1.0 + 0.05 * 200.0;
+  // Bimodal variance: p(1-p)(200-1)^2-ish.
+  const double Var = 0.05 * 0.95 * 199.0 * 199.0;
+  uint64_t K = kruskalWeissChunkSize(N, P, Mean, Var, Overhead);
+
+  auto MakeDraw = [](uint64_t Seed) {
+    auto R = std::make_shared<Rng>(Seed);
+    return [R]() { return R->bernoulli(0.05) ? 200.0 : 1.0; };
+  };
+  double Kw = 0.0, Huge = 0.0, Tiny = 0.0;
+  for (uint64_t Trial = 0; Trial < 10; ++Trial) {
+    Kw += simulateChunkedLoop(N, P, K, Overhead, MakeDraw(7 + Trial))
+              .Makespan;
+    Huge += simulateChunkedLoop(N, P, N / P, Overhead, MakeDraw(7 + Trial))
+                .Makespan;
+    Tiny += simulateChunkedLoop(N, P, 1, Overhead, MakeDraw(7 + Trial))
+                .Makespan;
+  }
+  EXPECT_LT(Kw, Huge * 1.02);
+  EXPECT_LT(Kw, Tiny * 1.02);
+}
+
+TEST(Adviser, PullsMomentsFromTimeAnalysis) {
+  // A parallel-ish loop whose body contains a branch: the adviser must
+  // report the branch-induced variance and a chunk below N/P; a
+  // branch-free loop of the same mean must get chunk N/P.
+  Program Prog;
+  DiagnosticEngine Diags;
+  FunctionBuilder B(Prog, "main", Diags);
+  VarId S = B.intVar("seed"), R = B.intVar("rnd"), A = B.intVar("acc");
+  VarId I = B.intVar("i"), J = B.intVar("j");
+  B.assign(S, B.lit(12345));
+
+  StmtId VarLoop = B.doLoop(I, B.lit(1), B.lit(64));
+  B.assign(S, B.intrinsic(Intrinsic::Mod,
+                          {B.add(B.mul(B.var(S), B.lit(1103)), B.lit(7919)),
+                           B.lit(100003)}));
+  B.assign(R, B.intrinsic(Intrinsic::Mod, {B.var(S), B.lit(100)}));
+  B.ifGoto(B.ge(B.var(R), B.lit(50)), 10);
+  // Expensive half.
+  for (int W = 0; W < 10; ++W)
+    B.assign(A, B.add(B.var(A), B.lit(W)));
+  B.label(10).cont();
+  B.endDo();
+
+  StmtId FlatLoop = B.doLoop(J, B.lit(1), B.lit(64));
+  for (int W = 0; W < 5; ++W)
+    B.assign(A, B.add(B.var(A), B.lit(W)));
+  B.endDo();
+  ASSERT_NE(B.finish(), nullptr) << Diags.str();
+
+  DiagnosticEngine Diags2;
+  auto Est = Estimator::create(Prog, CostModel::optimizing(), Diags2);
+  ASSERT_NE(Est, nullptr) << Diags2.str();
+  ASSERT_TRUE(Est->profiledRun().Ok);
+  TimeAnalysis TA = Est->analyze();
+
+  const Function *Main = Prog.entry();
+  const FunctionAnalysis &FA = Est->analysis().of(*Main);
+  FrequencyTotals Totals = Est->totalsFor(*Main);
+  Frequencies Freqs = computeFrequencies(FA, Totals);
+
+  const unsigned P = 8;
+  const double Overhead = 3.0;
+  LoopScheduleAdvice Branchy = adviseChunkSize(
+      TA, FA, Freqs, FA.cfg().nodeForStmt(VarLoop), P, Overhead);
+  LoopScheduleAdvice Flat = adviseChunkSize(
+      TA, FA, Freqs, FA.cfg().nodeForStmt(FlatLoop), P, Overhead);
+
+  EXPECT_NEAR(Branchy.TripCount, 64.0, 1e-9);
+  EXPECT_GT(Branchy.BodyVar, 0.0);
+  EXPECT_DOUBLE_EQ(Flat.BodyVar, 0.0);
+  EXPECT_EQ(Flat.Chunk, 8u); // N/P with zero variance.
+  EXPECT_LT(Branchy.Chunk, Flat.Chunk);
+  EXPECT_GE(Branchy.Chunk, 1u);
+}
+
+} // namespace

@@ -1,0 +1,210 @@
+//===--- tests/static_freq_test.cpp - Compile-time frequency analysis -----===//
+//
+// Section 3's "program analysis is feasible for only a few restricted
+// cases": constant-bound exit-free DO loops and compile-time IF
+// conditions are decided exactly; everything else falls back to explicit
+// heuristics; and the hybrid combination prefers the profile wherever one
+// exists. Plus the constant folder those cases rely on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+
+#include "cost/Estimator.h"
+#include "freq/StaticFrequencies.h"
+#include "ir/ConstFold.h"
+#include "parser/Parser.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace ptran;
+using namespace ptran::testing;
+
+namespace {
+
+TEST(ConstFold, FoldsLiteralTrees) {
+  Program P;
+  DiagnosticEngine Diags;
+  FunctionBuilder B(P, "main", Diags);
+  VarId X = B.intVar("x");
+
+  auto FoldI = [&](Expr *E) {
+    std::optional<FoldedValue> V = foldConstant(E);
+    EXPECT_TRUE(V.has_value());
+    return V ? V->I : int64_t(-999999);
+  };
+
+  EXPECT_EQ(FoldI(B.add(B.lit(2), B.mul(B.lit(3), B.lit(4)))), 14);
+  EXPECT_EQ(FoldI(B.intrinsic(Intrinsic::Mod, {B.lit(17), B.lit(5)})), 2);
+  EXPECT_EQ(FoldI(B.pow(B.lit(2), B.lit(8))), 256);
+
+  std::optional<FoldedValue> Cmp = foldConstant(B.lt(B.lit(1), B.lit(2)));
+  ASSERT_TRUE(Cmp.has_value());
+  EXPECT_TRUE(Cmp->asBool());
+  EXPECT_EQ(Cmp->Ty, Type::Logical);
+
+  std::optional<FoldedValue> Real =
+      foldConstant(B.intrinsic(Intrinsic::Sqrt, {B.lit(2.25)}));
+  ASSERT_TRUE(Real.has_value());
+  EXPECT_DOUBLE_EQ(Real->R, 1.5);
+
+  // Variables block folding; faulting folds return nullopt.
+  EXPECT_FALSE(foldConstant(B.add(B.var(X), B.lit(1))).has_value());
+  EXPECT_FALSE(foldConstant(B.div(B.lit(1), B.lit(0))).has_value());
+  EXPECT_FALSE(
+      foldConstant(B.intrinsic(Intrinsic::Sqrt, {B.lit(-1.0)})).has_value());
+
+  // Short-circuit folding decides even with an unfoldable right side.
+  std::optional<FoldedValue> Sc = foldConstant(
+      B.logicalAnd(B.lt(B.lit(2), B.lit(1)), B.lt(B.var(X), B.lit(5))));
+  ASSERT_TRUE(Sc.has_value());
+  EXPECT_FALSE(Sc->asBool());
+  B.cont();
+  B.finish();
+}
+
+TEST(StaticFrequenciesTest, ConstantProgramIsExactAndMatchesProfile) {
+  // Constant-trip DO nest + a compile-time IF: the static analysis must
+  // decide everything and agree with the profile perfectly.
+  const char *Src = R"(
+program main
+  integer i, j, s
+  s = 0
+  do 10 i = 1, 6
+    do 10 j = 1, 4
+      if (1 .lt. 2) s = s + 1
+10 continue
+end
+)";
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = parseProgram(Src, Diags);
+  ASSERT_NE(P, nullptr) << Diags.str();
+  auto Est = Estimator::create(*P, CostModel::optimizing(), Diags);
+  ASSERT_NE(Est, nullptr) << Diags.str();
+  ASSERT_TRUE(Est->profiledRun().Ok);
+
+  const Function *Main = P->entry();
+  const FunctionAnalysis &FA = Est->analysis().of(*Main);
+  StaticFrequencies Static = computeStaticFrequencies(FA);
+  EXPECT_DOUBLE_EQ(Static.exactFraction(), 1.0);
+
+  Frequencies Profiled =
+      computeFrequencies(FA, Est->totalsFor(*Main));
+  for (const ControlCondition &C : FA.cd().conditions())
+    EXPECT_NEAR(Static.Freqs.freqOf(C), Profiled.freqOf(C), 1e-9)
+        << cfgLabelName(C.Label);
+  for (NodeId N : FA.cd().topoOrder())
+    EXPECT_NEAR(Static.Freqs.NodeFreq[N], Profiled.NodeFreq[N], 1e-9);
+}
+
+TEST(StaticFrequenciesTest, HeuristicsFillTheUndecidable) {
+  Figure1Program Fix = makeFigure1();
+  DiagnosticEngine Diags;
+  auto PA = ProgramAnalysis::compute(*Fix.Prog, Diags);
+  ASSERT_NE(PA, nullptr) << Diags.str();
+  const FunctionAnalysis &FA = PA->of(*Fix.Main);
+
+  StaticFrequencyOptions Opts;
+  Opts.DefaultLoopFrequency = 10.0;
+  StaticFrequencies Static = computeStaticFrequencies(FA, Opts);
+
+  // The goto loop's frequency is a heuristic; START and pseudo edges are
+  // exact.
+  NodeId Ph = FA.ecfg().preheaderOf(FA.intervals().headers().at(0));
+  ControlCondition LoopCond{Ph, CfgLabel::U};
+  EXPECT_FALSE(Static.Exact.at(LoopCond));
+  EXPECT_DOUBLE_EQ(Static.Freqs.freqOf(LoopCond), 10.0);
+  EXPECT_TRUE(
+      Static.Exact.at({FA.ecfg().start(), CfgLabel::U}));
+  EXPECT_LT(Static.exactFraction(), 1.0);
+
+  // Branch heuristics are the configured default.
+  NodeId A = FA.cfg().nodeForStmt(Fix.A);
+  EXPECT_DOUBLE_EQ(Static.Freqs.freqOf({A, CfgLabel::T}), 0.5);
+  EXPECT_DOUBLE_EQ(Static.Freqs.freqOf({A, CfgLabel::F}), 0.5);
+}
+
+TEST(StaticFrequenciesTest, EstimateIsInTheBallparkOnLoops) {
+  // The Livermore suite is dominated by constant-trip DO nests, so the
+  // purely static estimate should land within a small factor of the
+  // profiled estimate.
+  std::unique_ptr<Program> P = parseWorkload(livermoreLoops());
+  DiagnosticEngine Diags;
+  auto Est = Estimator::create(*P, CostModel::optimizing(), Diags);
+  ASSERT_NE(Est, nullptr) << Diags.str();
+  RunResult R = Est->profiledRun();
+  ASSERT_TRUE(R.Ok);
+
+  CostModel CM = CostModel::optimizing();
+  std::map<const Function *, Frequencies> StaticFreqs, ProfFreqs;
+  for (const auto &F : P->functions()) {
+    const FunctionAnalysis &FA = Est->analysis().of(*F);
+    StaticFreqs[F.get()] = computeStaticFrequencies(FA).Freqs;
+    ProfFreqs[F.get()] = computeFrequencies(FA, Est->totalsFor(*F));
+  }
+  double StaticTime =
+      TimeAnalysis::run(Est->analysis(), StaticFreqs, CM).programTime();
+  double ProfTime =
+      TimeAnalysis::run(Est->analysis(), ProfFreqs, CM).programTime();
+  EXPECT_GT(StaticTime, 0.2 * ProfTime);
+  EXPECT_LT(StaticTime, 5.0 * ProfTime);
+}
+
+TEST(StaticFrequenciesTest, HybridPrefersTheProfile) {
+  // Two procedures; only one is ever called. The hybrid must use the
+  // profile for the executed one and the static estimate for the other.
+  const char *Src = R"(
+program main
+  integer n
+  n = 0
+  call hot(n)
+end
+subroutine hot(n)
+  integer n, i
+  do i = 1, 30
+    n = n + 1
+  enddo
+end
+subroutine cold(n)
+  integer n, i
+  do i = 1, 7
+    n = n + 1
+  enddo
+end
+)";
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = parseProgram(Src, Diags);
+  ASSERT_NE(P, nullptr) << Diags.str();
+  auto Est = Estimator::create(*P, CostModel::optimizing(), Diags);
+  ASSERT_NE(Est, nullptr) << Diags.str();
+  ASSERT_TRUE(Est->profiledRun().Ok);
+
+  const Function *Hot = P->findFunction("hot");
+  const Function *Cold = P->findFunction("cold");
+  const FunctionAnalysis &HotFA = Est->analysis().of(*Hot);
+  const FunctionAnalysis &ColdFA = Est->analysis().of(*Cold);
+
+  FrequencyTotals HotTotals = Est->totalsFor(*Hot);
+  FrequencyTotals ColdTotals = Est->totalsFor(*Cold);
+  StaticFrequencies HotStatic = computeStaticFrequencies(HotFA);
+  StaticFrequencies ColdStatic = computeStaticFrequencies(ColdFA);
+
+  Frequencies HotHybrid = hybridFrequencies(HotFA, HotStatic, &HotTotals);
+  Frequencies ColdHybrid =
+      hybridFrequencies(ColdFA, ColdStatic, &ColdTotals);
+
+  // hot was executed: hybrid == profile (loop frequency 31).
+  NodeId HotPh =
+      HotFA.ecfg().preheaderOf(HotFA.intervals().headers().at(0));
+  EXPECT_DOUBLE_EQ(HotHybrid.freqOf({HotPh, CfgLabel::U}), 31.0);
+  EXPECT_DOUBLE_EQ(HotHybrid.Invocations, 1.0);
+
+  // cold never ran: hybrid == static (its constant trip, 8, not zero).
+  NodeId ColdPh =
+      ColdFA.ecfg().preheaderOf(ColdFA.intervals().headers().at(0));
+  EXPECT_DOUBLE_EQ(ColdHybrid.freqOf({ColdPh, CfgLabel::U}), 8.0);
+  EXPECT_DOUBLE_EQ(ColdHybrid.Invocations, 1.0);
+}
+
+} // namespace

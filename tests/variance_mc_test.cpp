@@ -1,0 +1,259 @@
+//===--- tests/variance_mc_test.cpp - Monte-Carlo validation --------------===//
+//
+// Validates Sections 4-5 against simulation. For programs matching the
+// paper's statistical model — branches drawn independently, each branch
+// executing at most once per run — the analytic TIME(START) must equal
+// the mean simulated cycle count and VAR(START) the sample variance.
+//
+// Loops are the model's known coarse spot: the paper treats a DO header's
+// continue/exit test as an independent Bernoulli draw, so even a
+// compile-time-constant loop acquires variance. The second suite enables
+// the DeterministicDoHeaders extension, under which constant-trip loops
+// with deterministic bodies carry no variance and simulation matches
+// again.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cost/TimeAnalysis.h"
+#include "freq/Frequencies.h"
+#include "interp/Interpreter.h"
+#include "ir/Builder.h"
+#include "profile/ProfileRuntime.h"
+#include "support/Casting.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace ptran;
+
+namespace {
+
+struct McProgram {
+  std::unique_ptr<Program> Prog;
+  IntLiteral *SeedLit = nullptr;
+};
+
+/// Emits model-compatible program shapes: branch trees where every branch
+/// executes at most once per run, optional constant-trip loops with
+/// deterministic bodies, and at most one helper call.
+class McBuilder {
+public:
+  McBuilder(FunctionBuilder &B, Rng &Structure, VarId Seed, VarId Rnd,
+            VarId Acc, bool WithLoops)
+      : B(B), Structure(Structure), Seed(Seed), Rnd(Rnd), Acc(Acc),
+        WithLoops(WithLoops) {}
+
+  void advance() {
+    B.assign(Seed, B.intrinsic(Intrinsic::Mod,
+                               {B.add(B.mul(B.var(Seed), B.lit(1103)),
+                                      B.lit(7919)),
+                                B.lit(100003)}));
+    B.assign(Rnd, B.intrinsic(Intrinsic::Mod, {B.var(Seed), B.lit(10000)}));
+  }
+
+  void emitWork(int64_t Weight) {
+    for (int64_t I = 0; I < Weight; ++I)
+      B.assign(Acc, B.add(B.var(Acc), B.lit(I + 1)));
+  }
+
+  void emitConstLoop() {
+    VarId I = B.intVar("i" + std::to_string(NextVar++));
+    B.doLoop(I, B.lit(1), B.lit(Structure.uniformInt(2, 6)));
+    emitWork(Structure.uniformInt(1, 3));
+    B.endDo();
+  }
+
+  void emitIf(unsigned Depth, bool AllowCall) {
+    int Else = NextLabel++;
+    int End = NextLabel++;
+    int Percent = static_cast<int>(Structure.uniformInt(15, 85));
+    advance();
+    B.ifGoto(B.ge(B.var(Rnd), B.lit(Percent * 100)), Else);
+    emitRegion(Depth + 1, AllowCall);
+    B.gotoLabel(End);
+    B.label(Else).cont();
+    if (Structure.bernoulli(0.6))
+      emitRegion(Depth + 1, AllowCall);
+    B.label(End).cont();
+  }
+
+  void emitRegion(unsigned Depth, bool AllowCall) {
+    unsigned Parts = static_cast<unsigned>(Structure.uniformInt(1, 2));
+    bool SawBranch = false;
+    for (unsigned I = 0; I < Parts; ++I) {
+      double Roll = Structure.uniformReal();
+      if (Depth < 3 && (Roll < 0.55 || (Depth == 0 && !SawBranch))) {
+        emitIf(Depth, AllowCall);
+        SawBranch = true;
+      } else if (WithLoops && Roll < 0.75) {
+        emitConstLoop();
+      } else if (AllowCall && Roll < 0.85 && !CallEmitted) {
+        CallEmitted = true;
+        B.callSub("helper", {B.var(Seed), B.var(Rnd), B.var(Acc)});
+      } else {
+        emitWork(Structure.uniformInt(1, 4));
+      }
+    }
+  }
+
+private:
+  FunctionBuilder &B;
+  Rng &Structure;
+  VarId Seed, Rnd, Acc;
+  bool WithLoops;
+  int NextLabel = 10;
+  unsigned NextVar = 0;
+  bool CallEmitted = false;
+};
+
+McProgram makeMcProgram(uint64_t StructureSeed, bool WithLoops) {
+  Rng Structure(StructureSeed);
+  McProgram Out;
+  Out.Prog = std::make_unique<Program>();
+  DiagnosticEngine Diags;
+
+  {
+    FunctionBuilder B(*Out.Prog, "helper", Diags);
+    VarId S = B.intParam("seed");
+    VarId R = B.intParam("rnd");
+    VarId A = B.intParam("acc");
+    McBuilder Mc(B, Structure, S, R, A, WithLoops);
+    Mc.emitRegion(1, /*AllowCall=*/false);
+    EXPECT_NE(B.finish(), nullptr) << Diags.str();
+  }
+  {
+    FunctionBuilder B(*Out.Prog, "main", Diags);
+    VarId S = B.intVar("seed");
+    VarId R = B.intVar("rnd");
+    VarId A = B.intVar("acc");
+    Expr *SeedInit = B.lit(int64_t(1));
+    Out.SeedLit = cast<IntLiteral>(SeedInit);
+    B.assign(S, SeedInit);
+    B.assign(R, B.lit(0));
+    B.assign(A, B.lit(0));
+    McBuilder Mc(B, Structure, S, R, A, WithLoops);
+    Mc.emitRegion(0, /*AllowCall=*/true);
+    EXPECT_NE(B.finish(), nullptr) << Diags.str();
+  }
+  return Out;
+}
+
+void runMcValidation(uint64_t StructureSeed, bool WithLoops,
+                     TimeAnalysisOptions Opts) {
+  McProgram Mc = makeMcProgram(StructureSeed, WithLoops);
+  DiagnosticEngine Diags;
+  auto PA = ProgramAnalysis::compute(*Mc.Prog, Diags);
+  ASSERT_NE(PA, nullptr) << Diags.str();
+
+  CostModel CM = CostModel::optimizing();
+  ProgramPlan Plan = ProgramPlan::build(*PA, ProfileMode::Smart);
+  ProfileRuntime Runtime(*PA, Plan, CM);
+
+  constexpr unsigned Runs = 2000;
+  std::vector<double> Cycles;
+  Cycles.reserve(Runs);
+  Rng SeedGen(StructureSeed * 7919 + 17);
+  for (unsigned R = 0; R < Runs; ++R) {
+    Mc.SeedLit->setValue(SeedGen.uniformInt(1, 100002));
+    Interpreter Interp(*Mc.Prog, CM);
+    Interp.addObserver(&Runtime);
+    RunResult Result = Interp.run();
+    ASSERT_TRUE(Result.Ok) << Result.Error;
+    Cycles.push_back(Result.Cycles);
+  }
+
+  std::map<const Function *, Frequencies> Freqs;
+  for (const auto &F : Mc.Prog->functions()) {
+    FrequencyTotals Totals = Runtime.recover(*F);
+    ASSERT_TRUE(Totals.Ok);
+    Freqs[F.get()] = computeFrequencies(PA->of(*F), Totals);
+  }
+  TimeAnalysis TA = TimeAnalysis::run(*PA, Freqs, CM, Opts);
+
+  double Mean = 0.0;
+  for (double C : Cycles)
+    Mean += C;
+  Mean /= Runs;
+  double Var = 0.0;
+  for (double C : Cycles)
+    Var += (C - Mean) * (C - Mean);
+  Var /= (Runs - 1);
+
+  // The average is reproduced exactly (frequencies came from these runs).
+  EXPECT_NEAR(TA.programTime(), Mean, 1e-6 * std::max(1.0, Mean));
+
+  // The variance matches up to sampling noise; the margin is generous
+  // because the goal is catching systematic errors, not tail noise.
+  double Analytic = TA.functionVariance(*Mc.Prog->entry());
+  if (Var < 1e-9) {
+    EXPECT_NEAR(Analytic, 0.0, 1e-6);
+  } else {
+    EXPECT_GT(Analytic, 0.55 * Var) << "mean " << Mean;
+    EXPECT_LT(Analytic, 1.45 * Var) << "mean " << Mean;
+  }
+}
+
+class BranchMonteCarlo : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BranchMonteCarlo, PaperModelMatchesSimulation) {
+  // No loops: the paper's default model is exact up to sampling noise.
+  runMcValidation(GetParam(), /*WithLoops=*/false, TimeAnalysisOptions());
+}
+
+INSTANTIATE_TEST_SUITE_P(Structures, BranchMonteCarlo,
+                         ::testing::Range<uint64_t>(1, 16));
+
+class LoopMonteCarlo : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LoopMonteCarlo, DeterministicDoHeadersMatchSimulation) {
+  TimeAnalysisOptions Opts;
+  Opts.DeterministicDoHeaders = true;
+  runMcValidation(GetParam(), /*WithLoops=*/true, Opts);
+}
+
+INSTANTIATE_TEST_SUITE_P(Structures, LoopMonteCarlo,
+                         ::testing::Range<uint64_t>(1, 16));
+
+TEST(LoopVarianceModel, ConstantLoopCarriesModelVariance) {
+  // Paper-faithful behaviour: a constant-trip loop with a deterministic
+  // body still gets positive variance from the header's modelled branch
+  // draw; the DeterministicDoHeaders extension removes it.
+  Program Prog;
+  DiagnosticEngine Diags;
+  FunctionBuilder B(Prog, "main", Diags);
+  VarId A = B.intVar("acc");
+  VarId I = B.intVar("i");
+  B.assign(A, B.lit(0));
+  B.doLoop(I, B.lit(1), B.lit(10));
+  B.assign(A, B.add(B.var(A), B.lit(1)));
+  B.endDo();
+  ASSERT_NE(B.finish(), nullptr) << Diags.str();
+
+  auto PA = ProgramAnalysis::compute(Prog, Diags);
+  ASSERT_NE(PA, nullptr) << Diags.str();
+  CostModel CM = CostModel::optimizing();
+  ProgramPlan Plan = ProgramPlan::build(*PA, ProfileMode::Smart);
+  ProfileRuntime Runtime(*PA, Plan, CM);
+  Interpreter Interp(Prog, CM);
+  Interp.addObserver(&Runtime);
+  ASSERT_TRUE(Interp.run().Ok);
+
+  std::map<const Function *, Frequencies> Freqs;
+  const Function *Main = Prog.entry();
+  Freqs[Main] = computeFrequencies(PA->of(*Main), Runtime.recover(*Main));
+
+  TimeAnalysis Faithful = TimeAnalysis::run(*PA, Freqs, CM);
+  EXPECT_GT(Faithful.functionVariance(*Main), 0.0);
+
+  TimeAnalysisOptions Opts;
+  Opts.DeterministicDoHeaders = true;
+  TimeAnalysis Extended = TimeAnalysis::run(*PA, Freqs, CM, Opts);
+  EXPECT_DOUBLE_EQ(Extended.functionVariance(*Main), 0.0);
+
+  // Times are identical under both models.
+  EXPECT_DOUBLE_EQ(Faithful.programTime(), Extended.programTime());
+}
+
+} // namespace

@@ -1,0 +1,424 @@
+//===--- tools/ptran-estimate.cpp - Command-line estimation driver --------===//
+//
+// The whole framework behind one command:
+//
+//   ptran-estimate FILE.f [options]
+//   ptran-estimate --workload=loops|simple [options]
+//
+// Options:
+//   --runs=N                profiled runs to accumulate (default 1)
+//   --mode=smart|opt1+2|opt1|naive   counter placement (default smart)
+//   --cost=on|off           optimizing / non-optimizing cost model
+//   --loop-variance=zero|profiled|geometric|uniform
+//   --statements=PROC       per-statement FREQ/TIME/VAR table for PROC
+//   --annotate=PROC         annotated source listing for PROC
+//   --plan                  print the counter plans
+//   --sampling=PERIOD       also run a sampling profiler (cycles/sample)
+//   --chunk=P,OVERHEAD      Kruskal-Weiss advice for every DO loop
+//   --freq=profile|static|hybrid   frequency source (default profile)
+//   --check                 verify the Section 3 identities on the profile
+//   --dot=cfg|ecfg|fcdg     Graphviz of the entry procedure's graph
+//   --pdb=FILE              load/accumulate/save a program database
+//
+//===----------------------------------------------------------------------===//
+
+#include "cost/Estimator.h"
+#include "cost/Report.h"
+#include "freq/StaticFrequencies.h"
+#include "ir/Printer.h"
+#include "profile/ConsistencyCheck.h"
+#include "parser/Parser.h"
+#include "pdb/ProgramDatabase.h"
+#include "profile/SamplingProfile.h"
+#include "sched/ChunkScheduling.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+#include "workloads/Workloads.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+
+using namespace ptran;
+
+namespace {
+
+struct Options {
+  std::string InputFile;
+  std::string WorkloadName;
+  unsigned Runs = 1;
+  ProfileMode Mode = ProfileMode::Smart;
+  bool OptimizingCost = true;
+  LoopVarianceMode LoopVariance = LoopVarianceMode::Profiled;
+  std::string StatementsProc;
+  std::string AnnotateProc;
+  bool PrintPlan = false;
+  double SamplingPeriod = 0.0;
+  unsigned ChunkP = 0;
+  double ChunkOverhead = 0.0;
+  std::string Dot;
+  std::string PdbFile;
+  enum class FreqSource { Profile, Static, Hybrid } Freq = FreqSource::Profile;
+  bool Check = false;
+};
+
+[[noreturn]] void usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s FILE.f | --workload=loops|simple [options]\n"
+               "see the file header for the option list\n",
+               Argv0);
+  std::exit(1);
+}
+
+bool parseArgs(int Argc, char **Argv, Options &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&](const std::string &Prefix) -> std::string {
+      return Arg.substr(Prefix.size());
+    };
+    if (Arg.rfind("--workload=", 0) == 0) {
+      Opts.WorkloadName = toLower(Value("--workload="));
+    } else if (Arg.rfind("--runs=", 0) == 0) {
+      Opts.Runs = static_cast<unsigned>(std::atoi(Value("--runs=").c_str()));
+      if (Opts.Runs == 0)
+        return false;
+    } else if (Arg.rfind("--mode=", 0) == 0) {
+      std::string M = toLower(Value("--mode="));
+      if (M == "smart")
+        Opts.Mode = ProfileMode::Smart;
+      else if (M == "opt1+2" || M == "opt12")
+        Opts.Mode = ProfileMode::Opt12;
+      else if (M == "opt1")
+        Opts.Mode = ProfileMode::Opt1;
+      else if (M == "naive")
+        Opts.Mode = ProfileMode::Naive;
+      else
+        return false;
+    } else if (Arg.rfind("--cost=", 0) == 0) {
+      std::string C = toLower(Value("--cost="));
+      if (C == "on")
+        Opts.OptimizingCost = true;
+      else if (C == "off")
+        Opts.OptimizingCost = false;
+      else
+        return false;
+    } else if (Arg.rfind("--loop-variance=", 0) == 0) {
+      std::string V = toLower(Value("--loop-variance="));
+      if (V == "zero")
+        Opts.LoopVariance = LoopVarianceMode::Zero;
+      else if (V == "profiled")
+        Opts.LoopVariance = LoopVarianceMode::Profiled;
+      else if (V == "geometric")
+        Opts.LoopVariance = LoopVarianceMode::Geometric;
+      else if (V == "uniform")
+        Opts.LoopVariance = LoopVarianceMode::Uniform;
+      else
+        return false;
+    } else if (Arg.rfind("--statements=", 0) == 0) {
+      Opts.StatementsProc = Value("--statements=");
+    } else if (Arg.rfind("--annotate=", 0) == 0) {
+      Opts.AnnotateProc = Value("--annotate=");
+    } else if (Arg == "--plan") {
+      Opts.PrintPlan = true;
+    } else if (Arg.rfind("--sampling=", 0) == 0) {
+      Opts.SamplingPeriod = std::atof(Value("--sampling=").c_str());
+      if (Opts.SamplingPeriod <= 0.0)
+        return false;
+    } else if (Arg.rfind("--chunk=", 0) == 0) {
+      std::vector<std::string> Parts = split(Value("--chunk="), ',');
+      if (Parts.size() != 2)
+        return false;
+      Opts.ChunkP = static_cast<unsigned>(std::atoi(Parts[0].c_str()));
+      Opts.ChunkOverhead = std::atof(Parts[1].c_str());
+      if (Opts.ChunkP == 0)
+        return false;
+    } else if (Arg.rfind("--dot=", 0) == 0) {
+      Opts.Dot = toLower(Value("--dot="));
+      if (Opts.Dot != "cfg" && Opts.Dot != "ecfg" && Opts.Dot != "fcdg")
+        return false;
+    } else if (Arg.rfind("--freq=", 0) == 0) {
+      std::string V = toLower(Value("--freq="));
+      if (V == "profile")
+        Opts.Freq = Options::FreqSource::Profile;
+      else if (V == "static")
+        Opts.Freq = Options::FreqSource::Static;
+      else if (V == "hybrid")
+        Opts.Freq = Options::FreqSource::Hybrid;
+      else
+        return false;
+    } else if (Arg == "--check") {
+      Opts.Check = true;
+    } else if (Arg.rfind("--pdb=", 0) == 0) {
+      Opts.PdbFile = Value("--pdb=");
+    } else if (Arg.rfind("--", 0) == 0) {
+      return false;
+    } else if (Opts.InputFile.empty()) {
+      Opts.InputFile = Arg;
+    } else {
+      return false;
+    }
+  }
+  return !Opts.InputFile.empty() || !Opts.WorkloadName.empty();
+}
+
+std::unique_ptr<Program> loadProgram(const Options &Opts,
+                                     DiagnosticEngine &Diags) {
+  if (!Opts.WorkloadName.empty()) {
+    if (Opts.WorkloadName == "loops")
+      return parseWorkload(livermoreLoops());
+    if (Opts.WorkloadName == "simple")
+      return parseWorkload(simpleKernel());
+    std::fprintf(stderr, "unknown workload '%s' (use loops or simple)\n",
+                 Opts.WorkloadName.c_str());
+    return nullptr;
+  }
+  std::ifstream In(Opts.InputFile);
+  if (!In) {
+    std::fprintf(stderr, "cannot open %s\n", Opts.InputFile.c_str());
+    return nullptr;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  std::unique_ptr<Program> P = parseProgram(Buffer.str(), Diags);
+  if (!P)
+    std::fprintf(stderr, "parse failed:\n%s", Diags.str().c_str());
+  return P;
+}
+
+void printStatementTable(const Estimator &Est, const Function &F,
+                         const TimeAnalysis &TA) {
+  const FunctionAnalysis &FA = Est.analysis().of(F);
+  FrequencyTotals Totals = Est.totalsFor(F);
+  if (!Totals.Ok) {
+    std::fprintf(stderr,
+                 "no recoverable frequencies for %s (naive mode?)\n",
+                 F.name().c_str());
+    return;
+  }
+  Frequencies Freqs = computeFrequencies(FA, Totals);
+  TablePrinter T({"statement", "NODE_FREQ", "COST", "TIME", "VAR",
+                  "STD_DEV"});
+  for (StmtId S = 0; S < F.numStmts(); ++S) {
+    NodeId N = FA.cfg().nodeForStmt(S);
+    if (N == InvalidNode)
+      continue;
+    const NodeEstimates &E = TA.of(F, N);
+    T.addRow({printStmt(F, F.stmt(S)), formatDouble(Freqs.NodeFreq[N], 5),
+              formatDouble(E.Cost, 5), formatDouble(E.Time, 6),
+              formatDouble(E.Var, 6), formatDouble(E.StdDev, 5)});
+  }
+  std::printf("per-statement estimates for %s:\n%s\n", F.name().c_str(),
+              T.str().c_str());
+}
+
+void printChunkAdvice(const Estimator &Est, const TimeAnalysis &TA,
+                      unsigned P, double Overhead) {
+  TablePrinter T({"procedure", "DO loop", "trips", "E[body]", "VAR[body]",
+                  "KW chunk"});
+  for (const auto &F : Est.analysis().program().functions()) {
+    const FunctionAnalysis &FA = Est.analysis().of(*F);
+    FrequencyTotals Totals = Est.totalsFor(*F);
+    if (!Totals.Ok)
+      continue;
+    Frequencies Freqs = computeFrequencies(FA, Totals);
+    for (NodeId H : FA.intervals().headers()) {
+      StmtId S = FA.cfg().origin(H);
+      if (S == InvalidStmt || F->stmt(S)->kind() != StmtKind::DoStart)
+        continue;
+      LoopScheduleAdvice A = adviseChunkSize(TA, FA, Freqs, H, P, Overhead);
+      T.addRow({F->name(), printStmt(*F, F->stmt(S)),
+                formatDouble(A.TripCount, 5), formatDouble(A.BodyMean, 5),
+                formatDouble(A.BodyVar, 5), std::to_string(A.Chunk)});
+    }
+  }
+  std::printf("Kruskal-Weiss chunk advice (P=%u, overhead=%s):\n%s\n", P,
+              formatDouble(Overhead).c_str(), T.str().c_str());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    usage(Argv[0]);
+
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> Prog = loadProgram(Opts, Diags);
+  if (!Prog)
+    return 1;
+
+  CostModel CM = Opts.OptimizingCost ? CostModel::optimizing()
+                                     : CostModel::nonOptimizing();
+  std::unique_ptr<Estimator> Est =
+      Estimator::create(*Prog, CM, Diags, Opts.Mode);
+  if (!Est) {
+    std::fprintf(stderr, "analysis failed:\n%s", Diags.str().c_str());
+    return 1;
+  }
+
+  if (Opts.PrintPlan)
+    for (const auto &F : Prog->functions())
+      std::printf("%s\n",
+                  Est->plan().of(*F).str(Est->analysis().of(*F)).c_str());
+
+  if (!Opts.Dot.empty()) {
+    const FunctionAnalysis &FA = Est->analysis().of(*Prog->entry());
+    if (Opts.Dot == "fcdg") {
+      std::printf("%s\n",
+                  FA.cd()
+                      .dot(FA.ecfg().cfg(), Prog->entryName() + " fcdg")
+                      .c_str());
+    } else {
+      const Cfg &G = Opts.Dot == "cfg" ? FA.cfg() : FA.ecfg().cfg();
+      std::printf("%s\n",
+                  G.dot(Prog->entryName() + " " + Opts.Dot).c_str());
+    }
+  }
+
+  // Optional sampling profiler alongside the counter runtime.
+  std::unique_ptr<SamplingProfile> Sampler;
+  if (Opts.SamplingPeriod > 0.0)
+    Sampler = std::make_unique<SamplingProfile>(CM, Opts.SamplingPeriod);
+
+  double Cycles = 0.0;
+  for (unsigned R = 0; R < Opts.Runs; ++R) {
+    Interpreter Interp(*Prog, CM);
+    Interp.addObserver(&Est->runtimeMutable());
+    if (Sampler)
+      Interp.addObserver(Sampler.get());
+    RunResult Run = Interp.run();
+    if (!Run.Ok) {
+      std::fprintf(stderr, "run %u failed: %s\n", R + 1, Run.Error.c_str());
+      return 1;
+    }
+    Cycles += Run.Cycles;
+    if (R == 0 && !Run.Output.empty())
+      std::printf("program output:\n%s", Run.Output.c_str());
+  }
+  std::printf("%u run(s), %s simulated cycles total; profiling overhead "
+              "%s cycles (%u counters, %llu updates)\n\n",
+              Opts.Runs, formatDouble(Cycles).c_str(),
+              formatDouble(Est->runtime().overheadCycles()).c_str(),
+              Est->plan().totalCounters(),
+              static_cast<unsigned long long>(
+                  Est->runtime().dynamicIncrements() +
+                  Est->runtime().dynamicAdds()));
+
+  if (Sampler)
+    std::printf("%s\n", Sampler->report().c_str());
+
+  if (Opts.Mode == ProfileMode::Naive) {
+    std::printf("naive mode measures basic blocks only; rerun with "
+                "--mode=smart for estimates\n");
+    return 0;
+  }
+
+  if (Opts.Check) {
+    unsigned Issues = 0;
+    for (const auto &F : Prog->functions()) {
+      std::vector<std::string> Findings = checkFrequencyConsistency(
+          Est->analysis().of(*F), Est->totalsFor(*F));
+      for (const std::string &Finding : Findings) {
+        std::printf("consistency: %s\n", Finding.c_str());
+        ++Issues;
+      }
+    }
+    std::printf("consistency check: %u issue(s) across the Section 3 "
+                "identities\n\n",
+                Issues);
+  }
+
+  // Program-database round trip, if requested.
+  std::map<const Function *, Frequencies> Freqs;
+  if (!Opts.PdbFile.empty()) {
+    ProgramDatabase Db;
+    struct stat St;
+    if (::stat(Opts.PdbFile.c_str(), &St) == 0) {
+      auto Loaded = ProgramDatabase::loadFromFile(Opts.PdbFile, Diags);
+      if (Loaded)
+        Db = std::move(*Loaded);
+      else
+        std::fprintf(stderr, "ignoring unreadable program database:\n%s",
+                     Diags.str().c_str());
+    }
+    for (const auto &F : Prog->functions())
+      Db.accumulateTotals(Est->analysis().of(*F), Est->totalsFor(*F));
+    Db.noteRunCompleted();
+    if (!Db.saveToFile(Opts.PdbFile, Diags))
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+    else
+      std::printf("program database %s now covers %u accumulation(s)\n\n",
+                  Opts.PdbFile.c_str(), Db.runsRecorded());
+    for (const auto &F : Prog->functions()) {
+      FrequencyTotals T = Db.totalsFor(Est->analysis().of(*F));
+      Freqs[F.get()] = computeFrequencies(
+          Est->analysis().of(*F),
+          T.Ok ? T : Est->totalsFor(*F));
+    }
+  } else {
+    for (const auto &F : Prog->functions()) {
+      const FunctionAnalysis &FA = Est->analysis().of(*F);
+      switch (Opts.Freq) {
+      case Options::FreqSource::Profile:
+        Freqs[F.get()] = computeFrequencies(FA, Est->totalsFor(*F));
+        break;
+      case Options::FreqSource::Static:
+        Freqs[F.get()] = computeStaticFrequencies(FA).Freqs;
+        break;
+      case Options::FreqSource::Hybrid: {
+        FrequencyTotals T = Est->totalsFor(*F);
+        StaticFrequencies S = computeStaticFrequencies(FA);
+        Freqs[F.get()] = hybridFrequencies(FA, S, &T);
+        break;
+      }
+      }
+    }
+  }
+
+  TimeAnalysisOptions TAOpts;
+  TAOpts.LoopVariance = Opts.LoopVariance;
+  TAOpts.Stats = &Est->loopStats();
+  TimeAnalysis TA = TimeAnalysis::run(Est->analysis(), Freqs, CM, TAOpts);
+
+  std::printf("flat profile (estimated):\n%s\n",
+              formatProcedureReport(
+                  buildProcedureReport(Est->analysis(), Freqs, TA))
+                  .c_str());
+  std::printf("TIME(START)    = %s cycles\n",
+              formatDouble(TA.programTime(), 8).c_str());
+  std::printf("STD_DEV(START) = %s cycles\n",
+              formatDouble(TA.programStdDev(), 6).c_str());
+
+  if (!Opts.StatementsProc.empty()) {
+    const Function *F = Prog->findFunction(Opts.StatementsProc);
+    if (!F) {
+      std::fprintf(stderr, "no procedure named %s\n",
+                   Opts.StatementsProc.c_str());
+      return 1;
+    }
+    std::printf("\n");
+    printStatementTable(*Est, *F, TA);
+  }
+
+  if (!Opts.AnnotateProc.empty()) {
+    const Function *F = Prog->findFunction(Opts.AnnotateProc);
+    if (!F) {
+      std::fprintf(stderr, "no procedure named %s\n",
+                   Opts.AnnotateProc.c_str());
+      return 1;
+    }
+    std::printf("\n%s\n",
+                annotatedListing(Est->analysis().of(*F),
+                                 Est->totalsFor(*F), TA)
+                    .c_str());
+  }
+
+  if (Opts.ChunkP > 0) {
+    std::printf("\n");
+    printChunkAdvice(*Est, TA, Opts.ChunkP, Opts.ChunkOverhead);
+  }
+  return 0;
+}
