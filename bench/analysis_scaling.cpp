@@ -4,12 +4,16 @@
 // bottom-up traversal of the forward control dependence graph". This
 // binary measures how every pass scales with CFG size on generated loop
 // nests: CFG build, interval analysis, ECFG, control dependence, counter
-// planning and the TIME/VAR computation itself.
+// planning and the TIME/VAR computation itself — plus, on the
+// many-function synthetic workload, how the parallel drivers scale with
+// the worker count (1/2/4/8 jobs) while producing byte-identical
+// estimates.
 //
 //===----------------------------------------------------------------------===//
 
-#include "support/FatalError.h"
+#include "core/Analysis.h"
 #include "cost/TimeAnalysis.h"
+#include "support/FatalError.h"
 #include "freq/Frequencies.h"
 #include "profile/CounterPlan.h"
 #include "profile/Recovery.h"
@@ -18,7 +22,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 
 using namespace ptran;
 
@@ -104,6 +110,138 @@ void benchPlanAndSymbolicRecovery(benchmark::State &State) {
 }
 BENCHMARK(benchPlanAndSymbolicRecovery)->RangeMultiplier(4)->Range(4, 256);
 
+// Synthetic frequencies for a prepared program: every condition taken with
+// probability 0.5, loop frequencies 3; enough to drive the traversal.
+std::map<const Function *, Frequencies>
+syntheticFrequencies(const Program &Prog, const ProgramAnalysis &PA) {
+  std::map<const Function *, Frequencies> Freqs;
+  for (const auto &F : Prog.functions()) {
+    const FunctionAnalysis &FA = PA.of(*F);
+    FrequencyTotals Totals;
+    Totals.Ok = true;
+    for (const ControlCondition &C : FA.cd().conditions()) {
+      double V = 1.0;
+      if (C.Label == CfgLabel::Z)
+        V = 0.0;
+      else if (FA.ecfg().headerOf(C.Node) != InvalidNode)
+        V = 3.0;
+      Totals.Cond[C] = V;
+    }
+    Totals.Cond[{FA.ecfg().start(), CfgLabel::U}] = 1.0;
+    Totals.Node = nodeTotalsFromConds(FA, Totals.Cond);
+    Freqs[F.get()] = computeFrequencies(FA, Totals);
+  }
+  return Freqs;
+}
+
+// Fan the per-function pipeline out across State.range(1) workers on a
+// many-function program of State.range(0) procedures.
+void benchParallelPipeline(benchmark::State &State) {
+  unsigned Funcs = static_cast<unsigned>(State.range(0));
+  unsigned Jobs = static_cast<unsigned>(State.range(1));
+  std::unique_ptr<Program> Prog = makeManyFunctionProgram(Funcs, 3);
+  AnalysisOptions Opts;
+  Opts.Jobs = Jobs;
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto PA = ProgramAnalysis::compute(*Prog, Diags, Opts);
+    benchmark::DoNotOptimize(PA.get());
+  }
+  State.counters["jobs"] = Jobs;
+}
+BENCHMARK(benchParallelPipeline)
+    ->ArgsProduct({{256}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// SCC-wave interprocedural pass across State.range(1) workers.
+void benchParallelTimeAnalysis(benchmark::State &State) {
+  unsigned Funcs = static_cast<unsigned>(State.range(0));
+  unsigned Jobs = static_cast<unsigned>(State.range(1));
+  std::unique_ptr<Program> Prog = makeManyFunctionProgram(Funcs, 3);
+  DiagnosticEngine Diags;
+  auto PA = ProgramAnalysis::compute(*Prog, Diags);
+  if (!PA || !PA->allOk())
+    reportFatalError("analysis failed for many-function program");
+  std::map<const Function *, Frequencies> Freqs =
+      syntheticFrequencies(*Prog, *PA);
+  CostModel CM = CostModel::optimizing();
+  TimeAnalysisOptions Opts;
+  Opts.Jobs = Jobs;
+  for (auto _ : State) {
+    TimeAnalysis TA = TimeAnalysis::run(*PA, Freqs, CM, Opts);
+    benchmark::DoNotOptimize(TA.programTime());
+  }
+  State.counters["jobs"] = Jobs;
+}
+BENCHMARK(benchParallelTimeAnalysis)
+    ->ArgsProduct({{256}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Wall-clock speedup table for the full parallel pipeline (analysis +
+// TIME/VAR) on the many-function workload, with a bit-for-bit equality
+// check of every function's TIME/VAR against the serial run.
+void printParallelSpeedupTable() {
+  constexpr unsigned Funcs = 255;
+  std::unique_ptr<Program> Prog = makeManyFunctionProgram(Funcs, 3);
+  CostModel CM = CostModel::optimizing();
+
+  auto RunOnce = [&](unsigned Jobs) {
+    DiagnosticEngine Diags;
+    AnalysisOptions AOpts;
+    AOpts.Jobs = Jobs;
+    auto Start = std::chrono::steady_clock::now();
+    auto PA = ProgramAnalysis::compute(*Prog, Diags, AOpts);
+    if (!PA || !PA->allOk())
+      reportFatalError("analysis failed for many-function program");
+    std::map<const Function *, Frequencies> Freqs =
+        syntheticFrequencies(*Prog, *PA);
+    TimeAnalysisOptions TAOpts;
+    TAOpts.Jobs = Jobs;
+    TimeAnalysis TA = TimeAnalysis::run(*PA, Freqs, CM, TAOpts);
+    auto End = std::chrono::steady_clock::now();
+    std::vector<double> Estimates;
+    for (const auto &F : Prog->functions()) {
+      Estimates.push_back(TA.functionTime(*F));
+      Estimates.push_back(TA.functionVariance(*F));
+    }
+    return std::pair(std::chrono::duration<double>(End - Start).count(),
+                     std::move(Estimates));
+  };
+
+  // Warm up allocators etc., then take the best of 3 per job count.
+  RunOnce(1);
+  std::printf("=== Parallel pipeline speedup (%u functions, depth 3) ===\n",
+              Funcs);
+  TablePrinter T({"jobs", "wall [ms]", "speedup vs 1", "output"});
+  std::vector<double> Reference;
+  double Serial = 0.0;
+  for (unsigned Jobs : {1u, 2u, 4u, 8u}) {
+    double Best = 1e100;
+    std::vector<double> Estimates;
+    for (int Rep = 0; Rep < 3; ++Rep) {
+      auto [Secs, Est] = RunOnce(Jobs);
+      Best = std::min(Best, Secs);
+      Estimates = std::move(Est);
+    }
+    if (Jobs == 1) {
+      Serial = Best;
+      Reference = Estimates;
+    }
+    bool Identical =
+        Estimates.size() == Reference.size() &&
+        std::memcmp(Estimates.data(), Reference.data(),
+                    Estimates.size() * sizeof(double)) == 0;
+    char Wall[32], Speedup[32];
+    std::snprintf(Wall, sizeof(Wall), "%.2f", Best * 1e3);
+    std::snprintf(Speedup, sizeof(Speedup), "%.2fx", Serial / Best);
+    T.addRow({std::to_string(Jobs), Wall, Speedup,
+              Identical ? "identical" : "DIFFERS"});
+  }
+  std::printf("%s\n", T.str().c_str());
+}
+
 void printStaticScalingTable() {
   std::printf("=== Ablation A2: representation sizes vs program size ===\n");
   TablePrinter T({"units", "stmts", "ecfg nodes", "fcdg edges",
@@ -126,6 +264,7 @@ void printStaticScalingTable() {
 
 int main(int Argc, char **Argv) {
   printStaticScalingTable();
+  printParallelSpeedupTable();
   benchmark::Initialize(&Argc, Argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

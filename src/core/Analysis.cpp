@@ -3,6 +3,9 @@
 #include "core/Analysis.h"
 
 #include "support/FatalError.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
 
 using namespace ptran;
 
@@ -31,18 +34,54 @@ ProgramAnalysis::compute(const Program &P, DiagnosticEngine &Diags,
                          const AnalysisOptions &Opts) {
   auto PA = std::unique_ptr<ProgramAnalysis>(new ProgramAnalysis());
   PA->P = &P;
-  for (const auto &F : P.functions()) {
-    auto FA = FunctionAnalysis::compute(*F, Diags, Opts);
-    if (!FA)
-      return nullptr;
-    PA->PerFunction.emplace(F.get(), std::move(FA));
+
+  const auto &Funcs = P.functions();
+  std::vector<std::unique_ptr<FunctionAnalysis>> Results(Funcs.size());
+  // One engine per task: workers never contend, and merging the locals in
+  // program order below makes the diagnostic stream independent of Jobs.
+  std::vector<DiagnosticEngine> Local(Funcs.size());
+
+  unsigned Jobs =
+      std::min<size_t>(ThreadPool::resolveJobs(Opts.Jobs), Funcs.size());
+  if (Jobs <= 1) {
+    for (size_t I = 0; I < Funcs.size(); ++I)
+      Results[I] = FunctionAnalysis::compute(*Funcs[I], Local[I], Opts);
+  } else {
+    ThreadPool Pool(Jobs);
+    std::vector<std::future<void>> Futures;
+    Futures.reserve(Funcs.size());
+    for (size_t I = 0; I < Funcs.size(); ++I)
+      Futures.push_back(Pool.submit([&Funcs, &Results, &Local, &Opts, I] {
+        Results[I] = FunctionAnalysis::compute(*Funcs[I], Local[I], Opts);
+      }));
+    waitAll(Futures);
+  }
+
+  for (size_t I = 0; I < Funcs.size(); ++I) {
+    Diags.append(std::move(Local[I]));
+    if (Results[I])
+      PA->PerFunction.emplace(Funcs[I].get(), std::move(Results[I]));
+    else
+      PA->Failures.push_back(Funcs[I].get());
   }
   return PA;
 }
 
 const FunctionAnalysis &ProgramAnalysis::of(const Function &F) const {
   auto It = PerFunction.find(&F);
-  if (It == PerFunction.end())
+  if (It == PerFunction.end()) {
+    if (failed(F))
+      reportFatalError("analysis failed for function " + F.name());
     reportFatalError("no analysis for function " + F.name());
+  }
   return *It->second;
+}
+
+const FunctionAnalysis *ProgramAnalysis::tryOf(const Function &F) const {
+  auto It = PerFunction.find(&F);
+  return It == PerFunction.end() ? nullptr : It->second.get();
+}
+
+bool ProgramAnalysis::failed(const Function &F) const {
+  return std::find(Failures.begin(), Failures.end(), &F) != Failures.end();
 }

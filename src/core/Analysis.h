@@ -24,6 +24,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <vector>
 
 namespace ptran {
 
@@ -32,6 +33,13 @@ struct AnalysisOptions {
   /// Fold GOTO statements into edges first (recovers the compact CFGs the
   /// paper draws; on by default).
   bool ElideGotos = true;
+  /// Worker threads for ProgramAnalysis::compute. Functions are analyzed
+  /// independently, so the fan-out is embarrassingly parallel; each task
+  /// reports into its own DiagnosticEngine and the locals are merged back
+  /// in program order, so results and diagnostics are bit-for-bit
+  /// identical for every value. 1 = serial (the historical driver);
+  /// 0 = hardware concurrency.
+  unsigned Jobs = 1;
 };
 
 /// All derived representations of one function.
@@ -62,13 +70,30 @@ private:
 /// FunctionAnalysis for every procedure of a program.
 class ProgramAnalysis {
 public:
-  /// Analyzes all procedures. Fails (null) if any function fails.
+  /// Analyzes all procedures (across Opts.Jobs worker threads). Always
+  /// returns a bundle: functions whose analysis fails (e.g. irreducible
+  /// control flow) are recorded in failures() with their diagnostics in
+  /// \p Diags, while every other function stays usable — callers decide
+  /// whether partial coverage is acceptable via allOk().
   static std::unique_ptr<ProgramAnalysis>
   compute(const Program &P, DiagnosticEngine &Diags,
           const AnalysisOptions &Opts = AnalysisOptions());
 
   const Program &program() const { return *P; }
+  /// Analysis of \p F. Fatal-errors if \p F failed analysis or was never
+  /// part of the program (with distinct messages for the two cases); use
+  /// tryOf() to probe.
   const FunctionAnalysis &of(const Function &F) const;
+  /// Analysis of \p F, or null if \p F failed analysis or is unknown.
+  const FunctionAnalysis *tryOf(const Function &F) const;
+
+  /// True if every function of the program was analyzed successfully.
+  bool allOk() const { return Failures.empty(); }
+  /// True if \p F was seen but its analysis failed.
+  bool failed(const Function &F) const;
+  /// The functions whose analysis failed, in program order.
+  const std::vector<const Function *> &failures() const { return Failures; }
+
   const std::map<const Function *, std::unique_ptr<FunctionAnalysis>> &
   all() const {
     return PerFunction;
@@ -77,6 +102,7 @@ public:
 private:
   const Program *P = nullptr;
   std::map<const Function *, std::unique_ptr<FunctionAnalysis>> PerFunction;
+  std::vector<const Function *> Failures;
 };
 
 } // namespace ptran

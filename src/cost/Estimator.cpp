@@ -9,17 +9,24 @@ using namespace ptran;
 std::unique_ptr<Estimator> Estimator::create(const Program &P,
                                              const CostModel &CM,
                                              DiagnosticEngine &Diags,
-                                             ProfileMode Mode) {
+                                             ProfileMode Mode,
+                                             unsigned Jobs) {
   auto Est = std::unique_ptr<Estimator>(new Estimator());
   Est->P = &P;
   Est->CM = CM;
-  Est->PA = ProgramAnalysis::compute(P, Diags);
-  if (!Est->PA)
+  Est->Jobs = Jobs;
+  AnalysisOptions Opts;
+  Opts.Jobs = Jobs;
+  Est->PA = ProgramAnalysis::compute(P, Diags, Opts);
+  // The estimation pipeline needs every procedure (counter plans, the
+  // interpreter and the interprocedural pass span the whole program), so
+  // a partial analysis is a hard failure here.
+  if (!Est->PA || !Est->PA->allOk())
     return nullptr;
-  AnalysisOptions Raw;
+  AnalysisOptions Raw = Opts;
   Raw.ElideGotos = false;
   Est->RawPA = ProgramAnalysis::compute(P, Diags, Raw);
-  if (!Est->RawPA)
+  if (!Est->RawPA || !Est->RawPA->allOk())
     return nullptr;
   Est->Plan = ProgramPlan::build(*Est->PA, Mode);
   Est->Runtime = std::make_unique<ProfileRuntime>(*Est->PA, Est->Plan, CM);
@@ -37,6 +44,8 @@ RunResult Estimator::profiledRun(uint64_t MaxSteps) {
 TimeAnalysis Estimator::analyze(TimeAnalysisOptions Opts) {
   if (Opts.LoopVariance == LoopVarianceMode::Profiled && !Opts.Stats)
     Opts.Stats = Stats.get();
+  if (Opts.Jobs == 1)
+    Opts.Jobs = Jobs;
 
   std::map<const Function *, Frequencies> Freqs;
   for (const auto &F : P->functions()) {

@@ -29,10 +29,12 @@ class Estimator {
 public:
   /// Analyzes \p P (which must outlive the estimator). Returns null on
   /// analysis failure (e.g. irreducible control flow), reported to
-  /// \p Diags.
+  /// \p Diags. \p Jobs is the worker-thread count for the per-function
+  /// analysis fan-out and the interprocedural pass (1 = serial,
+  /// 0 = hardware concurrency); every value computes identical results.
   static std::unique_ptr<Estimator>
   create(const Program &P, const CostModel &CM, DiagnosticEngine &Diags,
-         ProfileMode Mode = ProfileMode::Smart);
+         ProfileMode Mode = ProfileMode::Smart, unsigned Jobs = 1);
 
   /// Runs the program once with profiling attached, accumulating counter
   /// values and loop-frequency moments. \returns the interpreter result.
@@ -41,7 +43,8 @@ public:
   /// Recovers totals and frequencies for every function from the counters
   /// accumulated so far, then runs the time/variance analysis.
   /// \p Opts.Stats is filled in automatically when LoopVariance ==
-  /// Profiled and no stats were supplied.
+  /// Profiled and no stats were supplied; \p Opts.Jobs defaults to the
+  /// estimator's job count unless the caller overrides it.
   TimeAnalysis analyze(TimeAnalysisOptions Opts = TimeAnalysisOptions());
 
   const ProgramAnalysis &analysis() const { return *PA; }
@@ -61,6 +64,7 @@ private:
 
   const Program *P = nullptr;
   CostModel CM;
+  unsigned Jobs = 1;
   std::unique_ptr<ProgramAnalysis> PA;
   /// Goto-preserving analysis for run-time loop tracking.
   std::unique_ptr<ProgramAnalysis> RawPA;

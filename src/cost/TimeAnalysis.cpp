@@ -5,7 +5,9 @@
 #include "graph/Scc.h"
 #include "support/Casting.h"
 #include "support/FatalError.h"
+#include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -24,7 +26,7 @@ std::vector<NodeEstimates>
 computeFunction(const FunctionAnalysis &FA, const Frequencies &Freqs,
                 const CostModel &CM, const TimeAnalysisOptions &Opts,
                 const std::map<const Function *, ProcedureSummary> &Callees,
-                const Program &Prog) {
+                const Program &Prog, ThreadSafeDiagnostics *Unresolved) {
   const ControlDependence &CD = FA.cd();
   const Ecfg &E = FA.ecfg();
   const Cfg &C = E.cfg();
@@ -55,6 +57,12 @@ computeFunction(const FunctionAnalysis &FA, const Frequencies &Freqs,
         Cost += It->second.Time;
         if (Opts.PropagateCalleeVariance)
           VarCost = It->second.Var;
+      } else if (Unresolved) {
+        // An external/undefined procedure contributes zero callee time;
+        // say so (once per callee) instead of silently underestimating.
+        Unresolved->warningOnce("call to unresolved procedure '" +
+                                Call->callee() +
+                                "' contributes zero callee time");
       }
     }
   };
@@ -160,10 +168,14 @@ TimeAnalysis TimeAnalysis::run(
   TimeAnalysis Out;
   Out.PA = &PA;
 
-  // Call graph over the program's functions.
+  // Call graph over the program's analyzed functions. Functions whose
+  // analysis failed are skipped; calls into them surface through the
+  // unresolved-callee diagnostics below.
   std::vector<const Function *> Funcs;
   std::map<const Function *, NodeId> Index;
   for (const auto &F : Prog.functions()) {
+    if (!PA.tryOf(*F))
+      continue;
     Index[F.get()] = static_cast<NodeId>(Funcs.size());
     Funcs.push_back(F.get());
   }
@@ -172,10 +184,23 @@ TimeAnalysis TimeAnalysis::run(
     for (StmtId S = 0; S < F->numStmts(); ++S)
       if (const auto *Call = dyn_cast<CallStmt>(F->stmt(S)))
         if (const Function *Callee = Prog.findFunction(Call->callee()))
-          CallGraph.addEdge(Index[F], Index[Callee], 0);
+          if (Index.count(Callee))
+            CallGraph.addEdge(Index[F], Index[Callee], 0);
 
   SccResult Sccs = computeSccs(CallGraph);
   std::map<const Function *, ProcedureSummary> Summaries;
+
+  // Pre-insert every summary and estimate slot: concurrent waves then only
+  // ever write through stable references to distinct entries, never mutate
+  // the map structure. The zero-valued initial summaries double as the
+  // starting point of the recursion fixpoint (the paper defers recursion;
+  // see DESIGN.md).
+  for (const Function *F : Funcs) {
+    Summaries[F];
+    Out.PerFunction[F];
+  }
+
+  ThreadSafeDiagnostics Unresolved;
 
   auto FreqsOf = [&](const Function *F) -> const Frequencies & {
     auto It = FreqsByFunction.find(F);
@@ -186,30 +211,68 @@ TimeAnalysis TimeAnalysis::run(
 
   auto Recompute = [&](const Function *F) {
     const FunctionAnalysis &FA = PA.of(*F);
-    std::vector<NodeEstimates> Est =
-        computeFunction(FA, FreqsOf(F), CM, Opts, Summaries, Prog);
+    std::vector<NodeEstimates> Est = computeFunction(
+        FA, FreqsOf(F), CM, Opts, Summaries, Prog, &Unresolved);
     NodeId Start = FA.ecfg().start();
-    Summaries[F] = {Est[Start].Time, Est[Start].Var};
-    Out.PerFunction[F] = std::move(Est);
+    Summaries.find(F)->second = {Est[Start].Time, Est[Start].Var};
+    Out.PerFunction.find(F)->second = std::move(Est);
   };
 
-  // Components come callees-first from Tarjan.
+  // Condensation waves: a component is schedulable once every callee
+  // component has completed. Tarjan numbers components callees-first, so
+  // one ascending sweep assigns wave indices.
+  std::vector<bool> Cyclic(Sccs.numComponents(), false);
+  std::vector<unsigned> WaveOf(Sccs.numComponents(), 0);
+  unsigned NumWaves = Sccs.numComponents() == 0 ? 0 : 1;
   for (unsigned Comp = 0; Comp < Sccs.numComponents(); ++Comp) {
+    Cyclic[Comp] = Sccs.isInCycle(CallGraph, Sccs.Members[Comp].front());
+    Out.Recursive = Out.Recursive || Cyclic[Comp];
+    for (NodeId M : Sccs.Members[Comp])
+      for (NodeId Succ : CallGraph.successors(M)) {
+        unsigned Callee = Sccs.Component[Succ];
+        if (Callee != Comp)
+          WaveOf[Comp] = std::max(WaveOf[Comp], WaveOf[Callee] + 1);
+      }
+    NumWaves = std::max(NumWaves, WaveOf[Comp] + 1);
+  }
+  std::vector<std::vector<unsigned>> Waves(NumWaves);
+  for (unsigned Comp = 0; Comp < Sccs.numComponents(); ++Comp)
+    Waves[WaveOf[Comp]].push_back(Comp);
+
+  // One component is one task: an acyclic component is a single function
+  // evaluation; a recursive cycle keeps its serial fixpoint ordering
+  // inside the task. Cross-component summary reads only cross wave
+  // barriers, so every job count computes identical numbers.
+  auto EvalComponent = [&](unsigned Comp) {
     const std::vector<NodeId> &Members = Sccs.Members[Comp];
-    bool Cyclic = Sccs.isInCycle(CallGraph, Members.front());
-    if (!Cyclic) {
+    if (!Cyclic[Comp]) {
       Recompute(Funcs[Members.front()]);
-      continue;
+      return;
     }
-    // Recursive cycle: fixed-point iteration, starting from zero-cost
-    // recursive calls (the paper defers recursion; see DESIGN.md).
-    Out.Recursive = true;
-    for (NodeId M : Members)
-      Summaries[Funcs[M]] = {0.0, 0.0};
     for (unsigned Iter = 0; Iter < Opts.RecursionIterations; ++Iter)
       for (NodeId M : Members)
         Recompute(Funcs[M]);
+  };
+
+  ThreadPool Pool(std::min<size_t>(ThreadPool::resolveJobs(Opts.Jobs),
+                                   Funcs.size()));
+  for (const std::vector<unsigned> &WaveComps : Waves) {
+    if (Pool.workerCount() == 0 || WaveComps.size() == 1) {
+      for (unsigned Comp : WaveComps)
+        EvalComponent(Comp);
+      continue;
+    }
+    std::vector<std::future<void>> Futures;
+    Futures.reserve(WaveComps.size());
+    for (unsigned Comp : WaveComps)
+      Futures.push_back(Pool.submit([&EvalComponent, Comp] {
+        EvalComponent(Comp);
+      }));
+    waitAll(Futures);
   }
+
+  if (Opts.Diags)
+    Unresolved.drainTo(*Opts.Diags);
 
   return Out;
 }

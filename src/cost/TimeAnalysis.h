@@ -67,6 +67,17 @@ struct TimeAnalysisOptions {
   bool DeterministicDoHeaders = false;
   /// Fixed-point iterations for recursive call-graph cycles.
   unsigned RecursionIterations = 16;
+  /// Worker threads for the interprocedural pass. The call graph is
+  /// condensed with Tarjan's SCCs, the condensation is ordered into
+  /// topological waves, and every SCC of a wave is evaluated concurrently
+  /// (recursive SCCs keep their serial fixpoint within the wave). All
+  /// cross-SCC reads happen at wave barriers, so results are bit-for-bit
+  /// identical for every value. 1 = serial; 0 = hardware concurrency.
+  unsigned Jobs = 1;
+  /// Optional sink for analysis warnings: calls whose callee is undefined
+  /// (or otherwise unsummarized) contribute zero time, and are reported
+  /// here once per callee instead of being silently dropped.
+  DiagnosticEngine *Diags = nullptr;
 };
 
 /// Per-node estimation results (the [...] tuples of Figure 3).

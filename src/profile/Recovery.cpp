@@ -2,16 +2,25 @@
 
 #include "profile/Recovery.h"
 
-#include <cassert>
-#include <cmath>
+#include <string>
 
 using namespace ptran;
 
 FrequencyTotals ptran::recoverTotals(const FunctionAnalysis &FA,
                                      const FunctionPlan &Plan,
-                                     const std::vector<double> &Counters) {
-  assert(Counters.size() == Plan.numCounters() &&
-         "counter vector does not match the plan");
+                                     const std::vector<double> &Counters,
+                                     DiagnosticEngine *Diags) {
+  // Explicit validation (not just an assert, which compiles out in release
+  // builds): a mismatched vector would index out of bounds below.
+  if (Counters.size() != Plan.numCounters()) {
+    if (Diags)
+      Diags->error("counter vector for " + FA.function().name() + " has " +
+                   std::to_string(Counters.size()) + " entries, plan expects " +
+                   std::to_string(Plan.numCounters()));
+    FrequencyTotals Bad;
+    Bad.Ok = false;
+    return Bad;
+  }
   if (Plan.mode() == ProfileMode::Naive) {
     // Naive plans measure basic blocks, not conditions; nothing to solve.
     FrequencyTotals Empty;

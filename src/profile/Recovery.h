@@ -45,10 +45,14 @@ struct FrequencyTotals {
 };
 
 /// Recovers all totals from \p Counters (the function's local counter
-/// values, Plan.numCounters() of them).
+/// values, Plan.numCounters() of them). A counter vector that does not
+/// match the plan's size (e.g. a stale program database) yields
+/// FrequencyTotals{Ok = false} and a diagnostic on \p Diags instead of an
+/// out-of-bounds read.
 FrequencyTotals recoverTotals(const FunctionAnalysis &FA,
                               const FunctionPlan &Plan,
-                              const std::vector<double> &Counters);
+                              const std::vector<double> &Counters,
+                              DiagnosticEngine *Diags = nullptr);
 
 /// Computes node totals from already-known condition totals via the FCDG
 /// recurrence (equation 3 of Section 3, in total form). Used both by the

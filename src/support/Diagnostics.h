@@ -15,6 +15,8 @@
 #ifndef PTRAN_SUPPORT_DIAGNOSTICS_H
 #define PTRAN_SUPPORT_DIAGNOSTICS_H
 
+#include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -63,11 +65,49 @@ public:
   /// Renders all diagnostics as "line:col: severity: message" lines.
   std::string str() const;
 
+  /// Splices every diagnostic of \p Other onto the end of this engine.
+  /// Parallel drivers give each task its own engine and merge the locals
+  /// back in task-submission order, so the combined stream is identical to
+  /// what a serial run would have produced.
+  void append(DiagnosticEngine Other);
+
   /// Drops all collected diagnostics.
   void clear();
 
 private:
   std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+/// A mutex-guarded diagnostic sink for concurrent producers whose emission
+/// order is scheduling-dependent (e.g. the SCC-wave interprocedural pass).
+/// drainTo() hands the collected messages to a plain DiagnosticEngine in
+/// sorted order, so the final output is deterministic regardless of which
+/// worker reported first.
+class ThreadSafeDiagnostics {
+public:
+  void error(std::string Message);
+  void warning(std::string Message);
+  void note(std::string Message);
+
+  /// Emits a warning only the first time \p Message is seen (across all
+  /// threads). Used for once-per-callee style reporting.
+  void warningOnce(std::string Message);
+
+  bool hasErrors() const;
+  /// True if any diagnostic (of any severity) has been collected.
+  bool empty() const;
+
+  /// Moves everything collected so far into \p Out, sorted by severity
+  /// then message text.
+  void drainTo(DiagnosticEngine &Out);
+
+private:
+  void add(DiagSeverity Severity, std::string Message);
+
+  mutable std::mutex M;
+  std::vector<Diagnostic> Pending;
+  std::set<std::string> Seen;
   unsigned NumErrors = 0;
 };
 

@@ -1,0 +1,50 @@
+//===--- support/ThreadPool.cpp - Fixed-size worker pool ------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace ptran;
+
+ThreadPool::ThreadPool(unsigned Workers) {
+  if (Workers <= 1)
+    return; // Inline mode.
+  Threads.reserve(Workers);
+  for (unsigned I = 0; I < Workers; ++I)
+    Threads.emplace_back([this](std::stop_token St) { workerLoop(St); });
+}
+
+ThreadPool::~ThreadPool() {
+  for (std::jthread &T : Threads)
+    T.request_stop();
+  CV.notify_all();
+  // std::jthread joins on destruction; workerLoop drains the queue before
+  // honoring the stop request, so pending futures always complete.
+}
+
+unsigned ThreadPool::resolveJobs(unsigned Jobs) {
+  if (Jobs != 0)
+    return Jobs;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::enqueue(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Queue.push_back(std::move(Task));
+  }
+  CV.notify_one();
+}
+
+void ThreadPool::workerLoop(std::stop_token St) {
+  std::unique_lock<std::mutex> Lock(M);
+  // wait() returns false only when a stop was requested and the queue is
+  // empty, i.e. after the destructor ran out of work for us.
+  while (CV.wait(Lock, St, [this] { return !Queue.empty(); })) {
+    std::function<void()> Task = std::move(Queue.front());
+    Queue.pop_front();
+    Lock.unlock();
+    Task();
+    Lock.lock();
+  }
+}

@@ -1,0 +1,94 @@
+//===--- support/ThreadPool.h - Fixed-size worker pool ----------*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool used by the parallel analysis drivers
+/// (per-function pipeline fan-out and the SCC-wave interprocedural pass).
+/// Tasks are submitted as callables and return exception-propagating
+/// std::futures; a worker count of 0 or 1 runs every task inline on the
+/// submitting thread, which reproduces the serial drivers bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_SUPPORT_THREADPOOL_H
+#define PTRAN_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace ptran {
+
+/// Fixed worker count, std::jthread-based. Destruction drains the queue
+/// (every submitted task runs; no future is ever abandoned) and joins.
+class ThreadPool {
+public:
+  /// Creates \p Workers worker threads. 0 or 1 means inline execution:
+  /// submit() runs the task on the calling thread before returning.
+  explicit ThreadPool(unsigned Workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of worker threads (0 in inline mode).
+  unsigned workerCount() const { return static_cast<unsigned>(Threads.size()); }
+
+  /// Resolves a user-facing --jobs value: 0 picks the hardware concurrency
+  /// (at least 1), anything else is taken literally.
+  static unsigned resolveJobs(unsigned Jobs);
+
+  /// Schedules \p F and returns a future for its result. Exceptions thrown
+  /// by the task surface from future::get() on the waiting thread.
+  template <typename Fn>
+  auto submit(Fn &&F) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+    using R = std::invoke_result_t<std::decay_t<Fn>>;
+    auto Task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(F));
+    std::future<R> Fut = Task->get_future();
+    if (Threads.empty())
+      (*Task)();
+    else
+      enqueue([Task] { (*Task)(); });
+    return Fut;
+  }
+
+private:
+  void enqueue(std::function<void()> Task);
+  void workerLoop(std::stop_token St);
+
+  std::mutex M;
+  std::condition_variable_any CV;
+  std::deque<std::function<void()>> Queue;
+  std::vector<std::jthread> Threads;
+};
+
+/// Blocks on every future in \p Futures, rethrowing the first stored
+/// exception after all tasks have finished (so no task outlives state the
+/// caller is about to unwind).
+template <typename T> void waitAll(std::vector<std::future<T>> &Futures) {
+  std::exception_ptr First;
+  for (std::future<T> &F : Futures) {
+    try {
+      F.get();
+    } catch (...) {
+      if (!First)
+        First = std::current_exception();
+    }
+  }
+  if (First)
+    std::rethrow_exception(First);
+}
+
+} // namespace ptran
+
+#endif // PTRAN_SUPPORT_THREADPOOL_H

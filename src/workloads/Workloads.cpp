@@ -710,3 +710,45 @@ std::unique_ptr<Program> ptran::makeScalingProgram(unsigned Units,
     reportFatalError("scaling program failed to build:\n" + Diags.str());
   return Prog;
 }
+
+std::unique_ptr<Program> ptran::makeManyFunctionProgram(unsigned Funcs,
+                                                        unsigned Depth) {
+  if (Funcs == 0)
+    Funcs = 1;
+  auto Prog = std::make_unique<Program>();
+  DiagnosticEngine Diags;
+  auto NameOf = [](unsigned K) {
+    return K == 0 ? std::string("main") : "f" + std::to_string(K);
+  };
+
+  for (unsigned K = 0; K < Funcs; ++K) {
+    FunctionBuilder B(*Prog, NameOf(K), Diags);
+    VarId Acc = B.intVar("acc");
+    B.assign(Acc, B.lit(static_cast<int64_t>(K)));
+    for (unsigned D = 0; D < Depth; ++D) {
+      VarId I = B.intVar("i" + std::to_string(D));
+      B.doLoop(I, B.lit(1), B.lit(3));
+    }
+    int Else = 1, End = 2;
+    B.ifGoto(B.gt(B.var(Acc), B.lit(50)), Else);
+    B.assign(Acc, B.add(B.var(Acc), B.lit(static_cast<int64_t>(K + 1))));
+    B.gotoLabel(End);
+    B.label(Else).assign(Acc, B.sub(B.var(Acc), B.lit(50)));
+    B.label(End).cont();
+    for (unsigned D = 0; D < Depth; ++D)
+      B.endDo();
+    // Binary call tree: every non-leaf fans out to two independent
+    // subtrees, giving the interprocedural pass wide waves.
+    unsigned Left = 2 * K + 1, Right = 2 * K + 2;
+    if (Left < Funcs)
+      B.callSub(NameOf(Left), {});
+    if (Right < Funcs)
+      B.callSub(NameOf(Right), {});
+    if (K == 0)
+      B.print({B.var(Acc)});
+    if (!B.finish())
+      reportFatalError("many-function program failed to build:\n" +
+                       Diags.str());
+  }
+  return Prog;
+}

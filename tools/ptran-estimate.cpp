@@ -16,6 +16,9 @@
 //   --sampling=PERIOD       also run a sampling profiler (cycles/sample)
 //   --chunk=P,OVERHEAD      Kruskal-Weiss advice for every DO loop
 //   --freq=profile|static|hybrid   frequency source (default profile)
+//   --jobs=N                analysis worker threads (default: hardware
+//                           concurrency; 1 = serial; results are identical
+//                           for every value)
 //   --check                 verify the Section 3 identities on the profile
 //   --dot=cfg|ecfg|fcdg     Graphviz of the entry procedure's graph
 //   --pdb=FILE              load/accumulate/save a program database
@@ -63,6 +66,9 @@ struct Options {
   std::string PdbFile;
   enum class FreqSource { Profile, Static, Hybrid } Freq = FreqSource::Profile;
   bool Check = false;
+  /// 0 = hardware concurrency (the default); 1 reproduces the serial
+  /// pipeline bit-for-bit.
+  unsigned Jobs = 0;
 };
 
 [[noreturn]] void usage(const char *Argv0) {
@@ -149,6 +155,13 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
         Opts.Freq = Options::FreqSource::Hybrid;
       else
         return false;
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      // 0 is a valid value (hardware concurrency), so atoi's silent 0 on
+      // garbage would be ambiguous; require an explicit non-negative number.
+      std::string V = Value("--jobs=");
+      if (V.empty() || V.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+      Opts.Jobs = static_cast<unsigned>(std::atoi(V.c_str()));
     } else if (Arg == "--check") {
       Opts.Check = true;
     } else if (Arg.rfind("--pdb=", 0) == 0) {
@@ -253,7 +266,7 @@ int main(int Argc, char **Argv) {
   CostModel CM = Opts.OptimizingCost ? CostModel::optimizing()
                                      : CostModel::nonOptimizing();
   std::unique_ptr<Estimator> Est =
-      Estimator::create(*Prog, CM, Diags, Opts.Mode);
+      Estimator::create(*Prog, CM, Diags, Opts.Mode, Opts.Jobs);
   if (!Est) {
     std::fprintf(stderr, "analysis failed:\n%s", Diags.str().c_str());
     return 1;
@@ -381,7 +394,12 @@ int main(int Argc, char **Argv) {
   TimeAnalysisOptions TAOpts;
   TAOpts.LoopVariance = Opts.LoopVariance;
   TAOpts.Stats = &Est->loopStats();
+  TAOpts.Jobs = Opts.Jobs;
+  DiagnosticEngine TADiags;
+  TAOpts.Diags = &TADiags;
   TimeAnalysis TA = TimeAnalysis::run(Est->analysis(), Freqs, CM, TAOpts);
+  if (!TADiags.diagnostics().empty())
+    std::fprintf(stderr, "%s", TADiags.str().c_str());
 
   std::printf("flat profile (estimated):\n%s\n",
               formatProcedureReport(
