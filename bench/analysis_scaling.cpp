@@ -12,6 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Analysis.h"
+#include "session/EstimationSession.h"
 #include "cost/TimeAnalysis.h"
 #include "support/FatalError.h"
 #include "freq/Frequencies.h"
@@ -141,7 +142,7 @@ void benchParallelPipeline(benchmark::State &State) {
   unsigned Jobs = static_cast<unsigned>(State.range(1));
   std::unique_ptr<Program> Prog = makeManyFunctionProgram(Funcs, 3);
   AnalysisOptions Opts;
-  Opts.Jobs = Jobs;
+  Opts.Exec.Jobs = Jobs;
   for (auto _ : State) {
     DiagnosticEngine Diags;
     auto PA = ProgramAnalysis::compute(*Prog, Diags, Opts);
@@ -167,7 +168,7 @@ void benchParallelTimeAnalysis(benchmark::State &State) {
       syntheticFrequencies(*Prog, *PA);
   CostModel CM = CostModel::optimizing();
   TimeAnalysisOptions Opts;
-  Opts.Jobs = Jobs;
+  Opts.Exec.Jobs = Jobs;
   for (auto _ : State) {
     TimeAnalysis TA = TimeAnalysis::run(*PA, Freqs, CM, Opts);
     benchmark::DoNotOptimize(TA.programTime());
@@ -190,7 +191,7 @@ void printParallelSpeedupTable() {
   auto RunOnce = [&](unsigned Jobs) {
     DiagnosticEngine Diags;
     AnalysisOptions AOpts;
-    AOpts.Jobs = Jobs;
+    AOpts.Exec.Jobs = Jobs;
     auto Start = std::chrono::steady_clock::now();
     auto PA = ProgramAnalysis::compute(*Prog, Diags, AOpts);
     if (!PA || !PA->allOk())
@@ -198,7 +199,7 @@ void printParallelSpeedupTable() {
     std::map<const Function *, Frequencies> Freqs =
         syntheticFrequencies(*Prog, *PA);
     TimeAnalysisOptions TAOpts;
-    TAOpts.Jobs = Jobs;
+    TAOpts.Exec.Jobs = Jobs;
     TimeAnalysis TA = TimeAnalysis::run(*PA, Freqs, CM, TAOpts);
     auto End = std::chrono::steady_clock::now();
     std::vector<double> Estimates;
@@ -242,6 +243,120 @@ void printParallelSpeedupTable() {
   std::printf("%s\n", T.str().c_str());
 }
 
+// Incremental re-estimation through an EstimationSession: dirty one leaf
+// of the many-function call tree, re-query, and compare against a cold
+// TimeAnalysis over the same inputs — wall clock, evaluation counts and a
+// bit-for-bit memcmp of every function's node estimates.
+void printIncrementalReestimationTable() {
+  constexpr unsigned Funcs = 255;
+  constexpr unsigned Jobs = 4;
+  std::unique_ptr<Program> Prog = makeManyFunctionProgram(Funcs, 3);
+  CostModel CM = CostModel::optimizing();
+  DiagnosticEngine Diags;
+  auto S = EstimationSession::create(*Prog, CM,
+                                     EstimatorOptions(Diags).jobs(Jobs));
+  if (!S)
+    reportFatalError("session creation failed:\n" + Diags.str());
+  RunResult R = S->profiledRun();
+  if (!R.Ok)
+    reportFatalError("profiled run failed: " + R.Error);
+
+  auto Start = std::chrono::steady_clock::now();
+  EstimateResult First = S->estimateEntry();
+  auto End = std::chrono::steady_clock::now();
+  if (!First.Ok)
+    reportFatalError("cold estimate failed: " + First.Error);
+  double ColdQuery = std::chrono::duration<double>(End - Start).count();
+  uint64_t ColdEvals = S->lastEvaluations();
+
+  // Dirty one leaf's accumulated totals per repetition; the dirty closure
+  // is the leaf plus its chain of callers up the binary call tree.
+  const Function *Leaf = Prog->findFunction("f" + std::to_string(Funcs - 1));
+  if (!Leaf)
+    reportFatalError("many-function program is missing its last leaf");
+  const FunctionAnalysis &LeafFA = S->estimator().analysis().of(*Leaf);
+  double Injected = 0.0;
+  double BestInc = 1e100;
+  uint64_t IncEvals = 0;
+  const TimeAnalysis *IncAnalysis = nullptr;
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    FrequencyTotals Delta;
+    Delta.Cond[{LeafFA.ecfg().start(), CfgLabel::U}] = 1.0 + Rep;
+    Injected += 1.0 + Rep;
+    S->accumulateTotals(*Leaf, Delta);
+    Start = std::chrono::steady_clock::now();
+    EstimateResult Inc = S->estimateEntry();
+    End = std::chrono::steady_clock::now();
+    if (!Inc.Ok)
+      reportFatalError("incremental estimate failed: " + Inc.Error);
+    BestInc = std::min(BestInc,
+                       std::chrono::duration<double>(End - Start).count());
+    IncEvals = S->lastEvaluations();
+    IncAnalysis = Inc.Analysis;
+  }
+
+  // Cold recomputation over the session's exact accumulated inputs,
+  // timing everything a non-incremental client redoes per query: counter
+  // recovery, frequency computation and the full TIME/VAR pass.
+  const Estimator &Est = S->estimator();
+  TimeAnalysisOptions TAOpts;
+  TAOpts.Exec.Jobs = Jobs;
+  double BestCold = 1e100;
+  TimeAnalysis Cold;
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    Start = std::chrono::steady_clock::now();
+    std::map<const Function *, Frequencies> Freqs;
+    for (const auto &F : Prog->functions()) {
+      FrequencyTotals Totals = Est.runtime().recover(*F);
+      if (!Totals.Ok)
+        reportFatalError("recovery failed for " + F->name());
+      if (F.get() == Leaf) {
+        Totals.Cond[{LeafFA.ecfg().start(), CfgLabel::U}] += Injected;
+        Totals.Node =
+            nodeTotalsFromConds(Est.analysis().of(*F), Totals.Cond);
+      }
+      Freqs[F.get()] = computeFrequencies(Est.analysis().of(*F), Totals);
+    }
+    Cold = TimeAnalysis::run(Est.analysis(), Freqs, CM, TAOpts);
+    End = std::chrono::steady_clock::now();
+    BestCold = std::min(BestCold,
+                        std::chrono::duration<double>(End - Start).count());
+  }
+
+  bool Identical = true;
+  for (const auto &F : Prog->functions()) {
+    const std::vector<NodeEstimates> &A = IncAnalysis->estimatesOf(*F);
+    const std::vector<NodeEstimates> &B = Cold.estimatesOf(*F);
+    if (A.size() != B.size() ||
+        std::memcmp(A.data(), B.data(), A.size() * sizeof(NodeEstimates)) !=
+            0) {
+      Identical = false;
+      break;
+    }
+  }
+
+  std::printf("=== Incremental re-estimation (%u functions, 1 leaf dirty) "
+              "===\n",
+              Funcs);
+  TablePrinter T({"query", "wall [ms]", "evaluations", "output"});
+  char Wall[32];
+  std::snprintf(Wall, sizeof(Wall), "%.3f", ColdQuery * 1e3);
+  T.addRow({"first (cold)", Wall,
+            std::to_string(static_cast<unsigned long long>(ColdEvals)),
+            "reference"});
+  std::snprintf(Wall, sizeof(Wall), "%.3f", BestCold * 1e3);
+  T.addRow({"full recompute", Wall, std::to_string(Funcs), "reference"});
+  std::snprintf(Wall, sizeof(Wall), "%.3f", BestInc * 1e3);
+  T.addRow({"incremental", Wall,
+            std::to_string(static_cast<unsigned long long>(IncEvals)),
+            Identical ? "identical" : "DIFFERS"});
+  std::printf("%s", T.str().c_str());
+  std::printf("incremental speedup vs full recompute: %.2fx (%llu of %u "
+              "functions re-evaluated)\n\n",
+              BestCold / BestInc,
+              static_cast<unsigned long long>(IncEvals), Funcs);
+}
+
 void printStaticScalingTable() {
   std::printf("=== Ablation A2: representation sizes vs program size ===\n");
   TablePrinter T({"units", "stmts", "ecfg nodes", "fcdg edges",
@@ -265,6 +380,7 @@ void printStaticScalingTable() {
 int main(int Argc, char **Argv) {
   printStaticScalingTable();
   printParallelSpeedupTable();
+  printIncrementalReestimationTable();
   benchmark::Initialize(&Argc, Argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

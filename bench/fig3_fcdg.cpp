@@ -30,7 +30,7 @@ namespace {
 int printFigure3() {
   std::unique_ptr<Program> Prog = makeFigure1Program();
   DiagnosticEngine Diags;
-  auto Est = Estimator::create(*Prog, CostModel::optimizing(), Diags);
+  auto Est = Estimator::create(*Prog, CostModel::optimizing(), EstimatorOptions(Diags));
   if (!Est)
     reportFatalError("analysis failed:\n" + Diags.str());
   RunResult Run = Est->profiledRun();
@@ -113,7 +113,7 @@ BENCHMARK_CAPTURE(benchControlDependence, SIMPLE, &simpleKernel());
 void benchTimeAndVariance(benchmark::State &State, const Workload *W) {
   std::unique_ptr<Program> Prog = parseWorkload(*W);
   DiagnosticEngine Diags;
-  auto Est = Estimator::create(*Prog, CostModel::optimizing(), Diags);
+  auto Est = Estimator::create(*Prog, CostModel::optimizing(), EstimatorOptions(Diags));
   if (!Est)
     reportFatalError("analysis failed");
   RunResult R = Est->profiledRun(W->MaxSteps);

@@ -29,7 +29,7 @@ namespace {
 void printComparison(const Workload &W) {
   std::unique_ptr<Program> Prog = parseWorkload(W);
   DiagnosticEngine Diags;
-  auto Est = Estimator::create(*Prog, CostModel::optimizing(), Diags);
+  auto Est = Estimator::create(*Prog, CostModel::optimizing(), EstimatorOptions(Diags));
   if (!Est)
     reportFatalError("analysis failed:\n" + Diags.str());
   RunResult R = Est->profiledRun(W.MaxSteps);

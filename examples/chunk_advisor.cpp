@@ -70,7 +70,7 @@ Demo buildDemo() {
 int main() {
   Demo D = buildDemo();
   DiagnosticEngine Diags;
-  auto Est = Estimator::create(*D.Prog, CostModel::optimizing(), Diags);
+  auto Est = Estimator::create(*D.Prog, CostModel::optimizing(), EstimatorOptions(Diags));
   if (!Est) {
     std::fprintf(stderr, "analysis failed:\n%s", Diags.str().c_str());
     return 1;

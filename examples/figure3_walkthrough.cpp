@@ -86,7 +86,7 @@ int main(int Argc, char **Argv) {
 
   DiagnosticEngine Diags;
   std::unique_ptr<Estimator> Est =
-      Estimator::create(*Prog, CostModel::optimizing(), Diags);
+      Estimator::create(*Prog, CostModel::optimizing(), EstimatorOptions(Diags));
   if (!Est) {
     std::fprintf(stderr, "analysis failed:\n%s", Diags.str().c_str());
     return 1;

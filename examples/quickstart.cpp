@@ -46,7 +46,7 @@ int main() {
 
   // 2. Analysis pipeline + counter plan + instrumented interpreter.
   CostModel CM = CostModel::optimizing();
-  std::unique_ptr<Estimator> Est = Estimator::create(*Prog, CM, Diags);
+  std::unique_ptr<Estimator> Est = Estimator::create(*Prog, CM, EstimatorOptions(Diags));
   if (!Est) {
     std::fprintf(stderr, "analysis failed:\n%s", Diags.str().c_str());
     return 1;

@@ -41,17 +41,15 @@ ProgramAnalysis::compute(const Program &P, DiagnosticEngine &Diags,
   // program order below makes the diagnostic stream independent of Jobs.
   std::vector<DiagnosticEngine> Local(Funcs.size());
 
-  unsigned Jobs =
-      std::min<size_t>(ThreadPool::resolveJobs(Opts.Jobs), Funcs.size());
-  if (Jobs <= 1) {
+  PoolLease Pool(Opts.Exec, Funcs.size());
+  if (Pool->workerCount() == 0) {
     for (size_t I = 0; I < Funcs.size(); ++I)
       Results[I] = FunctionAnalysis::compute(*Funcs[I], Local[I], Opts);
   } else {
-    ThreadPool Pool(Jobs);
     std::vector<std::future<void>> Futures;
     Futures.reserve(Funcs.size());
     for (size_t I = 0; I < Funcs.size(); ++I)
-      Futures.push_back(Pool.submit([&Funcs, &Results, &Local, &Opts, I] {
+      Futures.push_back(Pool->submit([&Funcs, &Results, &Local, &Opts, I] {
         Results[I] = FunctionAnalysis::compute(*Funcs[I], Local[I], Opts);
       }));
     waitAll(Futures);

@@ -20,6 +20,7 @@
 #include "cfg/Cfg.h"
 #include "ecfg/Ecfg.h"
 #include "interval/Intervals.h"
+#include "support/ExecutionPolicy.h"
 
 #include <map>
 #include <memory>
@@ -33,13 +34,13 @@ struct AnalysisOptions {
   /// Fold GOTO statements into edges first (recovers the compact CFGs the
   /// paper draws; on by default).
   bool ElideGotos = true;
-  /// Worker threads for ProgramAnalysis::compute. Functions are analyzed
-  /// independently, so the fan-out is embarrassingly parallel; each task
-  /// reports into its own DiagnosticEngine and the locals are merged back
-  /// in program order, so results and diagnostics are bit-for-bit
-  /// identical for every value. 1 = serial (the historical driver);
-  /// 0 = hardware concurrency.
-  unsigned Jobs = 1;
+  /// Worker threads (or a shared pool) for ProgramAnalysis::compute.
+  /// Functions are analyzed independently, so the fan-out is
+  /// embarrassingly parallel; each task reports into its own
+  /// DiagnosticEngine and the locals are merged back in program order, so
+  /// results and diagnostics are bit-for-bit identical under every
+  /// policy.
+  ExecutionPolicy Exec;
 };
 
 /// All derived representations of one function.
@@ -70,7 +71,7 @@ private:
 /// FunctionAnalysis for every procedure of a program.
 class ProgramAnalysis {
 public:
-  /// Analyzes all procedures (across Opts.Jobs worker threads). Always
+  /// Analyzes all procedures (across Opts.Exec workers). Always
   /// returns a bundle: functions whose analysis fails (e.g. irreducible
   /// control flow) are recorded in failures() with their diagnostics in
   /// \p Diags, while every other function stays usable — callers decide

@@ -8,30 +8,39 @@ using namespace ptran;
 
 std::unique_ptr<Estimator> Estimator::create(const Program &P,
                                              const CostModel &CM,
-                                             DiagnosticEngine &Diags,
-                                             ProfileMode Mode,
-                                             unsigned Jobs) {
+                                             const EstimatorOptions &Opts) {
+  DiagnosticEngine Scratch;
+  DiagnosticEngine &Diags = Opts.Diags ? *Opts.Diags : Scratch;
+
   auto Est = std::unique_ptr<Estimator>(new Estimator());
   Est->P = &P;
   Est->CM = CM;
-  Est->Jobs = Jobs;
-  AnalysisOptions Opts;
-  Opts.Jobs = Jobs;
-  Est->PA = ProgramAnalysis::compute(P, Diags, Opts);
+  Est->Opts = Opts;
+  AnalysisOptions AOpts;
+  AOpts.Exec = Opts.Exec;
+  Est->PA = ProgramAnalysis::compute(P, Diags, AOpts);
   // The estimation pipeline needs every procedure (counter plans, the
   // interpreter and the interprocedural pass span the whole program), so
   // a partial analysis is a hard failure here.
   if (!Est->PA || !Est->PA->allOk())
     return nullptr;
-  AnalysisOptions Raw = Opts;
+  AnalysisOptions Raw = AOpts;
   Raw.ElideGotos = false;
   Est->RawPA = ProgramAnalysis::compute(P, Diags, Raw);
   if (!Est->RawPA || !Est->RawPA->allOk())
     return nullptr;
-  Est->Plan = ProgramPlan::build(*Est->PA, Mode);
+  Est->Plan = ProgramPlan::build(*Est->PA, Opts.Mode);
   Est->Runtime = std::make_unique<ProfileRuntime>(*Est->PA, Est->Plan, CM);
   Est->Stats = std::make_unique<LoopFrequencyStats>(*Est->RawPA);
   return Est;
+}
+
+std::unique_ptr<Estimator> Estimator::create(const Program &P,
+                                             const CostModel &CM,
+                                             DiagnosticEngine &Diags,
+                                             ProfileMode Mode,
+                                             unsigned Jobs) {
+  return create(P, CM, EstimatorOptions(Diags).mode(Mode).jobs(Jobs));
 }
 
 RunResult Estimator::profiledRun(uint64_t MaxSteps) {
@@ -41,11 +50,19 @@ RunResult Estimator::profiledRun(uint64_t MaxSteps) {
   return Interp.run(MaxSteps);
 }
 
-TimeAnalysis Estimator::analyze(TimeAnalysisOptions Opts) {
-  if (Opts.LoopVariance == LoopVarianceMode::Profiled && !Opts.Stats)
-    Opts.Stats = Stats.get();
-  if (Opts.Jobs == 1)
-    Opts.Jobs = Jobs;
+TimeAnalysis Estimator::analyze() {
+  TimeAnalysisOptions TAOpts;
+  TAOpts.LoopVariance = Opts.LoopVariance;
+  return analyze(TAOpts);
+}
+
+TimeAnalysis Estimator::analyze(TimeAnalysisOptions TAOpts) {
+  if (TAOpts.LoopVariance == LoopVarianceMode::Profiled && !TAOpts.Stats)
+    TAOpts.Stats = Stats.get();
+  if (!TAOpts.Exec.Pool && TAOpts.Exec.Jobs == 1)
+    TAOpts.Exec = Opts.Exec;
+  if (!TAOpts.Diags)
+    TAOpts.Diags = Opts.Diags;
 
   std::map<const Function *, Frequencies> Freqs;
   for (const auto &F : P->functions()) {
@@ -54,5 +71,5 @@ TimeAnalysis Estimator::analyze(TimeAnalysisOptions Opts) {
       reportFatalError("counter recovery failed for function " + F->name());
     Freqs[F.get()] = computeFrequencies(PA->of(*F), Totals);
   }
-  return TimeAnalysis::run(*PA, Freqs, CM, Opts);
+  return TimeAnalysis::run(*PA, Freqs, CM, TAOpts);
 }

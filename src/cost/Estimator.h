@@ -10,7 +10,12 @@
 /// the interpreter (accumulating totals across runs, as the paper's
 /// program database does), recover TOTAL_FREQ, compute relative
 /// frequencies, and finally the TIME/VAR estimates. Examples, tests and
-/// benchmarks all drive this class.
+/// benchmarks all drive this class (directly or through an
+/// EstimationSession).
+///
+/// Construction is configured through EstimatorOptions; the historical
+/// positional-parameter create(P, CM, Diags, Mode, Jobs) overload remains
+/// as a deprecated shim.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,14 +29,63 @@
 
 namespace ptran {
 
+/// Options for one estimation campaign. Fluent setters keep call sites
+/// one-liners:
+///
+///   Estimator::create(P, CM, EstimatorOptions(Diags).jobs(8));
+struct EstimatorOptions {
+  /// Counter-placement mode for the profiling plan.
+  ProfileMode Mode = ProfileMode::Smart;
+  /// Parallelism shared by every pass the estimator runs (per-function
+  /// analysis fan-out and the interprocedural TIME/VAR waves). A session
+  /// typically points this at one long-lived pool.
+  ExecutionPolicy Exec;
+  /// Default loop-variance model for analyze() calls (and session queries)
+  /// that do not specify one.
+  LoopVarianceMode LoopVariance = LoopVarianceMode::Zero;
+  /// Sink for analysis/estimation diagnostics; null drops them. Must
+  /// outlive the estimator when set.
+  DiagnosticEngine *Diags = nullptr;
+
+  EstimatorOptions() = default;
+  explicit EstimatorOptions(DiagnosticEngine &D) : Diags(&D) {}
+
+  EstimatorOptions &mode(ProfileMode M) {
+    Mode = M;
+    return *this;
+  }
+  EstimatorOptions &jobs(unsigned J) {
+    Exec.Jobs = J;
+    return *this;
+  }
+  EstimatorOptions &pool(ThreadPool &P) {
+    Exec.Pool = &P;
+    return *this;
+  }
+  EstimatorOptions &loopVariance(LoopVarianceMode M) {
+    LoopVariance = M;
+    return *this;
+  }
+  EstimatorOptions &diags(DiagnosticEngine &D) {
+    Diags = &D;
+    return *this;
+  }
+};
+
 /// Owns the per-program state of one estimation campaign.
 class Estimator {
 public:
   /// Analyzes \p P (which must outlive the estimator). Returns null on
   /// analysis failure (e.g. irreducible control flow), reported to
-  /// \p Diags. \p Jobs is the worker-thread count for the per-function
-  /// analysis fan-out and the interprocedural pass (1 = serial,
-  /// 0 = hardware concurrency); every value computes identical results.
+  /// \p Opts.Diags when set.
+  static std::unique_ptr<Estimator>
+  create(const Program &P, const CostModel &CM,
+         const EstimatorOptions &Opts = EstimatorOptions());
+
+  /// Deprecated positional-parameter shim for the pre-EstimatorOptions
+  /// signature; forwards to the options-based overload.
+  [[deprecated("use Estimator::create(P, CM, "
+               "EstimatorOptions(Diags).mode(...).jobs(...))")]]
   static std::unique_ptr<Estimator>
   create(const Program &P, const CostModel &CM, DiagnosticEngine &Diags,
          ProfileMode Mode = ProfileMode::Smart, unsigned Jobs = 1);
@@ -43,16 +97,26 @@ public:
   /// Recovers totals and frequencies for every function from the counters
   /// accumulated so far, then runs the time/variance analysis.
   /// \p Opts.Stats is filled in automatically when LoopVariance ==
-  /// Profiled and no stats were supplied; \p Opts.Jobs defaults to the
-  /// estimator's job count unless the caller overrides it.
-  TimeAnalysis analyze(TimeAnalysisOptions Opts = TimeAnalysisOptions());
+  /// Profiled and no stats were supplied; \p Opts.Exec defaults to the
+  /// estimator's execution policy unless the caller overrides it.
+  TimeAnalysis analyze(TimeAnalysisOptions Opts);
+  /// Same, with the estimator's option defaults (loop-variance mode,
+  /// execution policy, diagnostics sink).
+  TimeAnalysis analyze();
 
+  const EstimatorOptions &options() const { return Opts; }
   const ProgramAnalysis &analysis() const { return *PA; }
+  /// The goto-preserving analysis driving run-time loop tracking (its
+  /// statement ids key the loop-frequency moments).
+  const ProgramAnalysis &rawAnalysis() const { return *RawPA; }
   const ProgramPlan &plan() const { return Plan; }
   const ProfileRuntime &runtime() const { return *Runtime; }
   /// Mutable runtime access (e.g. to reset counters between epochs).
   ProfileRuntime &runtimeMutable() { return *Runtime; }
   const LoopFrequencyStats &loopStats() const { return *Stats; }
+  /// Mutable loop stats, for callers driving the interpreter themselves
+  /// (the moments must be fed for LoopVarianceMode::Profiled to bite).
+  LoopFrequencyStats &loopStatsMutable() { return *Stats; }
 
   /// Recovered totals of one function (after at least one profiledRun).
   FrequencyTotals totalsFor(const Function &F) const {
@@ -64,7 +128,7 @@ private:
 
   const Program *P = nullptr;
   CostModel CM;
-  unsigned Jobs = 1;
+  EstimatorOptions Opts;
   std::unique_ptr<ProgramAnalysis> PA;
   /// Goto-preserving analysis for run-time loop tracking.
   std::unique_ptr<ProgramAnalysis> RawPA;

@@ -8,24 +8,20 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
+#include <set>
 
 using namespace ptran;
 
 namespace {
 
-/// TIME/VAR of every procedure START node, visible to callers.
-struct ProcedureSummary {
-  double Time = 0.0;
-  double Var = 0.0;
-};
-
 /// Computes one function's estimates bottom-up over its FCDG.
 std::vector<NodeEstimates>
 computeFunction(const FunctionAnalysis &FA, const Frequencies &Freqs,
                 const CostModel &CM, const TimeAnalysisOptions &Opts,
-                const std::map<const Function *, ProcedureSummary> &Callees,
+                const std::map<const Function *, FunctionSummary> &Callees,
                 const Program &Prog, ThreadSafeDiagnostics *Unresolved) {
   const ControlDependence &CD = FA.cd();
   const Ecfg &E = FA.ecfg();
@@ -164,6 +160,23 @@ TimeAnalysis TimeAnalysis::run(
     const ProgramAnalysis &PA,
     const std::map<const Function *, Frequencies> &FreqsByFunction,
     const CostModel &CM, const TimeAnalysisOptions &Opts) {
+  return runImpl(PA, FreqsByFunction, CM, Opts, nullptr, nullptr);
+}
+
+TimeAnalysis TimeAnalysis::rerun(
+    const ProgramAnalysis &PA,
+    const std::map<const Function *, Frequencies> &FreqsByFunction,
+    const CostModel &CM, const TimeAnalysisOptions &Opts,
+    const TimeAnalysis &Previous,
+    const std::vector<const Function *> &Changed) {
+  return runImpl(PA, FreqsByFunction, CM, Opts, &Previous, &Changed);
+}
+
+TimeAnalysis TimeAnalysis::runImpl(
+    const ProgramAnalysis &PA,
+    const std::map<const Function *, Frequencies> &FreqsByFunction,
+    const CostModel &CM, const TimeAnalysisOptions &Opts,
+    const TimeAnalysis *Previous, const std::vector<const Function *> *Changed) {
   const Program &Prog = PA.program();
   TimeAnalysis Out;
   Out.PA = &PA;
@@ -188,7 +201,7 @@ TimeAnalysis TimeAnalysis::run(
             CallGraph.addEdge(Index[F], Index[Callee], 0);
 
   SccResult Sccs = computeSccs(CallGraph);
-  std::map<const Function *, ProcedureSummary> Summaries;
+  std::map<const Function *, FunctionSummary> Summaries;
 
   // Pre-insert every summary and estimate slot: concurrent waves then only
   // ever write through stable references to distinct entries, never mutate
@@ -200,7 +213,46 @@ TimeAnalysis TimeAnalysis::run(
     Out.PerFunction[F];
   }
 
+  // Incremental mode: a component is dirty if it contains a changed
+  // function or calls into a dirty component. Tarjan numbers components
+  // callees-first, so one ascending sweep propagates dirtiness from
+  // callees to callers (changed summaries invalidate every transitive
+  // caller, nothing else).
+  std::vector<bool> DirtyComp(Sccs.numComponents(), Previous == nullptr);
+  if (Previous) {
+    std::set<const Function *> ChangedSet(Changed->begin(), Changed->end());
+    for (unsigned Comp = 0; Comp < Sccs.numComponents(); ++Comp) {
+      bool Dirty = false;
+      for (NodeId M : Sccs.Members[Comp]) {
+        if (ChangedSet.count(Funcs[M]) ||
+            !Previous->PerFunction.count(Funcs[M]))
+          Dirty = true;
+        for (NodeId Succ : CallGraph.successors(M)) {
+          unsigned Callee = Sccs.Component[Succ];
+          if (Callee != Comp && DirtyComp[Callee])
+            Dirty = true;
+        }
+      }
+      DirtyComp[Comp] = Dirty;
+    }
+    // Clean components reuse the previous estimates verbatim; their START
+    // summaries feed dirty callers at the frontier.
+    for (unsigned Comp = 0; Comp < Sccs.numComponents(); ++Comp) {
+      if (DirtyComp[Comp])
+        continue;
+      for (NodeId M : Sccs.Members[Comp]) {
+        const Function *F = Funcs[M];
+        const std::vector<NodeEstimates> &Cached =
+            Previous->PerFunction.find(F)->second;
+        NodeId Start = PA.of(*F).ecfg().start();
+        Summaries.find(F)->second = {Cached[Start].Time, Cached[Start].Var};
+        Out.PerFunction.find(F)->second = Cached;
+      }
+    }
+  }
+
   ThreadSafeDiagnostics Unresolved;
+  std::atomic<uint64_t> Evals{0};
 
   auto FreqsOf = [&](const Function *F) -> const Frequencies & {
     auto It = FreqsByFunction.find(F);
@@ -216,11 +268,13 @@ TimeAnalysis TimeAnalysis::run(
     NodeId Start = FA.ecfg().start();
     Summaries.find(F)->second = {Est[Start].Time, Est[Start].Var};
     Out.PerFunction.find(F)->second = std::move(Est);
+    Evals.fetch_add(1, std::memory_order_relaxed);
   };
 
   // Condensation waves: a component is schedulable once every callee
   // component has completed. Tarjan numbers components callees-first, so
-  // one ascending sweep assigns wave indices.
+  // one ascending sweep assigns wave indices. Clean components never
+  // enter a wave.
   std::vector<bool> Cyclic(Sccs.numComponents(), false);
   std::vector<unsigned> WaveOf(Sccs.numComponents(), 0);
   unsigned NumWaves = Sccs.numComponents() == 0 ? 0 : 1;
@@ -236,8 +290,12 @@ TimeAnalysis TimeAnalysis::run(
     NumWaves = std::max(NumWaves, WaveOf[Comp] + 1);
   }
   std::vector<std::vector<unsigned>> Waves(NumWaves);
+  unsigned DirtyCount = 0;
   for (unsigned Comp = 0; Comp < Sccs.numComponents(); ++Comp)
-    Waves[WaveOf[Comp]].push_back(Comp);
+    if (DirtyComp[Comp]) {
+      Waves[WaveOf[Comp]].push_back(Comp);
+      ++DirtyCount;
+    }
 
   // One component is one task: an acyclic component is a single function
   // evaluation; a recursive cycle keeps its serial fixpoint ordering
@@ -254,10 +312,10 @@ TimeAnalysis TimeAnalysis::run(
         Recompute(Funcs[M]);
   };
 
-  ThreadPool Pool(std::min<size_t>(ThreadPool::resolveJobs(Opts.Jobs),
-                                   Funcs.size()));
+  PoolLease Pool(Opts.Exec, std::min<size_t>(Funcs.size(),
+                                             std::max(DirtyCount, 1u)));
   for (const std::vector<unsigned> &WaveComps : Waves) {
-    if (Pool.workerCount() == 0 || WaveComps.size() == 1) {
+    if (Pool->workerCount() == 0 || WaveComps.size() == 1) {
       for (unsigned Comp : WaveComps)
         EvalComponent(Comp);
       continue;
@@ -265,7 +323,7 @@ TimeAnalysis TimeAnalysis::run(
     std::vector<std::future<void>> Futures;
     Futures.reserve(WaveComps.size());
     for (unsigned Comp : WaveComps)
-      Futures.push_back(Pool.submit([&EvalComponent, Comp] {
+      Futures.push_back(Pool->submit([&EvalComponent, Comp] {
         EvalComponent(Comp);
       }));
     waitAll(Futures);
@@ -274,7 +332,16 @@ TimeAnalysis TimeAnalysis::run(
   if (Opts.Diags)
     Unresolved.drainTo(*Opts.Diags);
 
+  Out.Evaluations = Evals.load();
   return Out;
+}
+
+const std::vector<NodeEstimates> &
+TimeAnalysis::estimatesOf(const Function &F) const {
+  auto It = PerFunction.find(&F);
+  if (It == PerFunction.end())
+    reportFatalError("no time analysis for function " + F.name());
+  return It->second;
 }
 
 const NodeEstimates &TimeAnalysis::of(const Function &F, NodeId N) const {

@@ -29,10 +29,12 @@
 #include "freq/Frequencies.h"
 #include "interp/CostModel.h"
 #include "profile/ProfileRuntime.h"
+#include "support/ExecutionPolicy.h"
 
 #include <functional>
 #include <map>
 #include <optional>
+#include <vector>
 
 namespace ptran {
 
@@ -67,17 +69,25 @@ struct TimeAnalysisOptions {
   bool DeterministicDoHeaders = false;
   /// Fixed-point iterations for recursive call-graph cycles.
   unsigned RecursionIterations = 16;
-  /// Worker threads for the interprocedural pass. The call graph is
-  /// condensed with Tarjan's SCCs, the condensation is ordered into
-  /// topological waves, and every SCC of a wave is evaluated concurrently
-  /// (recursive SCCs keep their serial fixpoint within the wave). All
-  /// cross-SCC reads happen at wave barriers, so results are bit-for-bit
-  /// identical for every value. 1 = serial; 0 = hardware concurrency.
-  unsigned Jobs = 1;
+  /// Workers (or a shared pool) for the interprocedural pass. The call
+  /// graph is condensed with Tarjan's SCCs, the condensation is ordered
+  /// into topological waves, and every SCC of a wave is evaluated
+  /// concurrently (recursive SCCs keep their serial fixpoint within the
+  /// wave). All cross-SCC reads happen at wave barriers, so results are
+  /// bit-for-bit identical under every policy.
+  ExecutionPolicy Exec;
   /// Optional sink for analysis warnings: calls whose callee is undefined
   /// (or otherwise unsummarized) contribute zero time, and are reported
   /// here once per callee instead of being silently dropped.
   DiagnosticEngine *Diags = nullptr;
+};
+
+/// TIME/VAR of one procedure's START node: the summary callers consume
+/// through rule 2, and the unit an incremental estimation session caches
+/// at the clean/dirty frontier.
+struct FunctionSummary {
+  double Time = 0.0;
+  double Var = 0.0;
 };
 
 /// Per-node estimation results (the [...] tuples of Figure 3).
@@ -103,8 +113,31 @@ public:
       const CostModel &CM,
       const TimeAnalysisOptions &Opts = TimeAnalysisOptions());
 
+  /// Incremental re-run: \p Changed names the functions whose inputs
+  /// (frequencies, loop moments, cost model overrides) differ from the
+  /// ones \p Previous was computed with. Only the dirty closure — the
+  /// changed functions plus their call-graph ancestors, widened to whole
+  /// SCCs — is re-evaluated; every other function reuses its estimates
+  /// from \p Previous verbatim, and its cached summary feeds callers at
+  /// the frontier. Because the wave schedule evaluates a function only
+  /// after all callee summaries are final, the result is bit-identical to
+  /// a full run() on the new inputs. \p Previous must come from the same
+  /// ProgramAnalysis with the same options and an identical cost model;
+  /// the caller (e.g. EstimationSession) is responsible for widening
+  /// \p Changed to "everything" when the configuration itself changed.
+  static TimeAnalysis
+  rerun(const ProgramAnalysis &PA,
+        const std::map<const Function *, Frequencies> &FreqsByFunction,
+        const CostModel &CM, const TimeAnalysisOptions &Opts,
+        const TimeAnalysis &Previous,
+        const std::vector<const Function *> &Changed);
+
   /// Estimates of ECFG node \p N of \p F.
   const NodeEstimates &of(const Function &F, NodeId N) const;
+
+  /// All node estimates of \p F, indexed by ECFG node id (the raw vector,
+  /// e.g. for byte-level comparison of incremental vs cold results).
+  const std::vector<NodeEstimates> &estimatesOf(const Function &F) const;
 
   /// TIME(START) of \p F: the procedure's average execution time.
   double functionTime(const Function &F) const;
@@ -120,10 +153,24 @@ public:
   /// iteration).
   bool hasRecursion() const { return Recursive; }
 
+  /// Per-function bottom-up evaluations this run performed (a recursive
+  /// SCC's fixpoint counts every iteration of every member). Incremental
+  /// sessions and tests assert through this counter that clean SCCs were
+  /// not re-evaluated.
+  uint64_t functionEvaluations() const { return Evaluations; }
+
 private:
+  static TimeAnalysis
+  runImpl(const ProgramAnalysis &PA,
+          const std::map<const Function *, Frequencies> &FreqsByFunction,
+          const CostModel &CM, const TimeAnalysisOptions &Opts,
+          const TimeAnalysis *Previous,
+          const std::vector<const Function *> *Changed);
+
   const ProgramAnalysis *PA = nullptr;
   std::map<const Function *, std::vector<NodeEstimates>> PerFunction;
   bool Recursive = false;
+  uint64_t Evaluations = 0;
 };
 
 } // namespace ptran

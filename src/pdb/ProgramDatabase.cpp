@@ -10,7 +10,7 @@
 
 using namespace ptran;
 
-uint64_t ProgramDatabase::fingerprintOf(const FunctionAnalysis &FA) {
+uint64_t ProgramDatabase::structuralFingerprint(const FunctionAnalysis &FA) {
   // A small structural hash: enough to catch profiles recorded against a
   // different version of the function.
   uint64_t H = 1469598103934665603ULL;
@@ -30,7 +30,7 @@ uint64_t ProgramDatabase::fingerprintOf(const FunctionAnalysis &FA) {
 void ProgramDatabase::accumulateTotals(const FunctionAnalysis &FA,
                                        const FrequencyTotals &Totals) {
   FunctionRecord &Rec = Functions[FA.function().name()];
-  Rec.Fingerprint = fingerprintOf(FA);
+  Rec.Fingerprint = structuralFingerprint(FA);
   for (const auto &[Cond, Total] : Totals.Cond)
     Rec.Cond[{Cond.Node, static_cast<unsigned>(Cond.Label)}] += Total;
 }
@@ -48,7 +48,8 @@ void ProgramDatabase::accumulateLoopMoments(
 FrequencyTotals ProgramDatabase::totalsFor(const FunctionAnalysis &FA) const {
   FrequencyTotals Out;
   auto It = Functions.find(FA.function().name());
-  if (It == Functions.end() || It->second.Fingerprint != fingerprintOf(FA))
+  if (It == Functions.end() ||
+      It->second.Fingerprint != structuralFingerprint(FA))
     return Out; // Ok stays false.
   for (const auto &[Key, Total] : It->second.Cond)
     Out.Cond[{Key.first, static_cast<CfgLabel>(Key.second)}] = Total;

@@ -1,0 +1,256 @@
+//===--- session/EstimationSession.cpp - Incremental estimation -----------===//
+
+#include "session/EstimationSession.h"
+
+#include <bit>
+#include <cmath>
+#include <set>
+
+using namespace ptran;
+
+static bool sameCostModel(const CostModel &A, const CostModel &B) {
+  // Exact field-by-field comparison: cache reuse must never cross cost
+  // models, and hashing doubles invites collisions.
+  return A.OpCost == B.OpCost && A.ScalarRefCost == B.ScalarRefCost &&
+         A.ArrayRefCost == B.ArrayRefCost &&
+         A.IntrinsicCost == B.IntrinsicCost && A.AssignCost == B.AssignCost &&
+         A.BranchCost == B.BranchCost && A.GotoCost == B.GotoCost &&
+         A.LoopOverheadCost == B.LoopOverheadCost &&
+         A.CallOverheadCost == B.CallOverheadCost && A.ArgCost == B.ArgCost &&
+         A.PrintCost == B.PrintCost &&
+         A.CounterIncrementCost == B.CounterIncrementCost &&
+         A.CounterAddCost == B.CounterAddCost;
+}
+
+std::unique_ptr<EstimationSession>
+EstimationSession::create(const Program &P, const CostModel &CM,
+                          const EstimatorOptions &Opts) {
+  auto S = std::unique_ptr<EstimationSession>(new EstimationSession());
+  S->P = &P;
+  S->CM = CM;
+  S->Opts = Opts;
+  // One long-lived pool for every pass the session ever runs (analysis
+  // fan-out and each query's TimeAnalysis waves), unless the caller
+  // already owns one.
+  if (!S->Opts.Exec.Pool) {
+    unsigned Workers = ThreadPool::resolveJobs(S->Opts.Exec.Jobs);
+    if (Workers > 1) {
+      S->Pool = std::make_unique<ThreadPool>(Workers);
+      S->Opts.Exec.Pool = S->Pool.get();
+    }
+  }
+  S->Est = Estimator::create(P, CM, S->Opts);
+  if (!S->Est)
+    return nullptr;
+  return S;
+}
+
+RunResult EstimationSession::profiledRun(uint64_t MaxSteps) {
+  ++Runs;
+  RuntimeStale = true;
+  return Est->profiledRun(MaxSteps);
+}
+
+void EstimationSession::accumulateTotals(const Function &F,
+                                         const FrequencyTotals &Delta) {
+  std::map<ControlCondition, double> &Acc = External[&F];
+  for (const auto &[Cond, Total] : Delta.Cond)
+    Acc[Cond] += Total;
+  ExternalDirty.insert(&F);
+}
+
+uint64_t EstimationSession::inputKeyOf(const Function &F,
+                                       const FrequencyTotals &Totals) const {
+  // The structural part is the program database's fingerprint; the data
+  // part folds in the accumulated condition totals and loop-frequency
+  // moments. Any input TimeAnalysis can observe is covered, so equal keys
+  // mean a function's summary is reusable verbatim.
+  uint64_t H = ProgramDatabase::structuralFingerprint(Est->analysis().of(F));
+  auto Mix = [&H](uint64_t V) {
+    H ^= V + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+  };
+  auto MixDouble = [&Mix](double D) { Mix(std::bit_cast<uint64_t>(D)); };
+  Mix(Totals.Cond.size());
+  for (const auto &[Cond, Total] : Totals.Cond) {
+    Mix(Cond.Node);
+    Mix(static_cast<uint64_t>(Cond.Label));
+    MixDouble(Total);
+  }
+  // Loop moments live on the goto-preserving analysis (its statement ids
+  // key LoopFrequencyStats). They can change while condition totals stay
+  // identical — e.g. per-entry counts 1,3 vs 2,2 — so they must be part
+  // of the key for Profiled variance to invalidate correctly.
+  const FunctionAnalysis *RawFA = Est->rawAnalysis().tryOf(F);
+  if (RawFA) {
+    for (NodeId Header : RawFA->intervals().headers()) {
+      StmtId S = RawFA->cfg().origin(Header);
+      if (const LoopFrequencyStats::Moments *M =
+              Est->loopStats().momentsFor(F, S)) {
+        Mix(static_cast<uint64_t>(S));
+        MixDouble(M->Entries);
+        MixDouble(M->Sum);
+        MixDouble(M->SumSq);
+      }
+    }
+  }
+  return H;
+}
+
+void EstimationSession::refreshFunction(const Function &F, InputState &In) {
+  FrequencyTotals Totals = In.Base;
+  auto It = External.find(&F);
+  if (It != External.end() && !It->second.empty()) {
+    for (const auto &[Cond, Total] : It->second)
+      Totals.Cond[Cond] += Total;
+    // Node totals follow from condition totals via the FCDG recurrence.
+    Totals.Node = nodeTotalsFromConds(Est->analysis().of(F), Totals.Cond);
+  }
+  uint64_t Key = inputKeyOf(F, Totals);
+  if (In.Key != Key || !FreqsByFunction.count(&F)) {
+    In.Key = Key;
+    FreqsByFunction[&F] = computeFrequencies(Est->analysis().of(F), Totals);
+  }
+}
+
+bool EstimationSession::refreshInputs(std::string &Error) {
+  if (!RuntimeStale && ExternalDirty.empty())
+    return true;
+  bool Ok = true;
+  for (const auto &F : P->functions()) {
+    InputState &In = Inputs[F.get()];
+    // The recovery fixpoint is the expensive part of reading new
+    // counters; run it only when the runtime actually moved, not when a
+    // query follows a pure external-delta injection.
+    if (RuntimeStale) {
+      In.Base = Est->runtime().recover(*F);
+      if (!In.Base.Ok) {
+        In.RecoveryFailed = true;
+        Ok = false;
+        if (Error.empty())
+          Error = "counter recovery failed for function " + F->name();
+        continue;
+      }
+      In.RecoveryFailed = false;
+    } else if (!ExternalDirty.count(F.get())) {
+      continue;
+    }
+    if (In.RecoveryFailed) {
+      Ok = false;
+      if (Error.empty())
+        Error = "counter recovery failed for function " + F->name();
+      continue;
+    }
+    refreshFunction(*F, In);
+  }
+  if (Ok) {
+    RuntimeStale = false;
+    ExternalDirty.clear();
+  }
+  return Ok;
+}
+
+EstimationSession::ConfigCache &
+EstimationSession::configFor(const CostModel &ConfigCM, LoopVarianceMode LV) {
+  for (auto &C : Configs)
+    if (C->LoopVariance == LV && sameCostModel(C->CM, ConfigCM))
+      return *C;
+  auto C = std::make_unique<ConfigCache>();
+  C->CM = ConfigCM;
+  C->LoopVariance = LV;
+  Configs.push_back(std::move(C));
+  return *Configs.back();
+}
+
+void EstimationSession::refreshConfig(ConfigCache &Cache) {
+  std::vector<const Function *> Changed;
+  if (Cache.Analysis) {
+    for (const auto &F : P->functions()) {
+      auto It = Cache.Keys.find(F.get());
+      if (It == Cache.Keys.end() || It->second != Inputs[F.get()].Key)
+        Changed.push_back(F.get());
+    }
+    if (Changed.empty()) {
+      ++CacheHits;
+      return;
+    }
+  }
+
+  TimeAnalysisOptions TAOpts;
+  TAOpts.LoopVariance = Cache.LoopVariance;
+  if (Cache.LoopVariance == LoopVarianceMode::Profiled)
+    TAOpts.Stats = &Est->loopStats();
+  TAOpts.Exec = Opts.Exec;
+  TAOpts.Diags = Opts.Diags;
+
+  TimeAnalysis Next =
+      Cache.Analysis
+          ? TimeAnalysis::rerun(Est->analysis(), FreqsByFunction, Cache.CM,
+                                TAOpts, *Cache.Analysis, Changed)
+          : TimeAnalysis::run(Est->analysis(), FreqsByFunction, Cache.CM,
+                              TAOpts);
+  LastEvals += Next.functionEvaluations();
+  TotalEvals += Next.functionEvaluations();
+  Cache.Analysis = std::make_unique<TimeAnalysis>(std::move(Next));
+  Cache.Keys.clear();
+  for (const auto &F : P->functions())
+    Cache.Keys[F.get()] = Inputs[F.get()].Key;
+}
+
+std::vector<EstimateResult>
+EstimationSession::estimate(const std::vector<EstimateRequest> &Requests) {
+  LastEvals = 0;
+  std::string Error;
+  bool InputsOk = refreshInputs(Error);
+
+  std::vector<EstimateResult> Results(Requests.size());
+  if (!InputsOk) {
+    for (EstimateResult &R : Results) {
+      R.Ok = false;
+      R.Error = Error;
+    }
+    return Results;
+  }
+
+  // Bring every configuration the batch touches up to date exactly once,
+  // then answer from the caches.
+  std::vector<ConfigCache *> Caches(Requests.size());
+  std::set<ConfigCache *> Refreshed;
+  for (size_t I = 0; I < Requests.size(); ++I) {
+    const EstimateRequest &Req = Requests[I];
+    ConfigCache &Cache =
+        configFor(Req.Cost ? *Req.Cost : CM,
+                  Req.LoopVariance ? *Req.LoopVariance : Opts.LoopVariance);
+    if (Refreshed.insert(&Cache).second)
+      refreshConfig(Cache);
+    Caches[I] = &Cache;
+  }
+
+  for (size_t I = 0; I < Requests.size(); ++I) {
+    const EstimateRequest &Req = Requests[I];
+    EstimateResult &R = Results[I];
+    const Function *F = Req.Function.empty() ? P->entry()
+                                             : P->findFunction(Req.Function);
+    if (!F) {
+      R.Error = Req.Function.empty()
+                    ? "program has no entry procedure"
+                    : "unknown function '" + Req.Function + "'";
+      continue;
+    }
+    const TimeAnalysis &A = *Caches[I]->Analysis;
+    R.Ok = true;
+    R.F = F;
+    R.Time = A.functionTime(*F);
+    R.Var = A.functionVariance(*F);
+    R.StdDev = std::sqrt(R.Var > 0.0 ? R.Var : 0.0);
+    R.Analysis = &A;
+  }
+  return Results;
+}
+
+EstimateResult EstimationSession::estimate(const EstimateRequest &Request) {
+  return estimate(std::vector<EstimateRequest>{Request})[0];
+}
+
+EstimateResult EstimationSession::estimateEntry() {
+  return estimate(EstimateRequest());
+}

@@ -1,0 +1,196 @@
+//===--- session/EstimationSession.h - Incremental estimation ---*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A resident estimation service. Where an Estimator answers one
+/// analyze() call from scratch, an EstimationSession keeps the program's
+/// analyses, counter plan and per-function TIME/VAR summaries alive
+/// across many profiled runs and queries, and re-runs the interprocedural
+/// TimeAnalysis only over the functions whose inputs actually changed.
+///
+/// Every function's cached summary is keyed by the structural fingerprint
+/// the program database already uses (ProgramDatabase::
+/// structuralFingerprint) mixed with a hash of its accumulated condition
+/// totals and loop-frequency moments; every cached analysis additionally
+/// remembers the exact cost model and loop-variance mode it was computed
+/// under. A query after new profiled runs therefore invalidates only the
+/// functions whose totals changed — plus their call-graph ancestors,
+/// which TimeAnalysis::rerun widens to whole SCCs of the condensation —
+/// and replays the wave schedule over just that dirty subgraph, feeding
+/// cached callee summaries in at the frontier. Results are bit-identical
+/// to a cold recomputation (the tests memcmp them).
+///
+/// The batch API estimate(Requests) lets tools ask for many functions
+/// under many configurations in one call; ptran-estimate, the
+/// profile_explorer example and the scaling benchmark are thin clients of
+/// it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_SESSION_ESTIMATIONSESSION_H
+#define PTRAN_SESSION_ESTIMATIONSESSION_H
+
+#include "cost/Estimator.h"
+#include "pdb/ProgramDatabase.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ptran {
+
+/// One query of a batch: which function, under which configuration.
+struct EstimateRequest {
+  /// Function name (case-insensitive); empty means the program entry.
+  std::string Function;
+  /// Loop-variance model override; unset uses the session default.
+  std::optional<LoopVarianceMode> LoopVariance;
+  /// Cost-model override; unset uses the session's model. Each distinct
+  /// override gets its own cached analysis, so alternating between a few
+  /// models stays incremental.
+  std::optional<CostModel> Cost;
+
+  EstimateRequest() = default;
+  explicit EstimateRequest(std::string Function)
+      : Function(std::move(Function)) {}
+};
+
+/// One query's answer.
+struct EstimateResult {
+  bool Ok = false;
+  /// Human-readable reason when !Ok (unknown function, recovery failure).
+  std::string Error;
+  const Function *F = nullptr;
+  double Time = 0.0;   ///< TIME(START) of F.
+  double Var = 0.0;    ///< VAR(START) of F.
+  double StdDev = 0.0; ///< sqrt(Var).
+  /// The full analysis the answer came from (owned by the session; valid
+  /// until the session mutates that configuration's cache or dies).
+  const TimeAnalysis *Analysis = nullptr;
+};
+
+/// Owns one program's estimation state across runs and queries.
+class EstimationSession {
+public:
+  /// Analyzes \p P (which must outlive the session) and builds the
+  /// counter plan. Returns null on analysis failure, reported to
+  /// \p Opts.Diags when set. When \p Opts.Exec names no external pool,
+  /// the session creates one sized by Opts.Exec.Jobs and routes every
+  /// pass — per-function analysis, each TimeAnalysis wave — through it.
+  static std::unique_ptr<EstimationSession>
+  create(const Program &P, const CostModel &CM,
+         const EstimatorOptions &Opts = EstimatorOptions());
+
+  /// Runs the program once with profiling attached; counters and loop
+  /// moments accumulate across calls, exactly as the paper's program
+  /// database accumulates TOTAL_FREQ across runs.
+  RunResult profiledRun(uint64_t MaxSteps = 200'000'000);
+
+  /// Folds an externally recorded totals delta (e.g. another machine's
+  /// program database) into \p F's accumulated totals. Node totals are
+  /// rederived through the FCDG recurrence, so \p Delta only needs
+  /// condition entries.
+  void accumulateTotals(const Function &F, const FrequencyTotals &Delta);
+
+  /// Answers a batch of queries. Inputs are refreshed lazily: functions
+  /// whose fingerprinted totals/moments are unchanged since the last
+  /// query keep their cached summaries, and only the dirty closure is
+  /// re-evaluated (per distinct configuration in the batch).
+  std::vector<EstimateResult> estimate(const std::vector<EstimateRequest> &);
+
+  /// Single-query conveniences.
+  EstimateResult estimate(const EstimateRequest &Request);
+  /// The program entry under the session defaults.
+  EstimateResult estimateEntry();
+
+  /// -- Introspection (tests assert incrementality through these) --------
+
+  /// Per-function bottom-up evaluations the most recent estimate() call
+  /// performed (0 when every configuration was served from cache).
+  uint64_t lastEvaluations() const { return LastEvals; }
+  /// Same, accumulated over the session's lifetime.
+  uint64_t totalEvaluations() const { return TotalEvals; }
+  /// Configurations served with no re-evaluation at all, lifetime.
+  uint64_t cacheHits() const { return CacheHits; }
+  /// Profiled runs executed so far.
+  unsigned runsExecuted() const { return Runs; }
+
+  const Program &program() const { return *P; }
+  const Estimator &estimator() const { return *Est; }
+  Estimator &estimatorMutable() { return *Est; }
+
+private:
+  EstimationSession() = default;
+
+  /// Per-function input state, refreshed lazily before a query.
+  struct InputState {
+    /// Structural fingerprint + totals + loop moments, hashed.
+    uint64_t Key = 0;
+    /// Totals recovered from the counter runtime, cached so queries after
+    /// a pure external-delta injection skip the recovery fixpoint for
+    /// every untouched function.
+    FrequencyTotals Base;
+    /// Set when counter recovery failed (naive plans on unexecuted
+    /// functions); queries touching the program then fail per-request.
+    bool RecoveryFailed = false;
+  };
+
+  /// One (cost model, loop-variance mode) configuration's cached
+  /// analysis. Stored behind unique_ptr so addresses stay stable while
+  /// the vector grows (EstimateResult::Analysis points into it).
+  struct ConfigCache {
+    CostModel CM;
+    LoopVarianceMode LoopVariance = LoopVarianceMode::Zero;
+    std::unique_ptr<TimeAnalysis> Analysis;
+    /// Input keys the analysis was computed under.
+    std::map<const Function *, uint64_t> Keys;
+  };
+
+  /// Recomputes keys/frequencies for every function whose accumulated
+  /// inputs changed. Returns false (and sets \p Error) when recovery
+  /// failed for some function.
+  bool refreshInputs(std::string &Error);
+  /// Re-derives one function's key and frequencies from its cached base
+  /// totals plus external deltas.
+  void refreshFunction(const Function &F, InputState &In);
+  uint64_t inputKeyOf(const Function &F, const FrequencyTotals &Totals) const;
+  ConfigCache &configFor(const CostModel &CM, LoopVarianceMode LV);
+  /// Brings \p Cache up to date with the current inputs (cold run,
+  /// incremental rerun, or nothing).
+  void refreshConfig(ConfigCache &Cache);
+
+  const Program *P = nullptr;
+  CostModel CM;
+  EstimatorOptions Opts;
+  /// The session's own pool when the caller did not supply one;
+  /// Opts.Exec.Pool points at it.
+  std::unique_ptr<ThreadPool> Pool;
+  std::unique_ptr<Estimator> Est;
+
+  std::map<const Function *, InputState> Inputs;
+  /// Current frequencies of every function, updated in place as inputs
+  /// change; analyses read it by reference (no per-query copies).
+  std::map<const Function *, Frequencies> FreqsByFunction;
+  /// Externally injected totals deltas (condition entries only).
+  std::map<const Function *, std::map<ControlCondition, double>> External;
+  std::vector<std::unique_ptr<ConfigCache>> Configs;
+  /// Counters may have moved: re-recover every function's base totals.
+  bool RuntimeStale = true;
+  /// Functions whose external deltas changed since the last refresh.
+  std::set<const Function *> ExternalDirty;
+
+  uint64_t LastEvals = 0;
+  uint64_t TotalEvals = 0;
+  uint64_t CacheHits = 0;
+  unsigned Runs = 0;
+};
+
+} // namespace ptran
+
+#endif // PTRAN_SESSION_ESTIMATIONSESSION_H

@@ -1,0 +1,18 @@
+//===--- support/ExecutionPolicy.cpp - Shared parallelism policy ----------===//
+
+#include "support/ExecutionPolicy.h"
+
+#include <algorithm>
+
+using namespace ptran;
+
+PoolLease::PoolLease(const ExecutionPolicy &Policy, size_t TaskBound) {
+  if (Policy.Pool) {
+    P = Policy.Pool;
+    return;
+  }
+  size_t Workers = std::min<size_t>(ThreadPool::resolveJobs(Policy.Jobs),
+                                    std::max<size_t>(TaskBound, 1));
+  Owned = std::make_unique<ThreadPool>(static_cast<unsigned>(Workers));
+  P = Owned.get();
+}

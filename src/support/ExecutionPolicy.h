@@ -1,0 +1,61 @@
+//===--- support/ExecutionPolicy.h - Shared parallelism policy --*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One knob for every parallel pass: how many workers, and optionally
+/// whose. The passes historically carried their own `unsigned Jobs`
+/// fields (AnalysisOptions, TimeAnalysisOptions, Estimator::create) and
+/// each spun up a private ThreadPool; an ExecutionPolicy either does the
+/// same (Pool == nullptr) or points every pass at one long-lived,
+/// externally owned pool — e.g. an EstimationSession's — so a resident
+/// service does not recreate workers per query.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_SUPPORT_EXECUTIONPOLICY_H
+#define PTRAN_SUPPORT_EXECUTIONPOLICY_H
+
+#include "support/ThreadPool.h"
+
+#include <memory>
+
+namespace ptran {
+
+/// How a pass parallelizes its independent tasks. Every configuration
+/// computes bit-identical results; the policy only changes wall clock.
+struct ExecutionPolicy {
+  /// Worker threads: 1 = serial (the historical driver), 0 = hardware
+  /// concurrency. Ignored when Pool is set.
+  unsigned Jobs = 1;
+  /// Optional externally owned pool. When set, passes submit into it
+  /// instead of creating their own workers; the owner must keep it alive
+  /// for the duration of every pass using this policy.
+  ThreadPool *Pool = nullptr;
+
+  ExecutionPolicy() = default;
+  explicit ExecutionPolicy(unsigned Jobs) : Jobs(Jobs) {}
+  explicit ExecutionPolicy(ThreadPool &Pool) : Pool(&Pool) {}
+};
+
+/// The borrowed-or-owned pool a pass acquires from an ExecutionPolicy for
+/// the duration of one run.
+class PoolLease {
+public:
+  /// \p TaskBound caps an owned pool's size (no point creating more
+  /// workers than schedulable tasks); a borrowed pool is used as-is.
+  PoolLease(const ExecutionPolicy &Policy, size_t TaskBound);
+
+  ThreadPool &operator*() const { return *P; }
+  ThreadPool *operator->() const { return P; }
+
+private:
+  ThreadPool *P = nullptr;
+  std::unique_ptr<ThreadPool> Owned;
+};
+
+} // namespace ptran
+
+#endif // PTRAN_SUPPORT_EXECUTIONPOLICY_H

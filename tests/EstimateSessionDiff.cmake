@@ -1,0 +1,60 @@
+# Runs ptran-estimate end to end twice — the classic pipeline and the
+# incremental --session pipeline — on the same workload and diffs the
+# reports byte for byte, then checks --version and the unknown-flag
+# diagnostics. Invoked by CTest as:
+#
+#   cmake -DESTIMATOR=<path> -DWORK_DIR=<dir> -P EstimateSessionDiff.cmake
+
+if(NOT ESTIMATOR OR NOT WORK_DIR)
+  message(FATAL_ERROR "ESTIMATOR and WORK_DIR must be defined")
+endif()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(FLAGS --workload=loops --runs=2 --loop-variance=profiled --jobs=2)
+
+execute_process(
+  COMMAND ${ESTIMATOR} ${FLAGS}
+  OUTPUT_FILE ${WORK_DIR}/classic.txt
+  RESULT_VARIABLE CLASSIC_RC)
+if(NOT CLASSIC_RC EQUAL 0)
+  message(FATAL_ERROR "classic run failed with exit code ${CLASSIC_RC}")
+endif()
+
+execute_process(
+  COMMAND ${ESTIMATOR} ${FLAGS} --session
+  OUTPUT_FILE ${WORK_DIR}/session.txt
+  RESULT_VARIABLE SESSION_RC)
+if(NOT SESSION_RC EQUAL 0)
+  message(FATAL_ERROR "--session run failed with exit code ${SESSION_RC}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/classic.txt ${WORK_DIR}/session.txt
+  RESULT_VARIABLE DIFF_RC)
+if(NOT DIFF_RC EQUAL 0)
+  message(FATAL_ERROR
+    "classic and --session reports differ; inspect ${WORK_DIR}")
+endif()
+
+execute_process(
+  COMMAND ${ESTIMATOR} --version
+  OUTPUT_VARIABLE VERSION_OUT
+  RESULT_VARIABLE VERSION_RC)
+if(NOT VERSION_RC EQUAL 0 OR NOT VERSION_OUT MATCHES "ptran-estimate ")
+  message(FATAL_ERROR "--version failed: rc=${VERSION_RC} out=${VERSION_OUT}")
+endif()
+
+execute_process(
+  COMMAND ${ESTIMATOR} --no-such-flag
+  ERROR_VARIABLE BADFLAG_ERR
+  RESULT_VARIABLE BADFLAG_RC)
+if(BADFLAG_RC EQUAL 0)
+  message(FATAL_ERROR "unknown flag was silently accepted")
+endif()
+if(NOT BADFLAG_ERR MATCHES "unknown option '--no-such-flag'")
+  message(FATAL_ERROR
+    "unknown-flag diagnostic is not actionable: ${BADFLAG_ERR}")
+endif()
+
+message(STATUS "classic and --session reports are byte-identical")

@@ -27,7 +27,7 @@ TEST(ConsistencyCheck, ExactProfilesAreConsistentOnWorkloads) {
   for (const Workload *W : table1Workloads()) {
     std::unique_ptr<Program> P = parseWorkload(*W);
     DiagnosticEngine Diags;
-    auto Est = Estimator::create(*P, CostModel::optimizing(), Diags);
+    auto Est = Estimator::create(*P, CostModel::optimizing(), EstimatorOptions(Diags));
     ASSERT_NE(Est, nullptr) << Diags.str();
     ASSERT_TRUE(Est->profiledRun(W->MaxSteps).Ok);
     for (const auto &F : P->functions()) {
@@ -47,7 +47,7 @@ TEST_P(RandomProgramConsistency, RecoveredTotalsPass) {
   std::unique_ptr<Program> P =
       makeRandomProgram(GetParam(), RandomProgramConfig());
   DiagnosticEngine Diags;
-  auto Est = Estimator::create(*P, CostModel::optimizing(), Diags);
+  auto Est = Estimator::create(*P, CostModel::optimizing(), EstimatorOptions(Diags));
   ASSERT_NE(Est, nullptr) << Diags.str();
   ASSERT_TRUE(Est->profiledRun().Ok);
   for (const auto &F : P->functions()) {
@@ -63,7 +63,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramConsistency,
 TEST(ConsistencyCheck, DetectsCorruptedTotals) {
   Figure1Program Fix = makeFigure1();
   DiagnosticEngine Diags;
-  auto Est = Estimator::create(*Fix.Prog, CostModel::optimizing(), Diags);
+  auto Est = Estimator::create(*Fix.Prog, CostModel::optimizing(), EstimatorOptions(Diags));
   ASSERT_NE(Est, nullptr) << Diags.str();
   ASSERT_TRUE(Est->profiledRun().Ok);
 
@@ -119,7 +119,7 @@ TEST(ConsistencyCheck, DetectsCorruptedTotals) {
 TEST(ConsistencyCheck, StaleNodeTotalsAreFlagged) {
   Figure1Program Fix = makeFigure1();
   DiagnosticEngine Diags;
-  auto Est = Estimator::create(*Fix.Prog, CostModel::optimizing(), Diags);
+  auto Est = Estimator::create(*Fix.Prog, CostModel::optimizing(), EstimatorOptions(Diags));
   ASSERT_NE(Est, nullptr) << Diags.str();
   ASSERT_TRUE(Est->profiledRun().Ok);
   const FunctionAnalysis &FA = Est->analysis().of(*Fix.Main);
@@ -148,7 +148,7 @@ end
   DiagnosticEngine Diags;
   std::unique_ptr<Program> P = parseProgram(Src, Diags);
   ASSERT_NE(P, nullptr) << Diags.str();
-  auto Est = Estimator::create(*P, CostModel::optimizing(), Diags);
+  auto Est = Estimator::create(*P, CostModel::optimizing(), EstimatorOptions(Diags));
   ASSERT_NE(Est, nullptr) << Diags.str();
   ASSERT_TRUE(Est->profiledRun().Ok);
 

@@ -142,7 +142,7 @@ TEST(TimeAnalysisUnit, InterproceduralBottomUp) {
   }
 
   DiagnosticEngine Diags2;
-  auto Est = Estimator::create(Prog, CostModel::optimizing(), Diags2);
+  auto Est = Estimator::create(Prog, CostModel::optimizing(), EstimatorOptions(Diags2));
   ASSERT_NE(Est, nullptr) << Diags2.str();
   ASSERT_TRUE(Est->profiledRun().Ok);
 
@@ -191,7 +191,7 @@ TEST(TimeAnalysisUnit, RecursionConvergesByFixedPoint) {
   }
 
   DiagnosticEngine Diags2;
-  auto Est = Estimator::create(Prog, CostModel::optimizing(), Diags2);
+  auto Est = Estimator::create(Prog, CostModel::optimizing(), EstimatorOptions(Diags2));
   ASSERT_NE(Est, nullptr) << Diags2.str();
   ASSERT_TRUE(Est->profiledRun().Ok);
   TimeAnalysis TA = Est->analyze();
@@ -206,7 +206,7 @@ TEST(TimeAnalysisUnit, LoopVarianceModesAreOrdered) {
   // Zero <= Profiled (positive) and Geometric/Uniform > 0.
   Figure1Program Fix = makeFigure1();
   DiagnosticEngine Diags;
-  auto Est = Estimator::create(*Fix.Prog, CostModel::optimizing(), Diags);
+  auto Est = Estimator::create(*Fix.Prog, CostModel::optimizing(), EstimatorOptions(Diags));
   ASSERT_NE(Est, nullptr) << Diags.str();
   ASSERT_TRUE(Est->profiledRun().Ok);
 
@@ -245,7 +245,7 @@ TEST(TimeAnalysisUnit, ProfiledLoopVarianceUsesMoments) {
   ASSERT_NE(B.finish(), nullptr) << Diags.str();
 
   DiagnosticEngine Diags2;
-  auto Est = Estimator::create(Prog, CostModel::optimizing(), Diags2);
+  auto Est = Estimator::create(Prog, CostModel::optimizing(), EstimatorOptions(Diags2));
   ASSERT_NE(Est, nullptr) << Diags2.str();
   ASSERT_TRUE(Est->profiledRun().Ok);
 
@@ -290,7 +290,7 @@ TEST(FrequenciesUnit, MultiRunAccumulationKeepsRatios) {
   // Running the same program twice doubles totals but preserves FREQ.
   Figure1Program Fix = makeFigure1();
   DiagnosticEngine Diags;
-  auto Est = Estimator::create(*Fix.Prog, CostModel::optimizing(), Diags);
+  auto Est = Estimator::create(*Fix.Prog, CostModel::optimizing(), EstimatorOptions(Diags));
   ASSERT_NE(Est, nullptr) << Diags.str();
   ASSERT_TRUE(Est->profiledRun().Ok);
   FrequencyTotals Once = Est->totalsFor(*Fix.Main);

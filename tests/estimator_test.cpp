@@ -13,6 +13,34 @@ using namespace ptran::testing;
 
 namespace {
 
+TEST(Estimator, DeprecatedPositionalCreateStillWorks) {
+  // The pre-EstimatorOptions signature must keep working (with a
+  // deprecation warning, suppressed here) and produce the same pipeline
+  // as the options-based overload.
+  Figure1Program Fix = makeFigure1();
+  DiagnosticEngine Diags;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  auto Old = Estimator::create(*Fix.Prog, CostModel::optimizing(), Diags,
+                               ProfileMode::Smart, 1);
+#pragma GCC diagnostic pop
+  ASSERT_NE(Old, nullptr) << Diags.str();
+  EXPECT_EQ(Old->options().Mode, ProfileMode::Smart);
+  EXPECT_EQ(Old->options().Exec.Jobs, 1u);
+  EXPECT_EQ(Old->options().Diags, &Diags);
+  ASSERT_TRUE(Old->profiledRun().Ok);
+  TimeAnalysis OldTA = Old->analyze();
+
+  DiagnosticEngine Diags2;
+  auto New = Estimator::create(*Fix.Prog, CostModel::optimizing(),
+                               EstimatorOptions(Diags2));
+  ASSERT_NE(New, nullptr) << Diags2.str();
+  ASSERT_TRUE(New->profiledRun().Ok);
+  TimeAnalysis NewTA = New->analyze();
+  EXPECT_EQ(OldTA.programTime(), NewTA.programTime());
+  EXPECT_EQ(OldTA.programStdDev(), NewTA.programStdDev());
+}
+
 TEST(Estimator, EndToEndFromSource) {
   const char *Src = R"(
 program main
@@ -28,7 +56,7 @@ end
   DiagnosticEngine Diags;
   std::unique_ptr<Program> P = parseProgram(Src, Diags);
   ASSERT_NE(P, nullptr) << Diags.str();
-  auto Est = Estimator::create(*P, CostModel::optimizing(), Diags);
+  auto Est = Estimator::create(*P, CostModel::optimizing(), EstimatorOptions(Diags));
   ASSERT_NE(Est, nullptr) << Diags.str();
 
   RunResult R = Est->profiledRun();
@@ -58,7 +86,7 @@ end
   DiagnosticEngine Diags;
   std::unique_ptr<Program> P = parseProgram(Src, Diags);
   ASSERT_NE(P, nullptr) << Diags.str();
-  auto Est = Estimator::create(*P, CostModel::optimizing(), Diags);
+  auto Est = Estimator::create(*P, CostModel::optimizing(), EstimatorOptions(Diags));
   EXPECT_EQ(Est, nullptr);
   EXPECT_NE(Diags.str().find("irreducible"), std::string::npos)
       << Diags.str();
@@ -68,7 +96,7 @@ TEST(Estimator, AnalysisMatchesRunCyclesOnWorkloads) {
   for (const Workload *W : table1Workloads()) {
     std::unique_ptr<Program> P = parseWorkload(*W);
     DiagnosticEngine Diags;
-    auto Est = Estimator::create(*P, CostModel::optimizing(), Diags);
+    auto Est = Estimator::create(*P, CostModel::optimizing(), EstimatorOptions(Diags));
     ASSERT_NE(Est, nullptr) << W->Name << "\n" << Diags.str();
     RunResult R = Est->profiledRun(W->MaxSteps);
     ASSERT_TRUE(R.Ok) << W->Name << ": " << R.Error;
@@ -82,8 +110,8 @@ TEST(Estimator, AnalysisMatchesRunCyclesOnWorkloads) {
 TEST(Estimator, NaiveModeStillMeasuresOverhead) {
   Figure1Program Fix = makeFigure1();
   DiagnosticEngine Diags;
-  auto Est = Estimator::create(*Fix.Prog, CostModel::optimizing(), Diags,
-                               ProfileMode::Naive);
+  auto Est = Estimator::create(*Fix.Prog, CostModel::optimizing(),
+                               EstimatorOptions(Diags).mode(ProfileMode::Naive));
   ASSERT_NE(Est, nullptr) << Diags.str();
   ASSERT_TRUE(Est->profiledRun().Ok);
   EXPECT_GT(Est->runtime().dynamicIncrements() +
@@ -99,7 +127,7 @@ TEST(Estimator, RandomProgramsEstimateTheirOwnRun) {
     std::unique_ptr<Program> P =
         makeRandomProgram(Seed, RandomProgramConfig());
     DiagnosticEngine Diags;
-    auto Est = Estimator::create(*P, CostModel::optimizing(), Diags);
+    auto Est = Estimator::create(*P, CostModel::optimizing(), EstimatorOptions(Diags));
     ASSERT_NE(Est, nullptr) << Diags.str();
     RunResult R = Est->profiledRun();
     ASSERT_TRUE(R.Ok) << R.Error;

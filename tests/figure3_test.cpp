@@ -24,7 +24,7 @@ protected:
   void SetUp() override {
     Fix = makeFigure1();
     ASSERT_TRUE(verifyProgram(*Fix.Prog, Diags)) << Diags.str();
-    Est = Estimator::create(*Fix.Prog, CostModel::optimizing(), Diags);
+    Est = Estimator::create(*Fix.Prog, CostModel::optimizing(), EstimatorOptions(Diags));
     ASSERT_NE(Est, nullptr) << Diags.str();
     RunResult R = Est->profiledRun();
     ASSERT_TRUE(R.Ok) << R.Error;

@@ -26,7 +26,7 @@ namespace {
 TEST(AnnotatedListing, ShowsCountsTimesAndDeviations) {
   Figure1Program Fix = makeFigure1();
   DiagnosticEngine Diags;
-  auto Est = Estimator::create(*Fix.Prog, CostModel::optimizing(), Diags);
+  auto Est = Estimator::create(*Fix.Prog, CostModel::optimizing(), EstimatorOptions(Diags));
   ASSERT_NE(Est, nullptr) << Diags.str();
   ASSERT_TRUE(Est->profiledRun().Ok);
   TimeAnalysis TA = Est->analyze(figure3CostOptions());

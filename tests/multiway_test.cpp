@@ -222,7 +222,7 @@ end
   DiagnosticEngine Diags;
   std::unique_ptr<Program> P = parseProgram(Src, Diags);
   ASSERT_NE(P, nullptr) << Diags.str();
-  auto Est = Estimator::create(*P, CostModel::optimizing(), Diags);
+  auto Est = Estimator::create(*P, CostModel::optimizing(), EstimatorOptions(Diags));
   ASSERT_NE(Est, nullptr) << Diags.str();
   ASSERT_TRUE(Est->profiledRun().Ok);
 

@@ -55,13 +55,13 @@ std::vector<double> estimatesAtJobs(const Program &Prog, unsigned Jobs,
                                     const TimeAnalysisOptions &Base) {
   DiagnosticEngine Diags;
   AnalysisOptions AOpts;
-  AOpts.Jobs = Jobs;
+  AOpts.Exec.Jobs = Jobs;
   auto PA = ProgramAnalysis::compute(Prog, Diags, AOpts);
   EXPECT_TRUE(PA && PA->allOk()) << Diags.str();
   std::map<const Function *, Frequencies> Freqs =
       syntheticFrequencies(Prog, *PA);
   TimeAnalysisOptions Opts = Base;
-  Opts.Jobs = Jobs;
+  Opts.Exec.Jobs = Jobs;
   TimeAnalysis TA = TimeAnalysis::run(*PA, Freqs, CostModel::optimizing(),
                                       Opts);
   std::vector<double> Out;
@@ -145,8 +145,9 @@ TEST(ParallelDeterminism, EstimatorEndToEndMatchesSerial) {
   auto RunAt = [](unsigned Jobs) {
     Figure1Program Fix = makeFigure1();
     DiagnosticEngine Diags;
-    auto Est = Estimator::create(*Fix.Prog, CostModel::optimizing(), Diags,
-                                 ProfileMode::Smart, Jobs);
+    auto Est = Estimator::create(
+        *Fix.Prog, CostModel::optimizing(),
+        EstimatorOptions(Diags).mode(ProfileMode::Smart).jobs(Jobs));
     EXPECT_NE(Est, nullptr) << Diags.str();
     EXPECT_TRUE(Est->profiledRun().Ok);
     TimeAnalysis TA = Est->analyze(figure3CostOptions());
@@ -286,7 +287,7 @@ end
 
   // The whole-program estimator refuses partial coverage.
   DiagnosticEngine D3;
-  auto Est = Estimator::create(*Prog, CostModel::optimizing(), D3);
+  auto Est = Estimator::create(*Prog, CostModel::optimizing(), EstimatorOptions(D3));
   EXPECT_EQ(Est, nullptr);
 }
 

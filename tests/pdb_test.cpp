@@ -27,7 +27,7 @@ struct PdbFixture {
 
   PdbFixture() {
     Fix = makeFigure1();
-    Est = Estimator::create(*Fix.Prog, CostModel::optimizing(), Diags);
+    Est = Estimator::create(*Fix.Prog, CostModel::optimizing(), EstimatorOptions(Diags));
     EXPECT_NE(Est, nullptr) << Diags.str();
   }
 

@@ -43,7 +43,7 @@ TEST(SamplingProfile, ProcedureFractionsTrackEstimatedSelfTime) {
   std::unique_ptr<Program> Prog = parseWorkload(livermoreLoops());
   DiagnosticEngine Diags;
   CostModel CM = CostModel::optimizing();
-  auto Est = Estimator::create(*Prog, CM, Diags);
+  auto Est = Estimator::create(*Prog, CM, EstimatorOptions(Diags));
   ASSERT_NE(Est, nullptr) << Diags.str();
 
   SamplingProfile Sampler(CM, 500.0);
@@ -117,7 +117,7 @@ TEST(SamplingProfile, ResetClearsState) {
 TEST(ProcedureReport, Figure1FlatProfile) {
   Figure1Program Fix = makeFigure1();
   DiagnosticEngine Diags;
-  auto Est = Estimator::create(*Fix.Prog, CostModel::optimizing(), Diags);
+  auto Est = Estimator::create(*Fix.Prog, CostModel::optimizing(), EstimatorOptions(Diags));
   ASSERT_NE(Est, nullptr) << Diags.str();
   ASSERT_TRUE(Est->profiledRun().Ok);
 
@@ -161,7 +161,7 @@ TEST(ProcedureReport, SelfTimesSumToProgramTimeOnWorkloads) {
   for (const Workload *W : table1Workloads()) {
     std::unique_ptr<Program> Prog = parseWorkload(*W);
     DiagnosticEngine Diags;
-    auto Est = Estimator::create(*Prog, CostModel::optimizing(), Diags);
+    auto Est = Estimator::create(*Prog, CostModel::optimizing(), EstimatorOptions(Diags));
     ASSERT_NE(Est, nullptr) << Diags.str();
     ASSERT_TRUE(Est->profiledRun(W->MaxSteps).Ok);
 

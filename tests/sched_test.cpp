@@ -148,7 +148,7 @@ TEST(Adviser, PullsMomentsFromTimeAnalysis) {
   ASSERT_NE(B.finish(), nullptr) << Diags.str();
 
   DiagnosticEngine Diags2;
-  auto Est = Estimator::create(Prog, CostModel::optimizing(), Diags2);
+  auto Est = Estimator::create(Prog, CostModel::optimizing(), EstimatorOptions(Diags2));
   ASSERT_NE(Est, nullptr) << Diags2.str();
   ASSERT_TRUE(Est->profiledRun().Ok);
   TimeAnalysis TA = Est->analyze();

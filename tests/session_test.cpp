@@ -1,0 +1,319 @@
+//===--- tests/session_test.cpp - Incremental estimation sessions ---------===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+// Covers the EstimationSession subsystem: summary-cache invalidation (a
+// changed leaf re-evaluates exactly the leaf and its call-graph
+// ancestors), bit-identity of incremental vs cold recomputation, the
+// batch query API with per-request configuration overrides, and
+// determinism across job counts on one shared pool.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+#include "session/EstimationSession.h"
+#include "workloads/Workloads.h"
+
+#include "TestPrograms.h"
+
+#include <cstring>
+#include <gtest/gtest.h>
+
+using namespace ptran;
+using namespace ptran::testing;
+
+namespace {
+
+/// A diamond call graph with an extra edge:
+///
+///   main -> mid -> {leafa, leafb},  main -> leafb
+///
+/// so dirtying leafa must re-evaluate {leafa, mid, main} and nothing
+/// else: leafb is reachable from main but not a caller of leafa.
+const char DiamondSource[] = R"FTN(
+program main
+  x = 0.0
+  call mid(x)
+  call leafb(x)
+  print x
+end
+subroutine mid(x)
+  call leafa(x)
+  call leafb(x)
+end
+subroutine leafa(x)
+  do 10 i = 1, 4
+    x = x + 1.0
+10 continue
+end
+subroutine leafb(x)
+  x = x + 2.0
+end
+)FTN";
+
+std::unique_ptr<Program> parseDiamond() {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = parseProgram(DiamondSource, Diags);
+  EXPECT_NE(P, nullptr) << Diags.str();
+  return P;
+}
+
+/// Byte-level equality of every node estimate of every function.
+void expectBitIdentical(const Program &Prog, const TimeAnalysis &A,
+                        const TimeAnalysis &B) {
+  for (const auto &F : Prog.functions()) {
+    const std::vector<NodeEstimates> &EA = A.estimatesOf(*F);
+    const std::vector<NodeEstimates> &EB = B.estimatesOf(*F);
+    ASSERT_EQ(EA.size(), EB.size()) << F->name();
+    EXPECT_EQ(std::memcmp(EA.data(), EB.data(),
+                          EA.size() * sizeof(NodeEstimates)),
+              0)
+        << "estimates of " << F->name() << " differ bitwise";
+  }
+}
+
+/// One synthetic totals delta for a straight-line leaf: bump its
+/// invocation condition, which changes its accumulated totals (and hence
+/// its input fingerprint) without touching any other function.
+FrequencyTotals invocationDelta(const EstimationSession &S,
+                                const Function &F) {
+  FrequencyTotals Delta;
+  const FunctionAnalysis &FA = S.estimator().analysis().of(F);
+  Delta.Cond[{FA.ecfg().start(), CfgLabel::U}] = 1.0;
+  return Delta;
+}
+
+TEST(EstimationSession, ColdQueryThenCacheHit) {
+  std::unique_ptr<Program> Prog = parseDiamond();
+  DiagnosticEngine Diags;
+  auto S = EstimationSession::create(*Prog, CostModel::optimizing(),
+                                     EstimatorOptions(Diags));
+  ASSERT_NE(S, nullptr) << Diags.str();
+  ASSERT_TRUE(S->profiledRun().Ok);
+
+  EstimateResult R1 = S->estimateEntry();
+  ASSERT_TRUE(R1.Ok) << R1.Error;
+  // Four functions, no recursion: one bottom-up evaluation each.
+  EXPECT_EQ(S->lastEvaluations(), 4u);
+  EXPECT_GT(R1.Time, 0.0);
+  EXPECT_EQ(R1.F, Prog->entry());
+
+  // Nothing changed: the second query is a pure cache hit — same analysis
+  // object, zero evaluations.
+  uint64_t HitsBefore = S->cacheHits();
+  EstimateResult R2 = S->estimateEntry();
+  ASSERT_TRUE(R2.Ok) << R2.Error;
+  EXPECT_EQ(S->lastEvaluations(), 0u);
+  EXPECT_EQ(S->cacheHits(), HitsBefore + 1);
+  EXPECT_EQ(R2.Analysis, R1.Analysis);
+  EXPECT_EQ(R2.Time, R1.Time);
+  EXPECT_EQ(R2.Var, R1.Var);
+}
+
+TEST(EstimationSession, LeafChangeInvalidatesExactlyItsAncestors) {
+  std::unique_ptr<Program> Prog = parseDiamond();
+  DiagnosticEngine Diags;
+  auto S = EstimationSession::create(*Prog, CostModel::optimizing(),
+                                     EstimatorOptions(Diags));
+  ASSERT_NE(S, nullptr) << Diags.str();
+  ASSERT_TRUE(S->profiledRun().Ok);
+  ASSERT_TRUE(S->estimateEntry().Ok);
+
+  // Dirty only leafa's accumulated totals.
+  const Function *LeafA = Prog->findFunction("leafa");
+  ASSERT_NE(LeafA, nullptr);
+  S->accumulateTotals(*LeafA, invocationDelta(*S, *LeafA));
+
+  EstimateResult R = S->estimateEntry();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // The dirty closure is {leafa, mid, main}; leafb has no path to leafa
+  // in the caller direction and must be served from cache.
+  EXPECT_EQ(S->lastEvaluations(), 3u);
+
+  // Bit-identity: a cold analysis over the session's exact accumulated
+  // inputs must match the incremental result byte for byte.
+  const Estimator &Est = S->estimator();
+  std::map<const Function *, Frequencies> Freqs;
+  for (const auto &F : Prog->functions()) {
+    FrequencyTotals Totals = Est.runtime().recover(*F);
+    ASSERT_TRUE(Totals.Ok) << F->name();
+    if (F.get() == LeafA) {
+      for (const auto &[Cond, Total] :
+           invocationDelta(*S, *LeafA).Cond)
+        Totals.Cond[Cond] += Total;
+      Totals.Node = nodeTotalsFromConds(Est.analysis().of(*F), Totals.Cond);
+    }
+    Freqs[F.get()] = computeFrequencies(Est.analysis().of(*F), Totals);
+  }
+  TimeAnalysis Cold =
+      TimeAnalysis::run(Est.analysis(), Freqs, CostModel::optimizing());
+  expectBitIdentical(*Prog, *R.Analysis, Cold);
+  EXPECT_EQ(Cold.functionEvaluations(), 4u);
+}
+
+TEST(EstimationSession, IncrementalMatchesColdAfterMoreRuns) {
+  // Accumulating runs dirties every executed function; the incremental
+  // path then re-evaluates everything and must still be bit-identical to
+  // an estimator that saw the same runs cold.
+  std::unique_ptr<Program> Prog = makeManyFunctionProgram(31, 2);
+  DiagnosticEngine Diags;
+  auto S = EstimationSession::create(
+      *Prog, CostModel::optimizing(),
+      EstimatorOptions(Diags).loopVariance(LoopVarianceMode::Profiled));
+  ASSERT_NE(S, nullptr) << Diags.str();
+
+  ASSERT_TRUE(S->profiledRun().Ok);
+  ASSERT_TRUE(S->estimateEntry().Ok);
+  ASSERT_TRUE(S->profiledRun().Ok);
+  ASSERT_TRUE(S->profiledRun().Ok);
+  EstimateResult Inc = S->estimateEntry();
+  ASSERT_TRUE(Inc.Ok) << Inc.Error;
+
+  DiagnosticEngine Diags2;
+  auto Est = Estimator::create(
+      *Prog, CostModel::optimizing(),
+      EstimatorOptions(Diags2).loopVariance(LoopVarianceMode::Profiled));
+  ASSERT_NE(Est, nullptr) << Diags2.str();
+  ASSERT_TRUE(Est->profiledRun().Ok);
+  ASSERT_TRUE(Est->profiledRun().Ok);
+  ASSERT_TRUE(Est->profiledRun().Ok);
+  TimeAnalysis Cold = Est->analyze();
+
+  expectBitIdentical(*Prog, *Inc.Analysis, Cold);
+  EXPECT_EQ(Inc.Time, Cold.programTime());
+}
+
+TEST(EstimationSession, BatchRequestsAndPerRequestOverrides) {
+  std::unique_ptr<Program> Prog = parseDiamond();
+  DiagnosticEngine Diags;
+  auto S = EstimationSession::create(*Prog, CostModel::optimizing(),
+                                     EstimatorOptions(Diags));
+  ASSERT_NE(S, nullptr) << Diags.str();
+  ASSERT_TRUE(S->profiledRun().Ok);
+
+  EstimateRequest Entry;                // defaults: program entry
+  EstimateRequest Mid("mid");           // named function
+  EstimateRequest Unknown("nosuch");    // error, not fatal
+  EstimateRequest Expensive("leafb");   // distinct cost model
+  Expensive.Cost = CostModel::nonOptimizing();
+
+  std::vector<EstimateResult> Res =
+      S->estimate({Entry, Mid, Unknown, Expensive});
+  ASSERT_EQ(Res.size(), 4u);
+
+  ASSERT_TRUE(Res[0].Ok) << Res[0].Error;
+  ASSERT_TRUE(Res[1].Ok) << Res[1].Error;
+  EXPECT_GT(Res[0].Time, Res[1].Time); // entry subsumes mid's work
+  EXPECT_EQ(Res[0].Analysis, Res[1].Analysis); // same configuration
+
+  EXPECT_FALSE(Res[2].Ok);
+  EXPECT_NE(Res[2].Error.find("unknown function 'nosuch'"),
+            std::string::npos)
+      << Res[2].Error;
+
+  ASSERT_TRUE(Res[3].Ok) << Res[3].Error;
+  EXPECT_NE(Res[3].Analysis, Res[0].Analysis); // separate config cache
+  const Function *LeafB = Prog->findFunction("leafb");
+  ASSERT_NE(LeafB, nullptr);
+  // The non-optimizing model charges more per operation.
+  EXPECT_GT(Res[3].Time, Res[0].Analysis->functionTime(*LeafB));
+
+  // Re-asking for both configurations re-runs nothing.
+  uint64_t EvalsBefore = S->totalEvaluations();
+  std::vector<EstimateResult> Again = S->estimate({Entry, Expensive});
+  ASSERT_TRUE(Again[0].Ok);
+  ASSERT_TRUE(Again[1].Ok);
+  EXPECT_EQ(S->totalEvaluations(), EvalsBefore);
+  EXPECT_EQ(S->lastEvaluations(), 0u);
+}
+
+TEST(EstimationSession, VarianceModeOverridesGetTheirOwnCache) {
+  Figure1Program Fix = makeFigure1();
+  DiagnosticEngine Diags;
+  auto S = EstimationSession::create(*Fix.Prog, CostModel::optimizing(),
+                                     EstimatorOptions(Diags));
+  ASSERT_NE(S, nullptr) << Diags.str();
+  ASSERT_TRUE(S->profiledRun().Ok);
+
+  EstimateRequest Zero;
+  Zero.LoopVariance = LoopVarianceMode::Zero;
+  EstimateRequest Profiled;
+  Profiled.LoopVariance = LoopVarianceMode::Profiled;
+
+  std::vector<EstimateResult> Res = S->estimate({Zero, Profiled});
+  ASSERT_TRUE(Res[0].Ok) << Res[0].Error;
+  ASSERT_TRUE(Res[1].Ok) << Res[1].Error;
+  EXPECT_NE(Res[0].Analysis, Res[1].Analysis);
+  // Same frequencies, same times; the variance model only affects VAR.
+  EXPECT_EQ(Res[0].Time, Res[1].Time);
+  EXPECT_GE(Res[1].Var, Res[0].Var);
+}
+
+TEST(EstimationSession, DeterministicAcrossJobCounts) {
+  // The session routes every pass through one shared pool; results must
+  // be bit-identical to the serial session at any worker count.
+  auto RunAt = [](unsigned Jobs) {
+    std::unique_ptr<Program> Prog = makeManyFunctionProgram(63, 2);
+    DiagnosticEngine Diags;
+    auto S = EstimationSession::create(*Prog, CostModel::optimizing(),
+                                       EstimatorOptions(Diags).jobs(Jobs));
+    EXPECT_NE(S, nullptr) << Diags.str();
+    EXPECT_TRUE(S->profiledRun().Ok);
+    EstimateResult R = S->estimateEntry();
+    EXPECT_TRUE(R.Ok) << R.Error;
+    return std::pair(R.Time, R.StdDev);
+  };
+  auto [SerialTime, SerialDev] = RunAt(1);
+  auto [ParallelTime, ParallelDev] = RunAt(8);
+  EXPECT_EQ(SerialTime, ParallelTime);
+  EXPECT_EQ(SerialDev, ParallelDev);
+}
+
+TEST(EstimationSession, RecursiveProgramsStayIncremental) {
+  // Recursion keeps its serial fixpoint inside the wave schedule; the
+  // session must still cache and invalidate around the recursive SCC.
+  const char RecSource[] = R"FTN(
+program main
+  x = 6.0
+  call fact(x)
+  call leaf(x)
+  print x
+end
+subroutine fact(x)
+  if (x .gt. 1.0) then
+    x = x - 1.0
+    call fact(x)
+  endif
+end
+subroutine leaf(x)
+  x = x * 2.0
+end
+)FTN";
+  DiagnosticEngine PD;
+  std::unique_ptr<Program> Prog = parseProgram(RecSource, PD);
+  ASSERT_NE(Prog, nullptr) << PD.str();
+
+  DiagnosticEngine Diags;
+  auto S = EstimationSession::create(*Prog, CostModel::optimizing(),
+                                     EstimatorOptions(Diags));
+  ASSERT_NE(S, nullptr) << Diags.str();
+  ASSERT_TRUE(S->profiledRun().Ok);
+
+  EstimateResult R1 = S->estimateEntry();
+  ASSERT_TRUE(R1.Ok) << R1.Error;
+  ASSERT_TRUE(R1.Analysis->hasRecursion());
+  uint64_t ColdEvals = S->lastEvaluations();
+  EXPECT_GT(ColdEvals, 3u); // fixpoint iterations count per evaluation
+
+  // Dirty the non-recursive leaf: the recursive SCC is NOT an ancestor
+  // of leaf, so only {leaf, main} re-evaluate — main once, leaf once.
+  const Function *Leaf = Prog->findFunction("leaf");
+  ASSERT_NE(Leaf, nullptr);
+  S->accumulateTotals(*Leaf, invocationDelta(*S, *Leaf));
+  EstimateResult R2 = S->estimateEntry();
+  ASSERT_TRUE(R2.Ok) << R2.Error;
+  EXPECT_EQ(S->lastEvaluations(), 2u);
+  EXPECT_EQ(R2.Time, R1.Time); // the delta scales totals, not frequencies
+}
+
+} // namespace

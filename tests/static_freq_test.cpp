@@ -80,7 +80,7 @@ end
   DiagnosticEngine Diags;
   std::unique_ptr<Program> P = parseProgram(Src, Diags);
   ASSERT_NE(P, nullptr) << Diags.str();
-  auto Est = Estimator::create(*P, CostModel::optimizing(), Diags);
+  auto Est = Estimator::create(*P, CostModel::optimizing(), EstimatorOptions(Diags));
   ASSERT_NE(Est, nullptr) << Diags.str();
   ASSERT_TRUE(Est->profiledRun().Ok);
 
@@ -131,7 +131,7 @@ TEST(StaticFrequenciesTest, EstimateIsInTheBallparkOnLoops) {
   // profiled estimate.
   std::unique_ptr<Program> P = parseWorkload(livermoreLoops());
   DiagnosticEngine Diags;
-  auto Est = Estimator::create(*P, CostModel::optimizing(), Diags);
+  auto Est = Estimator::create(*P, CostModel::optimizing(), EstimatorOptions(Diags));
   ASSERT_NE(Est, nullptr) << Diags.str();
   RunResult R = Est->profiledRun();
   ASSERT_TRUE(R.Ok);
@@ -176,7 +176,7 @@ end
   DiagnosticEngine Diags;
   std::unique_ptr<Program> P = parseProgram(Src, Diags);
   ASSERT_NE(P, nullptr) << Diags.str();
-  auto Est = Estimator::create(*P, CostModel::optimizing(), Diags);
+  auto Est = Estimator::create(*P, CostModel::optimizing(), EstimatorOptions(Diags));
   ASSERT_NE(Est, nullptr) << Diags.str();
   ASSERT_TRUE(Est->profiledRun().Ok);
 

@@ -19,9 +19,13 @@
 //   --jobs=N                analysis worker threads (default: hardware
 //                           concurrency; 1 = serial; results are identical
 //                           for every value)
+//   --session               drive the run/estimate flow through an
+//                           incremental EstimationSession (same output)
 //   --check                 verify the Section 3 identities on the profile
 //   --dot=cfg|ecfg|fcdg     Graphviz of the entry procedure's graph
 //   --pdb=FILE              load/accumulate/save a program database
+//   --version               print the version and exit
+//   --help                  print this option summary and exit
 //
 //===----------------------------------------------------------------------===//
 
@@ -34,6 +38,7 @@
 #include "pdb/ProgramDatabase.h"
 #include "profile/SamplingProfile.h"
 #include "sched/ChunkScheduling.h"
+#include "session/EstimationSession.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
 #include "workloads/Workloads.h"
@@ -44,6 +49,10 @@
 #include <fstream>
 #include <sstream>
 #include <sys/stat.h>
+
+#ifndef PTRAN_VERSION
+#define PTRAN_VERSION "unknown"
+#endif
 
 using namespace ptran;
 
@@ -66,31 +75,59 @@ struct Options {
   std::string PdbFile;
   enum class FreqSource { Profile, Static, Hybrid } Freq = FreqSource::Profile;
   bool Check = false;
+  bool Session = false;
   /// 0 = hardware concurrency (the default); 1 reproduces the serial
   /// pipeline bit-for-bit.
   unsigned Jobs = 0;
 };
 
-[[noreturn]] void usage(const char *Argv0) {
-  std::fprintf(stderr,
-               "usage: %s FILE.f | --workload=loops|simple [options]\n"
-               "see the file header for the option list\n",
-               Argv0);
-  std::exit(1);
-}
+const char *const UsageText =
+    "usage: ptran-estimate FILE.f | --workload=loops|simple [options]\n"
+    "options:\n"
+    "  --runs=N                profiled runs to accumulate (default 1)\n"
+    "  --mode=smart|opt1+2|opt1|naive   counter placement (default smart)\n"
+    "  --cost=on|off           optimizing / non-optimizing cost model\n"
+    "  --loop-variance=zero|profiled|geometric|uniform\n"
+    "  --statements=PROC       per-statement FREQ/TIME/VAR table for PROC\n"
+    "  --annotate=PROC         annotated source listing for PROC\n"
+    "  --plan                  print the counter plans\n"
+    "  --sampling=PERIOD       also run a sampling profiler\n"
+    "  --chunk=P,OVERHEAD      Kruskal-Weiss advice for every DO loop\n"
+    "  --freq=profile|static|hybrid   frequency source (default profile)\n"
+    "  --jobs=N                worker threads (0 = hardware concurrency)\n"
+    "  --session               drive the flow through an EstimationSession\n"
+    "  --check                 verify the Section 3 identities\n"
+    "  --dot=cfg|ecfg|fcdg     Graphviz of the entry procedure's graph\n"
+    "  --pdb=FILE              load/accumulate/save a program database\n"
+    "  --version               print the version and exit\n"
+    "  --help                  print this summary and exit\n";
 
-bool parseArgs(int Argc, char **Argv, Options &Opts) {
+/// Parses the command line. On failure, \p Error holds an actionable
+/// message naming the offending flag and the accepted values.
+bool parseArgs(int Argc, char **Argv, Options &Opts, std::string &Error) {
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     auto Value = [&](const std::string &Prefix) -> std::string {
       return Arg.substr(Prefix.size());
     };
-    if (Arg.rfind("--workload=", 0) == 0) {
+    auto Invalid = [&](const std::string &Flag, const std::string &Got,
+                       const std::string &Expected) {
+      Error = "invalid value '" + Got + "' for " + Flag + " (expected " +
+              Expected + ")";
+      return false;
+    };
+    if (Arg == "--version") {
+      std::printf("ptran-estimate %s\n", PTRAN_VERSION);
+      std::exit(0);
+    } else if (Arg == "--help") {
+      std::printf("%s", UsageText);
+      std::exit(0);
+    } else if (Arg.rfind("--workload=", 0) == 0) {
       Opts.WorkloadName = toLower(Value("--workload="));
     } else if (Arg.rfind("--runs=", 0) == 0) {
       Opts.Runs = static_cast<unsigned>(std::atoi(Value("--runs=").c_str()));
       if (Opts.Runs == 0)
-        return false;
+        return Invalid("--runs", Value("--runs="), "a positive number");
     } else if (Arg.rfind("--mode=", 0) == 0) {
       std::string M = toLower(Value("--mode="));
       if (M == "smart")
@@ -102,7 +139,7 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       else if (M == "naive")
         Opts.Mode = ProfileMode::Naive;
       else
-        return false;
+        return Invalid("--mode", M, "smart|opt1+2|opt1|naive");
     } else if (Arg.rfind("--cost=", 0) == 0) {
       std::string C = toLower(Value("--cost="));
       if (C == "on")
@@ -110,7 +147,7 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       else if (C == "off")
         Opts.OptimizingCost = false;
       else
-        return false;
+        return Invalid("--cost", C, "on|off");
     } else if (Arg.rfind("--loop-variance=", 0) == 0) {
       std::string V = toLower(Value("--loop-variance="));
       if (V == "zero")
@@ -122,7 +159,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       else if (V == "uniform")
         Opts.LoopVariance = LoopVarianceMode::Uniform;
       else
-        return false;
+        return Invalid("--loop-variance", V,
+                       "zero|profiled|geometric|uniform");
     } else if (Arg.rfind("--statements=", 0) == 0) {
       Opts.StatementsProc = Value("--statements=");
     } else if (Arg.rfind("--annotate=", 0) == 0) {
@@ -132,19 +170,21 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
     } else if (Arg.rfind("--sampling=", 0) == 0) {
       Opts.SamplingPeriod = std::atof(Value("--sampling=").c_str());
       if (Opts.SamplingPeriod <= 0.0)
-        return false;
+        return Invalid("--sampling", Value("--sampling="),
+                       "a positive cycles-per-sample period");
     } else if (Arg.rfind("--chunk=", 0) == 0) {
       std::vector<std::string> Parts = split(Value("--chunk="), ',');
       if (Parts.size() != 2)
-        return false;
+        return Invalid("--chunk", Value("--chunk="), "P,OVERHEAD");
       Opts.ChunkP = static_cast<unsigned>(std::atoi(Parts[0].c_str()));
       Opts.ChunkOverhead = std::atof(Parts[1].c_str());
       if (Opts.ChunkP == 0)
-        return false;
+        return Invalid("--chunk", Value("--chunk="),
+                       "a positive processor count P");
     } else if (Arg.rfind("--dot=", 0) == 0) {
       Opts.Dot = toLower(Value("--dot="));
       if (Opts.Dot != "cfg" && Opts.Dot != "ecfg" && Opts.Dot != "fcdg")
-        return false;
+        return Invalid("--dot", Opts.Dot, "cfg|ecfg|fcdg");
     } else if (Arg.rfind("--freq=", 0) == 0) {
       std::string V = toLower(Value("--freq="));
       if (V == "profile")
@@ -154,27 +194,55 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       else if (V == "hybrid")
         Opts.Freq = Options::FreqSource::Hybrid;
       else
-        return false;
+        return Invalid("--freq", V, "profile|static|hybrid");
     } else if (Arg.rfind("--jobs=", 0) == 0) {
       // 0 is a valid value (hardware concurrency), so atoi's silent 0 on
       // garbage would be ambiguous; require an explicit non-negative number.
       std::string V = Value("--jobs=");
       if (V.empty() || V.find_first_not_of("0123456789") != std::string::npos)
-        return false;
+        return Invalid("--jobs", V, "a non-negative number");
       Opts.Jobs = static_cast<unsigned>(std::atoi(V.c_str()));
+    } else if (Arg == "--session") {
+      Opts.Session = true;
     } else if (Arg == "--check") {
       Opts.Check = true;
     } else if (Arg.rfind("--pdb=", 0) == 0) {
       Opts.PdbFile = Value("--pdb=");
     } else if (Arg.rfind("--", 0) == 0) {
+      Error = "unknown option '" + Arg + "'";
       return false;
     } else if (Opts.InputFile.empty()) {
       Opts.InputFile = Arg;
     } else {
+      Error = "unexpected extra argument '" + Arg + "' (input file is " +
+              Opts.InputFile + ")";
       return false;
     }
   }
-  return !Opts.InputFile.empty() || !Opts.WorkloadName.empty();
+  if (Opts.InputFile.empty() && Opts.WorkloadName.empty()) {
+    Error = "no input: pass FILE.f or --workload=loops|simple";
+    return false;
+  }
+  if (Opts.Session) {
+    // The session path owns the run/recover/estimate flow end to end;
+    // flags that swap in a different frequency source or attach extra
+    // observers only exist on the classic path.
+    if (!Opts.PdbFile.empty()) {
+      Error = "--session does not combine with --pdb (the session is its "
+              "own accumulator); drop one of the two";
+      return false;
+    }
+    if (Opts.SamplingPeriod > 0.0) {
+      Error = "--session does not combine with --sampling; drop one of "
+              "the two";
+      return false;
+    }
+    if (Opts.Freq != Options::FreqSource::Profile) {
+      Error = "--session only supports --freq=profile";
+      return false;
+    }
+  }
+  return true;
 }
 
 std::unique_ptr<Program> loadProgram(const Options &Opts,
@@ -251,12 +319,167 @@ void printChunkAdvice(const Estimator &Est, const TimeAnalysis &TA,
               formatDouble(Overhead).c_str(), T.str().c_str());
 }
 
+/// Prints the run header shared by the classic and session paths.
+void printRunSummary(const Options &Opts, const Estimator &Est,
+                     double Cycles) {
+  std::printf("%u run(s), %s simulated cycles total; profiling overhead "
+              "%s cycles (%u counters, %llu updates)\n\n",
+              Opts.Runs, formatDouble(Cycles).c_str(),
+              formatDouble(Est.runtime().overheadCycles()).c_str(),
+              Est.plan().totalCounters(),
+              static_cast<unsigned long long>(
+                  Est.runtime().dynamicIncrements() +
+                  Est.runtime().dynamicAdds()));
+}
+
+/// Prints the estimate block shared by the classic and session paths.
+/// Returns 0, or 1 when a named procedure does not exist.
+int printEstimates(const Options &Opts, const Program &Prog,
+                   const Estimator &Est,
+                   const std::map<const Function *, Frequencies> &Freqs,
+                   const TimeAnalysis &TA) {
+  std::printf("flat profile (estimated):\n%s\n",
+              formatProcedureReport(
+                  buildProcedureReport(Est.analysis(), Freqs, TA))
+                  .c_str());
+  std::printf("TIME(START)    = %s cycles\n",
+              formatDouble(TA.programTime(), 8).c_str());
+  std::printf("STD_DEV(START) = %s cycles\n",
+              formatDouble(TA.programStdDev(), 6).c_str());
+
+  if (!Opts.StatementsProc.empty()) {
+    const Function *F = Prog.findFunction(Opts.StatementsProc);
+    if (!F) {
+      std::fprintf(stderr, "no procedure named %s\n",
+                   Opts.StatementsProc.c_str());
+      return 1;
+    }
+    std::printf("\n");
+    printStatementTable(Est, *F, TA);
+  }
+
+  if (!Opts.AnnotateProc.empty()) {
+    const Function *F = Prog.findFunction(Opts.AnnotateProc);
+    if (!F) {
+      std::fprintf(stderr, "no procedure named %s\n",
+                   Opts.AnnotateProc.c_str());
+      return 1;
+    }
+    std::printf("\n%s\n",
+                annotatedListing(Est.analysis().of(*F), Est.totalsFor(*F),
+                                 TA)
+                    .c_str());
+  }
+
+  if (Opts.ChunkP > 0) {
+    std::printf("\n");
+    printChunkAdvice(Est, TA, Opts.ChunkP, Opts.ChunkOverhead);
+  }
+  return 0;
+}
+
+void printFrequencyCheck(const Program &Prog, const Estimator &Est) {
+  unsigned Issues = 0;
+  for (const auto &F : Prog.functions()) {
+    std::vector<std::string> Findings = checkFrequencyConsistency(
+        Est.analysis().of(*F), Est.totalsFor(*F));
+    for (const std::string &Finding : Findings) {
+      std::printf("consistency: %s\n", Finding.c_str());
+      ++Issues;
+    }
+  }
+  std::printf("consistency check: %u issue(s) across the Section 3 "
+              "identities\n\n",
+              Issues);
+}
+
+void printPlansAndDot(const Options &Opts, const Program &Prog,
+                      const Estimator &Est) {
+  if (Opts.PrintPlan)
+    for (const auto &F : Prog.functions())
+      std::printf("%s\n",
+                  Est.plan().of(*F).str(Est.analysis().of(*F)).c_str());
+
+  if (!Opts.Dot.empty()) {
+    const FunctionAnalysis &FA = Est.analysis().of(*Prog.entry());
+    if (Opts.Dot == "fcdg") {
+      std::printf("%s\n",
+                  FA.cd()
+                      .dot(FA.ecfg().cfg(), Prog.entryName() + " fcdg")
+                      .c_str());
+    } else {
+      const Cfg &G = Opts.Dot == "cfg" ? FA.cfg() : FA.ecfg().cfg();
+      std::printf("%s\n",
+                  G.dot(Prog.entryName() + " " + Opts.Dot).c_str());
+    }
+  }
+}
+
+/// The incremental path: one EstimationSession owns the runs, the cached
+/// summaries and the analysis; the tool is a thin client of estimate().
+int runSessionPath(const Options &Opts, const Program &Prog,
+                   const CostModel &CM) {
+  DiagnosticEngine TADiags;
+  auto Session = EstimationSession::create(
+      Prog, CM,
+      EstimatorOptions(TADiags).mode(Opts.Mode).jobs(Opts.Jobs).loopVariance(
+          Opts.LoopVariance));
+  if (!Session) {
+    std::fprintf(stderr, "analysis failed:\n%s", TADiags.str().c_str());
+    return 1;
+  }
+  const Estimator &Est = Session->estimator();
+  printPlansAndDot(Opts, Prog, Est);
+
+  double Cycles = 0.0;
+  for (unsigned R = 0; R < Opts.Runs; ++R) {
+    RunResult Run = Session->profiledRun();
+    if (!Run.Ok) {
+      std::fprintf(stderr, "run %u failed: %s\n", R + 1, Run.Error.c_str());
+      return 1;
+    }
+    Cycles += Run.Cycles;
+    if (R == 0 && !Run.Output.empty())
+      std::printf("program output:\n%s", Run.Output.c_str());
+  }
+  printRunSummary(Opts, Est, Cycles);
+
+  if (Opts.Mode == ProfileMode::Naive) {
+    std::printf("naive mode measures basic blocks only; rerun with "
+                "--mode=smart for estimates\n");
+    return 0;
+  }
+
+  if (Opts.Check)
+    printFrequencyCheck(Prog, Est);
+
+  EstimateResult Res = Session->estimateEntry();
+  if (!TADiags.diagnostics().empty())
+    std::fprintf(stderr, "%s", TADiags.str().c_str());
+  if (!Res.Ok) {
+    std::fprintf(stderr, "estimation failed: %s\n", Res.Error.c_str());
+    return 1;
+  }
+
+  // The flat profile wants per-function frequencies; recompute them from
+  // the same accumulated totals the session estimated from.
+  std::map<const Function *, Frequencies> Freqs;
+  for (const auto &F : Prog.functions())
+    Freqs[F.get()] =
+        computeFrequencies(Est.analysis().of(*F), Est.totalsFor(*F));
+  return printEstimates(Opts, Prog, Est, Freqs, *Res.Analysis);
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   Options Opts;
-  if (!parseArgs(Argc, Argv, Opts))
-    usage(Argv[0]);
+  std::string ParseError;
+  if (!parseArgs(Argc, Argv, Opts, ParseError)) {
+    std::fprintf(stderr, "ptran-estimate: %s\n%s", ParseError.c_str(),
+                 UsageText);
+    return 1;
+  }
 
   DiagnosticEngine Diags;
   std::unique_ptr<Program> Prog = loadProgram(Opts, Diags);
@@ -265,31 +488,20 @@ int main(int Argc, char **Argv) {
 
   CostModel CM = Opts.OptimizingCost ? CostModel::optimizing()
                                      : CostModel::nonOptimizing();
-  std::unique_ptr<Estimator> Est =
-      Estimator::create(*Prog, CM, Diags, Opts.Mode, Opts.Jobs);
+
+  if (Opts.Session)
+    return runSessionPath(Opts, *Prog, CM);
+
+  std::unique_ptr<Estimator> Est = Estimator::create(
+      *Prog, CM,
+      EstimatorOptions(Diags).mode(Opts.Mode).jobs(Opts.Jobs).loopVariance(
+          Opts.LoopVariance));
   if (!Est) {
     std::fprintf(stderr, "analysis failed:\n%s", Diags.str().c_str());
     return 1;
   }
 
-  if (Opts.PrintPlan)
-    for (const auto &F : Prog->functions())
-      std::printf("%s\n",
-                  Est->plan().of(*F).str(Est->analysis().of(*F)).c_str());
-
-  if (!Opts.Dot.empty()) {
-    const FunctionAnalysis &FA = Est->analysis().of(*Prog->entry());
-    if (Opts.Dot == "fcdg") {
-      std::printf("%s\n",
-                  FA.cd()
-                      .dot(FA.ecfg().cfg(), Prog->entryName() + " fcdg")
-                      .c_str());
-    } else {
-      const Cfg &G = Opts.Dot == "cfg" ? FA.cfg() : FA.ecfg().cfg();
-      std::printf("%s\n",
-                  G.dot(Prog->entryName() + " " + Opts.Dot).c_str());
-    }
-  }
+  printPlansAndDot(Opts, *Prog, *Est);
 
   // Optional sampling profiler alongside the counter runtime.
   std::unique_ptr<SamplingProfile> Sampler;
@@ -300,6 +512,9 @@ int main(int Argc, char **Argv) {
   for (unsigned R = 0; R < Opts.Runs; ++R) {
     Interpreter Interp(*Prog, CM);
     Interp.addObserver(&Est->runtimeMutable());
+    // Feed the loop-frequency moments too: --loop-variance=profiled (the
+    // default) is meaningless without them.
+    Interp.addObserver(&Est->loopStatsMutable());
     if (Sampler)
       Interp.addObserver(Sampler.get());
     RunResult Run = Interp.run();
@@ -311,14 +526,7 @@ int main(int Argc, char **Argv) {
     if (R == 0 && !Run.Output.empty())
       std::printf("program output:\n%s", Run.Output.c_str());
   }
-  std::printf("%u run(s), %s simulated cycles total; profiling overhead "
-              "%s cycles (%u counters, %llu updates)\n\n",
-              Opts.Runs, formatDouble(Cycles).c_str(),
-              formatDouble(Est->runtime().overheadCycles()).c_str(),
-              Est->plan().totalCounters(),
-              static_cast<unsigned long long>(
-                  Est->runtime().dynamicIncrements() +
-                  Est->runtime().dynamicAdds()));
+  printRunSummary(Opts, *Est, Cycles);
 
   if (Sampler)
     std::printf("%s\n", Sampler->report().c_str());
@@ -329,20 +537,8 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  if (Opts.Check) {
-    unsigned Issues = 0;
-    for (const auto &F : Prog->functions()) {
-      std::vector<std::string> Findings = checkFrequencyConsistency(
-          Est->analysis().of(*F), Est->totalsFor(*F));
-      for (const std::string &Finding : Findings) {
-        std::printf("consistency: %s\n", Finding.c_str());
-        ++Issues;
-      }
-    }
-    std::printf("consistency check: %u issue(s) across the Section 3 "
-                "identities\n\n",
-                Issues);
-  }
+  if (Opts.Check)
+    printFrequencyCheck(*Prog, *Est);
 
   // Program-database round trip, if requested.
   std::map<const Function *, Frequencies> Freqs;
@@ -394,49 +590,12 @@ int main(int Argc, char **Argv) {
   TimeAnalysisOptions TAOpts;
   TAOpts.LoopVariance = Opts.LoopVariance;
   TAOpts.Stats = &Est->loopStats();
-  TAOpts.Jobs = Opts.Jobs;
+  TAOpts.Exec.Jobs = Opts.Jobs;
   DiagnosticEngine TADiags;
   TAOpts.Diags = &TADiags;
   TimeAnalysis TA = TimeAnalysis::run(Est->analysis(), Freqs, CM, TAOpts);
   if (!TADiags.diagnostics().empty())
     std::fprintf(stderr, "%s", TADiags.str().c_str());
 
-  std::printf("flat profile (estimated):\n%s\n",
-              formatProcedureReport(
-                  buildProcedureReport(Est->analysis(), Freqs, TA))
-                  .c_str());
-  std::printf("TIME(START)    = %s cycles\n",
-              formatDouble(TA.programTime(), 8).c_str());
-  std::printf("STD_DEV(START) = %s cycles\n",
-              formatDouble(TA.programStdDev(), 6).c_str());
-
-  if (!Opts.StatementsProc.empty()) {
-    const Function *F = Prog->findFunction(Opts.StatementsProc);
-    if (!F) {
-      std::fprintf(stderr, "no procedure named %s\n",
-                   Opts.StatementsProc.c_str());
-      return 1;
-    }
-    std::printf("\n");
-    printStatementTable(*Est, *F, TA);
-  }
-
-  if (!Opts.AnnotateProc.empty()) {
-    const Function *F = Prog->findFunction(Opts.AnnotateProc);
-    if (!F) {
-      std::fprintf(stderr, "no procedure named %s\n",
-                   Opts.AnnotateProc.c_str());
-      return 1;
-    }
-    std::printf("\n%s\n",
-                annotatedListing(Est->analysis().of(*F),
-                                 Est->totalsFor(*F), TA)
-                    .c_str());
-  }
-
-  if (Opts.ChunkP > 0) {
-    std::printf("\n");
-    printChunkAdvice(*Est, TA, Opts.ChunkP, Opts.ChunkOverhead);
-  }
-  return 0;
+  return printEstimates(Opts, *Prog, *Est, Freqs, TA);
 }
