@@ -12,6 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Analysis.h"
+#include "obs/Observability.h"
 #include "session/EstimationSession.h"
 #include "cost/TimeAnalysis.h"
 #include "support/FatalError.h"
@@ -357,6 +358,55 @@ void printIncrementalReestimationTable() {
               static_cast<unsigned long long>(IncEvals), Funcs);
 }
 
+// Observability cost: the same analysis + TIME/VAR pipeline with no
+// registry (the default, every TimingSpan a single branch), and with a
+// live registry recording every span and counter. The disabled column is
+// the one the ±2%-regression acceptance gate watches.
+void printObservabilityOverheadTable() {
+  constexpr unsigned Funcs = 255;
+  std::unique_ptr<Program> Prog = makeManyFunctionProgram(Funcs, 3);
+  CostModel CM = CostModel::optimizing();
+
+  auto RunOnce = [&](ObsRegistry *Obs) {
+    DiagnosticEngine Diags;
+    AnalysisOptions AOpts;
+    AOpts.Obs.Registry = Obs;
+    auto Start = std::chrono::steady_clock::now();
+    auto PA = ProgramAnalysis::compute(*Prog, Diags, AOpts);
+    if (!PA || !PA->allOk())
+      reportFatalError("analysis failed for many-function program");
+    std::map<const Function *, Frequencies> Freqs =
+        syntheticFrequencies(*Prog, *PA);
+    TimeAnalysisOptions TAOpts;
+    TAOpts.Obs.Registry = Obs;
+    TimeAnalysis TA = TimeAnalysis::run(*PA, Freqs, CM, TAOpts);
+    auto End = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(TA.programTime());
+    return std::chrono::duration<double>(End - Start).count();
+  };
+
+  RunOnce(nullptr); // Warm up.
+  double BestOff = 1e100, BestOn = 1e100;
+  size_t SpanCount = 0;
+  for (int Rep = 0; Rep < 5; ++Rep) {
+    BestOff = std::min(BestOff, RunOnce(nullptr));
+    ObsRegistry Reg;
+    BestOn = std::min(BestOn, RunOnce(&Reg));
+    SpanCount = Reg.spans().size();
+  }
+
+  std::printf("=== Observability overhead (%u functions, serial) ===\n",
+              Funcs);
+  TablePrinter T({"observability", "wall [ms]", "vs disabled", "spans"});
+  char Wall[32], Ratio[32];
+  std::snprintf(Wall, sizeof(Wall), "%.2f", BestOff * 1e3);
+  T.addRow({"disabled", Wall, "1.00x", "0"});
+  std::snprintf(Wall, sizeof(Wall), "%.2f", BestOn * 1e3);
+  std::snprintf(Ratio, sizeof(Ratio), "%.2fx", BestOn / BestOff);
+  T.addRow({"enabled", Wall, Ratio, std::to_string(SpanCount)});
+  std::printf("%s\n", T.str().c_str());
+}
+
 void printStaticScalingTable() {
   std::printf("=== Ablation A2: representation sizes vs program size ===\n");
   TablePrinter T({"units", "stmts", "ecfg nodes", "fcdg edges",
@@ -381,6 +431,7 @@ int main(int Argc, char **Argv) {
   printStaticScalingTable();
   printParallelSpeedupTable();
   printIncrementalReestimationTable();
+  printObservabilityOverheadTable();
   benchmark::Initialize(&Argc, Argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

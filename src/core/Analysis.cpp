@@ -12,26 +12,41 @@ using namespace ptran;
 std::unique_ptr<FunctionAnalysis>
 FunctionAnalysis::compute(const Function &F, DiagnosticEngine &Diags,
                           const AnalysisOptions &Opts) {
+  ObsRegistry *Obs = Opts.Obs.Registry;
   auto FA = std::unique_ptr<FunctionAnalysis>(new FunctionAnalysis());
   FA->F = &F;
-  FA->C = buildCfg(F);
-  if (Opts.ElideGotos)
-    elideGotoNodes(FA->C);
+  {
+    TimingSpan Span(Obs, "analysis.cfg", F.name());
+    FA->C = buildCfg(F);
+    if (Opts.ElideGotos)
+      elideGotoNodes(FA->C);
+  }
 
-  std::optional<IntervalStructure> IS =
-      IntervalStructure::compute(FA->C, Diags);
-  if (!IS)
-    return nullptr;
-  FA->IS = std::move(*IS);
+  {
+    TimingSpan Span(Obs, "analysis.intervals", F.name());
+    std::optional<IntervalStructure> IS =
+        IntervalStructure::compute(FA->C, Diags);
+    if (!IS)
+      return nullptr;
+    FA->IS = std::move(*IS);
+  }
 
-  FA->E = buildEcfg(FA->C, FA->IS);
-  FA->CD = std::make_unique<ControlDependence>(FA->E, FA->IS);
+  {
+    TimingSpan Span(Obs, "analysis.ecfg", F.name());
+    FA->E = buildEcfg(FA->C, FA->IS);
+  }
+  {
+    TimingSpan Span(Obs, "analysis.fcdg", F.name());
+    FA->CD = std::make_unique<ControlDependence>(FA->E, FA->IS);
+  }
   return FA;
 }
 
 std::unique_ptr<ProgramAnalysis>
 ProgramAnalysis::compute(const Program &P, DiagnosticEngine &Diags,
                          const AnalysisOptions &Opts) {
+  TimingSpan Span(Opts.Obs.Registry, "analysis.program",
+                  Opts.ElideGotos ? "" : "goto-preserving");
   auto PA = std::unique_ptr<ProgramAnalysis>(new ProgramAnalysis());
   PA->P = &P;
 
@@ -41,7 +56,7 @@ ProgramAnalysis::compute(const Program &P, DiagnosticEngine &Diags,
   // program order below makes the diagnostic stream independent of Jobs.
   std::vector<DiagnosticEngine> Local(Funcs.size());
 
-  PoolLease Pool(Opts.Exec, Funcs.size());
+  PoolLease Pool(Opts.Exec, Funcs.size(), Opts.Obs.Registry);
   if (Pool->workerCount() == 0) {
     for (size_t I = 0; I < Funcs.size(); ++I)
       Results[I] = FunctionAnalysis::compute(*Funcs[I], Local[I], Opts);

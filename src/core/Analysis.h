@@ -20,6 +20,7 @@
 #include "cfg/Cfg.h"
 #include "ecfg/Ecfg.h"
 #include "interval/Intervals.h"
+#include "obs/Observability.h"
 #include "support/ExecutionPolicy.h"
 
 #include <map>
@@ -41,6 +42,11 @@ struct AnalysisOptions {
   /// results and diagnostics are bit-for-bit identical under every
   /// policy.
   ExecutionPolicy Exec;
+  /// Tracing/metrics sink: when enabled, every pass of the pipeline (CFG,
+  /// intervals, ECFG, FCDG) records a per-function timing span and the
+  /// pool reports task counters. Disabled (the default) costs one branch
+  /// per pass.
+  ObservabilityOptions Obs;
 };
 
 /// All derived representations of one function.

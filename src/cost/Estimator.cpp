@@ -18,6 +18,7 @@ std::unique_ptr<Estimator> Estimator::create(const Program &P,
   Est->Opts = Opts;
   AnalysisOptions AOpts;
   AOpts.Exec = Opts.Exec;
+  AOpts.Obs = Opts.Obs;
   Est->PA = ProgramAnalysis::compute(P, Diags, AOpts);
   // The estimation pipeline needs every procedure (counter plans, the
   // interpreter and the interprocedural pass span the whole program), so
@@ -29,8 +30,12 @@ std::unique_ptr<Estimator> Estimator::create(const Program &P,
   Est->RawPA = ProgramAnalysis::compute(P, Diags, Raw);
   if (!Est->RawPA || !Est->RawPA->allOk())
     return nullptr;
-  Est->Plan = ProgramPlan::build(*Est->PA, Opts.Mode);
-  Est->Runtime = std::make_unique<ProfileRuntime>(*Est->PA, Est->Plan, CM);
+  {
+    TimingSpan Span(Opts.Obs.Registry, "plan.counters");
+    Est->Plan = ProgramPlan::build(*Est->PA, Opts.Mode);
+  }
+  Est->Runtime = std::make_unique<ProfileRuntime>(*Est->PA, Est->Plan, CM,
+                                                  Opts.Obs.Registry);
   Est->Stats = std::make_unique<LoopFrequencyStats>(*Est->RawPA);
   return Est;
 }
@@ -44,6 +49,7 @@ std::unique_ptr<Estimator> Estimator::create(const Program &P,
 }
 
 RunResult Estimator::profiledRun(uint64_t MaxSteps) {
+  TimingSpan Span(Opts.Obs.Registry, "profiled-run");
   Interpreter Interp(*P, CM);
   Interp.addObserver(Runtime.get());
   Interp.addObserver(Stats.get());
@@ -63,6 +69,8 @@ TimeAnalysis Estimator::analyze(TimeAnalysisOptions TAOpts) {
     TAOpts.Exec = Opts.Exec;
   if (!TAOpts.Diags)
     TAOpts.Diags = Opts.Diags;
+  if (!TAOpts.Obs.enabled())
+    TAOpts.Obs = Opts.Obs;
 
   std::map<const Function *, Frequencies> Freqs;
   for (const auto &F : P->functions()) {

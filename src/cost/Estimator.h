@@ -46,6 +46,11 @@ struct EstimatorOptions {
   /// Sink for analysis/estimation diagnostics; null drops them. Must
   /// outlive the estimator when set.
   DiagnosticEngine *Diags = nullptr;
+  /// Tracing/metrics registry shared by every pass the estimator drives
+  /// (analysis spans, plan construction, profiled runs, counter recovery,
+  /// the TIME/VAR waves). Disabled by default; the registry must outlive
+  /// the estimator when set.
+  ObservabilityOptions Obs;
 
   EstimatorOptions() = default;
   explicit EstimatorOptions(DiagnosticEngine &D) : Diags(&D) {}
@@ -68,6 +73,10 @@ struct EstimatorOptions {
   }
   EstimatorOptions &diags(DiagnosticEngine &D) {
     Diags = &D;
+    return *this;
+  }
+  EstimatorOptions &observability(ObsRegistry &R) {
+    Obs.Registry = &R;
     return *this;
   }
 };

@@ -178,6 +178,9 @@ TimeAnalysis TimeAnalysis::runImpl(
     const CostModel &CM, const TimeAnalysisOptions &Opts,
     const TimeAnalysis *Previous, const std::vector<const Function *> *Changed) {
   const Program &Prog = PA.program();
+  ObsRegistry *Obs = Opts.Obs.Registry;
+  TimingSpan RunSpan(Obs, "timeanalysis.run",
+                     Previous ? "incremental" : "full");
   TimeAnalysis Out;
   Out.PA = &PA;
 
@@ -303,6 +306,8 @@ TimeAnalysis TimeAnalysis::runImpl(
   // barriers, so every job count computes identical numbers.
   auto EvalComponent = [&](unsigned Comp) {
     const std::vector<NodeId> &Members = Sccs.Members[Comp];
+    TimingSpan SccSpan(Obs, "timeanalysis.scc",
+                       Funcs[Members.front()]->name());
     if (!Cyclic[Comp]) {
       Recompute(Funcs[Members.front()]);
       return;
@@ -310,11 +315,23 @@ TimeAnalysis TimeAnalysis::runImpl(
     for (unsigned Iter = 0; Iter < Opts.RecursionIterations; ++Iter)
       for (NodeId M : Members)
         Recompute(Funcs[M]);
+    if (Obs)
+      Obs->addCounter("timeanalysis.fixpoint_iterations",
+                      Opts.RecursionIterations);
   };
 
-  PoolLease Pool(Opts.Exec, std::min<size_t>(Funcs.size(),
-                                             std::max(DirtyCount, 1u)));
-  for (const std::vector<unsigned> &WaveComps : Waves) {
+  PoolLease Pool(Opts.Exec,
+                 std::min<size_t>(Funcs.size(), std::max(DirtyCount, 1u)),
+                 Obs);
+  for (size_t WaveIdx = 0; WaveIdx < Waves.size(); ++WaveIdx) {
+    const std::vector<unsigned> &WaveComps = Waves[WaveIdx];
+    if (WaveComps.empty())
+      continue;
+    // The detail string is only materialized when tracing is on.
+    TimingSpan WaveSpan(Obs, "timeanalysis.wave",
+                        Obs ? "wave " + std::to_string(WaveIdx) + " (" +
+                                  std::to_string(WaveComps.size()) + " sccs)"
+                            : std::string());
     if (Pool->workerCount() == 0 || WaveComps.size() == 1) {
       for (unsigned Comp : WaveComps)
         EvalComponent(Comp);
@@ -333,6 +350,8 @@ TimeAnalysis TimeAnalysis::runImpl(
     Unresolved.drainTo(*Opts.Diags);
 
   Out.Evaluations = Evals.load();
+  if (Obs)
+    Obs->addCounter("timeanalysis.evaluations", Out.Evaluations);
   return Out;
 }
 

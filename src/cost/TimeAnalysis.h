@@ -28,6 +28,7 @@
 
 #include "freq/Frequencies.h"
 #include "interp/CostModel.h"
+#include "obs/Observability.h"
 #include "profile/ProfileRuntime.h"
 #include "support/ExecutionPolicy.h"
 
@@ -80,6 +81,11 @@ struct TimeAnalysisOptions {
   /// (or otherwise unsummarized) contribute zero time, and are reported
   /// here once per callee instead of being silently dropped.
   DiagnosticEngine *Diags = nullptr;
+  /// Tracing/metrics sink: when enabled, the whole pass, every wave of
+  /// the SCC condensation and every component evaluation record timing
+  /// spans, and fixpoint-iteration / evaluation counters accumulate in
+  /// the registry. Disabled (the default) costs one branch per site.
+  ObservabilityOptions Obs;
 };
 
 /// TIME/VAR of one procedure's START node: the summary callers consume

@@ -7,6 +7,8 @@
 
 #include <cassert>
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 using namespace ptran;
@@ -191,12 +193,25 @@ Token Cursor::lexNumber() {
       Digits += advance();
   }
 
+  // strtod/strtoll report out-of-range values through errno only; without
+  // the ERANGE check a literal like 9223372036854775808 silently saturates
+  // to LLONG_MAX and parsing "succeeds" with the wrong constant.
   if (IsReal) {
     Tok.Kind = TokKind::RealLit;
+    errno = 0;
     Tok.RealValue = std::strtod(Digits.c_str(), nullptr);
+    // ERANGE with a tiny result is gradual underflow (the literal is
+    // representable as 0 or a denormal); only overflow to infinity is an
+    // error.
+    if (errno == ERANGE && std::abs(Tok.RealValue) == HUGE_VAL)
+      Diags.error(Tok.Loc, "real literal '" + Digits + "' is out of range");
   } else {
     Tok.Kind = TokKind::IntLit;
+    errno = 0;
     Tok.IntValue = std::strtoll(Digits.c_str(), nullptr, 10);
+    if (errno == ERANGE)
+      Diags.error(Tok.Loc, "integer literal '" + Digits +
+                               "' overflows the 64-bit integer range");
   }
   return Tok;
 }

@@ -13,8 +13,10 @@ using namespace ptran;
 //===----------------------------------------------------------------------===//
 
 ProfileRuntime::ProfileRuntime(const ProgramAnalysis &PA,
-                               const ProgramPlan &Plan, const CostModel &CM)
-    : PA(PA), Plan(Plan), CM(CM), Counters(Plan.totalCounters(), 0.0) {
+                               const ProgramPlan &Plan, const CostModel &CM,
+                               ObsRegistry *Obs)
+    : PA(PA), Plan(Plan), CM(CM), Obs(Obs),
+      Counters(Plan.totalCounters(), 0.0) {
   for (const auto &[F, FA] : PA.all()) {
     const FunctionPlan &FP = Plan.of(*F);
     unsigned Base = Plan.offsetOf(*F);
@@ -101,7 +103,8 @@ double ProfileRuntime::overheadCycles() const {
 }
 
 FrequencyTotals ProfileRuntime::recover(const Function &F) const {
-  return recoverTotals(PA.of(F), Plan.of(F), countersFor(F));
+  return recoverTotals(PA.of(F), Plan.of(F), countersFor(F),
+                       /*Diags=*/nullptr, Obs);
 }
 
 void ProfileRuntime::reset() {

@@ -36,8 +36,10 @@ namespace ptran {
 /// Executes the counter updates of a ProgramPlan during interpretation.
 class ProfileRuntime : public ExecutionObserver {
 public:
+  /// \p Obs, when non-null, receives `recovery.*` counters from every
+  /// recover() call.
   ProfileRuntime(const ProgramAnalysis &PA, const ProgramPlan &Plan,
-                 const CostModel &CM);
+                 const CostModel &CM, ObsRegistry *Obs = nullptr);
 
   // ExecutionObserver:
   void onProcedureEntry(const Function &F, unsigned Depth) override;
@@ -83,6 +85,7 @@ private:
   const ProgramAnalysis &PA;
   const ProgramPlan &Plan;
   CostModel CM;
+  ObsRegistry *Obs = nullptr;
   std::map<const Function *, SiteTables> Tables;
   std::vector<double> Counters;
   uint64_t Increments = 0;

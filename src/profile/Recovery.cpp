@@ -9,7 +9,8 @@ using namespace ptran;
 FrequencyTotals ptran::recoverTotals(const FunctionAnalysis &FA,
                                      const FunctionPlan &Plan,
                                      const std::vector<double> &Counters,
-                                     DiagnosticEngine *Diags) {
+                                     DiagnosticEngine *Diags,
+                                     ObsRegistry *Obs) {
   // Explicit validation (not just an assert, which compiles out in release
   // builds): a mismatched vector would index out of bounds below.
   if (Counters.size() != Plan.numCounters()) {
@@ -42,8 +43,10 @@ FrequencyTotals ptran::recoverTotals(const FunctionAnalysis &FA,
 
   // Fixpoint propagation over node totals and condition rules.
   bool Changed = true;
+  uint64_t Iterations = 0;
   while (Changed) {
     Changed = false;
+    ++Iterations;
 
     // Node totals: START's equals its own U condition (the procedure's
     // invocation count); every other node sums its incoming conditions.
@@ -124,6 +127,11 @@ FrequencyTotals ptran::recoverTotals(const FunctionAnalysis &FA,
         Changed = true;
       }
     }
+  }
+
+  if (Obs) {
+    Obs->addCounter("recovery.calls");
+    Obs->addCounter("recovery.fixpoint_iterations", Iterations);
   }
 
   Out.Cond = Known;

@@ -17,6 +17,7 @@
 #ifndef PTRAN_PROFILE_RECOVERY_H
 #define PTRAN_PROFILE_RECOVERY_H
 
+#include "obs/Observability.h"
 #include "profile/CounterPlan.h"
 
 #include <map>
@@ -48,11 +49,14 @@ struct FrequencyTotals {
 /// values, Plan.numCounters() of them). A counter vector that does not
 /// match the plan's size (e.g. a stale program database) yields
 /// FrequencyTotals{Ok = false} and a diagnostic on \p Diags instead of an
-/// out-of-bounds read.
+/// out-of-bounds read. When \p Obs is enabled, each call bumps
+/// `recovery.calls` and `recovery.fixpoint_iterations` (passes of the
+/// propagation loop) in the registry.
 FrequencyTotals recoverTotals(const FunctionAnalysis &FA,
                               const FunctionPlan &Plan,
                               const std::vector<double> &Counters,
-                              DiagnosticEngine *Diags = nullptr);
+                              DiagnosticEngine *Diags = nullptr,
+                              ObsRegistry *Obs = nullptr);
 
 /// Computes node totals from already-known condition totals via the FCDG
 /// recurrence (equation 3 of Section 3, in total form). Used both by the

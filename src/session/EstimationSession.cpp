@@ -48,6 +48,8 @@ EstimationSession::create(const Program &P, const CostModel &CM,
 RunResult EstimationSession::profiledRun(uint64_t MaxSteps) {
   ++Runs;
   RuntimeStale = true;
+  if (ObsRegistry *Obs = Opts.Obs.Registry)
+    Obs->addCounter("session.runs");
   return Est->profiledRun(MaxSteps);
 }
 
@@ -162,6 +164,7 @@ EstimationSession::configFor(const CostModel &ConfigCM, LoopVarianceMode LV) {
 }
 
 void EstimationSession::refreshConfig(ConfigCache &Cache) {
+  ObsRegistry *Obs = Opts.Obs.Registry;
   std::vector<const Function *> Changed;
   if (Cache.Analysis) {
     for (const auto &F : P->functions()) {
@@ -171,8 +174,17 @@ void EstimationSession::refreshConfig(ConfigCache &Cache) {
     }
     if (Changed.empty()) {
       ++CacheHits;
+      if (Obs)
+        Obs->addCounter("session.cache_hits");
       return;
     }
+  }
+  if (Obs) {
+    Obs->addCounter("session.cache_misses");
+    // A cold run dirties the whole program; an incremental rerun only the
+    // changed functions (TimeAnalysis widens them to the dirty closure).
+    Obs->addCounter("session.dirty_functions",
+                    Cache.Analysis ? Changed.size() : P->functions().size());
   }
 
   TimeAnalysisOptions TAOpts;
@@ -181,6 +193,7 @@ void EstimationSession::refreshConfig(ConfigCache &Cache) {
     TAOpts.Stats = &Est->loopStats();
   TAOpts.Exec = Opts.Exec;
   TAOpts.Diags = Opts.Diags;
+  TAOpts.Obs = Opts.Obs;
 
   TimeAnalysis Next =
       Cache.Analysis
@@ -190,6 +203,8 @@ void EstimationSession::refreshConfig(ConfigCache &Cache) {
                               TAOpts);
   LastEvals += Next.functionEvaluations();
   TotalEvals += Next.functionEvaluations();
+  if (Obs)
+    Obs->addCounter("session.evaluations", Next.functionEvaluations());
   Cache.Analysis = std::make_unique<TimeAnalysis>(std::move(Next));
   Cache.Keys.clear();
   for (const auto &F : P->functions())
@@ -199,6 +214,8 @@ void EstimationSession::refreshConfig(ConfigCache &Cache) {
 std::vector<EstimateResult>
 EstimationSession::estimate(const std::vector<EstimateRequest> &Requests) {
   LastEvals = 0;
+  if (ObsRegistry *Obs = Opts.Obs.Registry)
+    Obs->addCounter("session.queries", Requests.size());
   std::string Error;
   bool InputsOk = refreshInputs(Error);
 

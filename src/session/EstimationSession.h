@@ -83,6 +83,10 @@ public:
   /// \p Opts.Diags when set. When \p Opts.Exec names no external pool,
   /// the session creates one sized by Opts.Exec.Jobs and routes every
   /// pass — per-function analysis, each TimeAnalysis wave — through it.
+  /// When \p Opts.Obs is enabled, the session reports `session.*`
+  /// counters (runs, queries, cache hits/misses, dirty-closure sizes,
+  /// evaluations) and every underlying pass records spans into the same
+  /// registry.
   static std::unique_ptr<EstimationSession>
   create(const Program &P, const CostModel &CM,
          const EstimatorOptions &Opts = EstimatorOptions());

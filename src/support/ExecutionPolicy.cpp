@@ -6,13 +6,18 @@
 
 using namespace ptran;
 
-PoolLease::PoolLease(const ExecutionPolicy &Policy, size_t TaskBound) {
+PoolLease::PoolLease(const ExecutionPolicy &Policy, size_t TaskBound,
+                     ObsSink *Obs) {
   if (Policy.Pool) {
     P = Policy.Pool;
+    if (Obs)
+      P->attachObservability(Obs);
     return;
   }
   size_t Workers = std::min<size_t>(ThreadPool::resolveJobs(Policy.Jobs),
                                     std::max<size_t>(TaskBound, 1));
   Owned = std::make_unique<ThreadPool>(static_cast<unsigned>(Workers));
   P = Owned.get();
+  if (Obs)
+    P->attachObservability(Obs);
 }

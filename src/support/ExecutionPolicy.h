@@ -46,7 +46,11 @@ class PoolLease {
 public:
   /// \p TaskBound caps an owned pool's size (no point creating more
   /// workers than schedulable tasks); a borrowed pool is used as-is.
-  PoolLease(const ExecutionPolicy &Policy, size_t TaskBound);
+  /// When \p Obs is set it is attached to the leased pool, so the pass's
+  /// tasks report queue/busy counters into it (a null \p Obs leaves a
+  /// borrowed pool's existing attachment untouched).
+  PoolLease(const ExecutionPolicy &Policy, size_t TaskBound,
+            ObsSink *Obs = nullptr);
 
   ThreadPool &operator*() const { return *P; }
   ThreadPool *operator->() const { return P; }

@@ -1,0 +1,36 @@
+//===--- support/ObsSink.h - Minimal counter sink ---------------*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The narrowest possible observability interface: a named monotonic
+/// counter sink. Low-level support code (ThreadPool) reports through this
+/// so it never depends on the full registry in src/obs/ — which itself
+/// depends on support for TablePrinter — while ObsRegistry implements it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_SUPPORT_OBSSINK_H
+#define PTRAN_SUPPORT_OBSSINK_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace ptran {
+
+/// Receives named monotonic counter increments. Implementations must be
+/// safe to call from multiple threads concurrently.
+class ObsSink {
+public:
+  virtual ~ObsSink() = default;
+
+  /// Adds \p Delta to the counter named \p Name (created at zero on first
+  /// use).
+  virtual void addCounter(std::string_view Name, uint64_t Delta = 1) = 0;
+};
+
+} // namespace ptran
+
+#endif // PTRAN_SUPPORT_OBSSINK_H

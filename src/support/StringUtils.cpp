@@ -5,6 +5,8 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 
 using namespace ptran;
 
@@ -59,6 +61,33 @@ std::string ptran::toLower(std::string_view Text) {
   for (char &C : Result)
     C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
   return Result;
+}
+
+std::optional<unsigned> ptran::parseUnsigned(std::string_view Text) {
+  if (Text.empty())
+    return std::nullopt;
+  unsigned long long Value = 0;
+  for (char C : Text) {
+    if (!std::isdigit(static_cast<unsigned char>(C)))
+      return std::nullopt;
+    Value = Value * 10 + static_cast<unsigned long long>(C - '0');
+    if (Value > std::numeric_limits<unsigned>::max())
+      return std::nullopt;
+  }
+  return static_cast<unsigned>(Value);
+}
+
+std::optional<double> ptran::parseDouble(std::string_view Text) {
+  if (Text.empty())
+    return std::nullopt;
+  std::string Buf(Text);
+  char *End = nullptr;
+  double Value = std::strtod(Buf.c_str(), &End);
+  if (End != Buf.c_str() + Buf.size())
+    return std::nullopt;
+  if (!std::isfinite(Value))
+    return std::nullopt;
+  return Value;
 }
 
 std::string ptran::formatDouble(double Value, int Precision) {

@@ -12,6 +12,7 @@
 #ifndef PTRAN_SUPPORT_STRINGUTILS_H
 #define PTRAN_SUPPORT_STRINGUTILS_H
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -37,6 +38,16 @@ std::string toLower(std::string_view Text);
 /// Formats a double compactly: integers without a fractional part,
 /// otherwise up to \p Precision significant decimal digits.
 std::string formatDouble(double Value, int Precision = 6);
+
+/// Strictly parses a non-negative decimal integer. Returns nullopt unless
+/// the whole string is digits and the value fits an unsigned — unlike
+/// atoi, garbage never silently becomes 0. Command-line flag parsing uses
+/// this for every numeric flag.
+std::optional<unsigned> parseUnsigned(std::string_view Text);
+
+/// Strictly parses a finite double. Returns nullopt unless the whole
+/// string converts (no trailing junk, no inf/nan, not empty).
+std::optional<double> parseDouble(std::string_view Text);
 
 } // namespace ptran
 

@@ -16,6 +16,10 @@
 #ifndef PTRAN_SUPPORT_THREADPOOL_H
 #define PTRAN_SUPPORT_THREADPOOL_H
 
+#include "support/ObsSink.h"
+
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -47,6 +51,16 @@ public:
   /// (at least 1), anything else is taken literally.
   static unsigned resolveJobs(unsigned Jobs);
 
+  /// Attaches an observability sink (null detaches). While attached, every
+  /// executed task reports `threadpool.tasks_executed`, its queue wait
+  /// time (`threadpool.queue_wait_ns`) and its execution time — both as
+  /// the pool-wide `threadpool.busy_ns` and per worker as
+  /// `threadpool.worker<i>.busy_ns`. Detached (the default), no clocks are
+  /// read and no counters are touched. Safe to call while workers run.
+  void attachObservability(ObsSink *Sink) {
+    Obs.store(Sink, std::memory_order_release);
+  }
+
   /// Schedules \p F and returns a future for its result. Exceptions thrown
   /// by the task surface from future::get() on the waiting thread.
   template <typename Fn>
@@ -56,20 +70,29 @@ public:
         std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(F));
     std::future<R> Fut = Task->get_future();
     if (Threads.empty())
-      (*Task)();
+      runInline([Task] { (*Task)(); });
     else
       enqueue([Task] { (*Task)(); });
     return Fut;
   }
 
 private:
+  /// One queued task, stamped at enqueue time when a sink is attached so
+  /// the dequeuing worker can report the queue wait.
+  struct QueueItem {
+    std::function<void()> Fn;
+    std::chrono::steady_clock::time_point EnqueuedAt;
+  };
+
   void enqueue(std::function<void()> Task);
-  void workerLoop(std::stop_token St);
+  void runInline(std::function<void()> Task);
+  void workerLoop(std::stop_token St, unsigned Worker);
 
   std::mutex M;
   std::condition_variable_any CV;
-  std::deque<std::function<void()>> Queue;
+  std::deque<QueueItem> Queue;
   std::vector<std::jthread> Threads;
+  std::atomic<ObsSink *> Obs{nullptr};
 };
 
 /// Blocks on every future in \p Futures, rethrowing the first stored

@@ -1,0 +1,109 @@
+# End-to-end observability smoke test: runs ptran-estimate with --stats
+# and --trace on a multi-function workload (classic and --session paths),
+# checks that the trace file is valid JSON carrying the expected span
+# names and that the stats tables reach stdout, and that the strict
+# numeric-flag parsing rejects garbage with an actionable message.
+# Invoked by CTest as:
+#
+#   cmake -DESTIMATOR=<path> -DWORK_DIR=<dir> -P StatsSmoke.cmake
+
+if(NOT ESTIMATOR OR NOT WORK_DIR)
+  message(FATAL_ERROR "ESTIMATOR and WORK_DIR must be defined")
+endif()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(check_trace_and_stats LABEL TRACE_FILE STDOUT_FILE)
+  # string(JSON) parses strictly, so this rejects malformed output the way
+  # chrome://tracing would.
+  file(READ ${TRACE_FILE} TRACE_JSON)
+  string(JSON EVENT_COUNT ERROR_VARIABLE JSON_ERR
+         LENGTH "${TRACE_JSON}" traceEvents)
+  if(JSON_ERR)
+    message(FATAL_ERROR "${LABEL}: trace is not valid JSON: ${JSON_ERR}")
+  endif()
+  if(EVENT_COUNT LESS 10)
+    message(FATAL_ERROR
+      "${LABEL}: suspiciously few trace events (${EVENT_COUNT})")
+  endif()
+  foreach(SPAN analysis.program analysis.cfg plan.counters profiled-run
+          timeanalysis.run timeanalysis.wave timeanalysis.scc)
+    if(NOT TRACE_JSON MATCHES "\"name\":\"${SPAN}\"")
+      message(FATAL_ERROR "${LABEL}: trace is missing span '${SPAN}'")
+    endif()
+  endforeach()
+  file(READ ${STDOUT_FILE} OUT)
+  if(NOT OUT MATCHES "observability: timing spans")
+    message(FATAL_ERROR "${LABEL}: --stats printed no span table")
+  endif()
+  if(NOT OUT MATCHES "observability: counters")
+    message(FATAL_ERROR "${LABEL}: --stats printed no counter table")
+  endif()
+  if(NOT OUT MATCHES "recovery.fixpoint_iterations")
+    message(FATAL_ERROR "${LABEL}: recovery counters missing from --stats")
+  endif()
+endfunction()
+
+# Classic path.
+execute_process(
+  COMMAND ${ESTIMATOR} --workload=loops --runs=2 --stats
+          --trace=${WORK_DIR}/classic_trace.json
+  OUTPUT_FILE ${WORK_DIR}/classic.txt
+  RESULT_VARIABLE CLASSIC_RC)
+if(NOT CLASSIC_RC EQUAL 0)
+  message(FATAL_ERROR "classic --stats run failed (rc=${CLASSIC_RC})")
+endif()
+check_trace_and_stats(classic ${WORK_DIR}/classic_trace.json
+                      ${WORK_DIR}/classic.txt)
+
+# Session path: must additionally report session.* and threadpool.*
+# counters.
+execute_process(
+  COMMAND ${ESTIMATOR} --workload=loops --runs=2 --session --jobs=2 --stats
+          --trace=${WORK_DIR}/session_trace.json
+  OUTPUT_FILE ${WORK_DIR}/session.txt
+  RESULT_VARIABLE SESSION_RC)
+if(NOT SESSION_RC EQUAL 0)
+  message(FATAL_ERROR "--session --stats run failed (rc=${SESSION_RC})")
+endif()
+check_trace_and_stats(session ${WORK_DIR}/session_trace.json
+                      ${WORK_DIR}/session.txt)
+file(READ ${WORK_DIR}/session.txt SESSION_OUT)
+foreach(COUNTER session.runs session.queries threadpool.tasks_executed)
+  if(NOT SESSION_OUT MATCHES "${COUNTER}")
+    message(FATAL_ERROR "session --stats is missing counter '${COUNTER}'")
+  endif()
+endforeach()
+
+# An unwritable trace path must fail loudly, not drop the trace.
+execute_process(
+  COMMAND ${ESTIMATOR} --workload=simple --runs=1
+          --trace=${WORK_DIR}/no-such-dir/trace.json
+  OUTPUT_QUIET
+  ERROR_VARIABLE TRACEFAIL_ERR
+  RESULT_VARIABLE TRACEFAIL_RC)
+if(TRACEFAIL_RC EQUAL 0)
+  message(FATAL_ERROR "unwritable --trace path was silently ignored")
+endif()
+if(NOT TRACEFAIL_ERR MATCHES "trace")
+  message(FATAL_ERROR
+    "unwritable --trace diagnostic is not actionable: ${TRACEFAIL_ERR}")
+endif()
+
+# Regression: numeric flags reject what atoi silently mangled to 0.
+foreach(BADFLAG --runs=ten --runs=0 --runs= --chunk=x,y --chunk=4
+        --sampling=fast --jobs=two)
+  execute_process(
+    COMMAND ${ESTIMATOR} --workload=simple ${BADFLAG}
+    OUTPUT_QUIET
+    ERROR_VARIABLE BAD_ERR
+    RESULT_VARIABLE BAD_RC)
+  if(BAD_RC EQUAL 0)
+    message(FATAL_ERROR "'${BADFLAG}' was silently accepted")
+  endif()
+  if(NOT BAD_ERR MATCHES "invalid value")
+    message(FATAL_ERROR "'${BADFLAG}' diagnostic not actionable: ${BAD_ERR}")
+  endif()
+endforeach()
+
+message(STATUS "observability smoke test passed")

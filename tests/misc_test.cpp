@@ -14,6 +14,7 @@
 #include "interp/Interpreter.h"
 #include "interval/Intervals.h"
 #include "support/Rng.h"
+#include "support/StringUtils.h"
 #include "workloads/Workloads.h"
 
 #include <gtest/gtest.h>
@@ -94,6 +95,32 @@ TEST(WorkloadGolden, LoopsIsDeterministic) {
   ASSERT_TRUE(A.Ok && B.Ok);
   EXPECT_EQ(A.Cycles, B.Cycles);
   EXPECT_EQ(A.StatementsExecuted, B.StatementsExecuted);
+}
+
+TEST(StrictParsing, ParseUnsigned) {
+  EXPECT_EQ(parseUnsigned("0"), 0u);
+  EXPECT_EQ(parseUnsigned("42"), 42u);
+  EXPECT_EQ(parseUnsigned("4294967295"), 4294967295u);
+  // Everything atoi would silently mangle must be rejected.
+  EXPECT_FALSE(parseUnsigned(""));
+  EXPECT_FALSE(parseUnsigned("ten"));
+  EXPECT_FALSE(parseUnsigned("3x"));
+  EXPECT_FALSE(parseUnsigned("-1"));
+  EXPECT_FALSE(parseUnsigned("+1"));
+  EXPECT_FALSE(parseUnsigned(" 1"));
+  EXPECT_FALSE(parseUnsigned("4294967296")); // UINT_MAX + 1
+  EXPECT_FALSE(parseUnsigned("99999999999999999999"));
+}
+
+TEST(StrictParsing, ParseDouble) {
+  EXPECT_EQ(parseDouble("0"), 0.0);
+  EXPECT_EQ(parseDouble("2.5"), 2.5);
+  EXPECT_EQ(parseDouble("-1e3"), -1000.0);
+  EXPECT_FALSE(parseDouble(""));
+  EXPECT_FALSE(parseDouble("abc"));
+  EXPECT_FALSE(parseDouble("2.5x"));
+  EXPECT_FALSE(parseDouble("1e999")); // overflows to infinity
+  EXPECT_FALSE(parseDouble("nan"));
 }
 
 TEST(FcdgDot, RendersNodesAndPseudoEdges) {

@@ -58,6 +58,49 @@ TEST(Lexer, RealLiteralForms) {
   EXPECT_DOUBLE_EQ(Toks[4].RealValue, 70.0);
 }
 
+TEST(Lexer, IntegerOverflowIsDiagnosed) {
+  // One past INT64_MAX: strtoll saturates and sets ERANGE; before the
+  // check this lexed "successfully" as 9223372036854775807.
+  DiagnosticEngine Diags;
+  Lexer::tokenize("9223372036854775808", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("overflows"), std::string::npos) << Diags.str();
+}
+
+TEST(Lexer, Int64MaxStillLexes) {
+  DiagnosticEngine Diags;
+  std::vector<Token> Toks = Lexer::tokenize("9223372036854775807", Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  EXPECT_EQ(Toks[0].Kind, TokKind::IntLit);
+  EXPECT_EQ(Toks[0].IntValue, 9223372036854775807LL);
+}
+
+TEST(Lexer, RealOverflowIsDiagnosed) {
+  DiagnosticEngine Diags;
+  Lexer::tokenize("1e999", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("out of range"), std::string::npos)
+      << Diags.str();
+}
+
+TEST(Lexer, RealUnderflowIsNotAnError) {
+  // 1e-999 underflows to 0 (ERANGE too) — that is representable, not a
+  // user error.
+  DiagnosticEngine Diags;
+  std::vector<Token> Toks = Lexer::tokenize("1e-999", Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  EXPECT_EQ(Toks[0].Kind, TokKind::RealLit);
+}
+
+TEST(ParserErrors, OverflowingLiteralFailsParse) {
+  expectParseError(R"(
+program main
+  x = 9999999999999999999999999999
+end
+)",
+                   "overflows");
+}
+
 TEST(Lexer, RejectsStrayCharacters) {
   DiagnosticEngine Diags;
   Lexer::tokenize("x = 1 @ 2", Diags);

@@ -24,12 +24,15 @@
 //   --check                 verify the Section 3 identities on the profile
 //   --dot=cfg|ecfg|fcdg     Graphviz of the entry procedure's graph
 //   --pdb=FILE              load/accumulate/save a program database
+//   --trace=FILE            write a Chrome trace_event JSON of the run
+//   --stats                 print timing-span / counter tables at exit
 //   --version               print the version and exit
 //   --help                  print this option summary and exit
 //
 //===----------------------------------------------------------------------===//
 
 #include "cost/Estimator.h"
+#include "obs/Observability.h"
 #include "cost/Report.h"
 #include "freq/StaticFrequencies.h"
 #include "ir/Printer.h"
@@ -76,6 +79,10 @@ struct Options {
   enum class FreqSource { Profile, Static, Hybrid } Freq = FreqSource::Profile;
   bool Check = false;
   bool Session = false;
+  /// Chrome trace output path; empty = no trace.
+  std::string TraceFile;
+  /// Print the observability stats tables after the run.
+  bool Stats = false;
   /// 0 = hardware concurrency (the default); 1 reproduces the serial
   /// pipeline bit-for-bit.
   unsigned Jobs = 0;
@@ -99,6 +106,8 @@ const char *const UsageText =
     "  --check                 verify the Section 3 identities\n"
     "  --dot=cfg|ecfg|fcdg     Graphviz of the entry procedure's graph\n"
     "  --pdb=FILE              load/accumulate/save a program database\n"
+    "  --trace=FILE            write a Chrome trace_event JSON of the run\n"
+    "  --stats                 print timing-span / counter tables at exit\n"
     "  --version               print the version and exit\n"
     "  --help                  print this summary and exit\n";
 
@@ -125,9 +134,12 @@ bool parseArgs(int Argc, char **Argv, Options &Opts, std::string &Error) {
     } else if (Arg.rfind("--workload=", 0) == 0) {
       Opts.WorkloadName = toLower(Value("--workload="));
     } else if (Arg.rfind("--runs=", 0) == 0) {
-      Opts.Runs = static_cast<unsigned>(std::atoi(Value("--runs=").c_str()));
-      if (Opts.Runs == 0)
+      // atoi would silently turn garbage ("ten", "3x") into 0 or a prefix;
+      // parseUnsigned accepts digits only and rejects overflow.
+      std::optional<unsigned> N = parseUnsigned(Value("--runs="));
+      if (!N || *N == 0)
         return Invalid("--runs", Value("--runs="), "a positive number");
+      Opts.Runs = *N;
     } else if (Arg.rfind("--mode=", 0) == 0) {
       std::string M = toLower(Value("--mode="));
       if (M == "smart")
@@ -168,19 +180,25 @@ bool parseArgs(int Argc, char **Argv, Options &Opts, std::string &Error) {
     } else if (Arg == "--plan") {
       Opts.PrintPlan = true;
     } else if (Arg.rfind("--sampling=", 0) == 0) {
-      Opts.SamplingPeriod = std::atof(Value("--sampling=").c_str());
-      if (Opts.SamplingPeriod <= 0.0)
+      std::optional<double> Period = parseDouble(Value("--sampling="));
+      if (!Period || *Period <= 0.0)
         return Invalid("--sampling", Value("--sampling="),
                        "a positive cycles-per-sample period");
+      Opts.SamplingPeriod = *Period;
     } else if (Arg.rfind("--chunk=", 0) == 0) {
       std::vector<std::string> Parts = split(Value("--chunk="), ',');
       if (Parts.size() != 2)
         return Invalid("--chunk", Value("--chunk="), "P,OVERHEAD");
-      Opts.ChunkP = static_cast<unsigned>(std::atoi(Parts[0].c_str()));
-      Opts.ChunkOverhead = std::atof(Parts[1].c_str());
-      if (Opts.ChunkP == 0)
+      std::optional<unsigned> P = parseUnsigned(Parts[0]);
+      std::optional<double> Overhead = parseDouble(Parts[1]);
+      if (!P || *P == 0)
         return Invalid("--chunk", Value("--chunk="),
                        "a positive processor count P");
+      if (!Overhead || *Overhead < 0.0)
+        return Invalid("--chunk", Value("--chunk="),
+                       "a non-negative scheduling overhead");
+      Opts.ChunkP = *P;
+      Opts.ChunkOverhead = *Overhead;
     } else if (Arg.rfind("--dot=", 0) == 0) {
       Opts.Dot = toLower(Value("--dot="));
       if (Opts.Dot != "cfg" && Opts.Dot != "ecfg" && Opts.Dot != "fcdg")
@@ -196,18 +214,24 @@ bool parseArgs(int Argc, char **Argv, Options &Opts, std::string &Error) {
       else
         return Invalid("--freq", V, "profile|static|hybrid");
     } else if (Arg.rfind("--jobs=", 0) == 0) {
-      // 0 is a valid value (hardware concurrency), so atoi's silent 0 on
+      // 0 is a valid value (hardware concurrency), so a silent 0 on
       // garbage would be ambiguous; require an explicit non-negative number.
-      std::string V = Value("--jobs=");
-      if (V.empty() || V.find_first_not_of("0123456789") != std::string::npos)
-        return Invalid("--jobs", V, "a non-negative number");
-      Opts.Jobs = static_cast<unsigned>(std::atoi(V.c_str()));
+      std::optional<unsigned> J = parseUnsigned(Value("--jobs="));
+      if (!J)
+        return Invalid("--jobs", Value("--jobs="), "a non-negative number");
+      Opts.Jobs = *J;
     } else if (Arg == "--session") {
       Opts.Session = true;
     } else if (Arg == "--check") {
       Opts.Check = true;
     } else if (Arg.rfind("--pdb=", 0) == 0) {
       Opts.PdbFile = Value("--pdb=");
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      Opts.TraceFile = Value("--trace=");
+      if (Opts.TraceFile.empty())
+        return Invalid("--trace", "", "an output file path");
+    } else if (Arg == "--stats") {
+      Opts.Stats = true;
     } else if (Arg.rfind("--", 0) == 0) {
       Error = "unknown option '" + Arg + "'";
       return false;
@@ -418,12 +442,14 @@ void printPlansAndDot(const Options &Opts, const Program &Prog,
 /// The incremental path: one EstimationSession owns the runs, the cached
 /// summaries and the analysis; the tool is a thin client of estimate().
 int runSessionPath(const Options &Opts, const Program &Prog,
-                   const CostModel &CM) {
+                   const CostModel &CM, ObsRegistry *Obs) {
   DiagnosticEngine TADiags;
-  auto Session = EstimationSession::create(
-      Prog, CM,
+  EstimatorOptions EOpts =
       EstimatorOptions(TADiags).mode(Opts.Mode).jobs(Opts.Jobs).loopVariance(
-          Opts.LoopVariance));
+          Opts.LoopVariance);
+  if (Obs)
+    EOpts.observability(*Obs);
+  auto Session = EstimationSession::create(Prog, CM, EOpts);
   if (!Session) {
     std::fprintf(stderr, "analysis failed:\n%s", TADiags.str().c_str());
     return 1;
@@ -470,38 +496,24 @@ int runSessionPath(const Options &Opts, const Program &Prog,
   return printEstimates(Opts, Prog, Est, Freqs, *Res.Analysis);
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
-  Options Opts;
-  std::string ParseError;
-  if (!parseArgs(Argc, Argv, Opts, ParseError)) {
-    std::fprintf(stderr, "ptran-estimate: %s\n%s", ParseError.c_str(),
-                 UsageText);
-    return 1;
-  }
-
-  DiagnosticEngine Diags;
-  std::unique_ptr<Program> Prog = loadProgram(Opts, Diags);
-  if (!Prog)
-    return 1;
-
-  CostModel CM = Opts.OptimizingCost ? CostModel::optimizing()
-                                     : CostModel::nonOptimizing();
-
-  if (Opts.Session)
-    return runSessionPath(Opts, *Prog, CM);
-
-  std::unique_ptr<Estimator> Est = Estimator::create(
-      *Prog, CM,
+/// The classic path: the tool drives the interpreter and the analysis
+/// itself (sampling, pdb round trips and alternate frequency sources live
+/// here only).
+int runClassicPath(const Options &Opts, const Program &Prog,
+                   const CostModel &CM, DiagnosticEngine &Diags,
+                   ObsRegistry *Obs) {
+  EstimatorOptions EOpts =
       EstimatorOptions(Diags).mode(Opts.Mode).jobs(Opts.Jobs).loopVariance(
-          Opts.LoopVariance));
+          Opts.LoopVariance);
+  if (Obs)
+    EOpts.observability(*Obs);
+  std::unique_ptr<Estimator> Est = Estimator::create(Prog, CM, EOpts);
   if (!Est) {
     std::fprintf(stderr, "analysis failed:\n%s", Diags.str().c_str());
     return 1;
   }
 
-  printPlansAndDot(Opts, *Prog, *Est);
+  printPlansAndDot(Opts, Prog, *Est);
 
   // Optional sampling profiler alongside the counter runtime.
   std::unique_ptr<SamplingProfile> Sampler;
@@ -510,7 +522,8 @@ int main(int Argc, char **Argv) {
 
   double Cycles = 0.0;
   for (unsigned R = 0; R < Opts.Runs; ++R) {
-    Interpreter Interp(*Prog, CM);
+    TimingSpan RunSpan(Obs, "profiled-run");
+    Interpreter Interp(Prog, CM);
     Interp.addObserver(&Est->runtimeMutable());
     // Feed the loop-frequency moments too: --loop-variance=profiled (the
     // default) is meaningless without them.
@@ -538,7 +551,7 @@ int main(int Argc, char **Argv) {
   }
 
   if (Opts.Check)
-    printFrequencyCheck(*Prog, *Est);
+    printFrequencyCheck(Prog, *Est);
 
   // Program-database round trip, if requested.
   std::map<const Function *, Frequencies> Freqs;
@@ -553,7 +566,7 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "ignoring unreadable program database:\n%s",
                      Diags.str().c_str());
     }
-    for (const auto &F : Prog->functions())
+    for (const auto &F : Prog.functions())
       Db.accumulateTotals(Est->analysis().of(*F), Est->totalsFor(*F));
     Db.noteRunCompleted();
     if (!Db.saveToFile(Opts.PdbFile, Diags))
@@ -561,14 +574,14 @@ int main(int Argc, char **Argv) {
     else
       std::printf("program database %s now covers %u accumulation(s)\n\n",
                   Opts.PdbFile.c_str(), Db.runsRecorded());
-    for (const auto &F : Prog->functions()) {
+    for (const auto &F : Prog.functions()) {
       FrequencyTotals T = Db.totalsFor(Est->analysis().of(*F));
       Freqs[F.get()] = computeFrequencies(
           Est->analysis().of(*F),
           T.Ok ? T : Est->totalsFor(*F));
     }
   } else {
-    for (const auto &F : Prog->functions()) {
+    for (const auto &F : Prog.functions()) {
       const FunctionAnalysis &FA = Est->analysis().of(*F);
       switch (Opts.Freq) {
       case Options::FreqSource::Profile:
@@ -591,11 +604,59 @@ int main(int Argc, char **Argv) {
   TAOpts.LoopVariance = Opts.LoopVariance;
   TAOpts.Stats = &Est->loopStats();
   TAOpts.Exec.Jobs = Opts.Jobs;
+  TAOpts.Obs.Registry = Obs;
   DiagnosticEngine TADiags;
   TAOpts.Diags = &TADiags;
   TimeAnalysis TA = TimeAnalysis::run(Est->analysis(), Freqs, CM, TAOpts);
   if (!TADiags.diagnostics().empty())
     std::fprintf(stderr, "%s", TADiags.str().c_str());
 
-  return printEstimates(Opts, *Prog, *Est, Freqs, TA);
+  return printEstimates(Opts, Prog, *Est, Freqs, TA);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  std::string ParseError;
+  if (!parseArgs(Argc, Argv, Opts, ParseError)) {
+    std::fprintf(stderr, "ptran-estimate: %s\n%s", ParseError.c_str(),
+                 UsageText);
+    return 1;
+  }
+
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> Prog = loadProgram(Opts, Diags);
+  if (!Prog)
+    return 1;
+
+  CostModel CM = Opts.OptimizingCost ? CostModel::optimizing()
+                                     : CostModel::nonOptimizing();
+
+  // One registry for the whole invocation when --trace/--stats asked for
+  // it; null otherwise, which keeps every instrumented pass on its
+  // zero-overhead path.
+  std::unique_ptr<ObsRegistry> Obs;
+  if (!Opts.TraceFile.empty() || Opts.Stats)
+    Obs = std::make_unique<ObsRegistry>();
+
+  int Rc = Opts.Session
+               ? runSessionPath(Opts, *Prog, CM, Obs.get())
+               : runClassicPath(Opts, *Prog, CM, Diags, Obs.get());
+
+  // Emit observability output even when the run failed: a trace of a
+  // failing run is exactly what one wants to look at.
+  if (Obs) {
+    if (Opts.Stats)
+      std::printf("\n%s", Obs->statsTable().c_str());
+    if (!Opts.TraceFile.empty()) {
+      std::string Error;
+      if (!Obs->writeChromeTrace(Opts.TraceFile, Error)) {
+        std::fprintf(stderr, "ptran-estimate: %s\n", Error.c_str());
+        if (Rc == 0)
+          Rc = 1;
+      }
+    }
+  }
+  return Rc;
 }
