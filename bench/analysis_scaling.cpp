@@ -407,6 +407,120 @@ void printObservabilityOverheadTable() {
   std::printf("%s\n", T.str().c_str());
 }
 
+// Fault-tolerant ingestion cost: capture/save, load (header + per-section
+// CRC validation), saturating merge, and full session ingest (recovery +
+// Σ-identity checks per section) — once on a clean profile and once with
+// ~10% of the sections corrupted, so the quarantine path's price is
+// visible next to the happy path.
+void printProfileIngestionTable() {
+  constexpr unsigned Funcs = 127;
+  constexpr int Reps = 3;
+  std::unique_ptr<Program> Prog = makeManyFunctionProgram(Funcs + 1, 2);
+  CostModel CM = CostModel::optimizing();
+  DiagnosticEngine Diags;
+  auto Producer = EstimationSession::create(
+      *Prog, CM,
+      EstimatorOptions(Diags).loopVariance(LoopVarianceMode::Profiled));
+  if (!Producer || !Producer->profiledRun().Ok)
+    reportFatalError("profiled run failed for many-function program");
+  ProfileFile Clean = Producer->captureProfile();
+  const double SizeKb =
+      static_cast<double>(Clean.serialize().size()) / 1024.0;
+  const std::string Path = "analysis_scaling_profile.ptpf";
+
+  // ~10% of the sections present exactly as a failed CRC would leave
+  // them: invalid, empty, with the trusted directory still naming them.
+  ProfileFile Corrupt = Clean;
+  unsigned Corrupted = 0;
+  for (size_t I = 0; I < Corrupt.sectionsMutable().size(); I += 10) {
+    FunctionSection &S = Corrupt.sectionsMutable()[I];
+    S.Valid = false;
+    S.Issue = "section checksum mismatch (corrupt data)";
+    S.Counters.clear();
+    S.Loops.clear();
+    ++Corrupted;
+  }
+
+  auto Best = [&](auto &&Body) {
+    double BestSec = 1e100;
+    for (int R = 0; R < Reps; ++R) {
+      auto Start = std::chrono::steady_clock::now();
+      Body();
+      auto End = std::chrono::steady_clock::now();
+      BestSec = std::min(BestSec,
+                         std::chrono::duration<double>(End - Start).count());
+    }
+    return BestSec;
+  };
+
+  double SaveSec = Best([&] {
+    if (!Clean.saveToFile(Path, nullptr))
+      reportFatalError("profile save failed");
+  });
+  double LoadSec = Best([&] {
+    if (!ProfileFile::loadFromFile(Path, nullptr))
+      reportFatalError("profile load failed");
+  });
+  double MergeSec = Best([&] {
+    ProfileFile A = Clean;
+    if (!A.merge(Clean, nullptr))
+      reportFatalError("profile merge failed");
+    benchmark::DoNotOptimize(A.runs());
+  });
+
+  size_t LastQuarantined = 0;
+  auto IngestSec = [&](const ProfileFile &PF, size_t &QuarantinedOut) {
+    double BestSec = 1e100;
+    for (int R = 0; R < Reps; ++R) {
+      DiagnosticEngine D;
+      auto Consumer = EstimationSession::create(
+          *Prog, CM,
+          EstimatorOptions(D)
+              .loopVariance(LoopVarianceMode::Profiled)
+              .onBadProfile(BadProfilePolicy::Quarantine));
+      if (!Consumer)
+        reportFatalError("session creation failed");
+      auto Start = std::chrono::steady_clock::now();
+      ProfileIngestReport Report = Consumer->ingestProfile(PF);
+      auto End = std::chrono::steady_clock::now();
+      if (!Report.Ok)
+        reportFatalError("profile ingest failed: " + Report.Error);
+      QuarantinedOut = Report.Quarantined.size();
+      BestSec = std::min(BestSec,
+                         std::chrono::duration<double>(End - Start).count());
+    }
+    return BestSec;
+  };
+  size_t CleanQuarantined = 0;
+  double IngestCleanSec = IngestSec(Clean, CleanQuarantined);
+  double IngestBadSec = IngestSec(Corrupt, LastQuarantined);
+  std::remove(Path.c_str());
+
+  const double Sections = static_cast<double>(Clean.sections().size());
+  auto Rate = [&](double Sec) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.0f", Sections / Sec);
+    return std::string(Buf);
+  };
+  std::printf("=== Profile ingestion (%zu sections, %.1f KiB on disk) ===\n",
+              Clean.sections().size(), SizeKb);
+  TablePrinter T({"stage", "wall [ms]", "sections/s", "quarantined"});
+  char Wall[32];
+  std::snprintf(Wall, sizeof(Wall), "%.3f", SaveSec * 1e3);
+  T.addRow({"serialize + save", Wall, Rate(SaveSec), "-"});
+  std::snprintf(Wall, sizeof(Wall), "%.3f", LoadSec * 1e3);
+  T.addRow({"load + checksum", Wall, Rate(LoadSec), "-"});
+  std::snprintf(Wall, sizeof(Wall), "%.3f", MergeSec * 1e3);
+  T.addRow({"saturating merge", Wall, Rate(MergeSec), "-"});
+  std::snprintf(Wall, sizeof(Wall), "%.3f", IngestCleanSec * 1e3);
+  T.addRow({"ingest (clean)", Wall, Rate(IngestCleanSec),
+            std::to_string(CleanQuarantined)});
+  std::snprintf(Wall, sizeof(Wall), "%.3f", IngestBadSec * 1e3);
+  T.addRow({"ingest (10% corrupt)", Wall, Rate(IngestBadSec),
+            std::to_string(LastQuarantined)});
+  std::printf("%s\n", T.str().c_str());
+}
+
 void printStaticScalingTable() {
   std::printf("=== Ablation A2: representation sizes vs program size ===\n");
   TablePrinter T({"units", "stmts", "ecfg nodes", "fcdg edges",
@@ -432,6 +546,7 @@ int main(int Argc, char **Argv) {
   printParallelSpeedupTable();
   printIncrementalReestimationTable();
   printObservabilityOverheadTable();
+  printProfileIngestionTable();
   benchmark::Initialize(&Argc, Argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -24,6 +24,7 @@
 
 #include "cost/TimeAnalysis.h"
 #include "interp/Interpreter.h"
+#include "profile/ProfileFile.h"
 
 #include <memory>
 
@@ -51,6 +52,12 @@ struct EstimatorOptions {
   /// the TIME/VAR waves). Disabled by default; the registry must outlive
   /// the estimator when set.
   ObservabilityOptions Obs;
+  /// What an EstimationSession does with a function whose profile data
+  /// fails validation (recovery divergence, non-finite totals, checksum
+  /// or Σ-identity failures on ingest). Fail preserves the historical
+  /// whole-query failure; Quarantine degrades just that function to
+  /// static frequencies and tags its results.
+  BadProfilePolicy OnBadProfile = BadProfilePolicy::Fail;
 
   EstimatorOptions() = default;
   explicit EstimatorOptions(DiagnosticEngine &D) : Diags(&D) {}
@@ -77,6 +84,10 @@ struct EstimatorOptions {
   }
   EstimatorOptions &observability(ObsRegistry &R) {
     Obs.Registry = &R;
+    return *this;
+  }
+  EstimatorOptions &onBadProfile(BadProfilePolicy Policy) {
+    OnBadProfile = Policy;
     return *this;
   }
 };

@@ -2,6 +2,7 @@
 
 #include "pdb/ProgramDatabase.h"
 
+#include "profile/ProfileFile.h"
 #include "support/StringUtils.h"
 
 #include <cstdio>
@@ -11,20 +12,10 @@
 using namespace ptran;
 
 uint64_t ProgramDatabase::structuralFingerprint(const FunctionAnalysis &FA) {
-  // A small structural hash: enough to catch profiles recorded against a
-  // different version of the function.
-  uint64_t H = 1469598103934665603ULL;
-  auto Mix = [&H](uint64_t V) {
-    H ^= V + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
-  };
-  Mix(FA.function().numStmts());
-  Mix(FA.ecfg().cfg().numNodes());
-  Mix(FA.cd().conditions().size());
-  for (const ControlCondition &C : FA.cd().conditions()) {
-    Mix(C.Node);
-    Mix(static_cast<uint64_t>(C.Label));
-  }
-  return H;
+  // The hash itself lives in the profile layer so ProfileFile (which the
+  // database links against, not vice versa) can bind sections to the very
+  // same values the session cache keys use.
+  return structuralFingerprintOf(FA);
 }
 
 void ProgramDatabase::accumulateTotals(const FunctionAnalysis &FA,

@@ -1,0 +1,485 @@
+//===--- profile/ProfileFile.cpp - Durable on-disk profiles ---------------===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/ProfileFile.h"
+
+#include "support/FaultInjection.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+using namespace ptran;
+
+uint32_t ptran::crc32(const uint8_t *Data, size_t Len) {
+  static const auto Table = [] {
+    std::array<uint32_t, 256> T{};
+    for (uint32_t I = 0; I < 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K < 8; ++K)
+        C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+      T[I] = C;
+    }
+    return T;
+  }();
+  uint32_t Crc = 0xFFFFFFFFu;
+  for (size_t I = 0; I < Len; ++I)
+    Crc = Table[(Crc ^ Data[I]) & 0xFFu] ^ (Crc >> 8);
+  return Crc ^ 0xFFFFFFFFu;
+}
+
+uint64_t ptran::structuralFingerprintOf(const FunctionAnalysis &FA) {
+  // FNV offset basis + golden-ratio mixing; must stay identical to the
+  // historical ProgramDatabase::structuralFingerprint (which now
+  // delegates here) so on-disk fingerprints match session cache keys.
+  uint64_t H = 1469598103934665603ULL;
+  auto Mix = [&H](uint64_t V) {
+    H ^= V + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+  };
+  Mix(FA.function().numStmts());
+  Mix(FA.ecfg().cfg().numNodes());
+  Mix(FA.cd().conditions().size());
+  for (const ControlCondition &C : FA.cd().conditions()) {
+    Mix(C.Node);
+    Mix(static_cast<uint64_t>(C.Label));
+  }
+  return H;
+}
+
+uint64_t ptran::programFingerprintOf(const ProgramAnalysis &PA) {
+  uint64_t H = 1469598103934665603ULL;
+  auto Mix = [&H](uint64_t V) {
+    H ^= V + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+  };
+  Mix(PA.program().functions().size());
+  for (const auto &FPtr : PA.program().functions()) {
+    if (const FunctionAnalysis *FA = PA.tryOf(*FPtr))
+      Mix(structuralFingerprintOf(*FA));
+    else
+      Mix(0x4241444642414446ULL); // Failed-analysis marker.
+  }
+  return H;
+}
+
+namespace {
+
+//===--- little-endian byte IO --------------------------------------------===//
+
+void putU32(std::vector<uint8_t> &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+void putU64(std::vector<uint8_t> &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+void putF64(std::vector<uint8_t> &Out, double V) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  putU64(Out, Bits);
+}
+
+/// Bounds-checked forward reader over a byte range. Every get*() checks
+/// the remaining length first, so arbitrarily garbled input can only make
+/// ok() false — never an out-of-bounds read.
+struct ByteReader {
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos = 0;
+  bool Failed = false;
+
+  ByteReader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+
+  bool ok() const { return !Failed; }
+  size_t remaining() const { return Failed ? 0 : Size - Pos; }
+
+  uint32_t getU32() {
+    if (remaining() < 4) {
+      Failed = true;
+      return 0;
+    }
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(Data[Pos + I]) << (8 * I);
+    Pos += 4;
+    return V;
+  }
+
+  uint64_t getU64() {
+    if (remaining() < 8) {
+      Failed = true;
+      return 0;
+    }
+    uint64_t V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(Data[Pos + I]) << (8 * I);
+    Pos += 8;
+    return V;
+  }
+
+  double getF64() {
+    uint64_t Bits = getU64();
+    double V;
+    std::memcpy(&V, &Bits, sizeof(V));
+    return V;
+  }
+
+  std::string getString(size_t Len) {
+    if (remaining() < Len) {
+      Failed = true;
+      return {};
+    }
+    std::string S(reinterpret_cast<const char *>(Data + Pos), Len);
+    Pos += Len;
+    return S;
+  }
+};
+
+void serializePayload(std::vector<uint8_t> &Out, const FunctionSection &S) {
+  putU32(Out, static_cast<uint32_t>(S.Counters.size()));
+  for (double C : S.Counters)
+    putF64(Out, C);
+  putU32(Out, static_cast<uint32_t>(S.Loops.size()));
+  for (const ProfileLoopMoments &L : S.Loops) {
+    putU32(Out, L.HeaderStmt);
+    putF64(Out, L.Entries);
+    putF64(Out, L.Sum);
+    putF64(Out, L.SumSq);
+  }
+}
+
+/// Parses one section payload. Returns false (leaving \p S empty) when the
+/// payload is internally inconsistent — possible even under a matching CRC
+/// if the writer was corrupt in memory.
+bool parsePayload(const uint8_t *Data, size_t Size, FunctionSection &S) {
+  ByteReader R(Data, Size);
+  uint32_t NumCounters = R.getU32();
+  if (!R.ok() || R.remaining() < static_cast<size_t>(NumCounters) * 8)
+    return false;
+  S.Counters.reserve(NumCounters);
+  for (uint32_t I = 0; I < NumCounters; ++I)
+    S.Counters.push_back(R.getF64());
+  uint32_t NumLoops = R.getU32();
+  if (!R.ok() || R.remaining() < static_cast<size_t>(NumLoops) * 28)
+    return false;
+  S.Loops.reserve(NumLoops);
+  for (uint32_t I = 0; I < NumLoops; ++I) {
+    ProfileLoopMoments L;
+    L.HeaderStmt = R.getU32();
+    L.Entries = R.getF64();
+    L.Sum = R.getF64();
+    L.SumSq = R.getF64();
+    S.Loops.push_back(L);
+  }
+  if (!R.ok() || R.remaining() != 0) {
+    S.Counters.clear();
+    S.Loops.clear();
+    return false;
+  }
+  return true;
+}
+
+/// Adds \p Delta to \p Acc, clamping at ProfileFile::SaturationLimit.
+/// \returns true when the clamp was applied.
+bool saturatingAdd(double &Acc, double Delta) {
+  double Sum = Acc + Delta;
+  if (Sum > ProfileFile::SaturationLimit) {
+    Acc = ProfileFile::SaturationLimit;
+    return true;
+  }
+  Acc = Sum;
+  return false;
+}
+
+} // namespace
+
+ProfileFile ProfileFile::capture(const ProgramAnalysis &PA,
+                                 const ProgramPlan &Plan,
+                                 const ProfileRuntime &RT,
+                                 const LoopFrequencyStats *Stats,
+                                 uint32_t Runs) {
+  ProfileFile PF;
+  PF.ProgramFingerprint = programFingerprintOf(PA);
+  PF.Mode = Plan.mode();
+  PF.Runs = Runs;
+  for (const auto &FPtr : PA.program().functions()) {
+    const FunctionAnalysis *FA = PA.tryOf(*FPtr);
+    if (!FA)
+      continue; // Failed analysis: no plan, no counters.
+    FunctionSection S;
+    S.Name = FPtr->name();
+    S.Fingerprint = structuralFingerprintOf(*FA);
+    S.Counters = RT.countersFor(*FPtr);
+    if (Stats)
+      for (const auto &[Header, M] : Stats->momentsOf(*FPtr))
+        S.Loops.push_back({static_cast<uint32_t>(Header), M.Entries, M.Sum,
+                           M.SumSq});
+    PF.Sections.push_back(std::move(S));
+  }
+  return PF;
+}
+
+std::vector<uint8_t> ProfileFile::serialize() const {
+  // Payloads first, so the directory can carry offsets and CRCs.
+  std::vector<std::vector<uint8_t>> Payloads;
+  Payloads.reserve(Sections.size());
+  size_t HeaderSize = 4 + 4 + 8 + 4 + 4 + 4; // magic..numFunctions
+  for (const FunctionSection &S : Sections) {
+    Payloads.emplace_back();
+    serializePayload(Payloads.back(), S);
+    HeaderSize += 4 + S.Name.size() + 8 + 8 + 8 + 4; // directory entry
+  }
+  HeaderSize += 4; // header CRC
+
+  std::vector<uint8_t> Out;
+  putU32(Out, MagicValue);
+  putU32(Out, Version);
+  putU64(Out, ProgramFingerprint);
+  putU32(Out, static_cast<uint32_t>(Mode));
+  putU32(Out, Runs);
+  putU32(Out, static_cast<uint32_t>(Sections.size()));
+
+  uint64_t Offset = HeaderSize;
+  for (size_t I = 0; I < Sections.size(); ++I) {
+    const FunctionSection &S = Sections[I];
+    putU32(Out, static_cast<uint32_t>(S.Name.size()));
+    Out.insert(Out.end(), S.Name.begin(), S.Name.end());
+    putU64(Out, S.Fingerprint);
+    putU64(Out, Offset);
+    putU64(Out, Payloads[I].size());
+    putU32(Out, crc32(Payloads[I].data(), Payloads[I].size()));
+    Offset += Payloads[I].size();
+  }
+  putU32(Out, crc32(Out.data(), Out.size()));
+
+  for (const std::vector<uint8_t> &P : Payloads)
+    Out.insert(Out.end(), P.begin(), P.end());
+  return Out;
+}
+
+std::optional<ProfileFile>
+ProfileFile::deserialize(const std::vector<uint8_t> &Bytes,
+                         DiagnosticEngine *Diags) {
+  auto HeaderError = [&](const std::string &What) -> std::optional<ProfileFile> {
+    if (Diags)
+      Diags->error("cannot load profile: " + What);
+    return std::nullopt;
+  };
+
+  ByteReader R(Bytes.data(), Bytes.size());
+  if (R.getU32() != MagicValue)
+    return HeaderError("bad magic (not a ptran profile file)");
+  uint32_t FileVersion = R.getU32();
+  if (FileVersion != CurrentVersion)
+    return HeaderError("unsupported version " + std::to_string(FileVersion) +
+                       " (this build reads version " +
+                       std::to_string(CurrentVersion) + ")");
+
+  ProfileFile PF;
+  PF.Version = FileVersion;
+  PF.ProgramFingerprint = R.getU64();
+  uint32_t ModeValue = R.getU32();
+  PF.Runs = R.getU32();
+  uint32_t NumFunctions = R.getU32();
+  if (!R.ok())
+    return HeaderError("truncated header");
+  if (ModeValue > static_cast<uint32_t>(ProfileMode::Smart))
+    return HeaderError("invalid profile mode " + std::to_string(ModeValue));
+  PF.Mode = static_cast<ProfileMode>(ModeValue);
+
+  struct DirEntry {
+    uint64_t Offset = 0;
+    uint64_t Size = 0;
+    uint32_t Crc = 0;
+  };
+  std::vector<DirEntry> Dir;
+  Dir.reserve(std::min<size_t>(NumFunctions, Bytes.size() / 32));
+  for (uint32_t I = 0; I < NumFunctions; ++I) {
+    uint32_t NameLen = R.getU32();
+    FunctionSection S;
+    S.Name = R.getString(NameLen);
+    S.Fingerprint = R.getU64();
+    DirEntry E;
+    E.Offset = R.getU64();
+    E.Size = R.getU64();
+    E.Crc = R.getU32();
+    if (!R.ok())
+      return HeaderError("truncated or garbled directory");
+    Dir.push_back(E);
+    PF.Sections.push_back(std::move(S));
+  }
+
+  // The header CRC covers every byte read so far; nothing above can be
+  // trusted until it checks out.
+  size_t CrcPos = R.Pos;
+  uint32_t StoredCrc = R.getU32();
+  if (!R.ok())
+    return HeaderError("truncated header (missing checksum)");
+  if (crc32(Bytes.data(), CrcPos) != StoredCrc)
+    return HeaderError("header checksum mismatch (corrupt or truncated file)");
+
+  // Directory is now trusted: validate and parse each payload in
+  // isolation, so one bad section cannot take down its neighbors.
+  for (size_t I = 0; I < PF.Sections.size(); ++I) {
+    FunctionSection &S = PF.Sections[I];
+    const DirEntry &E = Dir[I];
+    auto Invalidate = [&](const std::string &What) {
+      S.Valid = false;
+      S.Issue = What;
+      S.Counters.clear();
+      S.Loops.clear();
+      if (Diags)
+        Diags->warning("profile section for " + S.Name + ": " + What);
+    };
+    if (E.Offset > Bytes.size() || E.Size > Bytes.size() - E.Offset) {
+      Invalidate("section extends past end of file (truncated)");
+      continue;
+    }
+    const uint8_t *Payload = Bytes.data() + E.Offset;
+    if (crc32(Payload, E.Size) != E.Crc) {
+      Invalidate("section checksum mismatch (corrupt data)");
+      continue;
+    }
+    if (!parsePayload(Payload, E.Size, S))
+      Invalidate("section payload is garbled");
+  }
+  return PF;
+}
+
+bool ProfileFile::saveToFile(const std::string &Path,
+                             DiagnosticEngine *Diags) const {
+  std::vector<uint8_t> Bytes = serialize();
+  // Simulated disk corruption: flip after the CRCs are computed, so the
+  // damage is real and a subsequent load must detect it.
+  FaultInjection::maybeFlipByte(Bytes);
+  if (FaultInjection::maybeFailIo()) {
+    if (Diags)
+      Diags->error("cannot write profile " + Path + ": injected IO failure");
+    return false;
+  }
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    if (Diags)
+      Diags->error("cannot open profile " + Path + " for writing");
+    return false;
+  }
+  size_t Written = std::fwrite(Bytes.data(), 1, Bytes.size(), F);
+  bool Ok = std::fclose(F) == 0 && Written == Bytes.size();
+  if (!Ok && Diags)
+    Diags->error("short write while saving profile " + Path);
+  return Ok;
+}
+
+std::optional<ProfileFile> ProfileFile::loadFromFile(const std::string &Path,
+                                                     DiagnosticEngine *Diags) {
+  if (FaultInjection::maybeFailIo()) {
+    if (Diags)
+      Diags->error("cannot read profile " + Path + ": injected IO failure");
+    return std::nullopt;
+  }
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    if (Diags)
+      Diags->error("cannot open profile " + Path);
+    return std::nullopt;
+  }
+  std::vector<uint8_t> Bytes;
+  uint8_t Buf[65536];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Bytes.insert(Bytes.end(), Buf, Buf + N);
+  bool ReadOk = std::ferror(F) == 0;
+  std::fclose(F);
+  if (!ReadOk) {
+    if (Diags)
+      Diags->error("read error while loading profile " + Path);
+    return std::nullopt;
+  }
+  return deserialize(Bytes, Diags);
+}
+
+bool ProfileFile::merge(const ProfileFile &Other, DiagnosticEngine *Diags) {
+  if (Other.ProgramFingerprint != ProgramFingerprint) {
+    if (Diags)
+      Diags->error("cannot merge profiles: program fingerprint mismatch "
+                   "(recorded against different program versions)");
+    return false;
+  }
+  if (Other.Mode != Mode) {
+    if (Diags)
+      Diags->error(std::string("cannot merge profiles: counter mode ") +
+                   profileModeName(Other.Mode) + " vs " +
+                   profileModeName(Mode));
+    return false;
+  }
+
+  for (const FunctionSection &Theirs : Other.Sections) {
+    auto Skip = [&](const std::string &Why) {
+      if (Diags)
+        Diags->warning("merge: skipping section for " + Theirs.Name + ": " +
+                       Why);
+    };
+    if (!Theirs.Valid) {
+      Skip("section is invalid (" + Theirs.Issue + ")");
+      continue;
+    }
+    FunctionSection *Ours = nullptr;
+    for (FunctionSection &S : Sections)
+      if (S.Name == Theirs.Name)
+        Ours = &S;
+    if (!Ours) {
+      Skip("unknown function");
+      continue;
+    }
+    if (!Ours->Valid) {
+      Skip("local section is invalid (" + Ours->Issue + ")");
+      continue;
+    }
+    if (Ours->Fingerprint != Theirs.Fingerprint) {
+      Skip("function fingerprint mismatch");
+      continue;
+    }
+    if (Ours->Counters.size() != Theirs.Counters.size()) {
+      Skip("counter count mismatch");
+      continue;
+    }
+    bool Saturated = false;
+    for (size_t I = 0; I < Ours->Counters.size(); ++I)
+      Saturated |= saturatingAdd(Ours->Counters[I], Theirs.Counters[I]);
+    for (const ProfileLoopMoments &L : Theirs.Loops) {
+      ProfileLoopMoments *Mine = nullptr;
+      for (ProfileLoopMoments &M : Ours->Loops)
+        if (M.HeaderStmt == L.HeaderStmt)
+          Mine = &M;
+      if (!Mine) {
+        // A loop this accumulation never entered before; adopt it.
+        Ours->Loops.push_back(L);
+        continue;
+      }
+      Saturated |= saturatingAdd(Mine->Entries, L.Entries);
+      Saturated |= saturatingAdd(Mine->Sum, L.Sum);
+      Saturated |= saturatingAdd(Mine->SumSq, L.SumSq);
+    }
+    if (Saturated && Diags)
+      Diags->warning("merge: counters for " + Theirs.Name +
+                     " saturated at 2^53; totals are now lower bounds");
+  }
+
+  uint64_t MergedRuns = static_cast<uint64_t>(Runs) + Other.Runs;
+  Runs = MergedRuns > UINT32_MAX ? UINT32_MAX
+                                 : static_cast<uint32_t>(MergedRuns);
+  return true;
+}
+
+const FunctionSection *ProfileFile::sectionFor(std::string_view Name) const {
+  for (const FunctionSection &S : Sections)
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}

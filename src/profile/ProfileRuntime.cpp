@@ -3,6 +3,7 @@
 #include "profile/ProfileRuntime.h"
 
 #include "support/FatalError.h"
+#include "support/FaultInjection.h"
 
 #include <cassert>
 
@@ -103,7 +104,12 @@ double ProfileRuntime::overheadCycles() const {
 }
 
 FrequencyTotals ProfileRuntime::recover(const Function &F) const {
-  return recoverTotals(PA.of(F), Plan.of(F), countersFor(F),
+  std::vector<double> Local = countersFor(F);
+  // Fault-injection seam (CounterCorrupt): corrupts only this local
+  // slice, so the shared accumulator is untouched and the caller's
+  // validation path is what gets exercised.
+  FaultInjection::maybeCorruptCounters(Local);
+  return recoverTotals(PA.of(F), Plan.of(F), Local,
                        /*Diags=*/nullptr, Obs);
 }
 
@@ -286,4 +292,21 @@ const LoopFrequencyStats::Moments *
 LoopFrequencyStats::momentsFor(const Function &F, StmtId HeaderStmt) const {
   auto It = Stats.find({&F, HeaderStmt});
   return It == Stats.end() ? nullptr : &It->second;
+}
+
+std::vector<std::pair<StmtId, LoopFrequencyStats::Moments>>
+LoopFrequencyStats::momentsOf(const Function &F) const {
+  std::vector<std::pair<StmtId, Moments>> Out;
+  for (auto It = Stats.lower_bound({&F, 0});
+       It != Stats.end() && It->first.first == &F; ++It)
+    Out.emplace_back(It->first.second, It->second);
+  return Out;
+}
+
+void LoopFrequencyStats::addMoments(const Function &F, StmtId HeaderStmt,
+                                    const Moments &M) {
+  Moments &Acc = Stats[{&F, HeaderStmt}];
+  Acc.Entries += M.Entries;
+  Acc.Sum += M.Sum;
+  Acc.SumSq += M.SumSq;
 }

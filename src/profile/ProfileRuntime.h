@@ -161,6 +161,14 @@ public:
   /// \p F (statement ids are stable across goto elision).
   const Moments *momentsFor(const Function &F, StmtId HeaderStmt) const;
 
+  /// All recorded loop moments of \p F, ordered by header statement (the
+  /// enumeration profile capture serializes).
+  std::vector<std::pair<StmtId, Moments>> momentsOf(const Function &F) const;
+
+  /// Folds externally ingested moments (e.g. loaded from a profile file)
+  /// into the accumulator for (\p F, \p HeaderStmt).
+  void addMoments(const Function &F, StmtId HeaderStmt, const Moments &M);
+
 private:
   struct LoopShape {
     StmtId HeaderStmt = InvalidStmt;

@@ -41,10 +41,33 @@ FrequencyTotals ptran::recoverTotals(const FunctionAnalysis &FA,
     return Known.count(C) != 0;
   };
 
-  // Fixpoint propagation over node totals and condition rules.
+  // Fixpoint propagation over node totals and condition rules. Every
+  // productive pass resolves at least one condition or node total, so a
+  // well-formed plan converges within conditions + nodes passes; the cap
+  // only trips on contradictory input (e.g. a NaN counter keeps a node
+  // total "unknown" forever because NaN >= 0.0 is false, re-deriving it
+  // each pass with Changed stuck at true).
+  const uint64_t MaxIterations =
+      2 * (static_cast<uint64_t>(CD.conditions().size()) + Fcdg.numNodes()) + 8;
   bool Changed = true;
   uint64_t Iterations = 0;
   while (Changed) {
+    if (Iterations >= MaxIterations) {
+      if (Diags)
+        Diags->error("frequency recovery for " + FA.function().name() +
+                     " did not converge after " +
+                     std::to_string(Iterations) +
+                     " iterations; counters are contradictory (NaN or cyclic "
+                     "derivation)");
+      if (Obs) {
+        Obs->addCounter("recovery.calls");
+        Obs->addCounter("recovery.fixpoint_iterations", Iterations);
+        Obs->addCounter("recovery.diverged");
+      }
+      FrequencyTotals Bad;
+      Bad.Ok = false;
+      return Bad;
+    }
     Changed = false;
     ++Iterations;
 

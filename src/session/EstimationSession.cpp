@@ -2,6 +2,9 @@
 
 #include "session/EstimationSession.h"
 
+#include "freq/StaticFrequencies.h"
+#include "profile/ConsistencyCheck.h"
+
 #include <bit>
 #include <cmath>
 #include <set>
@@ -55,6 +58,25 @@ RunResult EstimationSession::profiledRun(uint64_t MaxSteps) {
 
 void EstimationSession::accumulateTotals(const Function &F,
                                          const FrequencyTotals &Delta) {
+  // Deltas may be partial (no Σ identities to hold them to), but the
+  // values themselves must be sane counts.
+  for (const auto &[Cond, Total] : Delta.Cond) {
+    if (std::isfinite(Total) && Total >= 0.0 &&
+        Total <= ProfileFile::SaturationLimit)
+      continue;
+    std::string Issue =
+        "externally accumulated totals are non-finite, negative or "
+        "overflowed";
+    if (Opts.OnBadProfile == BadProfilePolicy::Quarantine) {
+      quarantine(F, Issue);
+    } else {
+      ExternalBad.emplace(&F, Issue);
+      // Dirty the function so the next refresh visits it and reports the
+      // failure (the rejected delta itself is not applied).
+      ExternalDirty.insert(&F);
+    }
+    return; // Reject the whole delta; good entries must not half-apply.
+  }
   std::map<ControlCondition, double> &Acc = External[&F];
   for (const auto &[Cond, Total] : Delta.Cond)
     Acc[Cond] += Total;
@@ -98,20 +120,78 @@ uint64_t EstimationSession::inputKeyOf(const Function &F,
   return H;
 }
 
-void EstimationSession::refreshFunction(const Function &F, InputState &In) {
+std::string
+EstimationSession::totalsIssue(const FrequencyTotals &Totals) const {
+  if (!Totals.Ok)
+    return "counter recovery failed";
+  for (const auto &[Cond, Total] : Totals.Cond)
+    if (!std::isfinite(Total) || Total < 0.0)
+      return "recovered totals contain non-finite or negative values";
+  for (double N : Totals.Node)
+    if (!std::isfinite(N))
+      return "recovered node totals contain non-finite values";
+  return {};
+}
+
+void EstimationSession::quarantine(const Function &F,
+                                   const std::string &Reason) {
+  // First reason wins; quarantine is sticky for the session's lifetime.
+  if (!QuarantinedFns.emplace(&F, Reason).second)
+    return;
+  // Force a refresh so the function's frequencies switch to the static
+  // estimate before the next query.
+  ExternalDirty.insert(&F);
+  if (ObsRegistry *Obs = Opts.Obs.Registry)
+    Obs->addCounter("session.quarantined_functions");
+  if (Opts.Diags)
+    Opts.Diags->warning("quarantining function " + F.name() + ": " + Reason +
+                        "; estimates degrade to static frequencies");
+}
+
+std::string EstimationSession::refreshFunction(const Function &F,
+                                               InputState &In) {
+  if (QuarantinedFns.count(&F)) {
+    // Static frequencies depend only on the function's structure, so the
+    // key is the structural fingerprint salted to never collide with a
+    // profiled key.
+    uint64_t Key =
+        ProgramDatabase::structuralFingerprint(Est->analysis().of(F)) ^
+        0x5155415241ULL; // "QUARA"
+    if (In.Key != Key || !FreqsByFunction.count(&F)) {
+      In.Key = Key;
+      FreqsByFunction[&F] =
+          computeStaticFrequencies(Est->analysis().of(F)).Freqs;
+    }
+    return {};
+  }
+
   FrequencyTotals Totals = In.Base;
   auto It = External.find(&F);
-  if (It != External.end() && !It->second.empty()) {
+  bool HasExternal = It != External.end() && !It->second.empty();
+  if (HasExternal) {
     for (const auto &[Cond, Total] : It->second)
       Totals.Cond[Cond] += Total;
     // Node totals follow from condition totals via the FCDG recurrence.
     Totals.Node = nodeTotalsFromConds(Est->analysis().of(F), Totals.Cond);
+    // Each delta was value-checked on arrival, but their sum can still
+    // overflow to infinity; catch that before it poisons the cache. (The
+    // Σ identities are deliberately not enforced here — deltas may be
+    // partial; complete profiles are identity-checked by ingestProfile.)
+    std::string Issue = totalsIssue(Totals);
+    if (!Issue.empty()) {
+      if (Opts.OnBadProfile == BadProfilePolicy::Quarantine) {
+        quarantine(F, Issue);
+        return refreshFunction(F, In);
+      }
+      return Issue;
+    }
   }
   uint64_t Key = inputKeyOf(F, Totals);
   if (In.Key != Key || !FreqsByFunction.count(&F)) {
     In.Key = Key;
     FreqsByFunction[&F] = computeFrequencies(Est->analysis().of(F), Totals);
   }
+  return {};
 }
 
 bool EstimationSession::refreshInputs(std::string &Error) {
@@ -123,17 +203,26 @@ bool EstimationSession::refreshInputs(std::string &Error) {
     // The recovery fixpoint is the expensive part of reading new
     // counters; run it only when the runtime actually moved, not when a
     // query follows a pure external-delta injection.
-    if (RuntimeStale) {
+    if (RuntimeStale && !QuarantinedFns.count(F.get())) {
       In.Base = Est->runtime().recover(*F);
-      if (!In.Base.Ok) {
-        In.RecoveryFailed = true;
-        Ok = false;
-        if (Error.empty())
-          Error = "counter recovery failed for function " + F->name();
-        continue;
+      std::string Issue = totalsIssue(In.Base);
+      if (!Issue.empty()) {
+        // Naive plans cannot recover branch totals at all — that is an
+        // unsupported configuration, not corrupt data, so it never
+        // quarantines.
+        if (Opts.OnBadProfile == BadProfilePolicy::Quarantine &&
+            Est->plan().mode() != ProfileMode::Naive) {
+          quarantine(*F, Issue);
+        } else {
+          In.RecoveryFailed = true;
+          Ok = false;
+          if (Error.empty())
+            Error = "counter recovery failed for function " + F->name();
+          continue;
+        }
       }
       In.RecoveryFailed = false;
-    } else if (!ExternalDirty.count(F.get())) {
+    } else if (!RuntimeStale && !ExternalDirty.count(F.get())) {
       continue;
     }
     if (In.RecoveryFailed) {
@@ -142,7 +231,23 @@ bool EstimationSession::refreshInputs(std::string &Error) {
         Error = "counter recovery failed for function " + F->name();
       continue;
     }
-    refreshFunction(*F, In);
+    auto BadIt = ExternalBad.find(F.get());
+    if (BadIt != ExternalBad.end()) {
+      Ok = false;
+      if (Error.empty())
+        Error = "profile data for function " + F->name() +
+                " failed validation: " + BadIt->second;
+      continue;
+    }
+    std::string Issue = refreshFunction(*F, In);
+    if (!Issue.empty()) {
+      // Only reachable under BadProfilePolicy::Fail: external data for
+      // this function failed validation.
+      Ok = false;
+      if (Error.empty())
+        Error = "profile data for function " + F->name() +
+                " failed validation: " + Issue;
+    }
   }
   if (Ok) {
     RuntimeStale = false;
@@ -259,9 +364,171 @@ EstimationSession::estimate(const std::vector<EstimateRequest> &Requests) {
     R.Time = A.functionTime(*F);
     R.Var = A.functionVariance(*F);
     R.StdDev = std::sqrt(R.Var > 0.0 ? R.Var : 0.0);
+    auto QIt = QuarantinedFns.find(F);
+    if (QIt != QuarantinedFns.end()) {
+      R.Quarantined = true;
+      R.QuarantineReason = QIt->second;
+    }
     R.Analysis = &A;
   }
   return Results;
+}
+
+ProfileFile EstimationSession::captureProfile() const {
+  return ProfileFile::capture(Est->analysis(), Est->plan(), Est->runtime(),
+                              &Est->loopStats(), Runs);
+}
+
+bool EstimationSession::saveProfile(const std::string &Path,
+                                    DiagnosticEngine *Diags) const {
+  return captureProfile().saveToFile(Path, Diags);
+}
+
+ProfileIngestReport EstimationSession::ingestProfile(const ProfileFile &PF) {
+  ProfileIngestReport Report;
+  ObsRegistry *Obs = Opts.Obs.Registry;
+  if (Obs)
+    Obs->addCounter("session.ingest.profiles");
+
+  if (PF.programFingerprint() != programFingerprintOf(Est->analysis())) {
+    Report.Error = "profile was recorded against a different program "
+                   "(program fingerprint mismatch)";
+    return Report;
+  }
+  if (PF.mode() != Est->plan().mode()) {
+    Report.Error = std::string("profile counter mode ") +
+                   profileModeName(PF.mode()) +
+                   " does not match the session's " +
+                   profileModeName(Est->plan().mode());
+    return Report;
+  }
+
+  // Phase 1: validate every section without touching session state, so a
+  // Fail-policy rejection is atomic.
+  struct GoodSection {
+    const Function *F = nullptr;
+    FrequencyTotals Totals;
+    const FunctionSection *S = nullptr;
+  };
+  std::vector<GoodSection> Good;
+  std::vector<std::pair<const Function *, std::string>> Bad;
+  for (const FunctionSection &S : PF.sections()) {
+    if (Obs)
+      Obs->addCounter("session.ingest.sections");
+    const Function *F = P->findFunction(S.Name);
+    if (!F) {
+      Report.Findings.push_back(S.Name + ": profile names a function this "
+                                         "program does not have");
+      continue;
+    }
+    auto Reject = [&](const std::string &Why) {
+      Bad.emplace_back(F, Why);
+      Report.Findings.push_back(S.Name + ": " + Why);
+    };
+    const FunctionAnalysis *FA = Est->analysis().tryOf(*F);
+    if (!FA) {
+      Report.Findings.push_back(S.Name + ": function failed analysis; "
+                                         "section ignored");
+      continue;
+    }
+    if (QuarantinedFns.count(F)) {
+      Report.Findings.push_back(S.Name + ": function is quarantined; "
+                                         "section ignored");
+      continue;
+    }
+    if (!S.Valid) {
+      Reject(S.Issue);
+      continue;
+    }
+    if (S.Fingerprint != structuralFingerprintOf(*FA)) {
+      Reject("structural fingerprint mismatch (profile predates a change "
+             "to this function)");
+      continue;
+    }
+    if (S.Counters.size() != Est->plan().of(*F).numCounters()) {
+      Reject("profile has " + std::to_string(S.Counters.size()) +
+             " counters, plan expects " +
+             std::to_string(Est->plan().of(*F).numCounters()));
+      continue;
+    }
+    bool ValuesOk = true;
+    for (double C : S.Counters)
+      if (!std::isfinite(C) || C < 0.0 || C > ProfileFile::SaturationLimit) {
+        Reject("counter values are non-finite, negative or overflowed");
+        ValuesOk = false;
+        break;
+      }
+    if (!ValuesOk)
+      continue;
+    for (const ProfileLoopMoments &L : S.Loops) {
+      if (!std::isfinite(L.Entries) || !std::isfinite(L.Sum) ||
+          !std::isfinite(L.SumSq) || L.Entries < 0.0 || L.Sum < 0.0 ||
+          L.SumSq < 0.0) {
+        Reject("loop moments are non-finite or negative");
+        ValuesOk = false;
+        break;
+      }
+      if (L.HeaderStmt >= F->numStmts()) {
+        Reject("loop moments name a statement this function does not have");
+        ValuesOk = false;
+        break;
+      }
+      // Cauchy-Schwarz: E[FREQ^2] >= E[FREQ]^2, i.e. SumSq*Entries >=
+      // Sum^2 — garbled moments usually break this.
+      if (L.Entries > 0.0 &&
+          L.SumSq * L.Entries + 1e-6 * L.Sum * L.Sum < L.Sum * L.Sum) {
+        Reject("loop moments are internally inconsistent (E[F^2] < E[F]^2)");
+        ValuesOk = false;
+        break;
+      }
+    }
+    if (!ValuesOk)
+      continue;
+    FrequencyTotals Totals =
+        recoverTotals(*FA, Est->plan().of(*F), S.Counters);
+    std::string Issue = totalsIssue(Totals);
+    if (Issue.empty()) {
+      std::vector<std::string> Findings =
+          checkFrequencyConsistency(*FA, Totals);
+      if (!Findings.empty())
+        Issue = Findings.front();
+    }
+    if (!Issue.empty()) {
+      Reject(Issue);
+      continue;
+    }
+    Good.push_back({F, std::move(Totals), &S});
+  }
+
+  if (Opts.OnBadProfile == BadProfilePolicy::Fail && !Bad.empty()) {
+    Report.Error = "profile failed validation for " +
+                   std::to_string(Bad.size()) +
+                   " function(s); nothing ingested";
+    for (const auto &[F, Why] : Bad)
+      Report.Quarantined.push_back(F->name());
+    if (Obs)
+      Obs->addCounter("session.ingest.rejected", Bad.size());
+    return Report;
+  }
+
+  // Phase 2: fold the clean sections, quarantine the bad ones.
+  for (const auto &[F, Why] : Bad) {
+    quarantine(*F, Why);
+    Report.Quarantined.push_back(F->name());
+  }
+  for (GoodSection &G : Good) {
+    accumulateTotals(*G.F, G.Totals);
+    for (const ProfileLoopMoments &L : G.S->Loops)
+      Est->loopStatsMutable().addMoments(
+          *G.F, L.HeaderStmt, {L.Entries, L.Sum, L.SumSq});
+    ++Report.Accepted;
+  }
+  if (Obs) {
+    Obs->addCounter("session.ingest.accepted", Report.Accepted);
+    Obs->addCounter("session.ingest.quarantined", Bad.size());
+  }
+  Report.Ok = true;
+  return Report;
 }
 
 EstimateResult EstimationSession::estimate(const EstimateRequest &Request) {

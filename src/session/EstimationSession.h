@@ -70,9 +70,32 @@ struct EstimateResult {
   double Time = 0.0;   ///< TIME(START) of F.
   double Var = 0.0;    ///< VAR(START) of F.
   double StdDev = 0.0; ///< sqrt(Var).
+  /// True when this function's profile data failed validation and the
+  /// answer comes from static frequencies (uniform branches, default trip
+  /// counts) instead of the profile. Ok stays true: the estimate is
+  /// usable, just degraded.
+  bool Quarantined = false;
+  /// Why the function was quarantined (empty otherwise).
+  std::string QuarantineReason;
   /// The full analysis the answer came from (owned by the session; valid
   /// until the session mutates that configuration's cache or dies).
   const TimeAnalysis *Analysis = nullptr;
+};
+
+/// Outcome of ingesting one profile file into a session.
+struct ProfileIngestReport {
+  /// True when the ingest took effect (under BadProfilePolicy::Fail, any
+  /// bad section rejects the whole profile and leaves Ok false).
+  bool Ok = false;
+  /// Whole-profile failure reason (fingerprint/mode mismatch, rejection).
+  std::string Error;
+  /// Sections whose data was folded into the session.
+  unsigned Accepted = 0;
+  /// Functions quarantined (or, under Fail, that would have been), by
+  /// name, in program order.
+  std::vector<std::string> Quarantined;
+  /// Per-section validation findings, each prefixed "<function>: ".
+  std::vector<std::string> Findings;
 };
 
 /// Owns one program's estimation state across runs and queries.
@@ -99,8 +122,38 @@ public:
   /// Folds an externally recorded totals delta (e.g. another machine's
   /// program database) into \p F's accumulated totals. Node totals are
   /// rederived through the FCDG recurrence, so \p Delta only needs
-  /// condition entries.
+  /// condition entries — deltas may be partial, so only value sanity
+  /// (finite, non-negative, unsaturated) is enforced here, per the
+  /// session's BadProfilePolicy. Complete profiles should arrive through
+  /// ingestProfile(), which additionally checks the paper's Σ identities.
   void accumulateTotals(const Function &F, const FrequencyTotals &Delta);
+
+  /// Validates and folds a loaded profile file. Program fingerprint and
+  /// counter mode must match the session's (whole-profile failure
+  /// otherwise). Each section is validated — checksum verdict from the
+  /// load, per-function fingerprint, counter shape, finite non-negative
+  /// values, recovery, Σ identities, loop-moment sanity. Under
+  /// BadProfilePolicy::Quarantine, clean sections fold in and bad ones
+  /// quarantine their function; under Fail, any bad section rejects the
+  /// whole profile (nothing folds).
+  ProfileIngestReport ingestProfile(const ProfileFile &PF);
+
+  /// Snapshots the session's accumulated counter runtime and loop moments
+  /// as a durable profile (external deltas are not counter-representable
+  /// and are not included).
+  ProfileFile captureProfile() const;
+
+  /// captureProfile() + ProfileFile::saveToFile.
+  bool saveProfile(const std::string &Path, DiagnosticEngine *Diags) const;
+
+  /// Functions currently quarantined, with reasons. Quarantine is sticky
+  /// for the session's lifetime: later clean data does not lift it.
+  const std::map<const Function *, std::string> &quarantined() const {
+    return QuarantinedFns;
+  }
+  bool isQuarantined(const Function &F) const {
+    return QuarantinedFns.count(&F) != 0;
+  }
 
   /// Answers a batch of queries. Inputs are refreshed lazily: functions
   /// whose fingerprinted totals/moments are unchanged since the last
@@ -161,8 +214,16 @@ private:
   /// failed for some function.
   bool refreshInputs(std::string &Error);
   /// Re-derives one function's key and frequencies from its cached base
-  /// totals plus external deltas.
-  void refreshFunction(const Function &F, InputState &In);
+  /// totals plus external deltas (or static frequencies when \p F is
+  /// quarantined). \returns the empty string, or — under
+  /// BadProfilePolicy::Fail — why externally contributed totals failed
+  /// validation.
+  std::string refreshFunction(const Function &F, InputState &In);
+  /// Why \p Totals are unusable as recovered profile data ("" = fine).
+  std::string totalsIssue(const FrequencyTotals &Totals) const;
+  /// Marks \p F quarantined (first reason wins) and schedules its switch
+  /// to static frequencies.
+  void quarantine(const Function &F, const std::string &Reason);
   uint64_t inputKeyOf(const Function &F, const FrequencyTotals &Totals) const;
   ConfigCache &configFor(const CostModel &CM, LoopVarianceMode LV);
   /// Brings \p Cache up to date with the current inputs (cold run,
@@ -188,6 +249,13 @@ private:
   bool RuntimeStale = true;
   /// Functions whose external deltas changed since the last refresh.
   std::set<const Function *> ExternalDirty;
+  /// Functions estimated from static frequencies because their profile
+  /// data failed validation, with the (first) reason.
+  std::map<const Function *, std::string> QuarantinedFns;
+  /// Under BadProfilePolicy::Fail: functions whose externally accumulated
+  /// deltas failed validation (queries fail until the data is repaired;
+  /// under Quarantine the function is quarantined instead).
+  std::map<const Function *, std::string> ExternalBad;
 
   uint64_t LastEvals = 0;
   uint64_t TotalEvals = 0;

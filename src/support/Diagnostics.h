@@ -53,6 +53,10 @@ public:
   void error(std::string Message) { error(SourceLoc(), std::move(Message)); }
   /// Appends a warning diagnostic at \p Loc.
   void warning(SourceLoc Loc, std::string Message);
+  /// Appends a warning diagnostic with no source location.
+  void warning(std::string Message) {
+    warning(SourceLoc(), std::move(Message));
+  }
   /// Appends a note diagnostic at \p Loc.
   void note(SourceLoc Loc, std::string Message);
 

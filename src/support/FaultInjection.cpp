@@ -1,0 +1,210 @@
+//===--- support/FaultInjection.cpp - Deterministic fault harness ---------===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace ptran {
+
+std::atomic<bool> FaultInjection::Armed{false};
+
+FaultInjection &FaultInjection::instance() {
+  static FaultInjection FI;
+  return FI;
+}
+
+FaultInjection::FaultInjection() {
+  if (const char *Spec = std::getenv("PTRAN_FAULT")) {
+    std::string Error;
+    if (!configure(Spec, Error))
+      std::fprintf(stderr, "ptran: ignoring malformed PTRAN_FAULT: %s\n",
+                   Error.c_str());
+  }
+}
+
+namespace {
+// The call-site fast path loads only the Armed flag and never constructs
+// the singleton, so the PTRAN_FAULT environment read must happen before
+// main — otherwise env-var arming would silently never engage.
+[[maybe_unused]] const bool EnvSpecRead =
+    (FaultInjection::instance(), true);
+} // namespace
+
+namespace {
+
+struct SiteName {
+  const char *Key;
+  FaultInjection::Site S;
+};
+
+const SiteName SiteNames[] = {
+    {"profile.flip", FaultInjection::Site::ProfileByteFlip},
+    {"counter.corrupt", FaultInjection::Site::CounterCorrupt},
+    {"io.fail", FaultInjection::Site::FileIo},
+    {"pool.throw", FaultInjection::Site::PoolTask},
+};
+
+} // namespace
+
+bool FaultInjection::configure(const std::string &Spec, std::string &Error) {
+  disarm();
+
+  SiteState NewSites[static_cast<unsigned>(Site::NumSites)];
+  uint64_t Seed = 1;
+  bool Any = false;
+
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t End = Spec.find(',', Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Pair = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Pair.empty())
+      continue;
+
+    size_t Eq = Pair.find('=');
+    if (Eq == std::string::npos || Eq == 0 || Eq + 1 == Pair.size()) {
+      Error = "expected key=value, got '" + Pair + "'";
+      return false;
+    }
+    std::string Key = Pair.substr(0, Eq);
+    std::string Value = Pair.substr(Eq + 1);
+
+    char *ValueEnd = nullptr;
+    if (Key == "seed") {
+      unsigned long long V = std::strtoull(Value.c_str(), &ValueEnd, 10);
+      if (!ValueEnd || *ValueEnd != '\0') {
+        Error = "seed wants an unsigned integer, got '" + Value + "'";
+        return false;
+      }
+      Seed = V;
+      continue;
+    }
+
+    const SiteName *Found = nullptr;
+    for (const SiteName &SN : SiteNames)
+      if (Key == SN.Key)
+        Found = &SN;
+    if (!Found) {
+      Error = "unknown fault site '" + Key + "'";
+      return false;
+    }
+
+    SiteState &SS = NewSites[static_cast<unsigned>(Found->S)];
+    SS.Enabled = true;
+    Any = true;
+    if (Value.find('.') != std::string::npos) {
+      double P = std::strtod(Value.c_str(), &ValueEnd);
+      if (!ValueEnd || *ValueEnd != '\0' || !(P >= 0.0) || !(P <= 1.0)) {
+        Error = Key + " wants a probability in [0,1], got '" + Value + "'";
+        return false;
+      }
+      SS.Nth = 0;
+      SS.Prob = P;
+    } else {
+      unsigned long long N = std::strtoull(Value.c_str(), &ValueEnd, 10);
+      if (!ValueEnd || *ValueEnd != '\0' || N == 0) {
+        Error = Key + " wants an opportunity index >= 1 or a probability "
+                      "containing '.', got '" +
+                Value + "'";
+        return false;
+      }
+      SS.Nth = N;
+      SS.Prob = 0.0;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> L(M);
+    for (unsigned I = 0; I < static_cast<unsigned>(Site::NumSites); ++I)
+      Sites[I] = NewSites[I];
+    // splitmix64 rejects a zero state only by convention; keep it nonzero.
+    State = Seed ? Seed : 0x9e3779b97f4a7c15ULL;
+  }
+  Armed.store(Any, std::memory_order_release);
+  return true;
+}
+
+void FaultInjection::disarm() {
+  Armed.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> L(M);
+  for (SiteState &SS : Sites)
+    SS = SiteState();
+  State = 1;
+}
+
+uint64_t FaultInjection::nextRandom() {
+  // splitmix64: tiny, seedable, and fully deterministic across platforms.
+  State += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+bool FaultInjection::shouldFire(Site S) {
+  std::lock_guard<std::mutex> L(M);
+  SiteState &SS = Sites[static_cast<unsigned>(S)];
+  if (!SS.Enabled)
+    return false;
+  ++SS.Opportunities;
+  bool Fire = false;
+  if (SS.Nth > 0) {
+    Fire = SS.Opportunities == SS.Nth;
+  } else {
+    // 53-bit mantissa draw in [0,1); compares exactly against Prob=1.0.
+    double U = static_cast<double>(nextRandom() >> 11) * 0x1.0p-53;
+    Fire = U < SS.Prob || SS.Prob == 1.0;
+  }
+  if (Fire)
+    ++SS.Fired;
+  return Fire;
+}
+
+uint64_t FaultInjection::firedCount(Site S) const {
+  std::lock_guard<std::mutex> L(M);
+  return Sites[static_cast<unsigned>(S)].Fired;
+}
+
+uint64_t FaultInjection::opportunityCount(Site S) const {
+  std::lock_guard<std::mutex> L(M);
+  return Sites[static_cast<unsigned>(S)].Opportunities;
+}
+
+void FaultInjection::throwPoolTask() {
+  if (shouldFire(Site::PoolTask))
+    throw FaultInjected("injected thread-pool task failure");
+}
+
+void FaultInjection::corruptCounters(std::vector<double> &Counters) {
+  if (Counters.empty() || !shouldFire(Site::CounterCorrupt))
+    return;
+  uint64_t Index;
+  {
+    std::lock_guard<std::mutex> L(M);
+    Index = nextRandom() % Counters.size();
+  }
+  Counters[Index] = std::numeric_limits<double>::quiet_NaN();
+}
+
+void FaultInjection::flipByte(std::vector<uint8_t> &Bytes) {
+  if (Bytes.empty() || !shouldFire(Site::ProfileByteFlip))
+    return;
+  uint64_t Index, Bit;
+  {
+    std::lock_guard<std::mutex> L(M);
+    Index = nextRandom() % Bytes.size();
+    Bit = nextRandom() % 8;
+  }
+  Bytes[Index] ^= static_cast<uint8_t>(1u << Bit);
+}
+
+} // namespace ptran

@@ -1,0 +1,164 @@
+//===--- support/FaultInjection.h - Deterministic fault harness -*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic, seeded fault-injection harness. Production code keeps
+/// permanent, near-zero-cost hooks at its failure-prone seams — profile
+/// file IO, profile byte images, counter recovery, thread-pool tasks — and
+/// tests (or an operator, via the `PTRAN_FAULT` environment variable) arm
+/// them to prove that every error path degrades gracefully instead of
+/// crashing, hanging or silently corrupting results.
+///
+/// The spec grammar is a comma-separated list of `key=value` pairs:
+///
+///   seed=S            reseed the deterministic PRNG (default 1)
+///   profile.flip=V    flip one byte of a serialized profile image
+///   counter.corrupt=V overwrite one recovered counter with NaN
+///   io.fail=V         fail a profile file open/read/write
+///   pool.throw=V      throw FaultInjected inside a ThreadPool task
+///
+/// where V is either an integer N >= 1 (fire exactly once, on the Nth
+/// opportunity) or a real in [0, 1] containing a '.' (fire independently
+/// with that probability, from the seeded PRNG). Example:
+///
+///   PTRAN_FAULT=seed=7,counter.corrupt=2,io.fail=0.5
+///
+/// Disarmed (the default), every call site pays one relaxed atomic load.
+/// All faults are injected at the process level through the singleton, so
+/// arming it in one test affects the whole process until disarm() — tests
+/// use ScopedFaultInjection to guarantee cleanup.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_SUPPORT_FAULTINJECTION_H
+#define PTRAN_SUPPORT_FAULTINJECTION_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ptran {
+
+/// The exception the PoolTask site throws inside a worker task. It rides
+/// the pool's exception-propagating futures back to the submitting thread,
+/// exactly like a genuine task failure would.
+struct FaultInjected : std::runtime_error {
+  explicit FaultInjected(const std::string &What)
+      : std::runtime_error(What) {}
+};
+
+/// Process-wide fault-injection state. See the file comment for the spec
+/// grammar; call sites use the static maybe*() wrappers.
+class FaultInjection {
+public:
+  enum class Site : unsigned {
+    ProfileByteFlip = 0, ///< Flip one byte of a profile image.
+    CounterCorrupt,      ///< Poison one recovered counter with NaN.
+    FileIo,              ///< Fail a profile file IO operation.
+    PoolTask,            ///< Throw inside a ThreadPool task.
+    NumSites
+  };
+
+  /// The singleton. The first call reads `PTRAN_FAULT` from the
+  /// environment; a malformed spec is reported to stderr and ignored.
+  static FaultInjection &instance();
+
+  /// Parses and installs \p Spec. Returns false (and sets \p Error, with
+  /// the state left disarmed) on a malformed spec.
+  bool configure(const std::string &Spec, std::string &Error);
+
+  /// Disables every site and resets all counters.
+  void disarm();
+
+  /// True when any site is armed; the one-load fast path of every hook.
+  static bool armed() { return Armed.load(std::memory_order_acquire); }
+
+  /// Counts an opportunity at \p S and decides whether it faults.
+  bool shouldFire(Site S);
+
+  /// Faults fired / opportunities seen at \p S since the last configure.
+  uint64_t firedCount(Site S) const;
+  uint64_t opportunityCount(Site S) const;
+
+  //===--- call-site wrappers (no-ops while disarmed) ---------------------===//
+
+  /// PoolTask: throws FaultInjected from inside the task body.
+  static void maybeThrowPoolTask() {
+    if (armed())
+      instance().throwPoolTask();
+  }
+
+  /// CounterCorrupt: overwrites one deterministic entry of \p Counters
+  /// with quiet NaN.
+  static void maybeCorruptCounters(std::vector<double> &Counters) {
+    if (armed())
+      instance().corruptCounters(Counters);
+  }
+
+  /// ProfileByteFlip: XORs one deterministic bit into \p Bytes.
+  static void maybeFlipByte(std::vector<uint8_t> &Bytes) {
+    if (armed())
+      instance().flipByte(Bytes);
+  }
+
+  /// FileIo: true when the caller must simulate an IO failure.
+  static bool maybeFailIo() {
+    return armed() && instance().shouldFire(Site::FileIo);
+  }
+
+private:
+  FaultInjection();
+
+  void throwPoolTask();
+  void corruptCounters(std::vector<double> &Counters);
+  void flipByte(std::vector<uint8_t> &Bytes);
+
+  /// One site's arming: fire once at the Nth opportunity (Nth > 0) or
+  /// independently with probability Prob (Nth == 0).
+  struct SiteState {
+    bool Enabled = false;
+    uint64_t Nth = 0;
+    double Prob = 0.0;
+    uint64_t Opportunities = 0;
+    uint64_t Fired = 0;
+  };
+
+  /// splitmix64 step over State; deterministic given the configured seed.
+  uint64_t nextRandom();
+
+  static std::atomic<bool> Armed;
+
+  mutable std::mutex M;
+  SiteState Sites[static_cast<unsigned>(Site::NumSites)];
+  uint64_t State = 1;
+};
+
+/// Configures the harness for one scope and guarantees disarm on exit.
+/// Construction failure (bad spec) leaves the harness disarmed.
+class ScopedFaultInjection {
+public:
+  explicit ScopedFaultInjection(const std::string &Spec) {
+    Ok = FaultInjection::instance().configure(Spec, Error);
+  }
+  ~ScopedFaultInjection() { FaultInjection::instance().disarm(); }
+
+  ScopedFaultInjection(const ScopedFaultInjection &) = delete;
+  ScopedFaultInjection &operator=(const ScopedFaultInjection &) = delete;
+
+  bool ok() const { return Ok; }
+  const std::string &error() const { return Error; }
+
+private:
+  bool Ok = false;
+  std::string Error;
+};
+
+} // namespace ptran
+
+#endif // PTRAN_SUPPORT_FAULTINJECTION_H

@@ -16,6 +16,7 @@
 #ifndef PTRAN_SUPPORT_THREADPOOL_H
 #define PTRAN_SUPPORT_THREADPOOL_H
 
+#include "support/FaultInjection.h"
 #include "support/ObsSink.h"
 
 #include <atomic>
@@ -66,8 +67,14 @@ public:
   template <typename Fn>
   auto submit(Fn &&F) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
     using R = std::invoke_result_t<std::decay_t<Fn>>;
-    auto Task =
-        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(F));
+    // The fault hook runs inside the packaged_task so an injected throw is
+    // stored in the future (and rethrown by waitAll) exactly like a real
+    // task failure — never leaked into the worker loop.
+    auto Task = std::make_shared<std::packaged_task<R()>>(
+        [Body = std::forward<Fn>(F)]() mutable -> R {
+          FaultInjection::maybeThrowPoolTask();
+          return Body();
+        });
     std::future<R> Fut = Task->get_future();
     if (Threads.empty())
       runInline([Task] { (*Task)(); });

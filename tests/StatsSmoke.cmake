@@ -91,7 +91,7 @@ if(NOT TRACEFAIL_ERR MATCHES "trace")
 endif()
 
 # Regression: numeric flags reject what atoi silently mangled to 0.
-foreach(BADFLAG --runs=ten --runs=0 --runs= --chunk=x,y --chunk=4
+foreach(BADFLAG --runs=ten --runs= --chunk=x,y --chunk=4
         --sampling=fast --jobs=two)
   execute_process(
     COMMAND ${ESTIMATOR} --workload=simple ${BADFLAG}
@@ -105,5 +105,57 @@ foreach(BADFLAG --runs=ten --runs=0 --runs= --chunk=x,y --chunk=4
     message(FATAL_ERROR "'${BADFLAG}' diagnostic not actionable: ${BAD_ERR}")
   endif()
 endforeach()
+
+# --runs=0 is only meaningful when a saved profile supplies the data; on
+# its own it must fail and point at --profile-in.
+execute_process(
+  COMMAND ${ESTIMATOR} --workload=simple --runs=0
+  OUTPUT_QUIET
+  ERROR_VARIABLE RUNS0_ERR
+  RESULT_VARIABLE RUNS0_RC)
+if(RUNS0_RC EQUAL 0)
+  message(FATAL_ERROR "bare '--runs=0' was silently accepted")
+endif()
+if(NOT RUNS0_ERR MATCHES "profile-in")
+  message(FATAL_ERROR
+    "bare '--runs=0' diagnostic not actionable: ${RUNS0_ERR}")
+endif()
+
+# Durable-profile round trip: save from a profiled session, then estimate
+# with no new runs purely from the validated + ingested file.
+execute_process(
+  COMMAND ${ESTIMATOR} --workload=simple --session --runs=2
+          --profile-out=${WORK_DIR}/smoke.ptpf
+  OUTPUT_QUIET
+  ERROR_VARIABLE SAVE_ERR
+  RESULT_VARIABLE SAVE_RC)
+if(NOT SAVE_RC EQUAL 0)
+  message(FATAL_ERROR "--profile-out failed: ${SAVE_ERR}")
+endif()
+execute_process(
+  COMMAND ${ESTIMATOR} --workload=simple --session --runs=0
+          --profile-in=${WORK_DIR}/smoke.ptpf --on-bad-profile=fail
+  OUTPUT_VARIABLE INGEST_OUT
+  ERROR_VARIABLE INGEST_ERR
+  RESULT_VARIABLE INGEST_RC)
+if(NOT INGEST_RC EQUAL 0)
+  message(FATAL_ERROR "--profile-in round trip failed: ${INGEST_ERR}")
+endif()
+if(NOT INGEST_OUT MATCHES "ingested")
+  message(FATAL_ERROR "--profile-in printed no ingest report: ${INGEST_OUT}")
+endif()
+# --profile-in without --session must point at --session.
+execute_process(
+  COMMAND ${ESTIMATOR} --workload=simple --profile-in=${WORK_DIR}/smoke.ptpf
+  OUTPUT_QUIET
+  ERROR_VARIABLE NOSESSION_ERR
+  RESULT_VARIABLE NOSESSION_RC)
+if(NOSESSION_RC EQUAL 0)
+  message(FATAL_ERROR "--profile-in without --session was accepted")
+endif()
+if(NOT NOSESSION_ERR MATCHES "--session")
+  message(FATAL_ERROR
+    "--profile-in/--session diagnostic not actionable: ${NOSESSION_ERR}")
+endif()
 
 message(STATUS "observability smoke test passed")

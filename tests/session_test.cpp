@@ -10,13 +10,18 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "freq/StaticFrequencies.h"
+#include "obs/Observability.h"
 #include "parser/Parser.h"
 #include "session/EstimationSession.h"
+#include "support/FaultInjection.h"
 #include "workloads/Workloads.h"
 
 #include "TestPrograms.h"
 
 #include <cstring>
+#include <limits>
+#include <set>
 #include <gtest/gtest.h>
 
 using namespace ptran;
@@ -314,6 +319,265 @@ end
   ASSERT_TRUE(R2.Ok) << R2.Error;
   EXPECT_EQ(S->lastEvaluations(), 2u);
   EXPECT_EQ(R2.Time, R1.Time); // the delta scales totals, not frequencies
+}
+
+//===--- fault-tolerant profile ingestion ---------------------------------===//
+
+/// A session with \p Runs profiled runs accumulated.
+std::unique_ptr<EstimationSession>
+runSession(const Program &Prog, unsigned Runs, DiagnosticEngine &Diags,
+           BadProfilePolicy Policy = BadProfilePolicy::Quarantine,
+           ObsRegistry *Obs = nullptr) {
+  EstimatorOptions Opts = EstimatorOptions(Diags)
+                              .loopVariance(LoopVarianceMode::Profiled)
+                              .onBadProfile(Policy);
+  if (Obs)
+    Opts.observability(*Obs);
+  auto S = EstimationSession::create(Prog, CostModel::optimizing(), Opts);
+  EXPECT_NE(S, nullptr) << Diags.str();
+  for (unsigned R = 0; R < Runs; ++R)
+    EXPECT_TRUE(S->profiledRun().Ok);
+  return S;
+}
+
+// The acceptance criterion for the quarantine design: corrupt k of the N
+// function sections of a saved profile, ingest it into a fresh session,
+// and the diagnostics must name exactly those k functions, their
+// estimates must degrade to static frequencies (tagged), and the
+// remaining N-k functions' estimates must be bit-identical to a session
+// that ingested the uncorrupted profile.
+TEST(EstimationSession, CorruptSectionsQuarantineExactlyAndOthersBitIdentical) {
+  std::unique_ptr<Program> Prog = parseDiamond();
+  DiagnosticEngine RunDiags;
+  auto Producer = runSession(*Prog, 2, RunDiags);
+  ASSERT_NE(Producer, nullptr);
+  ProfileFile Clean = Producer->captureProfile();
+  ASSERT_EQ(Clean.sections().size(), 4u);
+
+  // Corrupt k=2 of N=4 sections in memory, exactly as a failed CRC check
+  // would present them after a load. main and mid are chosen so the two
+  // clean functions are pure callees: a caller's estimates legitimately
+  // reflect a degraded callee, but callee estimates must not move when a
+  // caller is quarantined.
+  ProfileFile Corrupt = Clean;
+  std::set<std::string> Bad;
+  for (const char *Name : {"main", "mid"}) {
+    for (FunctionSection &S : Corrupt.sectionsMutable()) {
+      if (S.Name == Name) {
+        S.Valid = false;
+        S.Issue = "section checksum mismatch (corrupt data)";
+        S.Counters.clear();
+        S.Loops.clear();
+        Bad.insert(Name);
+      }
+    }
+  }
+  ASSERT_EQ(Bad.size(), 2u);
+
+  DiagnosticEngine D1, D2;
+  auto Reference = runSession(*Prog, 0, D1);
+  auto Victim = runSession(*Prog, 0, D2);
+  ASSERT_NE(Reference, nullptr);
+  ASSERT_NE(Victim, nullptr);
+
+  ProfileIngestReport CleanReport = Reference->ingestProfile(Clean);
+  ASSERT_TRUE(CleanReport.Ok) << CleanReport.Error;
+  EXPECT_EQ(CleanReport.Accepted, 4u);
+  EXPECT_TRUE(CleanReport.Quarantined.empty());
+
+  ProfileIngestReport Report = Victim->ingestProfile(Corrupt);
+  ASSERT_TRUE(Report.Ok) << Report.Error;
+  EXPECT_EQ(Report.Accepted, 2u);
+  // Exactly the k corrupted functions, by name.
+  EXPECT_EQ(std::set<std::string>(Report.Quarantined.begin(),
+                                  Report.Quarantined.end()),
+            Bad);
+  for (const std::string &Finding : Report.Findings)
+    EXPECT_TRUE(Finding.find("main") == 0 || Finding.find("mid") == 0)
+        << Finding;
+
+  EstimateResult CleanRes = Reference->estimateEntry();
+  ASSERT_TRUE(CleanRes.Ok) << CleanRes.Error;
+  EstimateResult VictimRes = Victim->estimateEntry();
+  ASSERT_TRUE(VictimRes.Ok) << VictimRes.Error;
+
+  // Quarantined functions: tagged, reason preserved, estimates from
+  // static frequencies. The entry itself is quarantined here, so the
+  // entry query carries the tag; the clean session's does not.
+  const Function *Mid = Prog->findFunction("mid");
+  ASSERT_NE(Mid, nullptr);
+  EXPECT_TRUE(Victim->isQuarantined(*Mid));
+  EstimateResult QRes = Victim->estimate(EstimateRequest("mid"));
+  ASSERT_TRUE(QRes.Ok) << QRes.Error;
+  EXPECT_TRUE(QRes.Quarantined);
+  EXPECT_NE(QRes.QuarantineReason.find("checksum"), std::string::npos)
+      << QRes.QuarantineReason;
+  EXPECT_TRUE(VictimRes.Quarantined);
+  EXPECT_FALSE(CleanRes.Quarantined);
+
+  // The clean functions' node estimates are bit-identical between the two
+  // sessions; the quarantined ones differ (static vs profiled branches
+  // would only coincide by accident on this program shape).
+  for (const auto &F : Prog->functions()) {
+    if (Bad.count(F->name()))
+      continue;
+    const std::vector<NodeEstimates> &EA =
+        CleanRes.Analysis->estimatesOf(*F);
+    const std::vector<NodeEstimates> &EB =
+        VictimRes.Analysis->estimatesOf(*F);
+    ASSERT_EQ(EA.size(), EB.size()) << F->name();
+    EXPECT_EQ(std::memcmp(EA.data(), EB.data(),
+                          EA.size() * sizeof(NodeEstimates)),
+              0)
+        << "clean function " << F->name() << " drifted bitwise";
+  }
+}
+
+TEST(EstimationSession, FailPolicyRejectsWholeProfileAtomically) {
+  std::unique_ptr<Program> Prog = parseDiamond();
+  DiagnosticEngine RunDiags;
+  auto Producer = runSession(*Prog, 1, RunDiags);
+  ASSERT_NE(Producer, nullptr);
+  ProfileFile Corrupt = Producer->captureProfile();
+  for (FunctionSection &S : Corrupt.sectionsMutable()) {
+    if (S.Name == "mid") {
+      S.Valid = false;
+      S.Issue = "section checksum mismatch (corrupt data)";
+    }
+  }
+
+  DiagnosticEngine Diags;
+  auto Strict = runSession(*Prog, 0, Diags, BadProfilePolicy::Fail);
+  ASSERT_NE(Strict, nullptr);
+  ProfileIngestReport Report = Strict->ingestProfile(Corrupt);
+  EXPECT_FALSE(Report.Ok);
+  EXPECT_EQ(Report.Accepted, 0u);
+  ASSERT_EQ(Report.Quarantined.size(), 1u);
+  EXPECT_EQ(Report.Quarantined[0], "mid");
+  // Nothing folded, nothing quarantined: the session still answers from
+  // its own (zero-run) counters as if the ingest never happened.
+  EXPECT_TRUE(Strict->quarantined().empty());
+  EstimateResult R = Strict->estimateEntry();
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_FALSE(R.Quarantined);
+}
+
+TEST(EstimationSession, FingerprintMismatchRejectsProfile) {
+  std::unique_ptr<Program> Prog = parseDiamond();
+  DiagnosticEngine PD;
+  std::unique_ptr<Program> Other = parseProgram(R"FTN(
+program main
+  x = 1.0
+  print x
+end
+)FTN",
+                                                PD);
+  ASSERT_NE(Other, nullptr) << PD.str();
+  DiagnosticEngine D1, D2;
+  auto Producer = runSession(*Other, 1, D1);
+  auto Consumer = runSession(*Prog, 0, D2);
+  ASSERT_NE(Producer, nullptr);
+  ASSERT_NE(Consumer, nullptr);
+  ProfileIngestReport Report =
+      Consumer->ingestProfile(Producer->captureProfile());
+  EXPECT_FALSE(Report.Ok);
+  EXPECT_NE(Report.Error.find("fingerprint"), std::string::npos)
+      << Report.Error;
+}
+
+TEST(EstimationSession, BadExternalDeltaQuarantinesOrFails) {
+  std::unique_ptr<Program> Prog = parseDiamond();
+  const auto NaN = std::numeric_limits<double>::quiet_NaN();
+
+  // Quarantine policy: the poisoned function degrades, the query succeeds.
+  {
+    DiagnosticEngine Diags;
+    auto S = runSession(*Prog, 1, Diags, BadProfilePolicy::Quarantine);
+    ASSERT_NE(S, nullptr);
+    const Function *LeafB = Prog->findFunction("leafb");
+    ASSERT_NE(LeafB, nullptr);
+    FrequencyTotals Delta = invocationDelta(*S, *LeafB);
+    Delta.Cond.begin()->second = NaN;
+    S->accumulateTotals(*LeafB, Delta);
+    EstimateResult R = S->estimateEntry();
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_TRUE(S->isQuarantined(*LeafB));
+    EstimateResult Leaf = S->estimate(EstimateRequest("leafb"));
+    ASSERT_TRUE(Leaf.Ok) << Leaf.Error;
+    EXPECT_TRUE(Leaf.Quarantined);
+  }
+
+  // Fail policy: the historical whole-query failure, naming the function.
+  {
+    DiagnosticEngine Diags;
+    auto S = runSession(*Prog, 1, Diags, BadProfilePolicy::Fail);
+    ASSERT_NE(S, nullptr);
+    const Function *LeafB = Prog->findFunction("leafb");
+    FrequencyTotals Delta = invocationDelta(*S, *LeafB);
+    Delta.Cond.begin()->second = NaN;
+    S->accumulateTotals(*LeafB, Delta);
+    EstimateResult R = S->estimateEntry();
+    EXPECT_FALSE(R.Ok);
+    EXPECT_NE(R.Error.find("leafb"), std::string::npos) << R.Error;
+    EXPECT_TRUE(S->quarantined().empty());
+  }
+}
+
+TEST(EstimationSession, InjectedCounterCorruptionQuarantinesThatFunction) {
+  std::unique_ptr<Program> Prog = parseDiamond();
+  ObsRegistry Obs;
+  DiagnosticEngine Diags;
+  auto S = runSession(*Prog, 1, Diags, BadProfilePolicy::Quarantine, &Obs);
+  ASSERT_NE(S, nullptr);
+
+  // Poison the first recovery (program order: leafa) through the seeded
+  // harness — the exact in-memory path PTRAN_FAULT=counter.corrupt=1
+  // takes in production.
+  EstimateResult R;
+  {
+    ScopedFaultInjection FI("seed=9,counter.corrupt=1");
+    ASSERT_TRUE(FI.ok()) << FI.error();
+    R = S->estimateEntry();
+  }
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(S->quarantined().size(), 1u);
+  EXPECT_GE(Obs.counterValue("session.quarantined_functions"), 1u);
+
+  // Same injection under Fail: the query reports the failure instead.
+  DiagnosticEngine D2;
+  auto Strict = runSession(*Prog, 1, D2, BadProfilePolicy::Fail);
+  ASSERT_NE(Strict, nullptr);
+  EstimateResult R2;
+  {
+    ScopedFaultInjection FI("seed=9,counter.corrupt=1");
+    ASSERT_TRUE(FI.ok()) << FI.error();
+    R2 = Strict->estimateEntry();
+  }
+  EXPECT_FALSE(R2.Ok);
+}
+
+TEST(EstimationSession, IngestReportsObservabilityCounters) {
+  std::unique_ptr<Program> Prog = parseDiamond();
+  DiagnosticEngine RunDiags;
+  auto Producer = runSession(*Prog, 1, RunDiags);
+  ASSERT_NE(Producer, nullptr);
+  ProfileFile Clean = Producer->captureProfile();
+  ProfileFile Corrupt = Clean;
+  Corrupt.sectionsMutable()[0].Valid = false;
+  Corrupt.sectionsMutable()[0].Issue = "section checksum mismatch";
+
+  ObsRegistry Obs;
+  DiagnosticEngine Diags;
+  auto S = runSession(*Prog, 0, Diags, BadProfilePolicy::Quarantine, &Obs);
+  ASSERT_NE(S, nullptr);
+  ASSERT_TRUE(S->ingestProfile(Clean).Ok);
+  ASSERT_TRUE(S->ingestProfile(Corrupt).Ok);
+
+  EXPECT_EQ(Obs.counterValue("session.ingest.profiles"), 2u);
+  EXPECT_EQ(Obs.counterValue("session.ingest.sections"), 8u);
+  // Second ingest: 3 clean sections fold, 1 quarantines.
+  EXPECT_EQ(Obs.counterValue("session.ingest.accepted"), 7u);
+  EXPECT_EQ(Obs.counterValue("session.ingest.quarantined"), 1u);
 }
 
 } // namespace

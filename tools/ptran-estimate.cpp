@@ -6,7 +6,8 @@
 //   ptran-estimate --workload=loops|simple [options]
 //
 // Options:
-//   --runs=N                profiled runs to accumulate (default 1)
+//   --runs=N                profiled runs to accumulate (default 1;
+//                           0 needs --profile-in: estimate from the file)
 //   --mode=smart|opt1+2|opt1|naive   counter placement (default smart)
 //   --cost=on|off           optimizing / non-optimizing cost model
 //   --loop-variance=zero|profiled|geometric|uniform
@@ -22,6 +23,15 @@
 //   --session               drive the run/estimate flow through an
 //                           incremental EstimationSession (same output)
 //   --check                 verify the Section 3 identities on the profile
+//                           (findings make the exit code nonzero)
+//   --profile-out=FILE      save the accumulated counters + loop moments
+//                           as a durable, checksummed profile file
+//   --profile-in=FILE       (with --session) validate and ingest a saved
+//                           profile before estimating
+//   --on-bad-profile=fail|quarantine   what to do with functions whose
+//                           profile data fails validation (default
+//                           quarantine: degrade them to static
+//                           frequencies and keep going)
 //   --dot=cfg|ecfg|fcdg     Graphviz of the entry procedure's graph
 //   --pdb=FILE              load/accumulate/save a program database
 //   --trace=FILE            write a Chrome trace_event JSON of the run
@@ -79,6 +89,12 @@ struct Options {
   enum class FreqSource { Profile, Static, Hybrid } Freq = FreqSource::Profile;
   bool Check = false;
   bool Session = false;
+  /// Durable profile to write after the runs (empty = none).
+  std::string ProfileOut;
+  /// Durable profile to validate and ingest before estimating.
+  std::string ProfileIn;
+  /// Policy for functions whose profile data fails validation.
+  BadProfilePolicy OnBadProfile = BadProfilePolicy::Quarantine;
   /// Chrome trace output path; empty = no trace.
   std::string TraceFile;
   /// Print the observability stats tables after the run.
@@ -103,7 +119,12 @@ const char *const UsageText =
     "  --freq=profile|static|hybrid   frequency source (default profile)\n"
     "  --jobs=N                worker threads (0 = hardware concurrency)\n"
     "  --session               drive the flow through an EstimationSession\n"
-    "  --check                 verify the Section 3 identities\n"
+    "  --check                 verify the Section 3 identities (findings\n"
+    "                          make the exit code nonzero)\n"
+    "  --profile-out=FILE      save the accumulated profile (checksummed)\n"
+    "  --profile-in=FILE       validate + ingest a saved profile (--session)\n"
+    "  --on-bad-profile=fail|quarantine   bad-profile policy (default\n"
+    "                          quarantine: degrade to static frequencies)\n"
     "  --dot=cfg|ecfg|fcdg     Graphviz of the entry procedure's graph\n"
     "  --pdb=FILE              load/accumulate/save a program database\n"
     "  --trace=FILE            write a Chrome trace_event JSON of the run\n"
@@ -137,8 +158,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opts, std::string &Error) {
       // atoi would silently turn garbage ("ten", "3x") into 0 or a prefix;
       // parseUnsigned accepts digits only and rejects overflow.
       std::optional<unsigned> N = parseUnsigned(Value("--runs="));
-      if (!N || *N == 0)
-        return Invalid("--runs", Value("--runs="), "a positive number");
+      if (!N)
+        return Invalid("--runs", Value("--runs="), "a non-negative number");
       Opts.Runs = *N;
     } else if (Arg.rfind("--mode=", 0) == 0) {
       std::string M = toLower(Value("--mode="));
@@ -224,6 +245,22 @@ bool parseArgs(int Argc, char **Argv, Options &Opts, std::string &Error) {
       Opts.Session = true;
     } else if (Arg == "--check") {
       Opts.Check = true;
+    } else if (Arg.rfind("--profile-out=", 0) == 0) {
+      Opts.ProfileOut = Value("--profile-out=");
+      if (Opts.ProfileOut.empty())
+        return Invalid("--profile-out", "", "an output file path");
+    } else if (Arg.rfind("--profile-in=", 0) == 0) {
+      Opts.ProfileIn = Value("--profile-in=");
+      if (Opts.ProfileIn.empty())
+        return Invalid("--profile-in", "", "a profile file path");
+    } else if (Arg.rfind("--on-bad-profile=", 0) == 0) {
+      std::string V = toLower(Value("--on-bad-profile="));
+      if (V == "fail")
+        Opts.OnBadProfile = BadProfilePolicy::Fail;
+      else if (V == "quarantine")
+        Opts.OnBadProfile = BadProfilePolicy::Quarantine;
+      else
+        return Invalid("--on-bad-profile", V, "fail|quarantine");
     } else if (Arg.rfind("--pdb=", 0) == 0) {
       Opts.PdbFile = Value("--pdb=");
     } else if (Arg.rfind("--trace=", 0) == 0) {
@@ -265,6 +302,16 @@ bool parseArgs(int Argc, char **Argv, Options &Opts, std::string &Error) {
       Error = "--session only supports --freq=profile";
       return false;
     }
+  }
+  if (!Opts.ProfileIn.empty() && !Opts.Session) {
+    Error = "--profile-in needs --session (ingestion goes through the "
+            "session's validator); add --session";
+    return false;
+  }
+  if (Opts.Runs == 0 && Opts.ProfileIn.empty()) {
+    Error = "--runs=0 only makes sense with --profile-in (no runs and no "
+            "profile leaves nothing to estimate from)";
+    return false;
   }
   return true;
 }
@@ -402,7 +449,9 @@ int printEstimates(const Options &Opts, const Program &Prog,
   return 0;
 }
 
-void printFrequencyCheck(const Program &Prog, const Estimator &Est) {
+/// \returns the number of findings, so callers can fail the invocation —
+/// a consistency violation that exits 0 is invisible to scripts.
+unsigned printFrequencyCheck(const Program &Prog, const Estimator &Est) {
   unsigned Issues = 0;
   for (const auto &F : Prog.functions()) {
     std::vector<std::string> Findings = checkFrequencyConsistency(
@@ -415,6 +464,27 @@ void printFrequencyCheck(const Program &Prog, const Estimator &Est) {
   std::printf("consistency check: %u issue(s) across the Section 3 "
               "identities\n\n",
               Issues);
+  return Issues;
+}
+
+/// Prints an ingest report's findings and quarantine list.
+void printIngestReport(const std::string &Path,
+                       const ProfileIngestReport &Report) {
+  for (const std::string &Finding : Report.Findings)
+    std::printf("profile %s: %s\n", Path.c_str(), Finding.c_str());
+  if (Report.Ok)
+    std::printf("profile %s: ingested %u section(s), quarantined %zu\n\n",
+                Path.c_str(), Report.Accepted, Report.Quarantined.size());
+}
+
+/// Prints which functions are estimated from static frequencies and why.
+void printQuarantineSummary(const EstimationSession &Session) {
+  if (Session.quarantined().empty())
+    return;
+  std::printf("\nquarantined procedures (estimates use static "
+              "frequencies):\n");
+  for (const auto &[F, Reason] : Session.quarantined())
+    std::printf("  %-12s %s\n", F->name().c_str(), Reason.c_str());
 }
 
 void printPlansAndDot(const Options &Opts, const Program &Prog,
@@ -444,9 +514,11 @@ void printPlansAndDot(const Options &Opts, const Program &Prog,
 int runSessionPath(const Options &Opts, const Program &Prog,
                    const CostModel &CM, ObsRegistry *Obs) {
   DiagnosticEngine TADiags;
-  EstimatorOptions EOpts =
-      EstimatorOptions(TADiags).mode(Opts.Mode).jobs(Opts.Jobs).loopVariance(
-          Opts.LoopVariance);
+  EstimatorOptions EOpts = EstimatorOptions(TADiags)
+                               .mode(Opts.Mode)
+                               .jobs(Opts.Jobs)
+                               .loopVariance(Opts.LoopVariance)
+                               .onBadProfile(Opts.OnBadProfile);
   if (Obs)
     EOpts.observability(*Obs);
   auto Session = EstimationSession::create(Prog, CM, EOpts);
@@ -470,14 +542,48 @@ int runSessionPath(const Options &Opts, const Program &Prog,
   }
   printRunSummary(Opts, Est, Cycles);
 
+  // Ingest a saved profile before any estimate: an unreadable file is a
+  // hard error under either policy (there is nothing to degrade to — the
+  // whole input is gone), per-section problems follow the policy.
+  if (!Opts.ProfileIn.empty()) {
+    DiagnosticEngine LoadDiags;
+    std::optional<ProfileFile> PF =
+        ProfileFile::loadFromFile(Opts.ProfileIn, &LoadDiags);
+    if (!PF) {
+      std::fprintf(stderr, "%s", LoadDiags.str().c_str());
+      return 1;
+    }
+    if (!LoadDiags.diagnostics().empty())
+      std::fprintf(stderr, "%s", LoadDiags.str().c_str());
+    ProfileIngestReport Report = Session->ingestProfile(*PF);
+    printIngestReport(Opts.ProfileIn, Report);
+    if (!Report.Ok) {
+      std::fprintf(stderr, "profile %s rejected: %s\n",
+                   Opts.ProfileIn.c_str(), Report.Error.c_str());
+      return 1;
+    }
+  }
+
+  int Rc = 0;
+  if (!Opts.ProfileOut.empty()) {
+    DiagnosticEngine SaveDiags;
+    if (!Session->saveProfile(Opts.ProfileOut, &SaveDiags)) {
+      std::fprintf(stderr, "%s", SaveDiags.str().c_str());
+      Rc = 1;
+    } else {
+      std::printf("profile saved to %s (%u run(s))\n\n",
+                  Opts.ProfileOut.c_str(), Session->runsExecuted());
+    }
+  }
+
   if (Opts.Mode == ProfileMode::Naive) {
     std::printf("naive mode measures basic blocks only; rerun with "
                 "--mode=smart for estimates\n");
-    return 0;
+    return Rc;
   }
 
-  if (Opts.Check)
-    printFrequencyCheck(Prog, Est);
+  if (Opts.Check && printFrequencyCheck(Prog, Est) > 0)
+    Rc = 1;
 
   EstimateResult Res = Session->estimateEntry();
   if (!TADiags.diagnostics().empty())
@@ -488,12 +594,17 @@ int runSessionPath(const Options &Opts, const Program &Prog,
   }
 
   // The flat profile wants per-function frequencies; recompute them from
-  // the same accumulated totals the session estimated from.
+  // the same inputs the session estimated from (quarantined functions use
+  // static frequencies, like the session does).
   std::map<const Function *, Frequencies> Freqs;
   for (const auto &F : Prog.functions())
     Freqs[F.get()] =
-        computeFrequencies(Est.analysis().of(*F), Est.totalsFor(*F));
-  return printEstimates(Opts, Prog, Est, Freqs, *Res.Analysis);
+        Session->isQuarantined(*F)
+            ? computeStaticFrequencies(Est.analysis().of(*F)).Freqs
+            : computeFrequencies(Est.analysis().of(*F), Est.totalsFor(*F));
+  int EstimatesRc = printEstimates(Opts, Prog, Est, Freqs, *Res.Analysis);
+  printQuarantineSummary(*Session);
+  return EstimatesRc != 0 ? EstimatesRc : Rc;
 }
 
 /// The classic path: the tool drives the interpreter and the analysis
@@ -544,14 +655,29 @@ int runClassicPath(const Options &Opts, const Program &Prog,
   if (Sampler)
     std::printf("%s\n", Sampler->report().c_str());
 
+  int Rc = 0;
+  if (!Opts.ProfileOut.empty()) {
+    DiagnosticEngine SaveDiags;
+    ProfileFile PF = ProfileFile::capture(Est->analysis(), Est->plan(),
+                                          Est->runtime(), &Est->loopStats(),
+                                          Opts.Runs);
+    if (!PF.saveToFile(Opts.ProfileOut, &SaveDiags)) {
+      std::fprintf(stderr, "%s", SaveDiags.str().c_str());
+      Rc = 1;
+    } else {
+      std::printf("profile saved to %s (%u run(s))\n\n",
+                  Opts.ProfileOut.c_str(), Opts.Runs);
+    }
+  }
+
   if (Opts.Mode == ProfileMode::Naive) {
     std::printf("naive mode measures basic blocks only; rerun with "
                 "--mode=smart for estimates\n");
-    return 0;
+    return Rc;
   }
 
-  if (Opts.Check)
-    printFrequencyCheck(Prog, *Est);
+  if (Opts.Check && printFrequencyCheck(Prog, *Est) > 0)
+    Rc = 1;
 
   // Program-database round trip, if requested.
   std::map<const Function *, Frequencies> Freqs;
@@ -611,7 +737,8 @@ int runClassicPath(const Options &Opts, const Program &Prog,
   if (!TADiags.diagnostics().empty())
     std::fprintf(stderr, "%s", TADiags.str().c_str());
 
-  return printEstimates(Opts, Prog, *Est, Freqs, TA);
+  int EstimatesRc = printEstimates(Opts, Prog, *Est, Freqs, TA);
+  return EstimatesRc != 0 ? EstimatesRc : Rc;
 }
 
 } // namespace
