@@ -407,6 +407,58 @@ void printObservabilityOverheadTable() {
   std::printf("%s\n", T.str().c_str());
 }
 
+// Cancellation-poll cost: the same analysis + TIME/VAR pipeline with no
+// token (the default, every checkpoint compiled out behind a null check)
+// and with an armed far-future deadline token, so every checkpoint does
+// its relaxed load plus the occasional clock read. The with-token column
+// must stay within noise (<2%) of the without-token one.
+void printCancellationOverheadTable() {
+  constexpr unsigned Funcs = 255;
+  std::unique_ptr<Program> Prog = makeManyFunctionProgram(Funcs, 3);
+  CostModel CM = CostModel::optimizing();
+
+  auto RunOnce = [&](CancelToken *Token) {
+    DiagnosticEngine Diags;
+    AnalysisOptions AOpts;
+    AOpts.Cancel = Token;
+    auto Start = std::chrono::steady_clock::now();
+    auto PA = ProgramAnalysis::compute(*Prog, Diags, AOpts);
+    if (!PA || !PA->allOk())
+      reportFatalError("analysis failed for many-function program");
+    std::map<const Function *, Frequencies> Freqs =
+        syntheticFrequencies(*Prog, *PA);
+    TimeAnalysisOptions TAOpts;
+    TAOpts.Cancel = Token;
+    TimeAnalysis TA = TimeAnalysis::run(*PA, Freqs, CM, TAOpts);
+    auto End = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(TA.programTime());
+    return std::chrono::duration<double>(End - Start).count();
+  };
+
+  RunOnce(nullptr); // Warm up.
+  double BestOff = 1e100, BestOn = 1e100;
+  uint64_t Polls = 0;
+  for (int Rep = 0; Rep < 5; ++Rep) {
+    BestOff = std::min(BestOff, RunOnce(nullptr));
+    CancelToken Token;
+    Token.setDeadlineIn(std::chrono::hours(24));
+    BestOn = std::min(BestOn, RunOnce(&Token));
+    Polls = Token.polls();
+  }
+
+  std::printf("=== Cancellation-poll overhead (%u functions, serial) ===\n",
+              Funcs);
+  TablePrinter T({"token", "wall [ms]", "vs none", "polls"});
+  char Wall[32], Ratio[32];
+  std::snprintf(Wall, sizeof(Wall), "%.2f", BestOff * 1e3);
+  T.addRow({"none", Wall, "1.00x", "0"});
+  std::snprintf(Wall, sizeof(Wall), "%.2f", BestOn * 1e3);
+  std::snprintf(Ratio, sizeof(Ratio), "%.2fx", BestOn / BestOff);
+  T.addRow({"armed deadline", Wall, Ratio,
+            std::to_string(static_cast<unsigned long long>(Polls))});
+  std::printf("%s\n", T.str().c_str());
+}
+
 // Fault-tolerant ingestion cost: capture/save, load (header + per-section
 // CRC validation), saturating merge, and full session ingest (recovery +
 // Σ-identity checks per section) — once on a clean profile and once with
@@ -546,6 +598,7 @@ int main(int Argc, char **Argv) {
   printParallelSpeedupTable();
   printIncrementalReestimationTable();
   printObservabilityOverheadTable();
+  printCancellationOverheadTable();
   printProfileIngestionTable();
   benchmark::Initialize(&Argc, Argv);
   benchmark::RunSpecifiedBenchmarks();

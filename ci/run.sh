@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+#===--- ci/run.sh - Tier-1 verify plus sanitizer presets ------------------===#
+#
+# Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+#
+# The complete CI gate, runnable locally with no arguments:
+#
+#   ci/run.sh            # tier-1 + TSan + UBSan (what CI runs)
+#   ci/run.sh tier1      # just the plain build + ctest
+#   ci/run.sh tsan       # just the -DPTRAN_SANITIZE=thread preset
+#   ci/run.sh ubsan      # just the -DPTRAN_SANITIZE=undefined preset
+#
+# Each preset builds into its own directory (build-ci-*), so a CI run
+# never disturbs a developer's ./build tree, and the sanitizer trees run
+# the dedicated *_tsan / *_ubsan ctest entries with halt-on-error runtime
+# options on top of the full suite.
+#
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+run_preset() {
+  local name="$1" sanitize="$2"
+  local dir="build-ci-${name}"
+  echo "=== ${name}: configure (${dir}) ==="
+  local extra=()
+  [ -n "${sanitize}" ] && extra+=("-DPTRAN_SANITIZE=${sanitize}")
+  cmake -B "${dir}" -S . "${extra[@]}"
+  echo "=== ${name}: build ==="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== ${name}: ctest ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+}
+
+what="${1:-all}"
+case "${what}" in
+tier1) run_preset tier1 "" ;;
+tsan) run_preset tsan thread ;;
+ubsan) run_preset ubsan undefined ;;
+all)
+  run_preset tier1 ""
+  run_preset tsan thread
+  run_preset ubsan undefined
+  ;;
+*)
+  echo "usage: ci/run.sh [tier1|tsan|ubsan|all]" >&2
+  exit 2
+  ;;
+esac
+
+echo "=== ${what}: OK ==="

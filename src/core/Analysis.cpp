@@ -55,28 +55,51 @@ ProgramAnalysis::compute(const Program &P, DiagnosticEngine &Diags,
   // One engine per task: workers never contend, and merging the locals in
   // program order below makes the diagnostic stream independent of Jobs.
   std::vector<DiagnosticEngine> Local(Funcs.size());
+  // Set by the task itself when its in-body checkpoint trips; tasks whose
+  // bodies never ran (skipped by the token-aware submit at dequeue time)
+  // are recognized below by a null result with no error diagnostics.
+  std::vector<char> SkipFlags(Funcs.size(), 0);
+  CancelToken *Cancel = Opts.Cancel;
 
   PoolLease Pool(Opts.Exec, Funcs.size(), Opts.Obs.Registry);
   if (Pool->workerCount() == 0) {
-    for (size_t I = 0; I < Funcs.size(); ++I)
+    for (size_t I = 0; I < Funcs.size(); ++I) {
+      if (Cancel && Cancel->checkpoint()) {
+        SkipFlags[I] = 1;
+        continue;
+      }
       Results[I] = FunctionAnalysis::compute(*Funcs[I], Local[I], Opts);
+    }
   } else {
     std::vector<std::future<void>> Futures;
     Futures.reserve(Funcs.size());
     for (size_t I = 0; I < Funcs.size(); ++I)
-      Futures.push_back(Pool->submit([&Funcs, &Results, &Local, &Opts, I] {
-        Results[I] = FunctionAnalysis::compute(*Funcs[I], Local[I], Opts);
-      }));
+      Futures.push_back(Pool->submit(
+          Cancel, [&Funcs, &Results, &Local, &SkipFlags, &Opts, Cancel, I] {
+            if (Cancel && Cancel->checkpoint()) {
+              SkipFlags[I] = 1;
+              return;
+            }
+            Results[I] = FunctionAnalysis::compute(*Funcs[I], Local[I], Opts);
+          }));
     waitAll(Futures);
   }
 
+  bool Expired = Cancel && Cancel->expired();
   for (size_t I = 0; I < Funcs.size(); ++I) {
+    bool HadErrors = Local[I].hasErrors();
     Diags.append(std::move(Local[I]));
     if (Results[I])
       PA->PerFunction.emplace(Funcs[I].get(), std::move(Results[I]));
+    else if (SkipFlags[I] || (Expired && !HadErrors))
+      PA->Skipped.push_back(Funcs[I].get());
     else
       PA->Failures.push_back(Funcs[I].get());
   }
+  if (PA->cutShort())
+    Diags.error(cancelMessage(*Cancel, "program analysis") + "; " +
+                std::to_string(PA->Skipped.size()) + " of " +
+                std::to_string(Funcs.size()) + " functions not analyzed");
   return PA;
 }
 

@@ -21,6 +21,7 @@
 #include "ecfg/Ecfg.h"
 #include "interval/Intervals.h"
 #include "obs/Observability.h"
+#include "support/Cancellation.h"
 #include "support/ExecutionPolicy.h"
 
 #include <map>
@@ -47,6 +48,11 @@ struct AnalysisOptions {
   /// pool reports task counters. Disabled (the default) costs one branch
   /// per pass.
   ObservabilityOptions Obs;
+  /// Cooperative cancellation: the fan-out polls the token once per
+  /// function, so an expired token stops scheduling new work and the
+  /// remaining functions land in skipped() with a structured
+  /// Timeout/Cancelled diagnostic. Null (the default) = unbounded.
+  CancelToken *Cancel = nullptr;
 };
 
 /// All derived representations of one function.
@@ -95,11 +101,19 @@ public:
   const FunctionAnalysis *tryOf(const Function &F) const;
 
   /// True if every function of the program was analyzed successfully.
-  bool allOk() const { return Failures.empty(); }
+  bool allOk() const { return Failures.empty() && Skipped.empty(); }
   /// True if \p F was seen but its analysis failed.
   bool failed(const Function &F) const;
   /// The functions whose analysis failed, in program order.
   const std::vector<const Function *> &failures() const { return Failures; }
+
+  /// The functions never analyzed because Opts.Cancel expired mid-run, in
+  /// program order. Distinct from failures(): these functions have nothing
+  /// wrong with them and analyze fine given a fresh token. Non-empty only
+  /// when cutShort().
+  const std::vector<const Function *> &skipped() const { return Skipped; }
+  /// True when the run was cut short by an expired CancelToken.
+  bool cutShort() const { return !Skipped.empty(); }
 
   const std::map<const Function *, std::unique_ptr<FunctionAnalysis>> &
   all() const {
@@ -110,6 +124,7 @@ private:
   const Program *P = nullptr;
   std::map<const Function *, std::unique_ptr<FunctionAnalysis>> PerFunction;
   std::vector<const Function *> Failures;
+  std::vector<const Function *> Skipped;
 };
 
 } // namespace ptran

@@ -19,10 +19,14 @@ std::unique_ptr<Estimator> Estimator::create(const Program &P,
   AnalysisOptions AOpts;
   AOpts.Exec = Opts.Exec;
   AOpts.Obs = Opts.Obs;
+  AOpts.Cancel = Opts.Cancel;
   Est->PA = ProgramAnalysis::compute(P, Diags, AOpts);
   // The estimation pipeline needs every procedure (counter plans, the
   // interpreter and the interprocedural pass span the whole program), so
-  // a partial analysis is a hard failure here.
+  // a partial analysis is a hard failure here — including a cut-short one:
+  // without the FCDGs there are no static frequencies to degrade to, so
+  // token expiry during analysis fails atomically under every
+  // DeadlinePolicy (the cancellation diagnostic is already on Diags).
   if (!Est->PA || !Est->PA->allOk())
     return nullptr;
   AnalysisOptions Raw = AOpts;
@@ -71,6 +75,8 @@ TimeAnalysis Estimator::analyze(TimeAnalysisOptions TAOpts) {
     TAOpts.Diags = Opts.Diags;
   if (!TAOpts.Obs.enabled())
     TAOpts.Obs = Opts.Obs;
+  if (!TAOpts.Cancel)
+    TAOpts.Cancel = Opts.Cancel;
 
   std::map<const Function *, Frequencies> Freqs;
   for (const auto &F : P->functions()) {

@@ -58,6 +58,23 @@ struct EstimatorOptions {
   /// whole-query failure; Quarantine degrades just that function to
   /// static frequencies and tags its results.
   BadProfilePolicy OnBadProfile = BadProfilePolicy::Fail;
+  /// Cooperative cancellation / deadline / budget token polled by every
+  /// pass the estimator (or session) drives. Null = unbounded. The token
+  /// must outlive the estimator; arm it (deadline, budgets) before the
+  /// call it should bound.
+  CancelToken *Cancel = nullptr;
+  /// What a session query does when Cancel expires mid-estimation. Fail
+  /// rejects the query atomically with a structured Timeout/Cancelled
+  /// diagnostic; Degrade completes the unfinished functions from static
+  /// frequencies (tagged on EstimateResult, non-sticky — the next query
+  /// recomputes them exactly) while completed functions stay bit-identical
+  /// to an unbounded run. Expiry during program analysis always fails:
+  /// without an FCDG there is nothing to degrade to.
+  DeadlinePolicy OnDeadline = DeadlinePolicy::Fail;
+  /// Retry policy for profile-file IO driven through the session
+  /// (saveProfile/loadProfile); transient failures are absorbed per the
+  /// policy, only persistent ones surface.
+  RetryPolicy IoRetry;
 
   EstimatorOptions() = default;
   explicit EstimatorOptions(DiagnosticEngine &D) : Diags(&D) {}
@@ -88,6 +105,18 @@ struct EstimatorOptions {
   }
   EstimatorOptions &onBadProfile(BadProfilePolicy Policy) {
     OnBadProfile = Policy;
+    return *this;
+  }
+  EstimatorOptions &cancel(CancelToken &T) {
+    Cancel = &T;
+    return *this;
+  }
+  EstimatorOptions &onDeadline(DeadlinePolicy Policy) {
+    OnDeadline = Policy;
+    return *this;
+  }
+  EstimatorOptions &ioRetry(const RetryPolicy &Policy) {
+    IoRetry = Policy;
     return *this;
   }
 };

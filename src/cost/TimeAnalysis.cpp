@@ -256,6 +256,7 @@ TimeAnalysis TimeAnalysis::runImpl(
 
   ThreadSafeDiagnostics Unresolved;
   std::atomic<uint64_t> Evals{0};
+  CancelToken *Cancel = Opts.Cancel;
 
   auto FreqsOf = [&](const Function *F) -> const Frequencies & {
     auto It = FreqsByFunction.find(F);
@@ -300,24 +301,54 @@ TimeAnalysis TimeAnalysis::runImpl(
       ++DirtyCount;
     }
 
+  // Completion flags, one per component; each slot is written by exactly
+  // one task and read only after the wave barriers (like the estimate
+  // slots above). A component that skips out on an expired token leaves
+  // its flag clear, and its members land in Unfinished below. Clean
+  // components are complete by construction.
+  std::vector<char> Done(Sccs.numComponents(), 0);
+  for (unsigned Comp = 0; Comp < Sccs.numComponents(); ++Comp)
+    if (!DirtyComp[Comp])
+      Done[Comp] = 1;
+
   // One component is one task: an acyclic component is a single function
   // evaluation; a recursive cycle keeps its serial fixpoint ordering
   // inside the task. Cross-component summary reads only cross wave
-  // barriers, so every job count computes identical numbers.
+  // barriers, so every job count computes identical numbers — and because
+  // callers are scheduled in strictly later waves than their callees,
+  // monotone token expiry means a component that does run has final
+  // callee summaries, cancelled run or not.
   auto EvalComponent = [&](unsigned Comp) {
     const std::vector<NodeId> &Members = Sccs.Members[Comp];
+    if (Cancel) {
+      // The estimate tables are the pass's dominant allocation; charge
+      // them against the memory budget before doing the work.
+      uint64_t Bytes = 0;
+      for (NodeId M : Members)
+        Bytes += static_cast<uint64_t>(
+                     PA.of(*Funcs[M]).ecfg().cfg().numNodes()) *
+                 sizeof(NodeEstimates);
+      Cancel->chargeMemory(Bytes);
+      if (Cancel->checkpoint())
+        return;
+    }
     TimingSpan SccSpan(Obs, "timeanalysis.scc",
                        Funcs[Members.front()]->name());
     if (!Cyclic[Comp]) {
       Recompute(Funcs[Members.front()]);
+      Done[Comp] = 1;
       return;
     }
-    for (unsigned Iter = 0; Iter < Opts.RecursionIterations; ++Iter)
+    for (unsigned Iter = 0; Iter < Opts.RecursionIterations; ++Iter) {
+      if (Iter > 0 && Cancel && Cancel->checkpoint())
+        return; // Partial fixpoint: abandon, members stay unfinished.
       for (NodeId M : Members)
         Recompute(Funcs[M]);
+    }
     if (Obs)
       Obs->addCounter("timeanalysis.fixpoint_iterations",
                       Opts.RecursionIterations);
+    Done[Comp] = 1;
   };
 
   PoolLease Pool(Opts.Exec,
@@ -327,6 +358,8 @@ TimeAnalysis TimeAnalysis::runImpl(
     const std::vector<unsigned> &WaveComps = Waves[WaveIdx];
     if (WaveComps.empty())
       continue;
+    if (Cancel && Cancel->expired())
+      break; // Skip scheduling the remaining waves entirely.
     // The detail string is only materialized when tracing is on.
     TimingSpan WaveSpan(Obs, "timeanalysis.wave",
                         Obs ? "wave " + std::to_string(WaveIdx) + " (" +
@@ -340,10 +373,40 @@ TimeAnalysis TimeAnalysis::runImpl(
     std::vector<std::future<void>> Futures;
     Futures.reserve(WaveComps.size());
     for (unsigned Comp : WaveComps)
-      Futures.push_back(Pool->submit([&EvalComponent, Comp] {
+      Futures.push_back(Pool->submit(Cancel, [&EvalComponent, Comp] {
         EvalComponent(Comp);
       }));
     waitAll(Futures);
+  }
+
+  // Cut-short bookkeeping: unfinished functions lose their (zero-valued
+  // or partial) slots entirely, so of() refuses to serve them and an
+  // incremental rerun() sees them as dirty.
+  std::set<const Function *> UnfinishedSet;
+  for (unsigned Comp = 0; Comp < Sccs.numComponents(); ++Comp)
+    if (!Done[Comp])
+      for (NodeId M : Sccs.Members[Comp])
+        UnfinishedSet.insert(Funcs[M]);
+  if (!UnfinishedSet.empty()) {
+    Out.CutReason = Cancel ? Cancel->reason() : CancelReason::Cancelled;
+    for (const Function *F : Funcs)
+      if (UnfinishedSet.count(F)) {
+        Out.Unfinished.push_back(F);
+        Out.PerFunction.erase(F);
+        Summaries.erase(F);
+      }
+    if (Opts.Diags && Cancel)
+      Opts.Diags->error(cancelMessage(*Cancel, "time analysis") + "; " +
+                        std::to_string(Out.Unfinished.size()) + " of " +
+                        std::to_string(Funcs.size()) +
+                        " functions unfinished");
+    if (Obs) {
+      Obs->addCounter(Out.CutReason == CancelReason::Cancelled
+                          ? "resilience.cancellations"
+                          : "resilience.deadline_hits");
+      Obs->addCounter("timeanalysis.unfinished_functions",
+                      Out.Unfinished.size());
+    }
   }
 
   if (Opts.Diags)

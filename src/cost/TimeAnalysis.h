@@ -30,6 +30,7 @@
 #include "interp/CostModel.h"
 #include "obs/Observability.h"
 #include "profile/ProfileRuntime.h"
+#include "support/Cancellation.h"
 #include "support/ExecutionPolicy.h"
 
 #include <functional>
@@ -86,6 +87,15 @@ struct TimeAnalysisOptions {
   /// spans, and fixpoint-iteration / evaluation counters accumulate in
   /// the registry. Disabled (the default) costs one branch per site.
   ObservabilityOptions Obs;
+  /// Cooperative cancellation: polled at every SCC-component entry and
+  /// every recursion-fixpoint iteration, and estimate storage is charged
+  /// against the token's memory budget. Once the token expires no further
+  /// component is evaluated; the functions left without estimates land in
+  /// unfinished(). Because waves evaluate callers strictly after callees
+  /// and expiry is monotone, every function that did finish saw only final
+  /// callee summaries — finished estimates are bit-identical to an
+  /// unbounded run. Null (the default) = unbounded.
+  CancelToken *Cancel = nullptr;
 };
 
 /// TIME/VAR of one procedure's START node: the summary callers consume
@@ -165,6 +175,22 @@ public:
   /// not re-evaluated.
   uint64_t functionEvaluations() const { return Evaluations; }
 
+  /// True when Opts.Cancel expired before every dirty function was
+  /// evaluated. Unfinished functions carry no estimates at all — of() and
+  /// estimatesOf() fatal-error on them, and an incremental rerun() sees
+  /// them as dirty — so callers must either fail or degrade them
+  /// explicitly (DeadlinePolicy); finished functions are bit-identical to
+  /// an unbounded run.
+  bool cutShort() const { return !Unfinished.empty(); }
+  /// The functions without estimates, in program order. Closed under
+  /// "callers of": a caller is only evaluated after its callees, so every
+  /// transitive caller of an unfinished function is itself unfinished.
+  const std::vector<const Function *> &unfinished() const {
+    return Unfinished;
+  }
+  /// Why the run was cut short (None when !cutShort()).
+  CancelReason cutReason() const { return CutReason; }
+
 private:
   static TimeAnalysis
   runImpl(const ProgramAnalysis &PA,
@@ -177,6 +203,8 @@ private:
   std::map<const Function *, std::vector<NodeEstimates>> PerFunction;
   bool Recursive = false;
   uint64_t Evaluations = 0;
+  std::vector<const Function *> Unfinished;
+  CancelReason CutReason = CancelReason::None;
 };
 
 } // namespace ptran

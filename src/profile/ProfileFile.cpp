@@ -352,44 +352,44 @@ ProfileFile::deserialize(const std::vector<uint8_t> &Bytes,
   return PF;
 }
 
-bool ProfileFile::saveToFile(const std::string &Path,
-                             DiagnosticEngine *Diags) const {
-  std::vector<uint8_t> Bytes = serialize();
-  // Simulated disk corruption: flip after the CRCs are computed, so the
-  // damage is real and a subsequent load must detect it.
-  FaultInjection::maybeFlipByte(Bytes);
+namespace {
+
+/// One attempt at writing \p Bytes to \p Path. Every failure mode here is
+/// transient by the retry taxonomy (the bytes themselves are fixed);
+/// \p Error receives the message of the failing step.
+bool writeBytesOnce(const std::string &Path, const std::vector<uint8_t> &Bytes,
+                    std::string &Error) {
   if (FaultInjection::maybeFailIo()) {
-    if (Diags)
-      Diags->error("cannot write profile " + Path + ": injected IO failure");
+    Error = "cannot write profile " + Path + ": injected IO failure";
     return false;
   }
   std::FILE *F = std::fopen(Path.c_str(), "wb");
   if (!F) {
-    if (Diags)
-      Diags->error("cannot open profile " + Path + " for writing");
+    Error = "cannot open profile " + Path + " for writing";
     return false;
   }
   size_t Written = std::fwrite(Bytes.data(), 1, Bytes.size(), F);
-  bool Ok = std::fclose(F) == 0 && Written == Bytes.size();
-  if (!Ok && Diags)
-    Diags->error("short write while saving profile " + Path);
-  return Ok;
+  if (std::fclose(F) != 0 || Written != Bytes.size()) {
+    Error = "short write while saving profile " + Path;
+    return false;
+  }
+  return true;
 }
 
-std::optional<ProfileFile> ProfileFile::loadFromFile(const std::string &Path,
-                                                     DiagnosticEngine *Diags) {
+/// One attempt at reading all of \p Path into \p Bytes. Transient only;
+/// whether the bytes parse is the caller's (permanent) concern.
+bool readBytesOnce(const std::string &Path, std::vector<uint8_t> &Bytes,
+                   std::string &Error) {
   if (FaultInjection::maybeFailIo()) {
-    if (Diags)
-      Diags->error("cannot read profile " + Path + ": injected IO failure");
-    return std::nullopt;
+    Error = "cannot read profile " + Path + ": injected IO failure";
+    return false;
   }
   std::FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F) {
-    if (Diags)
-      Diags->error("cannot open profile " + Path);
-    return std::nullopt;
+    Error = "cannot open profile " + Path;
+    return false;
   }
-  std::vector<uint8_t> Bytes;
+  Bytes.clear();
   uint8_t Buf[65536];
   size_t N;
   while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
@@ -397,10 +397,85 @@ std::optional<ProfileFile> ProfileFile::loadFromFile(const std::string &Path,
   bool ReadOk = std::ferror(F) == 0;
   std::fclose(F);
   if (!ReadOk) {
+    Error = "read error while loading profile " + Path;
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+bool ProfileFile::saveToFile(const std::string &Path,
+                             DiagnosticEngine *Diags) const {
+  return saveToFile(Path, Diags, RetryPolicy());
+}
+
+bool ProfileFile::saveToFile(const std::string &Path, DiagnosticEngine *Diags,
+                             const RetryPolicy &Retry, ObsSink *Obs) const {
+  // Serialize (and apply the simulated disk corruption, which flips after
+  // the CRCs are computed so the damage is real and a later load must
+  // detect it) exactly once: retried attempts write identical bytes.
+  std::vector<uint8_t> Bytes = serialize();
+  FaultInjection::maybeFlipByte(Bytes);
+
+  std::string LastError;
+  RetryOutcome Out = retryWithBackoff(
+      Retry,
+      [&] {
+        return writeBytesOnce(Path, Bytes, LastError)
+                   ? AttemptResult::Success
+                   : AttemptResult::Transient;
+      },
+      /*Cancel=*/nullptr, Obs);
+  if (!Out.Ok) {
     if (Diags)
-      Diags->error("read error while loading profile " + Path);
+      Diags->error(LastError +
+                   (Out.Attempts > 1
+                        ? " (persisted across " +
+                              std::to_string(Out.Attempts) + " attempts)"
+                        : ""));
+    return false;
+  }
+  if (Out.Retries > 0 && Diags)
+    Diags->note(SourceLoc(), "profile write to " + Path + " succeeded after " +
+                                 std::to_string(Out.Retries) +
+                                 " retried transient IO failures");
+  return true;
+}
+
+std::optional<ProfileFile> ProfileFile::loadFromFile(const std::string &Path,
+                                                     DiagnosticEngine *Diags) {
+  return loadFromFile(Path, Diags, RetryPolicy());
+}
+
+std::optional<ProfileFile>
+ProfileFile::loadFromFile(const std::string &Path, DiagnosticEngine *Diags,
+                          const RetryPolicy &Retry, ObsSink *Obs) {
+  std::vector<uint8_t> Bytes;
+  std::string LastError;
+  RetryOutcome Out = retryWithBackoff(
+      Retry,
+      [&] {
+        return readBytesOnce(Path, Bytes, LastError)
+                   ? AttemptResult::Success
+                   : AttemptResult::Transient;
+      },
+      /*Cancel=*/nullptr, Obs);
+  if (!Out.Ok) {
+    if (Diags)
+      Diags->error(LastError +
+                   (Out.Attempts > 1
+                        ? " (persisted across " +
+                              std::to_string(Out.Attempts) + " attempts)"
+                        : ""));
     return std::nullopt;
   }
+  if (Out.Retries > 0 && Diags)
+    Diags->note(SourceLoc(), "profile read from " + Path +
+                                 " succeeded after " +
+                                 std::to_string(Out.Retries) +
+                                 " retried transient IO failures");
+  // Corruption is permanent — deserialize stays outside the retry loop.
   return deserialize(Bytes, Diags);
 }
 

@@ -40,6 +40,7 @@
 #include "profile/CounterPlan.h"
 #include "profile/ProfileRuntime.h"
 #include "support/Diagnostics.h"
+#include "support/Retry.h"
 
 #include <cstdint>
 #include <optional>
@@ -129,9 +130,28 @@ public:
   /// corrupts the written image, simulating disk corruption).
   bool saveToFile(const std::string &Path, DiagnosticEngine *Diags) const;
 
+  /// Retry-wrapped save: transient failures (injected io.fail, a failed
+  /// open, a short write) are retried per \p Retry with exponential
+  /// backoff; a write that eventually succeeds reports nothing but a note,
+  /// only a persistent failure surfaces as an error. The byte image is
+  /// serialized once, so every attempt writes identical bytes. \p Obs,
+  /// when non-null, receives one `resilience.io_retries` per retry.
+  bool saveToFile(const std::string &Path, DiagnosticEngine *Diags,
+                  const RetryPolicy &Retry, ObsSink *Obs = nullptr) const;
+
   /// Reads \p Path and deserializes. Fault-injection site: io.fail.
   static std::optional<ProfileFile> loadFromFile(const std::string &Path,
                                                  DiagnosticEngine *Diags);
+
+  /// Retry-wrapped load. Only the IO is retried (injected io.fail, failed
+  /// open, read error): corruption found by deserialize() is a permanent
+  /// failure that no retry can fix, so it surfaces immediately. Merging is
+  /// in-memory; callers merging many files get retry coverage by loading
+  /// each file through this overload.
+  static std::optional<ProfileFile> loadFromFile(const std::string &Path,
+                                                 DiagnosticEngine *Diags,
+                                                 const RetryPolicy &Retry,
+                                                 ObsSink *Obs = nullptr);
 
   /// Accumulates \p Other into this profile. Requires matching program
   /// fingerprint and mode (false + error otherwise). Sections match by

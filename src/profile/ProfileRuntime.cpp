@@ -103,14 +103,15 @@ double ProfileRuntime::overheadCycles() const {
          static_cast<double>(Adds) * CM.CounterAddCost;
 }
 
-FrequencyTotals ProfileRuntime::recover(const Function &F) const {
+FrequencyTotals ProfileRuntime::recover(const Function &F,
+                                        CancelToken *Cancel) const {
   std::vector<double> Local = countersFor(F);
   // Fault-injection seam (CounterCorrupt): corrupts only this local
   // slice, so the shared accumulator is untouched and the caller's
   // validation path is what gets exercised.
   FaultInjection::maybeCorruptCounters(Local);
   return recoverTotals(PA.of(F), Plan.of(F), Local,
-                       /*Diags=*/nullptr, Obs);
+                       /*Diags=*/nullptr, Obs, Cancel);
 }
 
 void ProfileRuntime::reset() {

@@ -63,7 +63,10 @@ public:
   double overheadCycles() const;
 
   /// Recovers TOTAL_FREQ for one function from the current counters.
-  FrequencyTotals recover(const Function &F) const;
+  /// \p Cancel (optional) bounds the recovery fixpoint; an expired token
+  /// yields Ok = false (see recoverTotals).
+  FrequencyTotals recover(const Function &F,
+                          CancelToken *Cancel = nullptr) const;
 
   /// Zeroes counters and overhead (e.g. between accumulation epochs).
   void reset();

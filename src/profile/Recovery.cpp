@@ -10,7 +10,7 @@ FrequencyTotals ptran::recoverTotals(const FunctionAnalysis &FA,
                                      const FunctionPlan &Plan,
                                      const std::vector<double> &Counters,
                                      DiagnosticEngine *Diags,
-                                     ObsRegistry *Obs) {
+                                     ObsRegistry *Obs, CancelToken *Cancel) {
   // Explicit validation (not just an assert, which compiles out in release
   // builds): a mismatched vector would index out of bounds below.
   if (Counters.size() != Plan.numCounters()) {
@@ -63,6 +63,18 @@ FrequencyTotals ptran::recoverTotals(const FunctionAnalysis &FA,
         Obs->addCounter("recovery.calls");
         Obs->addCounter("recovery.fixpoint_iterations", Iterations);
         Obs->addCounter("recovery.diverged");
+      }
+      FrequencyTotals Bad;
+      Bad.Ok = false;
+      return Bad;
+    }
+    if (Cancel && Cancel->checkpoint()) {
+      if (Diags)
+        Diags->error(cancelMessage(*Cancel, "frequency recovery for " +
+                                                FA.function().name()));
+      if (Obs) {
+        Obs->addCounter("recovery.calls");
+        Obs->addCounter("recovery.fixpoint_iterations", Iterations);
       }
       FrequencyTotals Bad;
       Bad.Ok = false;

@@ -19,6 +19,7 @@
 
 #include "obs/Observability.h"
 #include "profile/CounterPlan.h"
+#include "support/Cancellation.h"
 
 #include <map>
 #include <vector>
@@ -51,12 +52,15 @@ struct FrequencyTotals {
 /// FrequencyTotals{Ok = false} and a diagnostic on \p Diags instead of an
 /// out-of-bounds read. When \p Obs is enabled, each call bumps
 /// `recovery.calls` and `recovery.fixpoint_iterations` (passes of the
-/// propagation loop) in the registry.
+/// propagation loop) in the registry. \p Cancel (optional) is polled once
+/// per fixpoint iteration: an expired token yields Ok = false with a
+/// structured Timeout/Cancelled diagnostic instead of finishing the solve.
 FrequencyTotals recoverTotals(const FunctionAnalysis &FA,
                               const FunctionPlan &Plan,
                               const std::vector<double> &Counters,
                               DiagnosticEngine *Diags = nullptr,
-                              ObsRegistry *Obs = nullptr);
+                              ObsRegistry *Obs = nullptr,
+                              CancelToken *Cancel = nullptr);
 
 /// Computes node totals from already-known condition totals via the FCDG
 /// recurrence (equation 3 of Section 3, in total form). Used both by the

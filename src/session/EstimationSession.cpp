@@ -148,6 +148,25 @@ void EstimationSession::quarantine(const Function &F,
                         "; estimates degrade to static frequencies");
 }
 
+void EstimationSession::degradeForDeadline(const Function &F,
+                                           const std::string &Reason) {
+  // First reason wins within a query. Unlike quarantine this is not
+  // sticky: estimate() lifts it (and re-dirties the function) on entry.
+  if (!DegradedFns.emplace(&F, Reason).second)
+    return;
+  // Static frequencies depend only on structure; the salt keeps the key
+  // distinct from both profiled and quarantined keys.
+  InputState &In = Inputs[&F];
+  In.Key = ProgramDatabase::structuralFingerprint(Est->analysis().of(F)) ^
+           0x4445475241ULL; // "DEGRA"
+  FreqsByFunction[&F] = computeStaticFrequencies(Est->analysis().of(F)).Freqs;
+  if (ObsRegistry *Obs = Opts.Obs.Registry)
+    Obs->addCounter("resilience.degraded_functions");
+  if (Opts.Diags)
+    Opts.Diags->warning("degrading function " + F.name() +
+                        " to static frequencies: " + Reason);
+}
+
 std::string EstimationSession::refreshFunction(const Function &F,
                                                InputState &In) {
   if (QuarantinedFns.count(&F)) {
@@ -197,9 +216,34 @@ std::string EstimationSession::refreshFunction(const Function &F,
 bool EstimationSession::refreshInputs(std::string &Error) {
   if (!RuntimeStale && ExternalDirty.empty())
     return true;
+  CancelToken *Cancel = Opts.Cancel;
   bool Ok = true;
+  bool CutShort = false;
   for (const auto &F : P->functions()) {
     InputState &In = Inputs[F.get()];
+    if (!CutShort && Cancel && Cancel->checkpoint()) {
+      CutShort = true;
+      if (ObsRegistry *Obs = Opts.Obs.Registry)
+        Obs->addCounter(Cancel->reason() == CancelReason::Cancelled
+                            ? "resilience.cancellations"
+                            : "resilience.deadline_hits");
+    }
+    if (CutShort) {
+      if (Opts.OnDeadline == DeadlinePolicy::Fail) {
+        Error = cancelMessage(*Cancel, "input refresh");
+        return false;
+      }
+      // Degrade: every function whose inputs were still pending completes
+      // this query from static frequencies. Quarantined functions are
+      // static already; just make sure their frequencies are installed
+      // (structural, no recovery — cheap).
+      if (QuarantinedFns.count(F.get()))
+        refreshFunction(*F, In);
+      else if (RuntimeStale || ExternalDirty.count(F.get()) ||
+               !FreqsByFunction.count(F.get()))
+        degradeForDeadline(*F, Cancel->describe());
+      continue;
+    }
     // The recovery fixpoint is the expensive part of reading new
     // counters; run it only when the runtime actually moved, not when a
     // query follows a pure external-delta injection.
@@ -249,7 +293,9 @@ bool EstimationSession::refreshInputs(std::string &Error) {
                 " failed validation: " + Issue;
     }
   }
-  if (Ok) {
+  // A cut-short refresh must stay stale: the skipped recoveries never
+  // ran, so the next query (degradation lifted) redoes them for real.
+  if (Ok && !CutShort) {
     RuntimeStale = false;
     ExternalDirty.clear();
   }
@@ -268,7 +314,7 @@ EstimationSession::configFor(const CostModel &ConfigCM, LoopVarianceMode LV) {
   return *Configs.back();
 }
 
-void EstimationSession::refreshConfig(ConfigCache &Cache) {
+std::string EstimationSession::refreshConfig(ConfigCache &Cache) {
   ObsRegistry *Obs = Opts.Obs.Registry;
   std::vector<const Function *> Changed;
   if (Cache.Analysis) {
@@ -281,7 +327,7 @@ void EstimationSession::refreshConfig(ConfigCache &Cache) {
       ++CacheHits;
       if (Obs)
         Obs->addCounter("session.cache_hits");
-      return;
+      return {};
     }
   }
   if (Obs) {
@@ -299,6 +345,7 @@ void EstimationSession::refreshConfig(ConfigCache &Cache) {
   TAOpts.Exec = Opts.Exec;
   TAOpts.Diags = Opts.Diags;
   TAOpts.Obs = Opts.Obs;
+  TAOpts.Cancel = Opts.Cancel;
 
   TimeAnalysis Next =
       Cache.Analysis
@@ -310,17 +357,54 @@ void EstimationSession::refreshConfig(ConfigCache &Cache) {
   TotalEvals += Next.functionEvaluations();
   if (Obs)
     Obs->addCounter("session.evaluations", Next.functionEvaluations());
+  if (Next.cutShort()) {
+    if (Opts.OnDeadline == DeadlinePolicy::Fail)
+      // Leave the cache untouched: the previous analysis (if any) is still
+      // consistent with Cache.Keys, so the failure is atomic and the next
+      // query retries from the same state.
+      return cancelMessage(*Opts.Cancel, "estimation");
+    // Degrade: complete the unfinished functions from static frequencies
+    // with an unbudgeted incremental rerun. Waves evaluate callers after
+    // callees and expiry is monotone, so everything the budgeted run
+    // finished is bit-identical to an unbounded run and is reused as-is.
+    std::vector<const Function *> Unfinished = Next.unfinished();
+    for (const Function *F : Unfinished)
+      degradeForDeadline(*F, Opts.Cancel->describe());
+    TAOpts.Cancel = nullptr;
+    TimeAnalysis Completed = TimeAnalysis::rerun(
+        Est->analysis(), FreqsByFunction, Cache.CM, TAOpts, Next, Unfinished);
+    LastEvals += Completed.functionEvaluations();
+    TotalEvals += Completed.functionEvaluations();
+    if (Obs)
+      Obs->addCounter("session.evaluations", Completed.functionEvaluations());
+    Next = std::move(Completed);
+  }
   Cache.Analysis = std::make_unique<TimeAnalysis>(std::move(Next));
   Cache.Keys.clear();
   for (const auto &F : P->functions())
     Cache.Keys[F.get()] = Inputs[F.get()].Key;
+  return {};
 }
 
 std::vector<EstimateResult>
 EstimationSession::estimate(const std::vector<EstimateRequest> &Requests) {
   LastEvals = 0;
-  if (ObsRegistry *Obs = Opts.Obs.Registry)
+  ObsRegistry *Obs = Opts.Obs.Registry;
+  CancelToken *Cancel = Opts.Cancel;
+  uint64_t PollsBefore = Cancel ? Cancel->polls() : 0;
+  auto RecordPolls = [&] {
+    if (Obs && Cancel)
+      Obs->addCounter("resilience.cancel_polls", Cancel->polls() - PollsBefore);
+  };
+  if (Obs)
     Obs->addCounter("session.queries", Requests.size());
+  // Deadline degradation is per-query: lift it so this query (with a
+  // fresh or absent token) recomputes the affected functions exactly.
+  if (!DegradedFns.empty()) {
+    for (const auto &[F, Reason] : DegradedFns)
+      ExternalDirty.insert(F);
+    DegradedFns.clear();
+  }
   std::string Error;
   bool InputsOk = refreshInputs(Error);
 
@@ -330,6 +414,7 @@ EstimationSession::estimate(const std::vector<EstimateRequest> &Requests) {
       R.Ok = false;
       R.Error = Error;
     }
+    RecordPolls();
     return Results;
   }
 
@@ -342,8 +427,19 @@ EstimationSession::estimate(const std::vector<EstimateRequest> &Requests) {
     ConfigCache &Cache =
         configFor(Req.Cost ? *Req.Cost : CM,
                   Req.LoopVariance ? *Req.LoopVariance : Opts.LoopVariance);
-    if (Refreshed.insert(&Cache).second)
-      refreshConfig(Cache);
+    if (Refreshed.insert(&Cache).second) {
+      std::string ConfigError = refreshConfig(Cache);
+      if (!ConfigError.empty()) {
+        // Token expired under DeadlinePolicy::Fail: the whole batch fails
+        // atomically (no cache was modified).
+        for (EstimateResult &R : Results) {
+          R.Ok = false;
+          R.Error = ConfigError;
+        }
+        RecordPolls();
+        return Results;
+      }
+    }
     Caches[I] = &Cache;
   }
 
@@ -369,8 +465,14 @@ EstimationSession::estimate(const std::vector<EstimateRequest> &Requests) {
       R.Quarantined = true;
       R.QuarantineReason = QIt->second;
     }
+    auto DIt = DegradedFns.find(F);
+    if (DIt != DegradedFns.end()) {
+      R.Degraded = true;
+      R.DegradeReason = DIt->second;
+    }
     R.Analysis = &A;
   }
+  RecordPolls();
   return Results;
 }
 
@@ -381,7 +483,8 @@ ProfileFile EstimationSession::captureProfile() const {
 
 bool EstimationSession::saveProfile(const std::string &Path,
                                     DiagnosticEngine *Diags) const {
-  return captureProfile().saveToFile(Path, Diags);
+  return captureProfile().saveToFile(Path, Diags, Opts.IoRetry,
+                                     Opts.Obs.Registry);
 }
 
 ProfileIngestReport EstimationSession::ingestProfile(const ProfileFile &PF) {
@@ -412,7 +515,19 @@ ProfileIngestReport EstimationSession::ingestProfile(const ProfileFile &PF) {
   };
   std::vector<GoodSection> Good;
   std::vector<std::pair<const Function *, std::string>> Bad;
+  CancelToken *Cancel = Opts.Cancel;
   for (const FunctionSection &S : PF.sections()) {
+    // Validation only reads; aborting between sections leaves the session
+    // untouched, so a mid-ingest expiry is atomic under every policy.
+    if (Cancel && Cancel->checkpoint()) {
+      Report.Error = cancelMessage(*Cancel, "profile ingest") +
+                     "; nothing ingested";
+      if (Obs)
+        Obs->addCounter(Cancel->reason() == CancelReason::Cancelled
+                            ? "resilience.cancellations"
+                            : "resilience.deadline_hits");
+      return Report;
+    }
     if (Obs)
       Obs->addCounter("session.ingest.sections");
     const Function *F = P->findFunction(S.Name);
@@ -485,7 +600,15 @@ ProfileIngestReport EstimationSession::ingestProfile(const ProfileFile &PF) {
     if (!ValuesOk)
       continue;
     FrequencyTotals Totals =
-        recoverTotals(*FA, Est->plan().of(*F), S.Counters);
+        recoverTotals(*FA, Est->plan().of(*F), S.Counters, nullptr, nullptr,
+                      Cancel);
+    if (Cancel && Cancel->expired()) {
+      // Expiry inside the recovery fixpoint is a transient cut, not bad
+      // data: abort the ingest rather than misclassify the section.
+      Report.Error = cancelMessage(*Cancel, "profile ingest") +
+                     "; nothing ingested";
+      return Report;
+    }
     std::string Issue = totalsIssue(Totals);
     if (Issue.empty()) {
       std::vector<std::string> Findings =

@@ -77,6 +77,13 @@ struct EstimateResult {
   bool Quarantined = false;
   /// Why the function was quarantined (empty otherwise).
   std::string QuarantineReason;
+  /// True when the query's CancelToken expired before this function was
+  /// (re)estimated and DeadlinePolicy::Degrade completed it from static
+  /// frequencies. Unlike quarantine, this is not sticky: the next query
+  /// (with a fresh or no token) recomputes the exact answer.
+  bool Degraded = false;
+  /// Why the function was degraded (empty otherwise).
+  std::string DegradeReason;
   /// The full analysis the answer came from (owned by the session; valid
   /// until the session mutates that configuration's cache or dies).
   const TimeAnalysis *Analysis = nullptr;
@@ -143,7 +150,9 @@ public:
   /// and are not included).
   ProfileFile captureProfile() const;
 
-  /// captureProfile() + ProfileFile::saveToFile.
+  /// captureProfile() + ProfileFile::saveToFile, through the session's
+  /// retry policy (EstimatorOptions::IoRetry): transient IO failures are
+  /// absorbed, only persistent ones surface.
   bool saveProfile(const std::string &Path, DiagnosticEngine *Diags) const;
 
   /// Functions currently quarantined, with reasons. Quarantine is sticky
@@ -153,6 +162,17 @@ public:
   }
   bool isQuarantined(const Function &F) const {
     return QuarantinedFns.count(&F) != 0;
+  }
+
+  /// Functions the most recent query completed from static frequencies
+  /// because the token expired under DeadlinePolicy::Degrade, with
+  /// reasons. Cleared (and the functions marked dirty, so they recompute
+  /// exactly) at the start of the next estimate() call.
+  const std::map<const Function *, std::string> &degraded() const {
+    return DegradedFns;
+  }
+  bool isDegraded(const Function &F) const {
+    return DegradedFns.count(&F) != 0;
   }
 
   /// Answers a batch of queries. Inputs are refreshed lazily: functions
@@ -224,11 +244,17 @@ private:
   /// Marks \p F quarantined (first reason wins) and schedules its switch
   /// to static frequencies.
   void quarantine(const Function &F, const std::string &Reason);
+  /// Switches \p F to static frequencies for the current query because
+  /// the token expired under DeadlinePolicy::Degrade (non-sticky; lifted
+  /// at the start of the next estimate() call).
+  void degradeForDeadline(const Function &F, const std::string &Reason);
   uint64_t inputKeyOf(const Function &F, const FrequencyTotals &Totals) const;
   ConfigCache &configFor(const CostModel &CM, LoopVarianceMode LV);
   /// Brings \p Cache up to date with the current inputs (cold run,
-  /// incremental rerun, or nothing).
-  void refreshConfig(ConfigCache &Cache);
+  /// incremental rerun, or nothing). Returns the empty string, or why the
+  /// query must fail (token expired under DeadlinePolicy::Fail; the cache
+  /// is left untouched, so the failure is atomic).
+  std::string refreshConfig(ConfigCache &Cache);
 
   const Program *P = nullptr;
   CostModel CM;
@@ -252,6 +278,10 @@ private:
   /// Functions estimated from static frequencies because their profile
   /// data failed validation, with the (first) reason.
   std::map<const Function *, std::string> QuarantinedFns;
+  /// Functions completed from static frequencies because the current
+  /// query's token expired under DeadlinePolicy::Degrade. Non-sticky:
+  /// lifted (and marked dirty) by the next estimate() call.
+  std::map<const Function *, std::string> DegradedFns;
   /// Under BadProfilePolicy::Fail: functions whose externally accumulated
   /// deltas failed validation (queries fail until the data is repaired;
   /// under Quarantine the function is quarantined instead).

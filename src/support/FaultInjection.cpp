@@ -108,16 +108,22 @@ bool FaultInjection::configure(const std::string &Spec, std::string &Error) {
         return false;
       }
       SS.Nth = 0;
+      SS.NthHi = 0;
       SS.Prob = P;
     } else {
-      unsigned long long N = std::strtoull(Value.c_str(), &ValueEnd, 10);
-      if (!ValueEnd || *ValueEnd != '\0' || N == 0) {
-        Error = Key + " wants an opportunity index >= 1 or a probability "
-                      "containing '.', got '" +
+      unsigned long long Lo = std::strtoull(Value.c_str(), &ValueEnd, 10);
+      unsigned long long Hi = Lo;
+      if (ValueEnd && *ValueEnd == '-')
+        Hi = std::strtoull(ValueEnd + 1, &ValueEnd, 10);
+      if (!ValueEnd || *ValueEnd != '\0' || Lo == 0 || Hi < Lo) {
+        Error = Key + " wants an opportunity index >= 1, a range A-B with "
+                      "1 <= A <= B, or a probability containing '.', "
+                      "got '" +
                 Value + "'";
         return false;
       }
-      SS.Nth = N;
+      SS.Nth = Lo;
+      SS.NthHi = Hi;
       SS.Prob = 0.0;
     }
   }
@@ -158,7 +164,7 @@ bool FaultInjection::shouldFire(Site S) {
   ++SS.Opportunities;
   bool Fire = false;
   if (SS.Nth > 0) {
-    Fire = SS.Opportunities == SS.Nth;
+    Fire = SS.Opportunities >= SS.Nth && SS.Opportunities <= SS.NthHi;
   } else {
     // 53-bit mantissa draw in [0,1); compares exactly against Prob=1.0.
     double U = static_cast<double>(nextRandom() >> 11) * 0x1.0p-53;

@@ -20,11 +20,14 @@
 ///   io.fail=V         fail a profile file open/read/write
 ///   pool.throw=V      throw FaultInjected inside a ThreadPool task
 ///
-/// where V is either an integer N >= 1 (fire exactly once, on the Nth
-/// opportunity) or a real in [0, 1] containing a '.' (fire independently
-/// with that probability, from the seeded PRNG). Example:
+/// where V is an integer N >= 1 (fire exactly once, on the Nth
+/// opportunity), a range A-B with 1 <= A <= B (fire on every opportunity
+/// from the Ath through the Bth inclusive — N consecutive transient
+/// failures, exactly what the retry-policy tests need), or a real in
+/// [0, 1] containing a '.' (fire independently with that probability, from
+/// the seeded PRNG). Example:
 ///
-///   PTRAN_FAULT=seed=7,counter.corrupt=2,io.fail=0.5
+///   PTRAN_FAULT=seed=7,counter.corrupt=2,io.fail=1-3
 ///
 /// Disarmed (the default), every call site pays one relaxed atomic load.
 /// All faults are injected at the process level through the singleton, so
@@ -119,11 +122,13 @@ private:
   void corruptCounters(std::vector<double> &Counters);
   void flipByte(std::vector<uint8_t> &Bytes);
 
-  /// One site's arming: fire once at the Nth opportunity (Nth > 0) or
-  /// independently with probability Prob (Nth == 0).
+  /// One site's arming: fire on opportunities [Nth, NthHi] (Nth > 0;
+  /// NthHi == Nth for the single-shot form) or independently with
+  /// probability Prob (Nth == 0).
   struct SiteState {
     bool Enabled = false;
     uint64_t Nth = 0;
+    uint64_t NthHi = 0;
     double Prob = 0.0;
     uint64_t Opportunities = 0;
     uint64_t Fired = 0;

@@ -1,0 +1,63 @@
+//===--- support/Retry.cpp - Bounded retry with backoff -------------------===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Retry.h"
+
+#include <thread>
+
+namespace ptran {
+
+BackoffSchedule::BackoffSchedule(const RetryPolicy &P)
+    : Policy(P), Jitter(P.JitterSeed),
+      CurrentUs(static_cast<double>(P.BaseDelay.count())) {}
+
+std::chrono::microseconds BackoffSchedule::next() {
+  double Capped =
+      std::min(CurrentUs, static_cast<double>(Policy.MaxDelay.count()));
+  // Jitter in [0.5, 1): decorrelates concurrent retriers while keeping the
+  // delay within a factor of two of the nominal curve.
+  double Jittered = Capped * Jitter.uniformReal(0.5, 1.0);
+  CurrentUs = CurrentUs * Policy.Multiplier;
+  return std::chrono::microseconds(static_cast<int64_t>(Jittered));
+}
+
+RetryOutcome
+retryWithBackoff(const RetryPolicy &Policy,
+                 const std::function<AttemptResult()> &Attempt,
+                 CancelToken *Cancel, ObsSink *Obs,
+                 const std::function<void(std::chrono::microseconds)> &Sleep) {
+  RetryOutcome Out;
+  BackoffSchedule Schedule(Policy);
+  for (unsigned I = 0; I <= Policy.MaxRetries; ++I) {
+    ++Out.Attempts;
+    AttemptResult R = Attempt();
+    if (R == AttemptResult::Success) {
+      Out.Ok = true;
+      return Out;
+    }
+    if (R == AttemptResult::Permanent) {
+      Out.PermanentFailure = true;
+      return Out;
+    }
+    if (I == Policy.MaxRetries)
+      break; // Transient, but out of attempts.
+    if (Cancel && Cancel->checkpoint()) {
+      Out.CancelledBy = Cancel->reason();
+      return Out;
+    }
+    std::chrono::microseconds Delay = Schedule.next();
+    if (Sleep)
+      Sleep(Delay);
+    else
+      std::this_thread::sleep_for(Delay);
+    ++Out.Retries;
+    if (Obs)
+      Obs->addCounter("resilience.io_retries", 1);
+  }
+  return Out;
+}
+
+} // namespace ptran

@@ -1,0 +1,115 @@
+//===--- support/Retry.h - Bounded retry with backoff -----------*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bounded retry with exponential backoff and deterministic seeded jitter
+/// for transient IO failures. The taxonomy an attempt reports is the whole
+/// contract:
+///
+///   Success    done, stop;
+///   Transient  the kind of failure a retry can fix (an interrupted or
+///              failed open/read/write, an injected `io.fail`) — sleep the
+///              backoff delay and try again while attempts remain;
+///   Permanent  retrying cannot help (corrupt bytes, checksum mismatch,
+///              malformed content) — surface immediately, never retried.
+///
+/// Delays follow Base * Multiplier^i capped at Max, each scaled by a jitter
+/// factor in [0.5, 1) drawn from a support/Rng stream seeded from the
+/// policy, so the full backoff sequence is reproducible for a fixed seed
+/// (and testable without real clocks: the sleeper is injectable).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_SUPPORT_RETRY_H
+#define PTRAN_SUPPORT_RETRY_H
+
+#include "support/Cancellation.h"
+#include "support/ObsSink.h"
+#include "support/Rng.h"
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+namespace ptran {
+
+/// How one attempt of a retryable operation ended.
+enum class AttemptResult : uint8_t {
+  Success = 0,
+  Transient, ///< Worth retrying (IO blip, injected fault).
+  Permanent, ///< Retrying cannot help (corruption, bad format).
+};
+
+/// Retry configuration. The default (MaxRetries = 0) performs exactly one
+/// attempt — retrying is strictly opt-in.
+struct RetryPolicy {
+  /// Extra attempts after the first one (0 = no retry).
+  unsigned MaxRetries = 0;
+  /// Delay before the first retry.
+  std::chrono::microseconds BaseDelay{1000};
+  /// Geometric growth factor per retry.
+  double Multiplier = 2.0;
+  /// Upper bound on any single delay (before jitter).
+  std::chrono::microseconds MaxDelay{100000};
+  /// Seed of the jitter stream; fixed seed => reproducible delays.
+  uint64_t JitterSeed = 0x7265747279ULL; // "retry"
+
+  bool enabled() const { return MaxRetries > 0; }
+
+  RetryPolicy &retries(unsigned N) {
+    MaxRetries = N;
+    return *this;
+  }
+  RetryPolicy &baseDelay(std::chrono::microseconds D) {
+    BaseDelay = D;
+    return *this;
+  }
+  RetryPolicy &jitterSeed(uint64_t S) {
+    JitterSeed = S;
+    return *this;
+  }
+};
+
+/// The deterministic delay sequence of one retry episode: next() yields the
+/// delay to sleep before retry i, for i = 0, 1, 2, ...
+class BackoffSchedule {
+public:
+  explicit BackoffSchedule(const RetryPolicy &Policy);
+
+  std::chrono::microseconds next();
+
+private:
+  RetryPolicy Policy;
+  Rng Jitter;
+  double CurrentUs;
+};
+
+/// What retryWithBackoff did.
+struct RetryOutcome {
+  bool Ok = false;           ///< Final attempt succeeded.
+  bool PermanentFailure = false; ///< Stopped on a Permanent verdict.
+  unsigned Attempts = 0;     ///< Total attempts performed (>= 1).
+  unsigned Retries = 0;      ///< Attempts beyond the first.
+  /// Non-None when retrying stopped because \p Cancel expired.
+  CancelReason CancelledBy = CancelReason::None;
+};
+
+/// Runs \p Attempt up to 1 + Policy.MaxRetries times, sleeping the backoff
+/// delay between Transient failures. \p Cancel (optional) is polled before
+/// each retry so a deadline bounds the episode. \p Obs (optional) receives
+/// one `resilience.io_retries` increment per retry performed. \p Sleep
+/// (optional) replaces the real sleeper — tests pass a recorder to check
+/// the deterministic schedule without waiting.
+RetryOutcome
+retryWithBackoff(const RetryPolicy &Policy,
+                 const std::function<AttemptResult()> &Attempt,
+                 CancelToken *Cancel = nullptr, ObsSink *Obs = nullptr,
+                 const std::function<void(std::chrono::microseconds)> &Sleep =
+                     {});
+
+} // namespace ptran
+
+#endif // PTRAN_SUPPORT_RETRY_H

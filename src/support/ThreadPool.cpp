@@ -41,6 +41,12 @@ unsigned ThreadPool::resolveJobs(unsigned Jobs) {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
+void ThreadPool::noteSkipped() {
+  Skipped.fetch_add(1, std::memory_order_relaxed);
+  if (ObsSink *Sink = Obs.load(std::memory_order_acquire))
+    Sink->addCounter("threadpool.tasks_skipped", 1);
+}
+
 void ThreadPool::runInline(std::function<void()> Task) {
   ObsSink *Sink = Obs.load(std::memory_order_acquire);
   if (!Sink) {

@@ -16,6 +16,7 @@
 #ifndef PTRAN_SUPPORT_THREADPOOL_H
 #define PTRAN_SUPPORT_THREADPOOL_H
 
+#include "support/Cancellation.h"
 #include "support/FaultInjection.h"
 #include "support/ObsSink.h"
 
@@ -34,7 +35,11 @@
 namespace ptran {
 
 /// Fixed worker count, std::jthread-based. Destruction drains the queue
-/// (every submitted task runs; no future is ever abandoned) and joins.
+/// and joins: every queued item is dequeued and its future completed, so
+/// no future is ever abandoned. Tasks submitted without a token always
+/// run; tasks submitted with a CancelToken that has expired by dequeue
+/// time are *skipped* — their bodies never execute, during normal
+/// operation and during destruction alike (see the token-aware submit).
 class ThreadPool {
 public:
   /// Creates \p Workers worker threads. 0 or 1 means inline execution:
@@ -83,6 +88,44 @@ public:
     return Fut;
   }
 
+  /// Token-aware submit for cancellable task groups (all tasks sharing one
+  /// token form a group). If \p Token has expired by the time the task is
+  /// dequeued, the body is skipped: it never executes, but the future still
+  /// completes normally, so waitAll() on a cancelled group returns promptly
+  /// instead of hanging — callers detect cut-short work by re-checking the
+  /// token after the barrier. The same holds during pool destruction: the
+  /// queue is drained, not-yet-started tasks of a cancelled group complete
+  /// their futures without running. Skipped tasks count in skippedCount()
+  /// and the `threadpool.tasks_skipped` obs counter. Void tasks only — a
+  /// skipped task has no result to put in the future.
+  template <typename Fn>
+  std::future<void> submit(const CancelToken *Token, Fn &&F) {
+    static_assert(std::is_void_v<std::invoke_result_t<std::decay_t<Fn>>>,
+                  "token-aware submit takes void() tasks: a skipped task "
+                  "has no result to return");
+    auto Task = std::make_shared<std::packaged_task<void()>>(
+        [this, Token, Body = std::forward<Fn>(F)]() mutable {
+          if (Token && Token->expired()) {
+            noteSkipped();
+            return;
+          }
+          FaultInjection::maybeThrowPoolTask();
+          Body();
+        });
+    std::future<void> Fut = Task->get_future();
+    if (Threads.empty())
+      runInline([Task] { (*Task)(); });
+    else
+      enqueue([Task] { (*Task)(); });
+    return Fut;
+  }
+
+  /// Tasks whose bodies were skipped because their group's token had
+  /// expired at dequeue time.
+  uint64_t skippedCount() const {
+    return Skipped.load(std::memory_order_relaxed);
+  }
+
 private:
   /// One queued task, stamped at enqueue time when a sink is attached so
   /// the dequeuing worker can report the queue wait.
@@ -94,12 +137,14 @@ private:
   void enqueue(std::function<void()> Task);
   void runInline(std::function<void()> Task);
   void workerLoop(std::stop_token St, unsigned Worker);
+  void noteSkipped();
 
   std::mutex M;
   std::condition_variable_any CV;
   std::deque<QueueItem> Queue;
   std::vector<std::jthread> Threads;
   std::atomic<ObsSink *> Obs{nullptr};
+  std::atomic<uint64_t> Skipped{0};
 };
 
 /// Blocks on every future in \p Futures, rethrowing the first stored

@@ -14,12 +14,14 @@
 #include "parser/Parser.h"
 #include "profile/CounterPlan.h"
 #include "profile/Recovery.h"
+#include "support/Cancellation.h"
 #include "support/ThreadPool.h"
 #include "workloads/Workloads.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 
 using namespace ptran;
@@ -112,6 +114,56 @@ TEST(ThreadPool, DrainsQueueOnDestruction) {
   for (std::future<void> &F : Futures)
     F.get();
   EXPECT_EQ(Ran.load(), 64);
+}
+
+TEST(ThreadPool, TokenAwareSubmitSkipsAfterCancel) {
+  ThreadPool Pool(2);
+  CancelToken Token;
+  std::atomic<int> Ran{0};
+
+  // A live token runs the body normally.
+  Pool.submit(&Token, [&Ran] { ++Ran; }).get();
+  EXPECT_EQ(Ran.load(), 1);
+  EXPECT_EQ(Pool.skippedCount(), 0u);
+
+  // After cancellation every not-yet-started task of the group is skipped:
+  // bodies never run, but the futures still complete (no hang, no
+  // broken_promise on waitAll-style barriers).
+  Token.requestCancel();
+  std::vector<std::future<void>> Futures;
+  for (int I = 0; I < 32; ++I)
+    Futures.push_back(Pool.submit(&Token, [&Ran] { ++Ran; }));
+  for (std::future<void> &F : Futures)
+    F.get();
+  EXPECT_EQ(Ran.load(), 1);
+  EXPECT_EQ(Pool.skippedCount(), 32u);
+}
+
+TEST(ThreadPool, DestructionDrainsACancelledGroupCleanly) {
+  // Regression: destroying the pool while a cancelled group is still
+  // queued must complete every future without running the bodies and
+  // without hanging in join.
+  CancelToken Token;
+  std::atomic<int> Ran{0};
+  std::vector<std::future<void>> Futures;
+  uint64_t Skipped = 0;
+  {
+    ThreadPool Pool(2);
+    // Park the workers so the group is still queued when we cancel.
+    for (int I = 0; I < 2; ++I)
+      Futures.push_back(Pool.submit(&Token, [] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }));
+    for (int I = 0; I < 64; ++I)
+      Futures.push_back(Pool.submit(&Token, [&Ran] { ++Ran; }));
+    Token.requestCancel();
+    // Pool destruction drains the queue here.
+  }
+  for (std::future<void> &F : Futures)
+    F.get(); // Throws broken_promise if any task was dropped.
+  Skipped = 64 - static_cast<uint64_t>(Ran.load());
+  EXPECT_LE(Ran.load(), 64);
+  EXPECT_GT(Skipped, 0u) << "cancellation raced ahead of every dequeue";
 }
 
 TEST(ParallelDeterminism, Figure1SameNumbersAtAnyJobCount) {

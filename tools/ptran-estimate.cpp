@@ -32,6 +32,13 @@
 //                           profile data fails validation (default
 //                           quarantine: degrade them to static
 //                           frequencies and keep going)
+//   --deadline-ms=N         wall-clock deadline for the whole invocation;
+//                           estimation passes poll it cooperatively
+//   --on-deadline=fail|degrade   what a hit deadline does (default fail:
+//                           structured timeout; degrade: unfinished
+//                           procedures fall back to static frequencies)
+//   --io-retries=N          retry transient profile-file IO failures up
+//                           to N times with exponential backoff
 //   --dot=cfg|ecfg|fcdg     Graphviz of the entry procedure's graph
 //   --pdb=FILE              load/accumulate/save a program database
 //   --trace=FILE            write a Chrome trace_event JSON of the run
@@ -95,6 +102,13 @@ struct Options {
   std::string ProfileIn;
   /// Policy for functions whose profile data fails validation.
   BadProfilePolicy OnBadProfile = BadProfilePolicy::Quarantine;
+  /// Wall-clock deadline in milliseconds; unset = unbounded. 0 is valid
+  /// (an immediately-expired token) and exercises the timeout path.
+  std::optional<unsigned> DeadlineMs;
+  /// What a hit deadline does to the estimation phase.
+  DeadlinePolicy OnDeadline = DeadlinePolicy::Fail;
+  /// Transient profile-file IO failures absorbed per open (0 = no retry).
+  unsigned IoRetries = 0;
   /// Chrome trace output path; empty = no trace.
   std::string TraceFile;
   /// Print the observability stats tables after the run.
@@ -125,6 +139,9 @@ const char *const UsageText =
     "  --profile-in=FILE       validate + ingest a saved profile (--session)\n"
     "  --on-bad-profile=fail|quarantine   bad-profile policy (default\n"
     "                          quarantine: degrade to static frequencies)\n"
+    "  --deadline-ms=N         wall-clock deadline for the invocation\n"
+    "  --on-deadline=fail|degrade   deadline policy (default fail)\n"
+    "  --io-retries=N          retries for transient profile IO failures\n"
     "  --dot=cfg|ecfg|fcdg     Graphviz of the entry procedure's graph\n"
     "  --pdb=FILE              load/accumulate/save a program database\n"
     "  --trace=FILE            write a Chrome trace_event JSON of the run\n"
@@ -261,6 +278,28 @@ bool parseArgs(int Argc, char **Argv, Options &Opts, std::string &Error) {
         Opts.OnBadProfile = BadProfilePolicy::Quarantine;
       else
         return Invalid("--on-bad-profile", V, "fail|quarantine");
+    } else if (Arg.rfind("--deadline-ms=", 0) == 0) {
+      // 0 is meaningful (an already-expired token), so garbage must not
+      // silently parse to it.
+      std::optional<unsigned> Ms = parseUnsigned(Value("--deadline-ms="));
+      if (!Ms)
+        return Invalid("--deadline-ms", Value("--deadline-ms="),
+                       "a non-negative number of milliseconds");
+      Opts.DeadlineMs = *Ms;
+    } else if (Arg.rfind("--on-deadline=", 0) == 0) {
+      std::string V = toLower(Value("--on-deadline="));
+      if (V == "fail")
+        Opts.OnDeadline = DeadlinePolicy::Fail;
+      else if (V == "degrade")
+        Opts.OnDeadline = DeadlinePolicy::Degrade;
+      else
+        return Invalid("--on-deadline", V, "fail|degrade");
+    } else if (Arg.rfind("--io-retries=", 0) == 0) {
+      std::optional<unsigned> N = parseUnsigned(Value("--io-retries="));
+      if (!N)
+        return Invalid("--io-retries", Value("--io-retries="),
+                       "a non-negative retry count");
+      Opts.IoRetries = *N;
     } else if (Arg.rfind("--pdb=", 0) == 0) {
       Opts.PdbFile = Value("--pdb=");
     } else if (Arg.rfind("--trace=", 0) == 0) {
@@ -487,6 +526,17 @@ void printQuarantineSummary(const EstimationSession &Session) {
     std::printf("  %-12s %s\n", F->name().c_str(), Reason.c_str());
 }
 
+/// Prints which functions the deadline degraded to static frequencies.
+void printDegradeSummary(
+    const std::map<const Function *, std::string> &Degraded) {
+  if (Degraded.empty())
+    return;
+  std::printf("\ndegraded procedures (deadline hit; estimates use static "
+              "frequencies):\n");
+  for (const auto &[F, Reason] : Degraded)
+    std::printf("  %-12s %s\n", F->name().c_str(), Reason.c_str());
+}
+
 void printPlansAndDot(const Options &Opts, const Program &Prog,
                       const Estimator &Est) {
   if (Opts.PrintPlan)
@@ -514,11 +564,21 @@ void printPlansAndDot(const Options &Opts, const Program &Prog,
 int runSessionPath(const Options &Opts, const Program &Prog,
                    const CostModel &CM, ObsRegistry *Obs) {
   DiagnosticEngine TADiags;
+  RetryPolicy IoRetry = RetryPolicy().retries(Opts.IoRetries);
+  // The token outlives the session (same scope) and is armed before any
+  // work, so the deadline covers the whole invocation.
+  CancelToken Token;
   EstimatorOptions EOpts = EstimatorOptions(TADiags)
                                .mode(Opts.Mode)
                                .jobs(Opts.Jobs)
                                .loopVariance(Opts.LoopVariance)
-                               .onBadProfile(Opts.OnBadProfile);
+                               .onBadProfile(Opts.OnBadProfile)
+                               .onDeadline(Opts.OnDeadline)
+                               .ioRetry(IoRetry);
+  if (Opts.DeadlineMs) {
+    Token.setDeadlineIn(std::chrono::milliseconds(*Opts.DeadlineMs));
+    EOpts.cancel(Token);
+  }
   if (Obs)
     EOpts.observability(*Obs);
   auto Session = EstimationSession::create(Prog, CM, EOpts);
@@ -548,7 +608,7 @@ int runSessionPath(const Options &Opts, const Program &Prog,
   if (!Opts.ProfileIn.empty()) {
     DiagnosticEngine LoadDiags;
     std::optional<ProfileFile> PF =
-        ProfileFile::loadFromFile(Opts.ProfileIn, &LoadDiags);
+        ProfileFile::loadFromFile(Opts.ProfileIn, &LoadDiags, IoRetry, Obs);
     if (!PF) {
       std::fprintf(stderr, "%s", LoadDiags.str().c_str());
       return 1;
@@ -599,11 +659,12 @@ int runSessionPath(const Options &Opts, const Program &Prog,
   std::map<const Function *, Frequencies> Freqs;
   for (const auto &F : Prog.functions())
     Freqs[F.get()] =
-        Session->isQuarantined(*F)
+        Session->isQuarantined(*F) || Session->isDegraded(*F)
             ? computeStaticFrequencies(Est.analysis().of(*F)).Freqs
             : computeFrequencies(Est.analysis().of(*F), Est.totalsFor(*F));
   int EstimatesRc = printEstimates(Opts, Prog, Est, Freqs, *Res.Analysis);
   printQuarantineSummary(*Session);
+  printDegradeSummary(Session->degraded());
   return EstimatesRc != 0 ? EstimatesRc : Rc;
 }
 
@@ -613,9 +674,15 @@ int runSessionPath(const Options &Opts, const Program &Prog,
 int runClassicPath(const Options &Opts, const Program &Prog,
                    const CostModel &CM, DiagnosticEngine &Diags,
                    ObsRegistry *Obs) {
+  RetryPolicy IoRetry = RetryPolicy().retries(Opts.IoRetries);
+  CancelToken Token;
   EstimatorOptions EOpts =
       EstimatorOptions(Diags).mode(Opts.Mode).jobs(Opts.Jobs).loopVariance(
           Opts.LoopVariance);
+  if (Opts.DeadlineMs) {
+    Token.setDeadlineIn(std::chrono::milliseconds(*Opts.DeadlineMs));
+    EOpts.cancel(Token);
+  }
   if (Obs)
     EOpts.observability(*Obs);
   std::unique_ptr<Estimator> Est = Estimator::create(Prog, CM, EOpts);
@@ -661,7 +728,7 @@ int runClassicPath(const Options &Opts, const Program &Prog,
     ProfileFile PF = ProfileFile::capture(Est->analysis(), Est->plan(),
                                           Est->runtime(), &Est->loopStats(),
                                           Opts.Runs);
-    if (!PF.saveToFile(Opts.ProfileOut, &SaveDiags)) {
+    if (!PF.saveToFile(Opts.ProfileOut, &SaveDiags, IoRetry, Obs)) {
       std::fprintf(stderr, "%s", SaveDiags.str().c_str());
       Rc = 1;
     } else {
@@ -733,11 +800,35 @@ int runClassicPath(const Options &Opts, const Program &Prog,
   TAOpts.Obs.Registry = Obs;
   DiagnosticEngine TADiags;
   TAOpts.Diags = &TADiags;
+  if (Opts.DeadlineMs)
+    TAOpts.Cancel = &Token;
   TimeAnalysis TA = TimeAnalysis::run(Est->analysis(), Freqs, CM, TAOpts);
+  std::map<const Function *, std::string> Degraded;
+  if (TA.cutShort()) {
+    if (Opts.OnDeadline == DeadlinePolicy::Fail) {
+      if (!TADiags.diagnostics().empty())
+        std::fprintf(stderr, "%s", TADiags.str().c_str());
+      std::fprintf(stderr, "estimation failed: %s\n",
+                   cancelMessage(Token, "estimation").c_str());
+      return 1;
+    }
+    // Degrade: unfinished procedures fall back to static frequencies and
+    // an unbudgeted incremental rerun completes them; everything the
+    // budgeted run finished is reused bit-identically.
+    std::vector<const Function *> Unfinished = TA.unfinished();
+    for (const Function *F : Unfinished) {
+      Freqs[F] = computeStaticFrequencies(Est->analysis().of(*F)).Freqs;
+      Degraded[F] = Token.describe();
+    }
+    TAOpts.Cancel = nullptr;
+    TA = TimeAnalysis::rerun(Est->analysis(), Freqs, CM, TAOpts, TA,
+                             Unfinished);
+  }
   if (!TADiags.diagnostics().empty())
     std::fprintf(stderr, "%s", TADiags.str().c_str());
 
   int EstimatesRc = printEstimates(Opts, Prog, *Est, Freqs, TA);
+  printDegradeSummary(Degraded);
   return EstimatesRc != 0 ? EstimatesRc : Rc;
 }
 
