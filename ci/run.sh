@@ -13,7 +13,10 @@
 # Each preset builds into its own directory (build-ci-*), so a CI run
 # never disturbs a developer's ./build tree, and the sanitizer trees run
 # the dedicated *_tsan / *_ubsan ctest entries with halt-on-error runtime
-# options on top of the full suite.
+# options on top of the full suite. Every preset also runs the serve_smoke
+# end-to-end check (ptran-serve + ptran-bench-client over a scratch
+# socket); under tsan the serve_test concurrency suite reruns with
+# halt_on_error to certify the daemon core's locking.
 #
 #===----------------------------------------------------------------------===#
 

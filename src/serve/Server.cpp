@@ -1,0 +1,411 @@
+//===--- serve/Server.cpp - Concurrent estimation daemon core -------------===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "parser/Parser.h"
+#include "support/StringUtils.h"
+#include "workloads/Workloads.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace ptran;
+using namespace ptran::serve;
+
+//===----------------------------------------------------------------------===//
+// Small helpers
+//===----------------------------------------------------------------------===//
+
+/// Full-precision double rendering: responses round-trip exactly, so the
+/// serve_test can memcmp concurrent answers against serial references.
+static std::string preciseDouble(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return Buf;
+}
+
+static std::optional<ProfileMode> parseMode(const std::string &Text) {
+  std::string M = toLower(Text);
+  if (M == "naive")
+    return ProfileMode::Naive;
+  if (M == "opt1")
+    return ProfileMode::Opt1;
+  if (M == "opt12")
+    return ProfileMode::Opt12;
+  if (M == "smart")
+    return ProfileMode::Smart;
+  return std::nullopt;
+}
+
+static std::optional<LoopVarianceMode> parseLoopVariance(
+    const std::string &Text) {
+  std::string M = toLower(Text);
+  if (M == "zero")
+    return LoopVarianceMode::Zero;
+  if (M == "profiled")
+    return LoopVarianceMode::Profiled;
+  if (M == "geometric")
+    return LoopVarianceMode::Geometric;
+  if (M == "uniform")
+    return LoopVarianceMode::Uniform;
+  return std::nullopt;
+}
+
+/// The registry's size heuristic for one loaded program: a fixed per-
+/// session floor (analyses, plan, runtime) plus the source text plus a
+/// per-statement charge covering CFG/interval/FCDG/summary state.
+static uint64_t sessionMemoryBytes(const std::string &Source,
+                                   const Program &P) {
+  uint64_t Stmts = 0;
+  for (const auto &F : P.functions())
+    Stmts += F->numStmts();
+  return 96 * 1024 + Source.size() + Stmts * 2048;
+}
+
+/// Arms a per-request token from `deadline-ms` / `step-budget` params.
+/// Returns false (with an error response in \p Resp) on malformed values;
+/// sets \p Armed when any bound was installed.
+static bool armRequestToken(const WireMessage &Request, uint64_t DefaultSteps,
+                            CancelToken &Token, bool &Armed,
+                            WireMessage &Resp) {
+  Armed = false;
+  if (Request.hasParam("deadline-ms")) {
+    std::optional<double> Ms = parseDouble(Request.param("deadline-ms"));
+    if (!Ms || *Ms < 0) {
+      Resp = errorResponse("bad-request", "deadline-ms wants a non-negative "
+                                          "number, got '" +
+                                              Request.param("deadline-ms") +
+                                              "'");
+      return false;
+    }
+    Token.setDeadlineIn(std::chrono::nanoseconds(
+        static_cast<int64_t>(*Ms * 1e6)));
+    Armed = true;
+  }
+  uint64_t Steps = DefaultSteps;
+  if (Request.hasParam("step-budget")) {
+    std::optional<unsigned> S = parseUnsigned(Request.param("step-budget"));
+    if (!S) {
+      Resp = errorResponse("bad-request", "step-budget wants an unsigned "
+                                          "integer, got '" +
+                                              Request.param("step-budget") +
+                                              "'");
+      return false;
+    }
+    Steps = *S;
+  }
+  if (Steps > 0) {
+    Token.setStepBudget(Steps);
+    Armed = true;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// ServeCore
+//===----------------------------------------------------------------------===//
+
+void ServeCore::bump(const char *Counter, uint64_t Delta) {
+  if (Opts.Obs)
+    Opts.Obs->addCounter(Counter, Delta);
+}
+
+unsigned ServeCore::sessionCount() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return static_cast<unsigned>(Sessions.size());
+}
+
+uint64_t ServeCore::residentBytes() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return TotalBytes;
+}
+
+std::shared_ptr<ServeCore::SessionEntry>
+ServeCore::findSession(const std::string &Name) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Sessions.find(Name);
+  if (It == Sessions.end())
+    return nullptr;
+  It->second->LastUsed = ++Clock;
+  return It->second;
+}
+
+void ServeCore::evictLocked(const SessionEntry *Keep) {
+  while (Sessions.size() > 1 &&
+         (TotalBytes > Opts.MemoryBudgetBytes ||
+          Sessions.size() > Opts.MaxSessions)) {
+    auto Victim = Sessions.end();
+    for (auto It = Sessions.begin(); It != Sessions.end(); ++It) {
+      if (It->second.get() == Keep)
+        continue;
+      if (Victim == Sessions.end() ||
+          It->second->LastUsed < Victim->second->LastUsed)
+        Victim = It;
+    }
+    if (Victim == Sessions.end())
+      break;
+    // In-flight requests on the victim keep their shared_ptr; the
+    // registry just forgets the name, and the entry dies with its last
+    // reference.
+    TotalBytes -= Victim->second->MemBytes;
+    Sessions.erase(Victim);
+    bump("serve.evictions");
+  }
+}
+
+WireMessage ServeCore::handle(const WireMessage &Request) {
+  bump("serve.requests");
+  WireMessage Resp;
+  if (Request.Verb == "ping" || Request.Verb == "shutdown")
+    Resp = okResponse();
+  else if (Request.Verb == "load-program")
+    Resp = handleLoadProgram(Request);
+  else if (Request.Verb == "run")
+    Resp = handleRun(Request);
+  else if (Request.Verb == "estimate")
+    Resp = handleEstimate(Request);
+  else if (Request.Verb == "ingest-profile")
+    Resp = handleIngestProfile(Request);
+  else if (Request.Verb == "capture-profile")
+    Resp = handleCaptureProfile(Request);
+  else if (Request.Verb == "stats")
+    Resp = handleStats();
+  else
+    Resp = errorResponse("bad-request",
+                         "unknown verb '" + Request.Verb + "'");
+  if (Resp.Verb == "error")
+    bump("serve.errors");
+  return Resp;
+}
+
+WireMessage ServeCore::handleLoadProgram(const WireMessage &Request) {
+  std::string Name = Request.param("session");
+  if (Name.empty())
+    return errorResponse("bad-request", "load-program needs session=NAME");
+
+  auto Entry = std::make_shared<SessionEntry>();
+  Entry->Name = Name;
+
+  if (Request.hasParam("workload")) {
+    std::string W = toLower(Request.param("workload"));
+    const Workload *WL = nullptr;
+    if (W == "loops")
+      WL = &livermoreLoops();
+    else if (W == "simple")
+      WL = &simpleKernel();
+    else
+      return errorResponse("bad-request",
+                           "unknown workload '" + W + "' (loops|simple)");
+    Entry->Source = WL->Source;
+  } else if (!Request.Body.empty()) {
+    Entry->Source = Request.Body;
+  } else {
+    return errorResponse("bad-request", "load-program needs program source "
+                                        "in the body or workload=loops|simple");
+  }
+
+  Entry->Prog = parseProgram(Entry->Source, Entry->Diags);
+  if (!Entry->Prog)
+    return errorResponse("bad-program",
+                         "program failed to parse: " + Entry->Diags.str());
+
+  EstimatorOptions EOpts(Entry->Diags);
+  EOpts.jobs(Opts.Jobs).onDeadline(Opts.OnDeadline);
+  if (Opts.Obs)
+    EOpts.observability(*Opts.Obs);
+  if (Request.hasParam("mode")) {
+    std::optional<ProfileMode> M = parseMode(Request.param("mode"));
+    if (!M)
+      return errorResponse("bad-request", "unknown mode '" +
+                                              Request.param("mode") +
+                                              "' (naive|opt1|opt12|smart)");
+    EOpts.mode(*M);
+  }
+  if (Request.hasParam("loop-variance")) {
+    std::optional<LoopVarianceMode> LV =
+        parseLoopVariance(Request.param("loop-variance"));
+    if (!LV)
+      return errorResponse("bad-request",
+                           "unknown loop-variance '" +
+                               Request.param("loop-variance") +
+                               "' (zero|profiled|geometric|uniform)");
+    EOpts.loopVariance(*LV);
+  }
+  if (Request.hasParam("on-bad-profile")) {
+    std::string P = toLower(Request.param("on-bad-profile"));
+    if (P == "fail")
+      EOpts.onBadProfile(BadProfilePolicy::Fail);
+    else if (P == "quarantine")
+      EOpts.onBadProfile(BadProfilePolicy::Quarantine);
+    else
+      return errorResponse("bad-request", "unknown on-bad-profile '" + P +
+                                              "' (fail|quarantine)");
+  }
+
+  Entry->Session = EstimationSession::create(*Entry->Prog, CostModel(), EOpts);
+  if (!Entry->Session)
+    return errorResponse("bad-program",
+                         "program failed analysis: " + Entry->Diags.str());
+  Entry->MemBytes = sessionMemoryBytes(Entry->Source, *Entry->Prog);
+
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    auto It = Sessions.find(Name);
+    if (It != Sessions.end()) {
+      // Reload replaces: the old entry's in-flight requests finish on
+      // their own reference.
+      TotalBytes -= It->second->MemBytes;
+      Sessions.erase(It);
+    }
+    Entry->LastUsed = ++Clock;
+    TotalBytes += Entry->MemBytes;
+    Sessions[Name] = Entry;
+    evictLocked(Entry.get());
+  }
+  bump("serve.loads");
+
+  WireMessage Resp = okResponse();
+  Resp.Params["session"] = Name;
+  Resp.Params["functions"] =
+      std::to_string(Entry->Prog->functions().size());
+  Resp.Params["memory-bytes"] = std::to_string(Entry->MemBytes);
+  return Resp;
+}
+
+WireMessage ServeCore::handleRun(const WireMessage &Request) {
+  std::shared_ptr<SessionEntry> Entry = findSession(Request.param("session"));
+  if (!Entry)
+    return errorResponse("unknown-session", "no session named '" +
+                                                Request.param("session") +
+                                                "'");
+  unsigned Runs = 1;
+  if (Request.hasParam("runs")) {
+    std::optional<unsigned> N = parseUnsigned(Request.param("runs"));
+    if (!N || *N == 0)
+      return errorResponse("bad-request", "runs wants a positive integer, "
+                                          "got '" +
+                                              Request.param("runs") + "'");
+    Runs = *N;
+  }
+  RunResult Last;
+  for (unsigned I = 0; I < Runs; ++I) {
+    Last = Entry->Session->profiledRun();
+    if (!Last.Ok)
+      return errorResponse("run-failed", Last.Error);
+  }
+  bump("serve.runs", Runs);
+  WireMessage Resp = okResponse();
+  Resp.Params["runs"] = std::to_string(Entry->Session->runsExecuted());
+  Resp.Params["cycles"] = preciseDouble(Last.Cycles);
+  Resp.Params["statements"] = std::to_string(Last.StatementsExecuted);
+  return Resp;
+}
+
+WireMessage ServeCore::handleEstimate(const WireMessage &Request) {
+  std::shared_ptr<SessionEntry> Entry = findSession(Request.param("session"));
+  if (!Entry)
+    return errorResponse("unknown-session", "no session named '" +
+                                                Request.param("session") +
+                                                "'");
+  CancelToken Token;
+  bool Armed = false;
+  WireMessage Resp;
+  if (!armRequestToken(Request, Opts.DefaultStepBudget, Token, Armed, Resp))
+    return Resp;
+
+  std::vector<EstimateRequest> Reqs(1);
+  Reqs[0].Function = Request.param("function");
+  if (Request.hasParam("loop-variance")) {
+    std::optional<LoopVarianceMode> LV =
+        parseLoopVariance(Request.param("loop-variance"));
+    if (!LV)
+      return errorResponse("bad-request",
+                           "unknown loop-variance '" +
+                               Request.param("loop-variance") + "'");
+    Reqs[0].LoopVariance = *LV;
+  }
+
+  std::vector<EstimateResult> Results =
+      Entry->Session->estimate(Reqs, Armed ? &Token : nullptr);
+  bump("serve.estimates");
+  const EstimateResult &R = Results[0];
+  if (!R.Ok)
+    return errorResponse(Token.expired() ? "timeout" : "estimate-failed",
+                         R.Error);
+
+  Resp = okResponse();
+  Resp.Params["function"] = R.F ? R.F->name() : Reqs[0].Function;
+  Resp.Params["time"] = preciseDouble(R.Time);
+  Resp.Params["var"] = preciseDouble(R.Var);
+  Resp.Params["stddev"] = preciseDouble(R.StdDev);
+  Resp.Params["degraded"] = R.Degraded ? "1" : "0";
+  Resp.Params["quarantined"] = R.Quarantined ? "1" : "0";
+  if (R.Degraded)
+    Resp.Params["degrade-reason"] = R.DegradeReason;
+  if (R.Quarantined)
+    Resp.Params["quarantine-reason"] = R.QuarantineReason;
+  return Resp;
+}
+
+WireMessage ServeCore::handleIngestProfile(const WireMessage &Request) {
+  std::shared_ptr<SessionEntry> Entry = findSession(Request.param("session"));
+  if (!Entry)
+    return errorResponse("unknown-session", "no session named '" +
+                                                Request.param("session") +
+                                                "'");
+  if (Request.Body.empty())
+    return errorResponse("bad-request",
+                         "ingest-profile needs a PTPF image in the body");
+  CancelToken Token;
+  bool Armed = false;
+  WireMessage Resp;
+  if (!armRequestToken(Request, Opts.DefaultStepBudget, Token, Armed, Resp))
+    return Resp;
+
+  std::vector<uint8_t> Bytes(Request.Body.begin(), Request.Body.end());
+  DiagnosticEngine LoadDiags;
+  std::optional<ProfileFile> PF = ProfileFile::deserialize(Bytes, &LoadDiags);
+  if (!PF)
+    return errorResponse("bad-profile",
+                         "profile image failed to parse: " + LoadDiags.str());
+
+  ProfileIngestReport Report =
+      Entry->Session->ingestProfile(*PF, Armed ? &Token : nullptr);
+  bump("serve.ingests");
+  if (!Report.Ok)
+    return errorResponse(Token.expired() ? "timeout" : "bad-profile",
+                         Report.Error);
+  Resp = okResponse();
+  Resp.Params["accepted"] = std::to_string(Report.Accepted);
+  Resp.Params["quarantined"] = std::to_string(Report.Quarantined.size());
+  if (!Report.Findings.empty())
+    Resp.Params["findings"] = std::to_string(Report.Findings.size());
+  return Resp;
+}
+
+WireMessage ServeCore::handleCaptureProfile(const WireMessage &Request) {
+  std::shared_ptr<SessionEntry> Entry = findSession(Request.param("session"));
+  if (!Entry)
+    return errorResponse("unknown-session", "no session named '" +
+                                                Request.param("session") +
+                                                "'");
+  std::vector<uint8_t> Bytes = Entry->Session->captureProfile().serialize();
+  bump("serve.captures");
+  WireMessage Resp = okResponse();
+  Resp.Body.assign(Bytes.begin(), Bytes.end());
+  return Resp;
+}
+
+WireMessage ServeCore::handleStats() {
+  if (!Opts.Obs)
+    return errorResponse("bad-request",
+                         "this daemon runs without observability "
+                         "(restart ptran-serve with --stats)");
+  WireMessage Resp = okResponse();
+  Resp.Body = Opts.Obs->statsTable();
+  return Resp;
+}

@@ -1,0 +1,124 @@
+//===--- serve/Server.h - Concurrent estimation daemon core -----*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport-independent heart of ptran-serve: a registry of named
+/// EstimationSessions (one per loaded program/configuration) plus a
+/// thread-safe request dispatcher. The daemon binary and the bench client
+/// are thin wrappers; tests drive ServeCore::handle directly from many
+/// threads with no socket in sight.
+///
+/// Sessions live under a global memory budget: each loaded program is
+/// charged a size heuristic, and loading one more program evicts the
+/// least-recently-used sessions until the budget (and the session-count
+/// cap) holds again. Entries are shared_ptr-owned, so an eviction never
+/// yanks a session out from under an in-flight request — the request keeps
+/// its reference, the registry just forgets the name.
+///
+/// Deadlines are per request: `estimate` and `ingest-profile` accept
+/// `deadline-ms` and `step-budget` parameters that arm a stack CancelToken
+/// for that one call, layered over the session's DeadlinePolicy (the
+/// daemon default is Degrade, so interactive callers get a tagged
+/// static-frequency answer instead of an error when their deadline trips).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_SERVE_SERVER_H
+#define PTRAN_SERVE_SERVER_H
+
+#include "obs/Observability.h"
+#include "serve/Protocol.h"
+#include "session/EstimationSession.h"
+#include "support/Cancellation.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace ptran {
+namespace serve {
+
+/// Daemon-wide configuration shared by every session ServeCore creates.
+struct ServeOptions {
+  /// Worker threads per session's pool (0 = hardware concurrency). The
+  /// daemon keeps this small: parallelism across requests comes from the
+  /// connection threads, not from fanning out every session's passes.
+  unsigned Jobs = 1;
+  /// Global budget on the memory heuristic summed over resident sessions.
+  uint64_t MemoryBudgetBytes = 256ull << 20;
+  /// Hard cap on resident sessions regardless of the byte budget.
+  unsigned MaxSessions = 64;
+  /// What a session does when a request's deadline trips mid-estimation.
+  DeadlinePolicy OnDeadline = DeadlinePolicy::Degrade;
+  /// Step budget armed on every estimate/ingest token when the request
+  /// does not send its own `step-budget` (0 = unbounded). The daemon's
+  /// load-shedding backstop against runaway queries.
+  uint64_t DefaultStepBudget = 0;
+  /// Registry every session and the dispatcher report into; the `stats`
+  /// verb serializes it. Null disables counting.
+  ObsRegistry *Obs = nullptr;
+};
+
+/// Thread-safe dispatcher over the session registry. One instance serves
+/// every connection of one daemon.
+class ServeCore {
+public:
+  explicit ServeCore(const ServeOptions &Opts) : Opts(Opts) {}
+
+  /// Handles one request and returns the response. Safe to call from any
+  /// number of threads concurrently: the registry has its own lock, and
+  /// each EstimationSession serializes its callers.
+  WireMessage handle(const WireMessage &Request);
+
+  /// Resident sessions right now (tests assert eviction through this).
+  unsigned sessionCount() const;
+  /// Sum of the resident sessions' memory-heuristic charges.
+  uint64_t residentBytes() const;
+
+private:
+  /// One loaded program and its session. Name-keyed in the registry;
+  /// shared_ptr-owned so eviction and in-flight requests can overlap.
+  struct SessionEntry {
+    std::string Name;
+    std::string Source;
+    std::unique_ptr<Program> Prog;
+    /// Collects the session's analysis/quarantine warnings. Writes happen
+    /// only inside the session's own serialized calls (EstimatorOptions::
+    /// Diags points here), so the session lock covers them.
+    DiagnosticEngine Diags;
+    std::unique_ptr<EstimationSession> Session;
+    uint64_t MemBytes = 0;
+    /// Logical LRU stamp (registry clock value of the last touch).
+    uint64_t LastUsed = 0;
+  };
+
+  WireMessage handleLoadProgram(const WireMessage &Request);
+  WireMessage handleRun(const WireMessage &Request);
+  WireMessage handleEstimate(const WireMessage &Request);
+  WireMessage handleIngestProfile(const WireMessage &Request);
+  WireMessage handleCaptureProfile(const WireMessage &Request);
+  WireMessage handleStats();
+
+  /// Looks up \p Name and stamps its LRU clock. Null when unknown.
+  std::shared_ptr<SessionEntry> findSession(const std::string &Name);
+  /// Evicts least-recently-used entries (never \p Keep) until the memory
+  /// budget and session cap hold. Caller holds Mu.
+  void evictLocked(const SessionEntry *Keep);
+  void bump(const char *Counter, uint64_t Delta = 1);
+
+  ServeOptions Opts;
+  mutable std::mutex Mu;
+  std::map<std::string, std::shared_ptr<SessionEntry>> Sessions;
+  uint64_t Clock = 0;
+  uint64_t TotalBytes = 0;
+};
+
+} // namespace serve
+} // namespace ptran
+
+#endif // PTRAN_SERVE_SERVER_H

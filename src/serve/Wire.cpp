@@ -1,0 +1,160 @@
+//===--- serve/Wire.cpp - Unix-socket framing transport -------------------===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Wire.h"
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace ptran;
+using namespace ptran::serve;
+
+static std::string errnoString(const char *What) {
+  return std::string(What) + ": " + std::strerror(errno);
+}
+
+static bool fillAddress(const std::string &Path, sockaddr_un &Addr,
+                        std::string &Error) {
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path '" + Path + "' exceeds the " +
+            std::to_string(sizeof(Addr.sun_path) - 1) + "-byte sun_path limit";
+    return false;
+  }
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+int serve::listenUnix(const std::string &Path, std::string &Error) {
+  sockaddr_un Addr;
+  if (!fillAddress(Path, Addr, Error))
+    return -1;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = errnoString("socket");
+    return -1;
+  }
+  // A stale socket file from a crashed daemon would make bind fail with
+  // EADDRINUSE; remove it first (fresh daemons own their path).
+  ::unlink(Path.c_str());
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Error = errnoString("bind");
+    ::close(Fd);
+    return -1;
+  }
+  if (::listen(Fd, 256) < 0) {
+    Error = errnoString("listen");
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+int serve::connectUnix(const std::string &Path, std::string &Error) {
+  sockaddr_un Addr;
+  if (!fillAddress(Path, Addr, Error))
+    return -1;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = errnoString("socket");
+    return -1;
+  }
+  int Rc;
+  do {
+    Rc = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
+  } while (Rc < 0 && errno == EINTR);
+  if (Rc < 0) {
+    Error = errnoString("connect");
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+static bool writeAll(int Fd, const uint8_t *Data, size_t Size,
+                     std::string &Error) {
+  while (Size > 0) {
+    ssize_t N = ::send(Fd, Data, Size, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = errnoString("send");
+      return false;
+    }
+    Data += N;
+    Size -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// 1 = filled, 0 = clean EOF before the first byte, -1 = error/short EOF.
+static int readAll(int Fd, uint8_t *Data, size_t Size, std::string &Error) {
+  size_t Got = 0;
+  while (Got < Size) {
+    ssize_t N = ::recv(Fd, Data + Got, Size - Got, 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = errnoString("recv");
+      return -1;
+    }
+    if (N == 0) {
+      if (Got == 0)
+        return 0;
+      Error = "peer closed the connection mid-frame";
+      return -1;
+    }
+    Got += static_cast<size_t>(N);
+  }
+  return 1;
+}
+
+bool serve::writeFrame(int Fd, const WireMessage &M, std::string &Error) {
+  std::optional<std::vector<uint8_t>> Payload = encodeFrame(M, Error);
+  if (!Payload)
+    return false;
+  uint32_t Len = static_cast<uint32_t>(Payload->size());
+  uint8_t Prefix[4] = {static_cast<uint8_t>(Len),
+                       static_cast<uint8_t>(Len >> 8),
+                       static_cast<uint8_t>(Len >> 16),
+                       static_cast<uint8_t>(Len >> 24)};
+  return writeAll(Fd, Prefix, sizeof(Prefix), Error) &&
+         writeAll(Fd, Payload->data(), Payload->size(), Error);
+}
+
+int serve::readFrame(int Fd, WireMessage &M, std::string &Error) {
+  uint8_t Prefix[4];
+  int Rc = readAll(Fd, Prefix, sizeof(Prefix), Error);
+  if (Rc <= 0)
+    return Rc;
+  uint32_t Len = static_cast<uint32_t>(Prefix[0]) |
+                 (static_cast<uint32_t>(Prefix[1]) << 8) |
+                 (static_cast<uint32_t>(Prefix[2]) << 16) |
+                 (static_cast<uint32_t>(Prefix[3]) << 24);
+  if (Len > MaxFramePayload) {
+    Error = "frame length " + std::to_string(Len) + " exceeds the " +
+            std::to_string(MaxFramePayload) + "-byte limit";
+    return -1;
+  }
+  std::vector<uint8_t> Payload(Len);
+  if (Len > 0 && readAll(Fd, Payload.data(), Len, Error) != 1) {
+    if (Error.empty())
+      Error = "peer closed the connection mid-frame";
+    return -1;
+  }
+  std::optional<WireMessage> Decoded =
+      decodeFrame(Payload.data(), Payload.size(), Error);
+  if (!Decoded)
+    return -1;
+  M = std::move(*Decoded);
+  return 1;
+}

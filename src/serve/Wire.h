@@ -1,0 +1,47 @@
+//===--- serve/Wire.h - Unix-socket framing transport -----------*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The POSIX transport under Protocol.h: listen/connect on a Unix-domain
+/// stream socket and move whole frames (u32 LE payload length, then the
+/// encodeFrame payload) across it. All loops retry EINTR and handle short
+/// reads/writes; writes use MSG_NOSIGNAL so a vanished peer surfaces as an
+/// error return instead of SIGPIPE.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_SERVE_WIRE_H
+#define PTRAN_SERVE_WIRE_H
+
+#include "serve/Protocol.h"
+
+#include <string>
+
+namespace ptran {
+namespace serve {
+
+/// Creates, binds and listens on a Unix-domain stream socket at \p Path
+/// (unlinking any stale socket file first). Returns the listening fd, or
+/// -1 with \p Error set.
+int listenUnix(const std::string &Path, std::string &Error);
+
+/// Connects to the daemon at \p Path. Returns the connected fd, or -1
+/// with \p Error set.
+int connectUnix(const std::string &Path, std::string &Error);
+
+/// Encodes \p M and writes it as one length-prefixed frame. False (with
+/// \p Error set) on encode or IO failure.
+bool writeFrame(int Fd, const WireMessage &M, std::string &Error);
+
+/// Reads one frame into \p M. Returns 1 on success, 0 on clean EOF before
+/// any byte of a frame (the peer hung up between messages), -1 (with
+/// \p Error set) on a malformed frame or IO failure.
+int readFrame(int Fd, WireMessage &M, std::string &Error);
+
+} // namespace serve
+} // namespace ptran
+
+#endif // PTRAN_SERVE_WIRE_H

@@ -48,7 +48,24 @@ EstimationSession::create(const Program &P, const CostModel &CM,
   return S;
 }
 
+namespace {
+/// Installs a per-call cancel token for the duration of one serialized
+/// call (the caller holds the session lock, so the swap is private to that
+/// call); null keeps the session-wide token.
+struct ScopedCancelSwap {
+  EstimatorOptions &Opts;
+  CancelToken *Saved;
+  ScopedCancelSwap(EstimatorOptions &Opts, CancelToken *Cancel)
+      : Opts(Opts), Saved(Opts.Cancel) {
+    if (Cancel)
+      Opts.Cancel = Cancel;
+  }
+  ~ScopedCancelSwap() { Opts.Cancel = Saved; }
+};
+} // namespace
+
 RunResult EstimationSession::profiledRun(uint64_t MaxSteps) {
+  std::lock_guard<std::mutex> L(Mu);
   ++Runs;
   RuntimeStale = true;
   if (ObsRegistry *Obs = Opts.Obs.Registry)
@@ -58,6 +75,12 @@ RunResult EstimationSession::profiledRun(uint64_t MaxSteps) {
 
 void EstimationSession::accumulateTotals(const Function &F,
                                          const FrequencyTotals &Delta) {
+  std::lock_guard<std::mutex> L(Mu);
+  accumulateTotalsLocked(F, Delta);
+}
+
+void EstimationSession::accumulateTotalsLocked(const Function &F,
+                                               const FrequencyTotals &Delta) {
   // Deltas may be partial (no Σ identities to hold them to), but the
   // values themselves must be sane counts.
   for (const auto &[Cond, Total] : Delta.Cond) {
@@ -388,6 +411,20 @@ std::string EstimationSession::refreshConfig(ConfigCache &Cache) {
 
 std::vector<EstimateResult>
 EstimationSession::estimate(const std::vector<EstimateRequest> &Requests) {
+  std::lock_guard<std::mutex> L(Mu);
+  return estimateLocked(Requests);
+}
+
+std::vector<EstimateResult>
+EstimationSession::estimate(const std::vector<EstimateRequest> &Requests,
+                            CancelToken *Cancel) {
+  std::lock_guard<std::mutex> L(Mu);
+  ScopedCancelSwap Swap(Opts, Cancel);
+  return estimateLocked(Requests);
+}
+
+std::vector<EstimateResult>
+EstimationSession::estimateLocked(const std::vector<EstimateRequest> &Requests) {
   LastEvals = 0;
   ObsRegistry *Obs = Opts.Obs.Registry;
   CancelToken *Cancel = Opts.Cancel;
@@ -476,18 +513,37 @@ EstimationSession::estimate(const std::vector<EstimateRequest> &Requests) {
   return Results;
 }
 
-ProfileFile EstimationSession::captureProfile() const {
+ProfileFile EstimationSession::captureProfileLocked() const {
   return ProfileFile::capture(Est->analysis(), Est->plan(), Est->runtime(),
                               &Est->loopStats(), Runs);
 }
 
+ProfileFile EstimationSession::captureProfile() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return captureProfileLocked();
+}
+
 bool EstimationSession::saveProfile(const std::string &Path,
                                     DiagnosticEngine *Diags) const {
-  return captureProfile().saveToFile(Path, Diags, Opts.IoRetry,
-                                     Opts.Obs.Registry);
+  std::lock_guard<std::mutex> L(Mu);
+  return captureProfileLocked().saveToFile(Path, Diags, Opts.IoRetry,
+                                           Opts.Obs.Registry);
 }
 
 ProfileIngestReport EstimationSession::ingestProfile(const ProfileFile &PF) {
+  std::lock_guard<std::mutex> L(Mu);
+  return ingestProfileLocked(PF);
+}
+
+ProfileIngestReport EstimationSession::ingestProfile(const ProfileFile &PF,
+                                                     CancelToken *Cancel) {
+  std::lock_guard<std::mutex> L(Mu);
+  ScopedCancelSwap Swap(Opts, Cancel);
+  return ingestProfileLocked(PF);
+}
+
+ProfileIngestReport
+EstimationSession::ingestProfileLocked(const ProfileFile &PF) {
   ProfileIngestReport Report;
   ObsRegistry *Obs = Opts.Obs.Registry;
   if (Obs)
@@ -640,7 +696,7 @@ ProfileIngestReport EstimationSession::ingestProfile(const ProfileFile &PF) {
     Report.Quarantined.push_back(F->name());
   }
   for (GoodSection &G : Good) {
-    accumulateTotals(*G.F, G.Totals);
+    accumulateTotalsLocked(*G.F, G.Totals);
     for (const ProfileLoopMoments &L : G.S->Loops)
       Est->loopStatsMutable().addMoments(
           *G.F, L.HeaderStmt, {L.Entries, L.Sum, L.SumSq});

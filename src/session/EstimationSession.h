@@ -28,6 +28,28 @@
 /// profile_explorer example and the scaling benchmark are thin clients of
 /// it.
 ///
+/// Concurrency contract (what ptran-serve relies on): every state-touching
+/// member function — profiledRun, accumulateTotals, ingestProfile,
+/// captureProfile, saveProfile and estimate — is serialized by one
+/// internal lock, so any number of threads may call them on one session
+/// and each call observes a consistent session. Two caveats:
+///
+///   - EstimateResult::Analysis points at session-owned cache state and is
+///     only stable until the next state-touching call; a concurrent caller
+///     must consume the scalar fields (Time/Var/StdDev and the
+///     Quarantined/Degraded tags) before releasing its thread of control,
+///     and must not dereference Analysis once other threads may mutate the
+///     session. The serving daemon only ships the scalars.
+///   - The introspection accessors (quarantined(), degraded(),
+///     lastEvaluations() and friends) are unlocked reads for tests and
+///     single-threaded tools; call them only while no other thread is
+///     inside the session.
+///
+/// The per-call estimate/ingestProfile overloads taking a CancelToken
+/// exist for one-session-many-deadlines callers (one daemon request = one
+/// token): the token replaces EstimatorOptions::Cancel for the duration of
+/// that one serialized call.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PTRAN_SESSION_ESTIMATIONSESSION_H
@@ -38,6 +60,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -145,6 +168,13 @@ public:
   /// whole profile (nothing folds).
   ProfileIngestReport ingestProfile(const ProfileFile &PF);
 
+  /// Same, bounded by \p Cancel instead of the session-wide
+  /// EstimatorOptions::Cancel for this one call (null = use the session
+  /// token). The swap happens under the session lock, so concurrent
+  /// callers each get their own bound.
+  ProfileIngestReport ingestProfile(const ProfileFile &PF,
+                                    CancelToken *Cancel);
+
   /// Snapshots the session's accumulated counter runtime and loop moments
   /// as a durable profile (external deltas are not counter-representable
   /// and are not included).
@@ -181,6 +211,12 @@ public:
   /// re-evaluated (per distinct configuration in the batch).
   std::vector<EstimateResult> estimate(const std::vector<EstimateRequest> &);
 
+  /// Same, bounded by \p Cancel instead of the session-wide token for this
+  /// one call (null = use the session token). One daemon request = one
+  /// token: each serialized call runs under its own deadline/budgets.
+  std::vector<EstimateResult> estimate(const std::vector<EstimateRequest> &,
+                                       CancelToken *Cancel);
+
   /// Single-query conveniences.
   EstimateResult estimate(const EstimateRequest &Request);
   /// The program entry under the session defaults.
@@ -204,6 +240,13 @@ public:
 
 private:
   EstimationSession() = default;
+
+  /// The unlocked bodies of the public entry points (callers hold Mu).
+  std::vector<EstimateResult>
+  estimateLocked(const std::vector<EstimateRequest> &Requests);
+  ProfileIngestReport ingestProfileLocked(const ProfileFile &PF);
+  ProfileFile captureProfileLocked() const;
+  void accumulateTotalsLocked(const Function &F, const FrequencyTotals &Delta);
 
   /// Per-function input state, refreshed lazily before a query.
   struct InputState {
@@ -255,6 +298,11 @@ private:
   /// query must fail (token expired under DeadlinePolicy::Fail; the cache
   /// is left untouched, so the failure is atomic).
   std::string refreshConfig(ConfigCache &Cache);
+
+  /// Serializes every state-touching public member function (see the
+  /// concurrency contract in the file comment). Mutable so the const
+  /// capture/save paths can take it too.
+  mutable std::mutex Mu;
 
   const Program *P = nullptr;
   CostModel CM;

@@ -33,6 +33,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <string>
 
 namespace ptran {
@@ -117,6 +118,19 @@ public:
   /// deadline when one is armed, and returns expired(). Passes call this
   /// once per unit of work and unwind when it returns true.
   bool checkpoint(uint64_t Steps = 1);
+
+  /// Time left until the armed wall-clock deadline (negative once past
+  /// due); nullopt when no deadline is armed. Blocking waits (e.g. the
+  /// retry backoff sleep) clamp themselves to this so a sleep never
+  /// outlives the deadline.
+  std::optional<std::chrono::nanoseconds> remainingDeadline() const {
+    if (!HasDeadline.load(std::memory_order_relaxed))
+      return std::nullopt;
+    int64_t NowNs =
+        std::chrono::steady_clock::now().time_since_epoch().count();
+    return std::chrono::nanoseconds(
+        DeadlineNs.load(std::memory_order_relaxed) - NowNs);
+  }
 
   /// Charges \p Bytes against the memory budget (if armed) and trips the
   /// token when the budget is exceeded. Returns expired().

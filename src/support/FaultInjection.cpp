@@ -99,13 +99,22 @@ bool FaultInjection::configure(const std::string &Spec, std::string &Error) {
     }
 
     SiteState &SS = NewSites[static_cast<unsigned>(Found->S)];
-    SS.Enabled = true;
-    Any = true;
-    if (Value.find('.') != std::string::npos) {
+    // A value is a probability when it could only be a real: a '.', an
+    // exponent ('1e-1'), or a bare 0 (an index must be >= 1, so 0 can only
+    // mean "probability zero" — i.e. the site is disabled). Everything
+    // else is the integer index/range form.
+    if (Value.find_first_of(".eE") != std::string::npos || Value == "0") {
       double P = std::strtod(Value.c_str(), &ValueEnd);
       if (!ValueEnd || *ValueEnd != '\0' || !(P >= 0.0) || !(P <= 1.0)) {
         Error = Key + " wants a probability in [0,1], got '" + Value + "'";
         return false;
+      }
+      if (P == 0.0) {
+        // Probability zero disables the site outright (overriding any
+        // earlier entry for it in the same spec) instead of arming a hook
+        // that can never fire.
+        SS = SiteState();
+        continue;
       }
       SS.Nth = 0;
       SS.NthHi = 0;
@@ -117,8 +126,8 @@ bool FaultInjection::configure(const std::string &Spec, std::string &Error) {
         Hi = std::strtoull(ValueEnd + 1, &ValueEnd, 10);
       if (!ValueEnd || *ValueEnd != '\0' || Lo == 0 || Hi < Lo) {
         Error = Key + " wants an opportunity index >= 1, a range A-B with "
-                      "1 <= A <= B, or a probability containing '.', "
-                      "got '" +
+                      "1 <= A <= B, or a probability in [0,1] (e.g. 0.1, "
+                      "1e-1 or 0), got '" +
                 Value + "'";
         return false;
       }
@@ -126,7 +135,10 @@ bool FaultInjection::configure(const std::string &Spec, std::string &Error) {
       SS.NthHi = Hi;
       SS.Prob = 0.0;
     }
+    SS.Enabled = true;
   }
+  for (const SiteState &SS : NewSites)
+    Any = Any || SS.Enabled;
 
   {
     std::lock_guard<std::mutex> L(M);

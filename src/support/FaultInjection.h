@@ -24,8 +24,10 @@
 /// opportunity), a range A-B with 1 <= A <= B (fire on every opportunity
 /// from the Ath through the Bth inclusive — N consecutive transient
 /// failures, exactly what the retry-policy tests need), or a real in
-/// [0, 1] containing a '.' (fire independently with that probability, from
-/// the seeded PRNG). Example:
+/// [0, 1] (fire independently with that probability, from the seeded
+/// PRNG). A value with a '.' or an exponent — 0.1, 1e-1, 2.5E-2 — is a
+/// probability; a bare 0 is probability zero and disables the site, which
+/// lets a later entry in the same spec switch an earlier one off. Example:
 ///
 ///   PTRAN_FAULT=seed=7,counter.corrupt=2,io.fail=1-3
 ///

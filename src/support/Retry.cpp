@@ -6,6 +6,7 @@
 
 #include "support/Retry.h"
 
+#include <algorithm>
 #include <thread>
 
 namespace ptran {
@@ -49,6 +50,19 @@ retryWithBackoff(const RetryPolicy &Policy,
       return Out;
     }
     std::chrono::microseconds Delay = Schedule.next();
+    if (Cancel) {
+      // A backoff sleep must never outlive the token's wall-clock
+      // deadline: a full-length sleep would both blow the caller's latency
+      // bound and let the next IO attempt start after expiry. Clamp to the
+      // remaining time (zero when already past due).
+      if (std::optional<std::chrono::nanoseconds> Left =
+              Cancel->remainingDeadline()) {
+        auto LeftUs =
+            std::chrono::duration_cast<std::chrono::microseconds>(*Left);
+        if (LeftUs < Delay)
+          Delay = std::max(LeftUs, std::chrono::microseconds(0));
+      }
+    }
     if (Sleep)
       Sleep(Delay);
     else
@@ -56,6 +70,12 @@ retryWithBackoff(const RetryPolicy &Policy,
     ++Out.Retries;
     if (Obs)
       Obs->addCounter("resilience.io_retries", 1);
+    // Re-poll after waking: the deadline may have passed during the sleep,
+    // and an attempt must never start on an expired token.
+    if (Cancel && Cancel->checkpoint()) {
+      Out.CancelledBy = Cancel->reason();
+      return Out;
+    }
   }
   return Out;
 }

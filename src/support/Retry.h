@@ -98,8 +98,11 @@ struct RetryOutcome {
 };
 
 /// Runs \p Attempt up to 1 + Policy.MaxRetries times, sleeping the backoff
-/// delay between Transient failures. \p Cancel (optional) is polled before
-/// each retry so a deadline bounds the episode. \p Obs (optional) receives
+/// delay between Transient failures. \p Cancel (optional) bounds the
+/// episode: it is polled before each sleep, every sleep is clamped to the
+/// token's remaining wall-clock deadline, and the token is re-polled after
+/// waking — so no attempt ever starts after expiry and no sleep outlives
+/// the deadline. \p Obs (optional) receives
 /// one `resilience.io_retries` increment per retry performed. \p Sleep
 /// (optional) replaces the real sleeper — tests pass a recorder to check
 /// the deterministic schedule without waiting.

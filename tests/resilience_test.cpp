@@ -24,8 +24,11 @@
 #include "support/Retry.h"
 #include "workloads/Workloads.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <thread>
+#include <vector>
 #include <gtest/gtest.h>
 
 using namespace ptran;
@@ -198,6 +201,54 @@ TEST(Retry, AnExpiredTokenStopsTheEpisode) {
   EXPECT_EQ(Calls, 1);
 }
 
+TEST(Retry, BackoffSleepIsClampedToTheRemainingDeadline) {
+  // Regression: the backoff sleep used to honor the full jittered delay
+  // even when the token's wall-clock deadline was closer, so a retrying
+  // load could oversleep its deadline by the whole backoff (up to
+  // MaxDelay). Each sleep must be clamped to the time left.
+  CancelToken T;
+  T.setDeadlineIn(std::chrono::milliseconds(50));
+  std::vector<std::chrono::microseconds> Slept;
+  RetryOutcome O = retryWithBackoff(
+      // Base delay 1s: unclamped, the first sleep would be >= 500ms even
+      // at the jitter floor — an order of magnitude past the deadline.
+      RetryPolicy().retries(3).baseDelay(std::chrono::seconds(1)),
+      [] { return AttemptResult::Transient; }, &T, nullptr,
+      [&](std::chrono::microseconds D) { Slept.push_back(D); });
+  EXPECT_FALSE(O.Ok);
+  ASSERT_FALSE(Slept.empty());
+  for (std::chrono::microseconds D : Slept)
+    EXPECT_LE(D, std::chrono::milliseconds(50))
+        << "a backoff sleep outlived the deadline";
+}
+
+TEST(Retry, NoAttemptStartsAfterTheDeadlineExpires) {
+  // Regression: after sleeping, the loop used to fire the next attempt
+  // without re-polling the token, so an IO attempt could start after the
+  // deadline had already passed during the sleep. The sleeper here
+  // deliberately oversleeps the (clamped) delay past the deadline: the
+  // re-poll must catch the expiry and report it, with exactly the one
+  // pre-deadline attempt performed.
+  CancelToken T;
+  T.setDeadlineIn(std::chrono::milliseconds(30));
+  int Calls = 0;
+  RetryOutcome O = retryWithBackoff(
+      RetryPolicy().retries(5).baseDelay(std::chrono::seconds(1)),
+      [&] {
+        ++Calls;
+        return AttemptResult::Transient;
+      },
+      &T, nullptr,
+      [](std::chrono::microseconds D) {
+        std::this_thread::sleep_for(D + std::chrono::milliseconds(60));
+      });
+  EXPECT_FALSE(O.Ok);
+  EXPECT_EQ(O.CancelledBy, CancelReason::Deadline);
+  EXPECT_EQ(Calls, 1) << "an attempt started on an expired token";
+  EXPECT_EQ(O.Attempts, 1u);
+  EXPECT_EQ(O.Retries, 1u); // The episode performed (and counted) the sleep.
+}
+
 //===--- Fault-injection ranges -------------------------------------------===//
 
 TEST(FaultRange, FiresOnEveryOpportunityInTheRange) {
@@ -220,6 +271,64 @@ TEST(FaultRange, MalformedRangesAreRejected) {
     ScopedFaultInjection FI("io.fail=0-2"); // Opportunities are 1-based.
     EXPECT_FALSE(FI.ok());
   }
+}
+
+TEST(FaultGrammar, ScientificNotationIsAProbability) {
+  // Regression: the grammar classified a value as a probability only when
+  // it contained a '.', so `io.fail=1e-1` fell into the integer parser and
+  // died with a misleading "opportunity index >= 1" error.
+  {
+    ScopedFaultInjection FI("seed=7,io.fail=1e-1");
+    ASSERT_TRUE(FI.ok()) << FI.error();
+    FaultInjection &I = FaultInjection::instance();
+    uint64_t Fired = 0;
+    for (int K = 0; K < 1000; ++K)
+      Fired += I.shouldFire(FaultInjection::Site::FileIo) ? 1 : 0;
+    // p = 0.1 over 1000 seeded draws: comfortably away from 0 and 1000.
+    EXPECT_GT(Fired, 0u);
+    EXPECT_LT(Fired, 500u);
+  }
+  {
+    ScopedFaultInjection FI("io.fail=1e0"); // Probability one: always fires.
+    ASSERT_TRUE(FI.ok()) << FI.error();
+    EXPECT_TRUE(FaultInjection::maybeFailIo());
+    EXPECT_TRUE(FaultInjection::maybeFailIo());
+  }
+  {
+    ScopedFaultInjection FI("io.fail=2.5E-2"); // Capital exponent too.
+    ASSERT_TRUE(FI.ok()) << FI.error();
+  }
+}
+
+TEST(FaultGrammar, BareZeroDisablesTheSite) {
+  // Regression: `io.fail=0` was rejected outright, so a spec inherited
+  // from the environment could not switch one site off. A bare 0 is
+  // probability zero: the site is disabled, overriding earlier entries.
+  {
+    ScopedFaultInjection FI("io.fail=0");
+    ASSERT_TRUE(FI.ok()) << FI.error();
+    EXPECT_FALSE(FaultInjection::armed());
+    EXPECT_FALSE(FaultInjection::maybeFailIo());
+  }
+  {
+    // The later entry wins: the site armed by `io.fail=1` is disarmed.
+    ScopedFaultInjection FI("io.fail=1,io.fail=0");
+    ASSERT_TRUE(FI.ok()) << FI.error();
+    EXPECT_FALSE(FaultInjection::maybeFailIo());
+  }
+  {
+    // Other sites stay armed when one is zeroed.
+    ScopedFaultInjection FI("pool.throw=1,io.fail=0");
+    ASSERT_TRUE(FI.ok()) << FI.error();
+    EXPECT_TRUE(FaultInjection::armed());
+    EXPECT_FALSE(FaultInjection::maybeFailIo());
+  }
+}
+
+TEST(FaultGrammar, IntegerErrorMessageMentionsEveryAcceptedForm) {
+  ScopedFaultInjection FI("io.fail=abc");
+  EXPECT_FALSE(FI.ok());
+  EXPECT_NE(FI.error().find("1e-1 or 0"), std::string::npos) << FI.error();
 }
 
 //===--- Retry-wrapped profile IO -----------------------------------------===//

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+#===--- tests/serve_smoke.sh - End-to-end daemon smoke test --------------===//
+#
+# Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+#
+# Starts ptran-serve on a scratch Unix socket, drives a short burst of
+# mixed estimate/ingest traffic through ptran-bench-client, scrapes the
+# stats table, asks the daemon to shut down, and checks that both sides
+# exit cleanly. Usage:
+#
+#   serve_smoke.sh <ptran-serve> <ptran-bench-client> <work-dir>
+#
+#===----------------------------------------------------------------------===//
+
+set -u
+
+SERVE=$1
+CLIENT=$2
+WORK=$3
+
+mkdir -p "$WORK"
+# Unix socket paths are capped at ~107 bytes; build trees can be deep, so
+# fall back to /tmp when the work dir would not fit.
+SOCK="$WORK/serve.sock"
+if [ ${#SOCK} -ge 100 ]; then
+  SOCK=$(mktemp -u /tmp/ptran-serve-XXXXXX.sock)
+fi
+LOG="$WORK/serve.log"
+OUT="$WORK/client.log"
+rm -f "$SOCK"
+
+"$SERVE" --socket="$SOCK" --queue-limit=64 >"$LOG" 2>&1 &
+SERVE_PID=$!
+
+# Wait for the listener (the daemon unlinks any stale socket first, so the
+# path existing means bind+listen succeeded).
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "serve_smoke: daemon died during startup" >&2
+    cat "$LOG" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ ! -S "$SOCK" ]; then
+  echo "serve_smoke: daemon never bound $SOCK" >&2
+  cat "$LOG" >&2
+  kill "$SERVE_PID" 2>/dev/null
+  exit 1
+fi
+
+"$CLIENT" --socket="$SOCK" --connections=16 --requests=10 --sessions=2 \
+  --scrape-stats --shutdown >"$OUT" 2>&1
+CLIENT_RC=$?
+
+wait "$SERVE_PID"
+SERVE_RC=$?
+
+cat "$OUT"
+RC=0
+if [ "$CLIENT_RC" -ne 0 ]; then
+  echo "serve_smoke: bench client failed (rc=$CLIENT_RC)" >&2
+  RC=1
+fi
+if [ "$SERVE_RC" -ne 0 ]; then
+  echo "serve_smoke: daemon exited with rc=$SERVE_RC" >&2
+  cat "$LOG" >&2
+  RC=1
+fi
+# The scraped stats table must show the dispatcher's own counters.
+for COUNTER in serve.requests serve.estimates serve.ingests serve.loads; do
+  if ! grep -q "$COUNTER" "$OUT"; then
+    echo "serve_smoke: stats table is missing $COUNTER" >&2
+    RC=1
+  fi
+done
+# The daemon must have removed its socket on the way out.
+if [ -e "$SOCK" ]; then
+  echo "serve_smoke: socket file left behind after shutdown" >&2
+  RC=1
+fi
+exit $RC

@@ -1,0 +1,455 @@
+//===--- tests/serve_test.cpp - Daemon core and protocol tests ------------===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the ptran-serve core with no socket in sight: the frame
+/// codec round-trips (including binary bodies) and rejects malformed
+/// frames, ServeCore dispatches every verb, per-request budgets degrade or
+/// fail per policy, LRU eviction enforces the memory budget, and — the
+/// point of the file — many threads hammering one ServeCore concurrently
+/// get responses byte-identical to a single-threaded reference run. The
+/// tsan preset reruns this binary under ThreadSanitizer, which is what
+/// actually certifies the locking.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+#include "serve/Server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ptran;
+using namespace ptran::serve;
+
+namespace {
+
+/// Enough structure for real estimates (calls, loops, a branch) while one
+/// request stays well under a millisecond.
+const char *TinySource = R"(      program main
+      integer i, n
+      n = 16
+      do 10 i = 1, n
+        call leaf(i)
+ 10   continue
+      end
+      subroutine leaf(k)
+      integer k, j
+      real s
+      s = 0
+      do 20 j = 1, 4
+        if (s .gt. 10) then
+          s = s - 10
+        else
+          s = s + j * k
+        endif
+ 20   continue
+      end
+)";
+
+WireMessage makeRequest(const std::string &Verb, const std::string &Session) {
+  WireMessage M;
+  M.Verb = Verb;
+  if (!Session.empty())
+    M.Params["session"] = Session;
+  return M;
+}
+
+/// load-program + one profiled run for \p Session on \p Core.
+void loadAndRun(ServeCore &Core, const std::string &Session) {
+  WireMessage Load = makeRequest("load-program", Session);
+  Load.Body = TinySource;
+  WireMessage Resp = Core.handle(Load);
+  ASSERT_EQ(Resp.Verb, "ok") << Resp.param("message");
+  Resp = Core.handle(makeRequest("run", Session));
+  ASSERT_EQ(Resp.Verb, "ok") << Resp.param("message");
+}
+
+} // namespace
+
+//===--- Frame codec ------------------------------------------------------===//
+
+TEST(Protocol, RoundTripsVerbParamsAndBinaryBody) {
+  WireMessage M;
+  M.Verb = "ingest-profile";
+  M.Params["session"] = "s0";
+  M.Params["note"] = "values may contain = signs = twice";
+  M.Body = std::string("\x00\x01\xff\n\x7f junk", 9); // Binary, with NUL.
+
+  std::string Error;
+  std::optional<std::vector<uint8_t>> Bytes = encodeFrame(M, Error);
+  ASSERT_TRUE(Bytes) << Error;
+  std::optional<WireMessage> Back =
+      decodeFrame(Bytes->data(), Bytes->size(), Error);
+  ASSERT_TRUE(Back) << Error;
+  EXPECT_EQ(Back->Verb, M.Verb);
+  EXPECT_EQ(Back->Params, M.Params);
+  EXPECT_EQ(Back->Body, M.Body);
+}
+
+TEST(Protocol, RoundTripsEmptyParamsAndEmptyBody) {
+  WireMessage M;
+  M.Verb = "ping";
+  std::string Error;
+  std::optional<std::vector<uint8_t>> Bytes = encodeFrame(M, Error);
+  ASSERT_TRUE(Bytes) << Error;
+  std::optional<WireMessage> Back =
+      decodeFrame(Bytes->data(), Bytes->size(), Error);
+  ASSERT_TRUE(Back) << Error;
+  EXPECT_EQ(Back->Verb, "ping");
+  EXPECT_TRUE(Back->Params.empty());
+  EXPECT_TRUE(Back->Body.empty());
+}
+
+TEST(Protocol, RejectsUnframeableMessages) {
+  std::string Error;
+  WireMessage M;
+  M.Verb = "two\nlines";
+  EXPECT_FALSE(encodeFrame(M, Error));
+
+  M.Verb = "ok";
+  M.Params["key"] = "line1\nline2"; // Newline in a value corrupts framing.
+  EXPECT_FALSE(encodeFrame(M, Error));
+
+  M.Params.clear();
+  M.Params["bad=key"] = "v"; // '=' in a key shifts the value split.
+  EXPECT_FALSE(encodeFrame(M, Error));
+}
+
+TEST(Protocol, RejectsMalformedFrames) {
+  std::string Error;
+  // Too short for the header-length field.
+  EXPECT_FALSE(decodeFrame(reinterpret_cast<const uint8_t *>("ab"), 2, Error));
+  // Header length pointing past the payload.
+  uint8_t Lie[8] = {0xff, 0xff, 0, 0, 'p', 'i', 'n', 'g'};
+  EXPECT_FALSE(decodeFrame(Lie, sizeof(Lie), Error));
+  // Parameter line without '='.
+  WireMessage M;
+  M.Verb = "ok";
+  std::optional<std::vector<uint8_t>> Bytes = encodeFrame(M, Error);
+  ASSERT_TRUE(Bytes);
+  std::string Garbled = "ok\nnot-a-pair";
+  std::vector<uint8_t> Frame = {static_cast<uint8_t>(Garbled.size()), 0, 0, 0};
+  Frame.insert(Frame.end(), Garbled.begin(), Garbled.end());
+  EXPECT_FALSE(decodeFrame(Frame.data(), Frame.size(), Error));
+  EXPECT_NE(Error.find("key=value"), std::string::npos);
+}
+
+//===--- ServeCore dispatch -----------------------------------------------===//
+
+TEST(ServeCoreTest, LoadRunEstimateCaptureIngest) {
+  ServeOptions Opts;
+  ServeCore Core(Opts);
+  loadAndRun(Core, "s0");
+
+  WireMessage Est = Core.handle(makeRequest("estimate", "s0"));
+  ASSERT_EQ(Est.Verb, "ok") << Est.param("message");
+  EXPECT_EQ(Est.param("function"), "main");
+  EXPECT_EQ(Est.param("degraded"), "0");
+  double Time = std::stod(Est.param("time"));
+  EXPECT_GT(Time, 0.0);
+
+  // estimate on a named function.
+  WireMessage EstLeaf = makeRequest("estimate", "s0");
+  EstLeaf.Params["function"] = "leaf";
+  WireMessage LeafResp = Core.handle(EstLeaf);
+  ASSERT_EQ(LeafResp.Verb, "ok");
+  EXPECT_EQ(LeafResp.param("function"), "leaf");
+  EXPECT_LT(std::stod(LeafResp.param("time")), Time);
+
+  // capture-profile emits a parseable body; re-ingesting it doubles the
+  // accumulated totals, which leaves the *average* estimate unchanged.
+  WireMessage Cap = Core.handle(makeRequest("capture-profile", "s0"));
+  ASSERT_EQ(Cap.Verb, "ok");
+  ASSERT_FALSE(Cap.Body.empty());
+  WireMessage Ingest = makeRequest("ingest-profile", "s0");
+  Ingest.Body = Cap.Body;
+  WireMessage IngResp = Core.handle(Ingest);
+  ASSERT_EQ(IngResp.Verb, "ok") << IngResp.param("message");
+  EXPECT_EQ(IngResp.param("accepted"), "2");
+  EXPECT_EQ(IngResp.param("quarantined"), "0");
+
+  WireMessage Est2 = Core.handle(makeRequest("estimate", "s0"));
+  ASSERT_EQ(Est2.Verb, "ok");
+  EXPECT_EQ(Est2.param("time"), Est.param("time"));
+}
+
+TEST(ServeCoreTest, ErrorsAreStructured) {
+  ServeOptions Opts;
+  ServeCore Core(Opts);
+
+  WireMessage R = Core.handle(makeRequest("estimate", "nope"));
+  EXPECT_EQ(R.Verb, "error");
+  EXPECT_EQ(R.param("code"), "unknown-session");
+
+  R = Core.handle(makeRequest("no-such-verb", ""));
+  EXPECT_EQ(R.Verb, "error");
+  EXPECT_EQ(R.param("code"), "bad-request");
+
+  WireMessage Load = makeRequest("load-program", "bad");
+  Load.Body = "      program main\n      this is not a statement\n      end\n";
+  R = Core.handle(Load);
+  EXPECT_EQ(R.Verb, "error");
+  EXPECT_EQ(R.param("code"), "bad-program");
+
+  WireMessage Ing = makeRequest("ingest-profile", "bad2");
+  R = Core.handle(Ing);
+  EXPECT_EQ(R.param("code"), "unknown-session");
+
+  // Garbage profile bytes on a real session.
+  ServeCore Core2{ServeOptions()};
+  {
+    WireMessage Load2 = makeRequest("load-program", "s");
+    Load2.Body = TinySource;
+    ASSERT_EQ(Core2.handle(Load2).Verb, "ok");
+    WireMessage Bad = makeRequest("ingest-profile", "s");
+    Bad.Body = "not a PTPF image";
+    R = Core2.handle(Bad);
+    EXPECT_EQ(R.Verb, "error");
+    EXPECT_EQ(R.param("code"), "bad-profile");
+  }
+}
+
+TEST(ServeCoreTest, StepBudgetDegradesUnderDegradePolicy) {
+  ServeOptions Opts; // Daemon default: Degrade.
+  ServeCore Core(Opts);
+  loadAndRun(Core, "s0");
+
+  // A one-step budget trips during input refresh; under Degrade the
+  // answer arrives tagged instead of erroring. Step budgets are
+  // deterministic, so this is stable in CI where wall clocks are not.
+  WireMessage Est = makeRequest("estimate", "s0");
+  Est.Params["step-budget"] = "1";
+  WireMessage R = Core.handle(Est);
+  ASSERT_EQ(R.Verb, "ok") << R.param("message");
+  EXPECT_EQ(R.param("degraded"), "1");
+  EXPECT_NE(R.param("degrade-reason").find("step budget"), std::string::npos);
+
+  // The next unbudgeted query lifts the degradation and recomputes
+  // exactly: same answer as a never-degraded session.
+  WireMessage Clean = Core.handle(makeRequest("estimate", "s0"));
+  ASSERT_EQ(Clean.Verb, "ok");
+  EXPECT_EQ(Clean.param("degraded"), "0");
+
+  ServeCore Ref{ServeOptions()};
+  loadAndRun(Ref, "s0");
+  WireMessage RefResp = Ref.handle(makeRequest("estimate", "s0"));
+  EXPECT_EQ(Clean.param("time"), RefResp.param("time"));
+  EXPECT_EQ(Clean.param("var"), RefResp.param("var"));
+}
+
+TEST(ServeCoreTest, StepBudgetFailsUnderFailPolicy) {
+  ServeOptions Opts;
+  Opts.OnDeadline = DeadlinePolicy::Fail;
+  ServeCore Core(Opts);
+  loadAndRun(Core, "s0");
+
+  WireMessage Est = makeRequest("estimate", "s0");
+  Est.Params["step-budget"] = "1";
+  WireMessage R = Core.handle(Est);
+  EXPECT_EQ(R.Verb, "error");
+  EXPECT_EQ(R.param("code"), "timeout");
+  EXPECT_NE(R.param("message").find("timeout:"), std::string::npos);
+}
+
+TEST(ServeCoreTest, DefaultStepBudgetActsAsBackstop) {
+  ServeOptions Opts;
+  Opts.DefaultStepBudget = 1; // Absurdly tight daemon-wide default.
+  ServeCore Core(Opts);
+  loadAndRun(Core, "s0");
+  WireMessage R = Core.handle(makeRequest("estimate", "s0"));
+  ASSERT_EQ(R.Verb, "ok");
+  EXPECT_EQ(R.param("degraded"), "1");
+
+  // An explicit per-request budget overrides the daemon default.
+  WireMessage Est = makeRequest("estimate", "s0");
+  Est.Params["step-budget"] = "1000000";
+  R = Core.handle(Est);
+  ASSERT_EQ(R.Verb, "ok");
+  EXPECT_EQ(R.param("degraded"), "0");
+}
+
+//===--- LRU eviction -----------------------------------------------------===//
+
+TEST(ServeCoreTest, LruEvictionHoldsTheSessionCap) {
+  ServeOptions Opts;
+  Opts.MaxSessions = 2;
+  ServeCore Core(Opts);
+  loadAndRun(Core, "a");
+  loadAndRun(Core, "b");
+  EXPECT_EQ(Core.sessionCount(), 2u);
+
+  // Touch "a" so "b" is the LRU victim when "c" arrives.
+  ASSERT_EQ(Core.handle(makeRequest("estimate", "a")).Verb, "ok");
+  loadAndRun(Core, "c");
+  EXPECT_EQ(Core.sessionCount(), 2u);
+  EXPECT_EQ(Core.handle(makeRequest("estimate", "a")).Verb, "ok");
+  EXPECT_EQ(Core.handle(makeRequest("estimate", "c")).Verb, "ok");
+  WireMessage R = Core.handle(makeRequest("estimate", "b"));
+  EXPECT_EQ(R.Verb, "error");
+  EXPECT_EQ(R.param("code"), "unknown-session");
+}
+
+TEST(ServeCoreTest, MemoryBudgetEvictsByBytes) {
+  ServeOptions Opts;
+  ServeCore Probe{ServeOptions()};
+  // Learn one session's heuristic charge, then budget for about two.
+  {
+    WireMessage Load = makeRequest("load-program", "probe");
+    Load.Body = TinySource;
+    WireMessage R = Probe.handle(Load);
+    ASSERT_EQ(R.Verb, "ok");
+    Opts.MemoryBudgetBytes = 2 * std::stoull(R.param("memory-bytes")) + 1024;
+  }
+  ServeCore Core(Opts);
+  loadAndRun(Core, "a");
+  loadAndRun(Core, "b");
+  EXPECT_EQ(Core.sessionCount(), 2u);
+  EXPECT_LE(Core.residentBytes(), Opts.MemoryBudgetBytes);
+  loadAndRun(Core, "c");
+  EXPECT_EQ(Core.sessionCount(), 2u);
+  EXPECT_LE(Core.residentBytes(), Opts.MemoryBudgetBytes);
+  // The oldest ("a") was the victim.
+  EXPECT_EQ(Core.handle(makeRequest("estimate", "a")).param("code"),
+            "unknown-session");
+}
+
+//===--- Concurrency vs single-threaded reference -------------------------===//
+
+TEST(ServeCoreTest, ConcurrentEstimatesMatchSerialReferenceExactly) {
+  // Reference: one core, one thread.
+  ServeCore Ref{ServeOptions()};
+  loadAndRun(Ref, "s0");
+  WireMessage RefMain = Ref.handle(makeRequest("estimate", "s0"));
+  WireMessage EstLeafReq = makeRequest("estimate", "s0");
+  EstLeafReq.Params["function"] = "leaf";
+  WireMessage RefLeaf = Ref.handle(EstLeafReq);
+  ASSERT_EQ(RefMain.Verb, "ok");
+  ASSERT_EQ(RefLeaf.Verb, "ok");
+
+  // Subject: many threads, two sessions, interleaved queries. Every
+  // response must be byte-identical to the reference (full %.17g
+  // precision, so "close" is not good enough).
+  ServeCore Core{ServeOptions()};
+  loadAndRun(Core, "s0");
+  loadAndRun(Core, "s1");
+  constexpr unsigned Threads = 8, PerThread = 25;
+  std::vector<std::string> Bad(Threads);
+  {
+    std::vector<std::jthread> Pool;
+    for (unsigned T = 0; T < Threads; ++T)
+      Pool.emplace_back([&, T] {
+        for (unsigned I = 0; I < PerThread; ++I) {
+          WireMessage Req = makeRequest("estimate", I % 2 ? "s0" : "s1");
+          const WireMessage &Want = (T + I) % 2 ? RefMain : RefLeaf;
+          if ((T + I) % 2 == 0)
+            Req.Params["function"] = "leaf";
+          WireMessage Got = Core.handle(Req);
+          if (Got.Verb != "ok" || Got.param("time") != Want.param("time") ||
+              Got.param("var") != Want.param("var") ||
+              Got.param("stddev") != Want.param("stddev")) {
+            Bad[T] = "thread " + std::to_string(T) + " request " +
+                     std::to_string(I) + ": got " + Got.param("time") +
+                     "/" + Got.param("var") + " want " + Want.param("time") +
+                     "/" + Want.param("var");
+            return;
+          }
+        }
+      });
+  }
+  for (const std::string &Msg : Bad)
+    EXPECT_TRUE(Msg.empty()) << Msg;
+}
+
+TEST(ServeCoreTest, ConcurrentIngestsAccumulateLikeSerialIngests) {
+  // Ingest is additive and serialized per session: N concurrent ingests of
+  // the same profile must land the session in exactly the state N serial
+  // ingests produce.
+  ServeCore Core{ServeOptions()};
+  loadAndRun(Core, "s0");
+  WireMessage Cap = Core.handle(makeRequest("capture-profile", "s0"));
+  ASSERT_EQ(Cap.Verb, "ok");
+
+  constexpr unsigned Ingesters = 6, Estimators = 4, PerThread = 10;
+  std::atomic<unsigned> Failures{0};
+  {
+    std::vector<std::jthread> Pool;
+    for (unsigned T = 0; T < Ingesters; ++T)
+      Pool.emplace_back([&] {
+        for (unsigned I = 0; I < PerThread; ++I) {
+          WireMessage Req = makeRequest("ingest-profile", "s0");
+          Req.Body = Cap.Body;
+          WireMessage R = Core.handle(Req);
+          if (R.Verb != "ok" || R.param("accepted") != "2")
+            Failures.fetch_add(1);
+        }
+      });
+    // Concurrent estimates must always see *some* consistent state — no
+    // torn reads, no errors — while the ingests land.
+    for (unsigned T = 0; T < Estimators; ++T)
+      Pool.emplace_back([&] {
+        for (unsigned I = 0; I < PerThread; ++I)
+          if (Core.handle(makeRequest("estimate", "s0")).Verb != "ok")
+            Failures.fetch_add(1);
+      });
+  }
+  EXPECT_EQ(Failures.load(), 0u);
+
+  // Reference: the same number of ingests, serially.
+  ServeCore Ref{ServeOptions()};
+  loadAndRun(Ref, "s0");
+  WireMessage RefCap = Ref.handle(makeRequest("capture-profile", "s0"));
+  ASSERT_EQ(RefCap.Verb, "ok");
+  ASSERT_EQ(RefCap.Body, Cap.Body) << "profile capture is not deterministic";
+  for (unsigned I = 0; I < Ingesters * PerThread; ++I) {
+    WireMessage Req = makeRequest("ingest-profile", "s0");
+    Req.Body = RefCap.Body;
+    ASSERT_EQ(Ref.handle(Req).Verb, "ok");
+  }
+  WireMessage Got = Core.handle(makeRequest("estimate", "s0"));
+  WireMessage Want = Ref.handle(makeRequest("estimate", "s0"));
+  ASSERT_EQ(Got.Verb, "ok");
+  EXPECT_EQ(Got.param("time"), Want.param("time"));
+  EXPECT_EQ(Got.param("var"), Want.param("var"));
+}
+
+TEST(ServeCoreTest, ConcurrentLoadsEvictionsAndQueriesStayCoherent) {
+  // Eviction stress: a 3-session cap with 6 session names cycling through
+  // loads, runs and estimates from many threads. Responses may be
+  // unknown-session (the name was just evicted) but never torn or
+  // malformed, and the registry must respect the cap throughout.
+  ServeOptions Opts;
+  Opts.MaxSessions = 3;
+  ServeCore Core(Opts);
+  std::atomic<unsigned> Failures{0};
+  {
+    std::vector<std::jthread> Pool;
+    for (unsigned T = 0; T < 6; ++T)
+      Pool.emplace_back([&, T] {
+        std::string Name = "s" + std::to_string(T);
+        for (unsigned I = 0; I < 8; ++I) {
+          WireMessage Load = makeRequest("load-program", Name);
+          Load.Body = TinySource;
+          if (Core.handle(Load).Verb != "ok")
+            Failures.fetch_add(1);
+          for (unsigned Q = 0; Q < 3; ++Q) {
+            WireMessage R = Core.handle(makeRequest("estimate", Name));
+            bool Ok = R.Verb == "ok" ||
+                      (R.Verb == "error" &&
+                       R.param("code") == "unknown-session");
+            if (!Ok)
+              Failures.fetch_add(1);
+          }
+        }
+      });
+  }
+  EXPECT_EQ(Failures.load(), 0u);
+  EXPECT_LE(Core.sessionCount(), 3u);
+}

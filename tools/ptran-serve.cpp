@@ -1,0 +1,303 @@
+//===--- tools/ptran-serve.cpp - Concurrent estimation daemon -------------===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A long-lived estimation daemon: clients connect over a Unix-domain
+/// socket, load mini-language programs into named EstimationSessions, and
+/// issue concurrent estimate / run / ingest-profile / capture-profile /
+/// stats requests against them (see serve/Protocol.h for the wire format).
+///
+/// Each connection gets one reader thread that does nothing but frame IO;
+/// request bodies execute on one shared ThreadPool. Admission control is a
+/// simple in-flight cap: a request arriving while `--queue-limit` are
+/// already executing or queued is shed immediately with an `overloaded`
+/// error rather than queued behind work it would deadline out of anyway.
+/// Per-request deadlines (`deadline-ms`) and step budgets arm a per-call
+/// CancelToken inside the session; under the default
+/// `--on-deadline=degrade`, a tripped deadline yields a tagged
+/// static-frequency answer instead of an error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Observability.h"
+#include "serve/Server.h"
+#include "serve/Wire.h"
+#include "support/StringUtils.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace ptran;
+using namespace ptran::serve;
+
+namespace {
+
+const char *UsageText = R"(usage: ptran-serve --socket=PATH [options]
+
+Serves concurrent estimation requests over a Unix-domain socket. See
+ptran-bench-client for a load generator speaking the same protocol.
+
+options:
+  --socket=PATH          socket path to listen on (required)
+  --jobs=N               request worker threads (default 0 = all cores)
+  --session-jobs=N       worker threads inside each session (default 1)
+  --queue-limit=N        max in-flight requests before shedding (default 128)
+  --memory-budget-mb=N   resident-session memory budget (default 256)
+  --max-sessions=N       resident-session count cap (default 64)
+  --on-deadline=POLICY   degrade|fail for expired request deadlines
+                         (default degrade)
+  --step-budget=N        default per-request step budget, 0 = unbounded
+                         (default 0)
+  --stats                print the stats table on shutdown
+  --help                 show this help
+)";
+
+struct Options {
+  std::string SocketPath;
+  unsigned Jobs = 0;
+  unsigned SessionJobs = 1;
+  unsigned QueueLimit = 128;
+  uint64_t MemoryBudgetMb = 256;
+  unsigned MaxSessions = 64;
+  DeadlinePolicy OnDeadline = DeadlinePolicy::Degrade;
+  uint64_t StepBudget = 0;
+  bool PrintStats = false;
+};
+
+bool parseArgs(int Argc, char **Argv, Options &Opts) {
+  auto Value = [](const std::string &Arg,
+                  const std::string &Prefix) -> std::optional<std::string> {
+    if (Arg.rfind(Prefix, 0) == 0)
+      return Arg.substr(Prefix.size());
+    return std::nullopt;
+  };
+  auto Invalid = [](const std::string &Flag, const std::string &Got,
+                    const std::string &Expected) {
+    std::fprintf(stderr, "ptran-serve: %s wants %s, got '%s'\n", Flag.c_str(),
+                 Expected.c_str(), Got.c_str());
+    return false;
+  };
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      std::fputs(UsageText, stdout);
+      std::exit(0);
+    }
+    if (Arg == "--stats") {
+      Opts.PrintStats = true;
+    } else if (auto V = Value(Arg, "--socket=")) {
+      Opts.SocketPath = *V;
+    } else if (auto V = Value(Arg, "--jobs=")) {
+      std::optional<unsigned> N = parseUnsigned(*V);
+      if (!N)
+        return Invalid("--jobs", *V, "an unsigned integer");
+      Opts.Jobs = *N;
+    } else if (auto V = Value(Arg, "--session-jobs=")) {
+      std::optional<unsigned> N = parseUnsigned(*V);
+      if (!N)
+        return Invalid("--session-jobs", *V, "an unsigned integer");
+      Opts.SessionJobs = *N;
+    } else if (auto V = Value(Arg, "--queue-limit=")) {
+      std::optional<unsigned> N = parseUnsigned(*V);
+      if (!N || *N == 0)
+        return Invalid("--queue-limit", *V, "a positive integer");
+      Opts.QueueLimit = *N;
+    } else if (auto V = Value(Arg, "--memory-budget-mb=")) {
+      std::optional<unsigned> N = parseUnsigned(*V);
+      if (!N || *N == 0)
+        return Invalid("--memory-budget-mb", *V, "a positive integer");
+      Opts.MemoryBudgetMb = *N;
+    } else if (auto V = Value(Arg, "--max-sessions=")) {
+      std::optional<unsigned> N = parseUnsigned(*V);
+      if (!N || *N == 0)
+        return Invalid("--max-sessions", *V, "a positive integer");
+      Opts.MaxSessions = *N;
+    } else if (auto V = Value(Arg, "--on-deadline=")) {
+      std::string P = toLower(*V);
+      if (P == "degrade")
+        Opts.OnDeadline = DeadlinePolicy::Degrade;
+      else if (P == "fail")
+        Opts.OnDeadline = DeadlinePolicy::Fail;
+      else
+        return Invalid("--on-deadline", *V, "degrade or fail");
+    } else if (auto V = Value(Arg, "--step-budget=")) {
+      std::optional<unsigned> N = parseUnsigned(*V);
+      if (!N)
+        return Invalid("--step-budget", *V, "an unsigned integer");
+      Opts.StepBudget = *N;
+    } else {
+      std::fprintf(stderr, "ptran-serve: unknown argument '%s'\n%s",
+                   Arg.c_str(), UsageText);
+      return false;
+    }
+  }
+  if (Opts.SocketPath.empty()) {
+    std::fprintf(stderr, "ptran-serve: --socket=PATH is required\n%s",
+                 UsageText);
+    return false;
+  }
+  return true;
+}
+
+/// Signal handlers may only touch async-signal-safe state: a flag for the
+/// loop and the listener fd, closed so a blocked accept() wakes up.
+std::atomic<bool> ShuttingDown{false};
+std::atomic<int> ListenFdForSignal{-1};
+
+void requestShutdown() {
+  ShuttingDown.store(true);
+  int Fd = ListenFdForSignal.exchange(-1);
+  if (Fd >= 0) {
+    // shutdown(2) — not just close(2) — is what wakes a thread already
+    // blocked in accept() on this fd.
+    ::shutdown(Fd, SHUT_RDWR);
+    ::close(Fd);
+  }
+}
+
+void onSignal(int) { requestShutdown(); }
+
+/// Open connection fds, tracked so shutdown can unblock their readers
+/// with shutdown(2) (never close(2) from another thread: the fd number
+/// could be reused mid-read).
+class ConnectionRegistry {
+public:
+  void add(int Fd) {
+    std::lock_guard<std::mutex> L(M);
+    Fds.insert(Fd);
+  }
+  void remove(int Fd) {
+    std::lock_guard<std::mutex> L(M);
+    Fds.erase(Fd);
+  }
+  void shutdownAll() {
+    std::lock_guard<std::mutex> L(M);
+    for (int Fd : Fds)
+      ::shutdown(Fd, SHUT_RDWR);
+  }
+
+private:
+  std::mutex M;
+  std::set<int> Fds;
+};
+
+void serveConnection(int Fd, ServeCore &Core, ThreadPool &Pool,
+                     ObsRegistry &Obs, const Options &Opts,
+                     std::atomic<unsigned> &InFlight,
+                     ConnectionRegistry &Conns) {
+  while (!ShuttingDown.load()) {
+    WireMessage Request;
+    std::string Error;
+    int Rc = readFrame(Fd, Request, Error);
+    if (Rc <= 0)
+      break; // EOF, shutdown wakeup, or a garbled frame: drop the peer.
+
+    WireMessage Resp;
+    if (Request.Verb == "shutdown") {
+      Resp = Core.handle(Request);
+      writeFrame(Fd, Resp, Error);
+      requestShutdown();
+      break;
+    }
+    // Admission control: shed instead of queueing past the limit. The
+    // counter covers queued *and* executing requests, so a burst beyond
+    // pool capacity turns into immediate `overloaded` errors the client
+    // can back off on, not a silently growing queue.
+    unsigned Current = InFlight.fetch_add(1);
+    if (Current >= Opts.QueueLimit) {
+      InFlight.fetch_sub(1);
+      Obs.addCounter("serve.shed");
+      Resp = errorResponse("overloaded",
+                           "daemon at its in-flight request limit (" +
+                               std::to_string(Opts.QueueLimit) +
+                               "); back off and retry");
+    } else {
+      std::future<void> Done =
+          Pool.submit([&] { Resp = Core.handle(Request); });
+      Done.get();
+      InFlight.fetch_sub(1);
+    }
+    if (!writeFrame(Fd, Resp, Error))
+      break;
+  }
+  Conns.remove(Fd);
+  ::close(Fd);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return 1;
+
+  std::signal(SIGPIPE, SIG_IGN);
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  std::string Error;
+  int ListenFd = listenUnix(Opts.SocketPath, Error);
+  if (ListenFd < 0) {
+    std::fprintf(stderr, "ptran-serve: %s\n", Error.c_str());
+    return 1;
+  }
+  ListenFdForSignal.store(ListenFd);
+
+  ObsRegistry Obs;
+  ServeOptions SOpts;
+  SOpts.Jobs = Opts.SessionJobs;
+  SOpts.MemoryBudgetBytes = Opts.MemoryBudgetMb << 20;
+  SOpts.MaxSessions = Opts.MaxSessions;
+  SOpts.OnDeadline = Opts.OnDeadline;
+  SOpts.DefaultStepBudget = Opts.StepBudget;
+  SOpts.Obs = &Obs;
+  ServeCore Core(SOpts);
+
+  ThreadPool Pool(ThreadPool::resolveJobs(Opts.Jobs));
+  std::atomic<unsigned> InFlight{0};
+  ConnectionRegistry Conns;
+  std::vector<std::jthread> Threads;
+
+  std::fprintf(stderr,
+               "ptran-serve: listening on %s (%u workers, queue limit %u)\n",
+               Opts.SocketPath.c_str(), Pool.workerCount(), Opts.QueueLimit);
+
+  while (!ShuttingDown.load()) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      break; // Listener closed by shutdown, or a fatal accept error.
+    }
+    Conns.add(Fd);
+    Threads.emplace_back([Fd, &Core, &Pool, &Obs, &Opts, &InFlight, &Conns] {
+      serveConnection(Fd, Core, Pool, Obs, Opts, InFlight, Conns);
+    });
+  }
+
+  requestShutdown();
+  Conns.shutdownAll();
+  for (std::jthread &T : Threads)
+    T.join();
+  ::unlink(Opts.SocketPath.c_str());
+
+  if (Opts.PrintStats)
+    std::fputs(Obs.statsTable().c_str(), stdout);
+  return 0;
+}
