@@ -93,7 +93,8 @@ ControlDependence::ControlDependence(const Ecfg &E,
                                      const IntervalStructure &IS)
     : ForwardG(buildForwardGraph(E, IS)),
       FcdgGraph(E.cfg().graph().numNodes()),
-      Pdt(ForwardG, E.stop(), DominatorTree::Direction::Post) {
+      Pdt(CsrGraph(ForwardG).view(), E.stop(),
+          DominatorTree::Direction::Post) {
   // FOW over the forward graph: for every edge (A, B, l) where B does not
   // postdominate A, every node on the postdominator-tree path
   // [B .. ipostdom(A)) is control dependent on (A, l). Two same-labelled
@@ -119,7 +120,7 @@ ControlDependence::ControlDependence(const Ecfg &E,
   // The forward graph is acyclic, and so is its control dependence; the
   // DFS filter below is a safety net only (it also drops dependence edges
   // not reachable from START, e.g. inside code that cannot reach STOP).
-  DfsResult Dfs(Cdg, E.start());
+  DfsResult Dfs(CsrGraph(Cdg).view(), E.start());
   for (EdgeId EId = 0; EId < Cdg.numEdgeSlots(); ++EId) {
     const Digraph::Edge &Ed = Cdg.edge(EId);
     DfsEdgeKind Kind = Dfs.edgeKind(EId);
@@ -128,16 +129,78 @@ ControlDependence::ControlDependence(const Ecfg &E,
     FcdgGraph.addEdge(Ed.From, Ed.To, Ed.Label);
   }
 
-  std::optional<std::vector<NodeId>> Order = topologicalOrder(FcdgGraph);
+  CsrGraph FcdgCsr(FcdgGraph);
+  std::optional<std::vector<NodeId>> Order =
+      topologicalOrder(FcdgCsr.view());
   if (!Order)
     reportFatalError("forward control dependence graph is cyclic");
 
   // Keep only nodes reachable from START in the FCDG, in topological
   // order; isolated nodes (e.g. STOP) carry no estimation state.
-  DfsResult FDfs(FcdgGraph, E.start());
+  DfsResult FDfs(FcdgCsr.view(), E.start());
+  Arena.PosOf.assign(FcdgGraph.numNodes(), FlowArena::InvalidPosition);
   for (NodeId N : *Order)
     if (FDfs.isReachable(N))
-      Topo.push_back(N);
+      Arena.Nodes.push_back(N);
+  for (unsigned P = 0; P < Arena.Nodes.size(); ++P)
+    Arena.PosOf[Arena.Nodes[P]] = P;
+
+  // Freeze the FCDG's out-edges into the arena. Per node: label groups in
+  // first-appearance order with children in insertion order (the
+  // labelsOf/childrenOf contract), plus the raw insertion-order edge list
+  // (the equation-3 accumulation order). Children are stored as topo
+  // positions so the sweeps index dense position-based buffers directly.
+  unsigned NumPos = Arena.numPositions();
+  Arena.GroupBegin.assign(NumPos + 1, 0);
+  Arena.RawBegin.assign(NumPos + 1, 0);
+  struct LocalGroup {
+    CfgLabel Label;
+    uint32_t Count;
+    uint32_t Global;
+  };
+  std::vector<LocalGroup> Local;
+  std::vector<uint32_t> Fill;
+  for (unsigned P = 0; P < NumPos; ++P) {
+    NodeId U = Arena.Nodes[P];
+    Local.clear();
+    for (EdgeId EId : FcdgGraph.outEdges(U)) {
+      CfgLabel L = static_cast<CfgLabel>(FcdgGraph.edge(EId).Label);
+      auto It = std::find_if(Local.begin(), Local.end(),
+                             [&](const LocalGroup &G) {
+                               return G.Label == L;
+                             });
+      if (It == Local.end())
+        Local.push_back({L, 1, 0});
+      else
+        ++It->Count;
+    }
+    uint32_t ChildCursor = static_cast<uint32_t>(Arena.Children.size());
+    Fill.clear();
+    for (LocalGroup &G : Local) {
+      G.Global = static_cast<uint32_t>(Arena.Groups.size());
+      Arena.Groups.push_back({G.Label, ChildCursor, ChildCursor + G.Count});
+      Fill.push_back(ChildCursor);
+      ChildCursor += G.Count;
+    }
+    Arena.Children.resize(ChildCursor);
+    for (EdgeId EId : FcdgGraph.outEdges(U)) {
+      const Digraph::Edge &Ed = FcdgGraph.edge(EId);
+      CfgLabel L = static_cast<CfgLabel>(Ed.Label);
+      auto It = std::find_if(Local.begin(), Local.end(),
+                             [&](const LocalGroup &G) {
+                               return G.Label == L;
+                             });
+      assert(It != Local.end());
+      unsigned LocalIdx = static_cast<unsigned>(It - Local.begin());
+      unsigned ChildPos = Arena.PosOf[Ed.To];
+      assert(ChildPos != FlowArena::InvalidPosition &&
+             "FCDG edge target must be START-reachable");
+      Arena.Children[Fill[LocalIdx]++] = ChildPos;
+      Arena.Raw.push_back({Ed.To, It->Global});
+    }
+    Arena.GroupBegin[P + 1] = static_cast<uint32_t>(Arena.Groups.size());
+    Arena.RawBegin[P + 1] = static_cast<uint32_t>(Arena.Raw.size());
+  }
 
   // Enumerate control conditions.
   std::set<ControlCondition> Seen;
@@ -166,7 +229,7 @@ std::string ControlDependence::dot(const Cfg &Ecfg,
   std::ostringstream OS;
   OS << "digraph \"" << Title << "\" {\n";
   OS << "  node [shape=box, fontname=\"monospace\"];\n";
-  for (NodeId N : Topo) {
+  for (NodeId N : Arena.Nodes) {
     OS << "  n" << N << " [label=\"" << Ecfg.nodeName(N) << "\"";
     CfgNodeType Ty = Ecfg.nodeType(N);
     if (Ty != CfgNodeType::Other && Ty != CfgNodeType::Header)

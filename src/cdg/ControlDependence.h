@@ -22,6 +22,13 @@
 /// Thanks to the ECFG's preheaders and pseudo edges, every interval hangs
 /// below its preheader and the graph is rooted at START (Figure 3).
 ///
+/// Besides the Digraph form, the construction freezes the FCDG into a
+/// FlowArena: a per-function arena of CSR arrays indexed by *topological
+/// position* rather than node id, so the Section 3 frequency recurrences
+/// (top-down) and the Section 4/5 TIME/VAR recurrences (bottom-up) become
+/// linear sweeps over contiguous memory with no per-node allocation. See
+/// DESIGN.md §11 for the layout contract.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PTRAN_CDG_CONTROLDEPENDENCE_H
@@ -48,6 +55,74 @@ struct ControlCondition {
   }
 };
 
+/// The FCDG flattened into topologically-indexed CSR arrays. Positions
+/// 0 .. numPositions()-1 enumerate the FCDG's START-reachable nodes in
+/// topological order (parents before children), so a forward sweep is the
+/// Section 3 top-down pass and a reverse sweep is the Section 4/5
+/// bottom-up pass — both linear over contiguous arrays.
+///
+/// Two views of each node's out-edges are kept, because the two passes
+/// need different — and exactly reproduced — iteration orders:
+///
+///   - raw edges in edge-insertion order (rawBegin/rawEnd), preserving
+///     the equation-3 accumulation order of the old Digraph walk;
+///   - label groups (groupsBegin/groupsEnd) in label-first-appearance
+///     order, each group's children in insertion order — the L(u) and
+///     C(u, l) sets of Section 5 in exactly the order labelsOf()/
+///     childrenOf() used to produce them.
+///
+/// Group indices are global across the arena and double as dense
+/// condition ids: Frequencies::GroupFreq is indexed by them.
+class FlowArena {
+public:
+  /// One (node, label) out-edge group: the condition (node(P), Label) and
+  /// its children as positions [ChildBegin, ChildEnd) in children order.
+  struct Group {
+    CfgLabel Label = CfgLabel::U;
+    uint32_t ChildBegin = 0;
+    uint32_t ChildEnd = 0;
+  };
+  /// One FCDG edge in insertion order: the target *node id* (NODE_FREQ is
+  /// node-indexed) and the global index of the group it belongs to.
+  struct RawEdge {
+    NodeId To = InvalidNode;
+    uint32_t Group = 0;
+  };
+
+  static constexpr unsigned InvalidPosition = static_cast<unsigned>(-1);
+
+  unsigned numPositions() const {
+    return static_cast<unsigned>(Nodes.size());
+  }
+  /// ECFG node at topological position \p P.
+  NodeId node(unsigned P) const { return Nodes[P]; }
+  /// Topological position of \p N, InvalidPosition when N is not in the
+  /// FCDG (unreachable from START).
+  unsigned positionOf(NodeId N) const { return PosOf[N]; }
+
+  unsigned numGroups() const { return static_cast<unsigned>(Groups.size()); }
+  uint32_t groupsBegin(unsigned P) const { return GroupBegin[P]; }
+  uint32_t groupsEnd(unsigned P) const { return GroupBegin[P + 1]; }
+  const Group &group(uint32_t G) const { return Groups[G]; }
+  /// Child topological position \p C (index into the group's
+  /// [ChildBegin, ChildEnd) range).
+  unsigned child(uint32_t C) const { return Children[C]; }
+
+  uint32_t rawBegin(unsigned P) const { return RawBegin[P]; }
+  uint32_t rawEnd(unsigned P) const { return RawBegin[P + 1]; }
+  const RawEdge &raw(uint32_t R) const { return Raw[R]; }
+
+private:
+  friend class ControlDependence;
+  std::vector<NodeId> Nodes;       ///< Position -> node (the topo order).
+  std::vector<unsigned> PosOf;     ///< Node -> position (InvalidPosition).
+  std::vector<uint32_t> GroupBegin;///< numPositions + 1 offsets.
+  std::vector<Group> Groups;
+  std::vector<uint32_t> Children;  ///< Child topological positions.
+  std::vector<uint32_t> RawBegin;  ///< numPositions + 1 offsets.
+  std::vector<RawEdge> Raw;
+};
+
 /// The forward control dependence graph and its supporting structures.
 class ControlDependence {
 public:
@@ -65,12 +140,16 @@ public:
   /// Guaranteed acyclic.
   const Digraph &fcdg() const { return FcdgGraph; }
 
+  /// The FCDG frozen into topologically-indexed CSR arrays — what the
+  /// frequency and TIME/VAR sweeps actually run on.
+  const FlowArena &arena() const { return Arena; }
+
   /// The postdominator tree of the forward ECFG.
   const DominatorTree &postDominators() const { return Pdt; }
 
   /// Topological order of the FCDG (parents before children), covering
   /// every node reachable from START in the FCDG.
-  const std::vector<NodeId> &topoOrder() const { return Topo; }
+  const std::vector<NodeId> &topoOrder() const { return Arena.Nodes; }
 
   /// All control conditions (U, L) that appear as FCDG edge labels,
   /// sorted. Only branch points appear: real conditionals, preheaders
@@ -78,11 +157,11 @@ public:
   const std::vector<ControlCondition> &conditions() const { return Conds; }
 
   /// FCDG children of \p U reached via label \p L — the set C(u, l) of
-  /// Section 5.
+  /// Section 5. Allocates; the hot paths read the arena instead.
   std::vector<NodeId> childrenOf(NodeId U, CfgLabel L) const;
 
   /// Distinct labels on FCDG out-edges of \p U — the set L(u) of
-  /// Section 5.
+  /// Section 5. Allocates; the hot paths read the arena instead.
   std::vector<CfgLabel> labelsOf(NodeId U) const;
 
   /// Graphviz rendering of the FCDG; node names come from \p Ecfg (the
@@ -93,7 +172,7 @@ private:
   Digraph ForwardG;
   Digraph FcdgGraph;
   DominatorTree Pdt;
-  std::vector<NodeId> Topo;
+  FlowArena Arena;
   std::vector<ControlCondition> Conds;
 };
 

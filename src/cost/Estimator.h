@@ -44,6 +44,10 @@ struct EstimatorOptions {
   /// Default loop-variance model for analyze() calls (and session queries)
   /// that do not specify one.
   LoopVarianceMode LoopVariance = LoopVarianceMode::Zero;
+  /// TIME/VAR propagation kernel for analyze() calls and session queries.
+  /// Csr (the default) and NodeObjects are bit-identical; NodeObjects
+  /// exists for differential testing and benchmarking.
+  TimeKernel Kernel = TimeKernel::Csr;
   /// Sink for analysis/estimation diagnostics; null drops them. Must
   /// outlive the estimator when set.
   DiagnosticEngine *Diags = nullptr;
@@ -93,6 +97,10 @@ struct EstimatorOptions {
   }
   EstimatorOptions &loopVariance(LoopVarianceMode M) {
     LoopVariance = M;
+    return *this;
+  }
+  EstimatorOptions &kernel(TimeKernel K) {
+    Kernel = K;
     return *this;
   }
   EstimatorOptions &diags(DiagnosticEngine &D) {

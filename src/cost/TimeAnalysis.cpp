@@ -3,8 +3,10 @@
 #include "cost/TimeAnalysis.h"
 
 #include "graph/Scc.h"
+#include "obs/HotpathAlloc.h"
 #include "support/Casting.h"
 #include "support/FatalError.h"
+#include "support/StringUtils.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -12,12 +14,48 @@
 #include <cassert>
 #include <cmath>
 #include <set>
+#include <unordered_map>
 
 using namespace ptran;
 
 namespace {
 
-/// Computes one function's estimates bottom-up over its FCDG.
+/// Loop-frequency variance per Section 5, Case 1 (shared by both kernels;
+/// the arithmetic must match bit for bit).
+double loopFreqVariance(const FunctionAnalysis &FA,
+                        const TimeAnalysisOptions &Opts, NodeId Ph,
+                        double Mean) {
+  switch (Opts.LoopVariance) {
+  case LoopVarianceMode::Zero:
+    return 0.0;
+  case LoopVarianceMode::Profiled: {
+    if (!Opts.Stats)
+      return 0.0;
+    NodeId Header = FA.ecfg().headerOf(Ph);
+    assert(Header != InvalidNode && "loop variance on a non-preheader");
+    const LoopFrequencyStats::Moments *M = Opts.Stats->momentsFor(
+        FA.function(), FA.ecfg().cfg().origin(Header));
+    return M ? M->variance() : 0.0;
+  }
+  case LoopVarianceMode::Geometric: {
+    // Header executions >= 1 with mean m modelled as 1 + Geometric:
+    // VAR = m^2 - m.
+    double V = Mean * Mean - Mean;
+    return V > 0.0 ? V : 0.0;
+  }
+  case LoopVarianceMode::Uniform: {
+    // Header executions ~ U{1, .., 2m-1}: VAR = ((2m-1)^2 - 1) / 12.
+    double Width = 2.0 * Mean - 1.0;
+    double V = (Width * Width - 1.0) / 12.0;
+    return V > 0.0 ? V : 0.0;
+  }
+  }
+  PTRAN_UNREACHABLE("unknown LoopVarianceMode");
+}
+
+/// Computes one function's estimates bottom-up over its FCDG — the
+/// original node-object formulation (TimeKernel::NodeObjects), kept as
+/// the differential-testing reference for the CSR kernel below.
 std::vector<NodeEstimates>
 computeFunction(const FunctionAnalysis &FA, const Frequencies &Freqs,
                 const CostModel &CM, const TimeAnalysisOptions &Opts,
@@ -63,36 +101,6 @@ computeFunction(const FunctionAnalysis &FA, const Frequencies &Freqs,
     }
   };
 
-  // Loop-frequency variance per Section 5, Case 1.
-  auto LoopFreqVariance = [&](NodeId Ph, double Mean) {
-    switch (Opts.LoopVariance) {
-    case LoopVarianceMode::Zero:
-      return 0.0;
-    case LoopVarianceMode::Profiled: {
-      if (!Opts.Stats)
-        return 0.0;
-      NodeId Header = E.headerOf(Ph);
-      assert(Header != InvalidNode && "loop variance on a non-preheader");
-      const LoopFrequencyStats::Moments *M =
-          Opts.Stats->momentsFor(F, C.origin(Header));
-      return M ? M->variance() : 0.0;
-    }
-    case LoopVarianceMode::Geometric: {
-      // Header executions >= 1 with mean m modelled as 1 + Geometric:
-      // VAR = m^2 - m.
-      double V = Mean * Mean - Mean;
-      return V > 0.0 ? V : 0.0;
-    }
-    case LoopVarianceMode::Uniform: {
-      // Header executions ~ U{1, .., 2m-1}: VAR = ((2m-1)^2 - 1) / 12.
-      double Width = 2.0 * Mean - 1.0;
-      double V = (Width * Width - 1.0) / 12.0;
-      return V > 0.0 ? V : 0.0;
-    }
-    }
-    PTRAN_UNREACHABLE("unknown LoopVarianceMode");
-  };
-
   // Bottom-up: children before parents.
   const std::vector<NodeId> &Topo = CD.topoOrder();
   for (auto It = Topo.rbegin(); It != Topo.rend(); ++It) {
@@ -112,7 +120,7 @@ computeFunction(const FunctionAnalysis &FA, const Frequencies &Freqs,
         SumTime += Est[V].Time;
         SumVar += Est[V].Var;
       }
-      double FreqVar = LoopFreqVariance(U, Freq);
+      double FreqVar = loopFreqVariance(FA, Opts, U, Freq);
       EU.Time = EU.Cost + Freq * SumTime;
       EU.Var = VarCost + Freq * Freq * SumVar +
                FreqVar * SumTime * SumTime + FreqVar * SumVar;
@@ -151,6 +159,142 @@ computeFunction(const FunctionAnalysis &FA, const Frequencies &Freqs,
     EU.TimeSq = EU.Var + EU.Time * EU.Time;
     EU.StdDev = std::sqrt(EU.Var);
   }
+  return Est;
+}
+
+/// The CSR propagation kernel (TimeKernel::Csr): one reverse linear sweep
+/// over the FlowArena with dense per-position TIME/VAR buffers, dense
+/// FREQ lookups and a precomputed callee-resolution table. Performs the
+/// exact floating-point operation sequence of computeFunction above —
+/// the arena stores label groups in labelsOf() order and children in
+/// childrenOf() order — so results are bit-identical; only layout and
+/// lookup costs differ. The propagation loop performs no heap allocation;
+/// the delta observed by HotpathAllocScope is accumulated into
+/// \p HotpathAllocs (surfaced as the cost.hotpath.allocs counter).
+std::vector<NodeEstimates> computeFunctionCsr(
+    const FunctionAnalysis &FA, const Frequencies &Freqs,
+    const CostModel &CM, const TimeAnalysisOptions &Opts,
+    const std::map<const Function *, FunctionSummary> &Callees,
+    const std::vector<const Function *> &CalleeOf,
+    ThreadSafeDiagnostics *Unresolved, std::atomic<uint64_t> &HotpathAllocs) {
+  const ControlDependence &CD = FA.cd();
+  const FlowArena &A = CD.arena();
+  const Ecfg &E = FA.ecfg();
+  const Cfg &C = E.cfg();
+  const Function &F = FA.function();
+  unsigned NumPos = A.numPositions();
+
+  std::vector<NodeEstimates> Est(C.numNodes());
+  // Dense TIME/VAR indexed by topological position: the bottom-up sweep
+  // reads children from contiguous memory instead of chasing node ids.
+  std::vector<double> TimeBuf(NumPos, 0.0);
+  std::vector<double> VarBuf(NumPos, 0.0);
+
+  // Dense FREQ per arena group. Every in-tree producer fills GroupFreq;
+  // a hand-built Frequencies (dense form missing) gets one here.
+  const double *GF = Freqs.GroupFreq.data();
+  std::vector<double> LocalGF;
+  if (Freqs.GroupFreq.size() != A.numGroups()) {
+    LocalGF.assign(A.numGroups(), 0.0);
+    for (unsigned P = 0; P < NumPos; ++P)
+      for (uint32_t Gi = A.groupsBegin(P); Gi != A.groupsEnd(P); ++Gi)
+        LocalGF[Gi] = Freqs.freqOf({A.node(P), A.group(Gi).Label});
+    GF = LocalGF.data();
+  }
+
+  // Bottom-up: positions are topological, so a reverse walk sees every
+  // child before its parent. Allocation-free from here on.
+  HotpathAllocScope AllocScope;
+  for (unsigned P = NumPos; P-- > 0;) {
+    NodeId U = A.node(P);
+    NodeEstimates &EU = Est[U];
+    double VarCost = 0.0;
+
+    StmtId S = C.origin(U);
+    if (S != InvalidStmt) {
+      const Stmt *St = F.stmt(S);
+      std::optional<double> Overridden;
+      if (Opts.LocalCostOverride)
+        Overridden = Opts.LocalCostOverride(F, St);
+      EU.Cost = Overridden ? *Overridden : CM.statementCost(St);
+      EU.SelfCost = EU.Cost;
+      if (const auto *Call = dyn_cast<CallStmt>(St)) {
+        // Rule 2 through the precomputed resolution table.
+        const Function *Callee = CalleeOf[U];
+        auto It = Callee ? Callees.find(Callee) : Callees.end();
+        if (It != Callees.end()) {
+          EU.Cost += It->second.Time;
+          if (Opts.PropagateCalleeVariance)
+            VarCost = It->second.Var;
+        } else if (Unresolved) {
+          Unresolved->warningOnce("call to unresolved procedure '" +
+                                  Call->callee() +
+                                  "' contributes zero callee time");
+        }
+      }
+    }
+
+    bool IsPreheader = E.headerOf(U) != InvalidNode;
+    if (IsPreheader) {
+      // Case 1. Only the U label matters; pseudo labels have zero
+      // frequency, so their groups are simply skipped.
+      double Freq = 0.0;
+      double SumTime = 0.0;
+      double SumVar = 0.0;
+      for (uint32_t Gi = A.groupsBegin(P); Gi != A.groupsEnd(P); ++Gi) {
+        const FlowArena::Group &G = A.group(Gi);
+        if (G.Label != CfgLabel::U)
+          continue;
+        Freq = GF[Gi];
+        for (uint32_t Ci = G.ChildBegin; Ci != G.ChildEnd; ++Ci) {
+          unsigned CP = A.child(Ci);
+          SumTime += TimeBuf[CP];
+          SumVar += VarBuf[CP];
+        }
+      }
+      double FreqVar = loopFreqVariance(FA, Opts, U, Freq);
+      EU.Time = EU.Cost + Freq * SumTime;
+      EU.Var = VarCost + Freq * Freq * SumVar +
+               FreqVar * SumTime * SumTime + FreqVar * SumVar;
+    } else {
+      // Case 2: TIME_C and E[TIME_C^2] over the label outcomes, one
+      // arena group per outcome.
+      bool Deterministic =
+          Opts.DeterministicDoHeaders && U < E.numOriginalNodes() &&
+          FA.intervals().isHeader(U) &&
+          FA.intervals().isExitFreeDoLoop(FA.cfg(), U);
+      double TimeC = 0.0;
+      double TimeCSq = 0.0;
+      double ChildVar = 0.0;
+      for (uint32_t Gi = A.groupsBegin(P); Gi != A.groupsEnd(P); ++Gi) {
+        const FlowArena::Group &G = A.group(Gi);
+        double Freq = GF[Gi];
+        double SumTime = 0.0;
+        double SumVar = 0.0;
+        for (uint32_t Ci = G.ChildBegin; Ci != G.ChildEnd; ++Ci) {
+          unsigned CP = A.child(Ci);
+          SumTime += TimeBuf[CP];
+          SumVar += VarBuf[CP];
+        }
+        TimeC += Freq * SumTime;
+        TimeCSq += Freq * (SumVar + SumTime * SumTime);
+        ChildVar += Freq * SumVar;
+      }
+      EU.Time = EU.Cost + TimeC;
+      if (Deterministic) {
+        EU.Var = VarCost + ChildVar;
+      } else {
+        EU.Var = VarCost + (TimeCSq - TimeC * TimeC);
+      }
+      if (EU.Var < 0.0)
+        EU.Var = 0.0; // Floating-point cancellation guard.
+    }
+    EU.TimeSq = EU.Var + EU.Time * EU.Time;
+    EU.StdDev = std::sqrt(EU.Var);
+    TimeBuf[P] = EU.Time;
+    VarBuf[P] = EU.Var;
+  }
+  HotpathAllocs.fetch_add(AllocScope.count(), std::memory_order_relaxed);
   return Est;
 }
 
@@ -195,15 +339,33 @@ TimeAnalysis TimeAnalysis::runImpl(
     Index[F.get()] = static_cast<NodeId>(Funcs.size());
     Funcs.push_back(F.get());
   }
+
+  // One hashed, lower-cased name table resolves every callee this run.
+  // Program::findFunction is a case-insensitive linear scan, which would
+  // make call-graph construction quadratic in the number of procedures;
+  // the table gives the same first-match answer (duplicate names are
+  // rejected at Program::createFunction) in O(1).
+  std::unordered_map<std::string, const Function *> ByName;
+  for (const auto &F : Prog.functions())
+    ByName.emplace(toLower(F->name()), F.get());
+  auto Resolve = [&ByName](std::string_view Name) -> const Function * {
+    auto It = ByName.find(toLower(Name));
+    return It == ByName.end() ? nullptr : It->second;
+  };
+
   Digraph CallGraph(static_cast<unsigned>(Funcs.size()));
   for (const Function *F : Funcs)
     for (StmtId S = 0; S < F->numStmts(); ++S)
       if (const auto *Call = dyn_cast<CallStmt>(F->stmt(S)))
-        if (const Function *Callee = Prog.findFunction(Call->callee()))
+        if (const Function *Callee = Resolve(Call->callee()))
           if (Index.count(Callee))
             CallGraph.addEdge(Index[F], Index[Callee], 0);
 
-  SccResult Sccs = computeSccs(CallGraph);
+  // The call graph is consumed in CSR form: SCC condensation, the wave
+  // schedule and the dirtiness sweep all read the same flat view.
+  CsrGraph CallCsr(CallGraph);
+  const GraphView CallView = CallCsr.view();
+  SccResult Sccs = computeSccs(CallView);
   std::map<const Function *, FunctionSummary> Summaries;
 
   // Pre-insert every summary and estimate slot: concurrent waves then only
@@ -215,6 +377,25 @@ TimeAnalysis TimeAnalysis::runImpl(
     Summaries[F];
     Out.PerFunction[F];
   }
+
+  // The CSR kernel resolves callees through a per-function table built
+  // once per run (findFunction is a linear scan; the sweep must not pay
+  // it per call node per fixpoint iteration, and must not allocate).
+  const bool UseCsr = Opts.Kernel == TimeKernel::Csr;
+  std::map<const Function *, std::vector<const Function *>> CalleeTables;
+  if (UseCsr)
+    for (const Function *F : Funcs) {
+      const Cfg &C = PA.of(*F).ecfg().cfg();
+      std::vector<const Function *> &Table = CalleeTables[F];
+      Table.assign(C.numNodes(), nullptr);
+      for (NodeId N = 0; N < C.numNodes(); ++N) {
+        StmtId S = C.origin(N);
+        if (S == InvalidStmt)
+          continue;
+        if (const auto *Call = dyn_cast<CallStmt>(F->stmt(S)))
+          Table[N] = Resolve(Call->callee());
+      }
+    }
 
   // Incremental mode: a component is dirty if it contains a changed
   // function or calls into a dirty component. Tarjan numbers components
@@ -230,8 +411,8 @@ TimeAnalysis TimeAnalysis::runImpl(
         if (ChangedSet.count(Funcs[M]) ||
             !Previous->PerFunction.count(Funcs[M]))
           Dirty = true;
-        for (NodeId Succ : CallGraph.successors(M)) {
-          unsigned Callee = Sccs.Component[Succ];
+        for (const CsrEdgeRef &Ed : CallView.succs(M)) {
+          unsigned Callee = Sccs.Component[Ed.Node];
           if (Callee != Comp && DirtyComp[Callee])
             Dirty = true;
         }
@@ -256,6 +437,7 @@ TimeAnalysis TimeAnalysis::runImpl(
 
   ThreadSafeDiagnostics Unresolved;
   std::atomic<uint64_t> Evals{0};
+  std::atomic<uint64_t> HotAllocs{0};
   CancelToken *Cancel = Opts.Cancel;
 
   auto FreqsOf = [&](const Function *F) -> const Frequencies & {
@@ -267,8 +449,12 @@ TimeAnalysis TimeAnalysis::runImpl(
 
   auto Recompute = [&](const Function *F) {
     const FunctionAnalysis &FA = PA.of(*F);
-    std::vector<NodeEstimates> Est = computeFunction(
-        FA, FreqsOf(F), CM, Opts, Summaries, Prog, &Unresolved);
+    std::vector<NodeEstimates> Est =
+        UseCsr ? computeFunctionCsr(FA, FreqsOf(F), CM, Opts, Summaries,
+                                    CalleeTables.find(F)->second,
+                                    &Unresolved, HotAllocs)
+               : computeFunction(FA, FreqsOf(F), CM, Opts, Summaries, Prog,
+                                 &Unresolved);
     NodeId Start = FA.ecfg().start();
     Summaries.find(F)->second = {Est[Start].Time, Est[Start].Var};
     Out.PerFunction.find(F)->second = std::move(Est);
@@ -283,11 +469,11 @@ TimeAnalysis TimeAnalysis::runImpl(
   std::vector<unsigned> WaveOf(Sccs.numComponents(), 0);
   unsigned NumWaves = Sccs.numComponents() == 0 ? 0 : 1;
   for (unsigned Comp = 0; Comp < Sccs.numComponents(); ++Comp) {
-    Cyclic[Comp] = Sccs.isInCycle(CallGraph, Sccs.Members[Comp].front());
+    Cyclic[Comp] = Sccs.isInCycle(CallView, Sccs.Members[Comp].front());
     Out.Recursive = Out.Recursive || Cyclic[Comp];
     for (NodeId M : Sccs.Members[Comp])
-      for (NodeId Succ : CallGraph.successors(M)) {
-        unsigned Callee = Sccs.Component[Succ];
+      for (const CsrEdgeRef &Ed : CallView.succs(M)) {
+        unsigned Callee = Sccs.Component[Ed.Node];
         if (Callee != Comp)
           WaveOf[Comp] = std::max(WaveOf[Comp], WaveOf[Callee] + 1);
       }
@@ -413,8 +599,11 @@ TimeAnalysis TimeAnalysis::runImpl(
     Unresolved.drainTo(*Opts.Diags);
 
   Out.Evaluations = Evals.load();
-  if (Obs)
+  if (Obs) {
     Obs->addCounter("timeanalysis.evaluations", Out.Evaluations);
+    if (UseCsr)
+      Obs->addCounter("cost.hotpath.allocs", HotAllocs.load());
+  }
   return Out;
 }
 

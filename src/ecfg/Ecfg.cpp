@@ -216,8 +216,8 @@ bool ptran::verifyEcfg(const Ecfg &Ext, const Cfg &C,
 
   // Every node of the original CFG that was reachable stays reachable
   // from START.
-  DfsResult OrigDfs(C.graph(), C.entry());
-  DfsResult ExtDfs(G, Ext.start());
+  DfsResult OrigDfs(CsrGraph(C.graph()).view(), C.entry());
+  DfsResult ExtDfs(CsrGraph(G).view(), Ext.start());
   for (NodeId N = 0; N < C.numNodes(); ++N)
     if (OrigDfs.isReachable(N) && !ExtDfs.isReachable(N))
       Error("node " + C.nodeName(N) + " lost reachability in the ECFG");

@@ -10,34 +10,50 @@ Frequencies ptran::computeFrequencies(const FunctionAnalysis &FA,
                                       const FrequencyTotals &Totals) {
   assert(Totals.Ok && "frequency computation requires recovered totals");
   const ControlDependence &CD = FA.cd();
-  const Digraph &Fcdg = CD.fcdg();
+  const FlowArena &A = CD.arena();
   NodeId Start = FA.ecfg().start();
 
   Frequencies Out;
-  Out.NodeFreq.assign(Fcdg.numNodes(), 0.0);
+  Out.NodeFreq.assign(CD.fcdg().numNodes(), 0.0);
+  Out.GroupFreq.assign(A.numGroups(), 0.0);
   Out.Invocations = Totals.condTotal({Start, CfgLabel::U});
 
   // Equation 1.
   if (Start < Out.NodeFreq.size())
     Out.NodeFreq[Start] = 1.0;
 
-  // One top-down pass: FREQ at a node needs its NODE_FREQ, which equation
-  // 3 provides from the (already processed) FCDG parents.
-  for (NodeId U : CD.topoOrder()) {
+  // One top-down pass over the arena (positions are topological): FREQ at
+  // a node needs its NODE_FREQ, which equation 3 provides from the
+  // already-processed FCDG parents. Group order is the old labelsOf()
+  // order and the raw edges are in insertion order, so every floating-
+  // point operation happens in the same sequence as the Digraph walk.
+  for (unsigned P = 0; P < A.numPositions(); ++P) {
+    NodeId U = A.node(P);
     double NodeFreqU = Out.NodeFreq[U];
     // Equation 2 per outgoing condition, with the division-by-zero guard.
-    for (CfgLabel L : CD.labelsOf(U)) {
-      ControlCondition Cond{U, L};
+    for (uint32_t Gi = A.groupsBegin(P); Gi != A.groupsEnd(P); ++Gi) {
+      ControlCondition Cond{U, A.group(Gi).Label};
       double Total = Totals.condTotal(Cond);
       double Denominator = Out.Invocations * NodeFreqU;
-      Out.Freq[Cond] = Denominator == 0.0 ? 0.0 : Total / Denominator;
+      double Freq = Denominator == 0.0 ? 0.0 : Total / Denominator;
+      Out.GroupFreq[Gi] = Freq;
+      Out.Freq[Cond] = Freq;
     }
     // Equation 3: push frequency to the children.
-    for (EdgeId E : Fcdg.outEdges(U)) {
-      const Digraph::Edge &Ed = Fcdg.edge(E);
-      ControlCondition Cond{U, static_cast<CfgLabel>(Ed.Label)};
-      Out.NodeFreq[Ed.To] += NodeFreqU * Out.Freq[Cond];
+    for (uint32_t R = A.rawBegin(P); R != A.rawEnd(P); ++R) {
+      const FlowArena::RawEdge &Ed = A.raw(R);
+      Out.NodeFreq[Ed.To] += NodeFreqU * Out.GroupFreq[Ed.Group];
     }
   }
   return Out;
+}
+
+void ptran::populateGroupFreq(Frequencies &F, const ControlDependence &CD) {
+  const FlowArena &A = CD.arena();
+  F.GroupFreq.assign(A.numGroups(), 0.0);
+  for (unsigned P = 0; P < A.numPositions(); ++P) {
+    NodeId U = A.node(P);
+    for (uint32_t Gi = A.groupsBegin(P); Gi != A.groupsEnd(P); ++Gi)
+      F.GroupFreq[Gi] = F.freqOf({U, A.group(Gi).Label});
+  }
 }

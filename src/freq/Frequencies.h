@@ -34,6 +34,10 @@ struct Frequencies {
   /// FREQ(u, l): loop frequency for preheader conditions (>= 0), branch
   /// probability otherwise (in [0, 1]).
   std::map<ControlCondition, double> Freq;
+  /// FREQ(u, l) in dense form, indexed by the FlowArena's global group
+  /// ids (each arena group IS one control condition). This is what the
+  /// CSR TIME/VAR sweep reads; holds the same doubles as Freq.
+  std::vector<double> GroupFreq;
   /// NODE_FREQ(u): average executions of u per procedure invocation,
   /// indexed by ECFG node (nodes outside the FCDG hold 0).
   std::vector<double> NodeFreq;
@@ -49,6 +53,11 @@ struct Frequencies {
 /// Runs the top-down pass on \p Totals (which must be Ok).
 Frequencies computeFrequencies(const FunctionAnalysis &FA,
                                const FrequencyTotals &Totals);
+
+/// Rebuilds \p F.GroupFreq from \p F.Freq against \p CD's arena. Every
+/// producer of a Frequencies that will reach the estimation sweep must
+/// either fill GroupFreq directly (computeFrequencies does) or call this.
+void populateGroupFreq(Frequencies &F, const ControlDependence &CD);
 
 } // namespace ptran
 

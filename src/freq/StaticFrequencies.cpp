@@ -152,18 +152,21 @@ ptran::computeStaticFrequencies(const FunctionAnalysis &FA,
     }
   }
 
-  // NODE_FREQ via equation 3, top-down.
+  // Dense FREQ, then NODE_FREQ via equation 3 over the arena's raw edges
+  // (insertion order, same accumulation sequence as the Digraph walk).
+  populateGroupFreq(Out.Freqs, CD);
   NodeId Start = E.start();
   if (Start < Out.Freqs.NodeFreq.size())
     Out.Freqs.NodeFreq[Start] = 1.0;
-  const Digraph &Fcdg = CD.fcdg();
-  for (NodeId U : CD.topoOrder())
-    for (EdgeId Ed : Fcdg.outEdges(U)) {
-      const Digraph::Edge &Edge = Fcdg.edge(Ed);
-      ControlCondition Cond{U, static_cast<CfgLabel>(Edge.Label)};
-      Out.Freqs.NodeFreq[Edge.To] +=
-          Out.Freqs.NodeFreq[U] * Out.Freqs.freqOf(Cond);
+  const FlowArena &A = CD.arena();
+  for (unsigned P = 0; P < A.numPositions(); ++P) {
+    NodeId U = A.node(P);
+    for (uint32_t R = A.rawBegin(P); R != A.rawEnd(P); ++R) {
+      const FlowArena::RawEdge &Ed = A.raw(R);
+      Out.Freqs.NodeFreq[Ed.To] +=
+          Out.Freqs.NodeFreq[U] * Out.Freqs.GroupFreq[Ed.Group];
     }
+  }
   return Out;
 }
 

@@ -6,7 +6,7 @@
 
 using namespace ptran;
 
-DfsResult::DfsResult(const Digraph &G, NodeId Root)
+DfsResult::DfsResult(const GraphView &G, NodeId Root)
     : Pre(G.numNodes(), InvalidOrder), Post(G.numNodes(), InvalidOrder),
       Parent(G.numNodes(), InvalidNode),
       EdgeKinds(G.numEdgeSlots(), DfsEdgeKind::Unreached) {
@@ -19,48 +19,58 @@ DfsResult::DfsResult(const Digraph &G, NodeId Root)
   std::vector<NodeId> PostorderNodes;
   PostorderNodes.reserve(G.numNodes());
 
-  // Explicit stack of (node, out-edge list, next index) frames.
+  // Explicit stack of (node, adjacency cursor) frames. The CSR ranges are
+  // borrowed straight from the view — no per-node edge-list copies.
   struct Frame {
     NodeId N;
-    std::vector<EdgeId> Out;
-    size_t Next = 0;
+    const CsrEdgeRef *Next;
+    const CsrEdgeRef *End;
   };
   std::vector<Frame> Stack;
+  Stack.reserve(64);
   // On-stack marker distinguishes retreating edges from cross edges.
   std::vector<bool> OnStack(G.numNodes(), false);
 
+  auto Push = [&](NodeId N) {
+    GraphView::Range Out = G.succs(N);
+    Stack.push_back({N, Out.begin(), Out.end()});
+  };
+
   Pre[Root] = PreCounter++;
   OnStack[Root] = true;
-  Stack.push_back({Root, G.outEdges(Root), 0});
+  Push(Root);
 
   while (!Stack.empty()) {
     Frame &F = Stack.back();
-    if (F.Next == F.Out.size()) {
+    if (F.Next == F.End) {
       Post[F.N] = PostCounter++;
       PostorderNodes.push_back(F.N);
       OnStack[F.N] = false;
       Stack.pop_back();
       continue;
     }
-    EdgeId E = F.Out[F.Next++];
-    NodeId To = G.edge(E).To;
+    const CsrEdgeRef &E = *F.Next++;
+    NodeId To = E.Node;
     if (Pre[To] == InvalidOrder) {
-      EdgeKinds[E] = DfsEdgeKind::Tree;
+      EdgeKinds[E.Edge] = DfsEdgeKind::Tree;
       Parent[To] = F.N;
       Pre[To] = PreCounter++;
       OnStack[To] = true;
-      Stack.push_back({To, G.outEdges(To), 0});
+      Push(To);
     } else if (OnStack[To]) {
-      EdgeKinds[E] = DfsEdgeKind::Retreating;
+      EdgeKinds[E.Edge] = DfsEdgeKind::Retreating;
     } else if (Pre[To] > Pre[F.N]) {
-      EdgeKinds[E] = DfsEdgeKind::Forward;
+      EdgeKinds[E.Edge] = DfsEdgeKind::Forward;
     } else {
-      EdgeKinds[E] = DfsEdgeKind::Cross;
+      EdgeKinds[E.Edge] = DfsEdgeKind::Cross;
     }
   }
 
   Rpo.assign(PostorderNodes.rbegin(), PostorderNodes.rend());
 }
+
+DfsResult::DfsResult(const Digraph &G, NodeId Root)
+    : DfsResult(CsrGraph(G).view(), Root) {}
 
 bool DfsResult::isTreeAncestor(NodeId Ancestor, NodeId N) const {
   assert(isReachable(Ancestor) && isReachable(N) &&
@@ -70,12 +80,16 @@ bool DfsResult::isTreeAncestor(NodeId Ancestor, NodeId N) const {
   return Pre[Ancestor] <= Pre[N] && Post[Ancestor] >= Post[N];
 }
 
-std::vector<NodeId> ptran::reversePostorder(const Digraph &G, NodeId Root) {
+std::vector<NodeId> ptran::reversePostorder(const GraphView &G, NodeId Root) {
   return DfsResult(G, Root).reversePostorder();
 }
 
+std::vector<NodeId> ptran::reversePostorder(const Digraph &G, NodeId Root) {
+  return reversePostorder(CsrGraph(G).view(), Root);
+}
+
 std::optional<std::vector<NodeId>>
-ptran::topologicalOrder(const Digraph &G) {
+ptran::topologicalOrder(const GraphView &G) {
   unsigned N = G.numNodes();
   std::vector<unsigned> InDeg(N, 0);
   for (NodeId Node = 0; Node < N; ++Node)
@@ -92,11 +106,16 @@ ptran::topologicalOrder(const Digraph &G) {
   for (size_t I = 0; I < Worklist.size(); ++I) {
     NodeId Node = Worklist[I];
     Order.push_back(Node);
-    for (NodeId Succ : G.successors(Node))
-      if (--InDeg[Succ] == 0)
-        Worklist.push_back(Succ);
+    for (const CsrEdgeRef &E : G.succs(Node))
+      if (--InDeg[E.Node] == 0)
+        Worklist.push_back(E.Node);
   }
   if (Order.size() != N)
     return std::nullopt; // A cycle keeps some in-degrees positive.
   return Order;
+}
+
+std::optional<std::vector<NodeId>>
+ptran::topologicalOrder(const Digraph &G) {
+  return topologicalOrder(CsrGraph(G).view());
 }

@@ -10,12 +10,16 @@
 /// topological ordering. The interval analysis and the dominator solver are
 /// both driven by reverse postorder.
 ///
+/// All algorithms run over a GraphView (flat CSR adjacency, no per-node
+/// allocation during traversal). The Digraph overloads remain as
+/// deprecated shims that flatten into a temporary CsrGraph.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PTRAN_GRAPH_DEPTHFIRST_H
 #define PTRAN_GRAPH_DEPTHFIRST_H
 
-#include "graph/Digraph.h"
+#include "graph/GraphView.h"
 
 #include <optional>
 #include <vector>
@@ -36,6 +40,10 @@ class DfsResult {
 public:
   /// Runs an iterative DFS over \p G from \p Root. Successor edges are
   /// visited in insertion order, so the traversal is deterministic.
+  DfsResult(const GraphView &G, NodeId Root);
+
+  /// Deprecated shim: flattens \p G into a temporary CsrGraph first.
+  [[deprecated("build a CsrGraph once and pass its GraphView")]]
   DfsResult(const Digraph &G, NodeId Root);
 
   bool isReachable(NodeId N) const { return Pre[N] != InvalidOrder; }
@@ -52,7 +60,7 @@ public:
   /// Reachable nodes in reverse postorder (root first).
   const std::vector<NodeId> &reversePostorder() const { return Rpo; }
 
-  /// Classification of edge \p E.
+  /// Classification of edge \p E (an EdgeId of the source graph).
   DfsEdgeKind edgeKind(EdgeId E) const { return EdgeKinds[E]; }
 
   /// True if \p Ancestor is an ancestor of (or equal to) \p N in the DFS
@@ -72,10 +80,18 @@ private:
 };
 
 /// \returns the reachable nodes of \p G from \p Root in reverse postorder.
+std::vector<NodeId> reversePostorder(const GraphView &G, NodeId Root);
+
+/// Deprecated shim: flattens \p G into a temporary CsrGraph first.
+[[deprecated("build a CsrGraph once and pass its GraphView")]]
 std::vector<NodeId> reversePostorder(const Digraph &G, NodeId Root);
 
 /// \returns a topological order of all nodes if \p G is acyclic, or
 /// std::nullopt if it contains a cycle. Isolated nodes are included.
+std::optional<std::vector<NodeId>> topologicalOrder(const GraphView &G);
+
+/// Deprecated shim: flattens \p G into a temporary CsrGraph first.
+[[deprecated("build a CsrGraph once and pass its GraphView")]]
 std::optional<std::vector<NodeId>> topologicalOrder(const Digraph &G);
 
 } // namespace ptran

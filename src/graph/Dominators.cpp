@@ -9,17 +9,17 @@
 
 using namespace ptran;
 
-DominatorTree::DominatorTree(const Digraph &G, NodeId RootNode, Direction Dir)
+DominatorTree::DominatorTree(const GraphView &G, NodeId RootNode,
+                             Direction Dir)
     : Root(RootNode), Idom(G.numNodes(), InvalidNode),
       Level(G.numNodes(), InvalidLevel), Kids(G.numNodes()),
       TreeIn(G.numNodes(), 0), TreeOut(G.numNodes(), 0) {
   if (G.numNodes() == 0)
     return;
 
-  // Postdominators are dominators of the reversed graph.
-  const Digraph Reversed =
-      Dir == Direction::Post ? G.reversed() : Digraph();
-  const Digraph &Work = Dir == Direction::Post ? Reversed : G;
+  // Postdominators are dominators of the reversed view — a pointer swap,
+  // not a graph copy.
+  const GraphView Work = Dir == Direction::Post ? G.reversed() : G;
 
   DfsResult Dfs(Work, Root);
   const std::vector<NodeId> &Rpo = Dfs.reversePostorder();
@@ -48,7 +48,8 @@ DominatorTree::DominatorTree(const Digraph &G, NodeId RootNode, Direction Dir)
       if (N == Root)
         continue;
       NodeId NewIdom = InvalidNode;
-      for (NodeId Pred : Work.predecessors(N)) {
+      for (const CsrEdgeRef &P : Work.preds(N)) {
+        NodeId Pred = P.Node;
         if (Idom[Pred] == InvalidNode)
           continue; // Not yet processed or unreachable.
         NewIdom = NewIdom == InvalidNode ? Pred : Intersect(Pred, NewIdom);
@@ -96,6 +97,9 @@ DominatorTree::DominatorTree(const Digraph &G, NodeId RootNode, Direction Dir)
   }
 }
 
+DominatorTree::DominatorTree(const Digraph &G, NodeId RootNode, Direction Dir)
+    : DominatorTree(CsrGraph(G).view(), RootNode, Dir) {}
+
 bool DominatorTree::dominates(NodeId A, NodeId B) const {
   assert(isReachable(A) && isReachable(B) &&
          "dominance queries require reachable nodes");
@@ -116,17 +120,19 @@ NodeId DominatorTree::findNearestCommonDominator(NodeId A, NodeId B) const {
   return A;
 }
 
-bool ptran::isReducible(const Digraph &G, NodeId Root) {
+bool ptran::isReducible(const GraphView &G, NodeId Root) {
   if (G.numNodes() == 0)
     return true;
   DfsResult Dfs(G, Root);
   DominatorTree Dom(G, Root);
-  for (EdgeId E = 0; E < G.numEdgeSlots(); ++E) {
-    if (!G.isLive(E) || Dfs.edgeKind(E) != DfsEdgeKind::Retreating)
-      continue;
-    const Digraph::Edge &Ed = G.edge(E);
-    if (!Dom.dominates(Ed.To, Ed.From))
-      return false;
-  }
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    for (const CsrEdgeRef &E : G.succs(N))
+      if (Dfs.edgeKind(E.Edge) == DfsEdgeKind::Retreating &&
+          !Dom.dominates(E.Node, N))
+        return false;
   return true;
+}
+
+bool ptran::isReducible(const Digraph &G, NodeId Root) {
+  return isReducible(CsrGraph(G).view(), Root);
 }

@@ -11,26 +11,36 @@
 /// Warren) is driven by the postdominator tree of the extended CFG, and the
 /// reducibility test uses the forward dominator tree.
 ///
+/// The solver runs over a GraphView; Direction::Post simply swaps the
+/// view's successor and predecessor arrays (GraphView::reversed()), so no
+/// reversed graph is ever materialized. The Digraph overloads remain as
+/// deprecated shims.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PTRAN_GRAPH_DOMINATORS_H
 #define PTRAN_GRAPH_DOMINATORS_H
 
-#include "graph/Digraph.h"
+#include "graph/GraphView.h"
 
 #include <vector>
 
 namespace ptran {
 
-/// A dominator tree over the nodes of a Digraph reachable from a root.
+/// A dominator tree over the nodes of a graph reachable from a root.
 /// For postdominators, construct with Direction::Post and the exit node;
-/// the tree is then computed on the reversed graph.
+/// the tree is then computed on the reversed view.
 class DominatorTree {
 public:
   enum class Direction { Forward, Post };
 
   /// Builds the (post)dominator tree of \p G rooted at \p Root. Nodes not
   /// reachable (in the chosen direction) have no idom and dominate nothing.
+  DominatorTree(const GraphView &G, NodeId Root,
+                Direction Dir = Direction::Forward);
+
+  /// Deprecated shim: flattens \p G into a temporary CsrGraph first.
+  [[deprecated("build a CsrGraph once and pass its GraphView")]]
   DominatorTree(const Digraph &G, NodeId Root,
                 Direction Dir = Direction::Forward);
 
@@ -76,6 +86,10 @@ private:
 /// retreating edge of a DFS must target a node that dominates its source
 /// ("Compilers: Principles, Techniques, and Tools", the definition the
 /// paper assumes). Unreachable nodes are ignored.
+bool isReducible(const GraphView &G, NodeId Root);
+
+/// Deprecated shim: flattens \p G into a temporary CsrGraph first.
+[[deprecated("build a CsrGraph once and pass its GraphView")]]
 bool isReducible(const Digraph &G, NodeId Root);
 
 } // namespace ptran

@@ -1,0 +1,38 @@
+//===--- graph/GraphView.cpp - CSR adjacency construction -----------------===//
+
+#include "graph/GraphView.h"
+
+using namespace ptran;
+
+CsrGraph::CsrGraph(const Digraph &G)
+    : NumNodes(G.numNodes()), NumEdgeSlots(G.numEdgeSlots()),
+      NumEdges(G.numEdges()) {
+  // Within one node a Digraph appends out-edges (and in-edges) in addEdge
+  // call order, i.e. in increasing EdgeId order. A counting sort over the
+  // edge table in EdgeId order therefore reproduces the per-node insertion
+  // order of the old allocating accessors exactly.
+  SuccBegin.assign(NumNodes + 1, 0);
+  PredBegin.assign(NumNodes + 1, 0);
+  for (EdgeId E = 0; E < NumEdgeSlots; ++E) {
+    if (!G.isLive(E))
+      continue;
+    const Digraph::Edge &Ed = G.edge(E);
+    ++SuccBegin[Ed.From + 1];
+    ++PredBegin[Ed.To + 1];
+  }
+  for (NodeId N = 0; N < NumNodes; ++N) {
+    SuccBegin[N + 1] += SuccBegin[N];
+    PredBegin[N + 1] += PredBegin[N];
+  }
+  Succ.resize(NumEdges);
+  Pred.resize(NumEdges);
+  std::vector<uint32_t> SuccFill(SuccBegin.begin(), SuccBegin.end() - 1);
+  std::vector<uint32_t> PredFill(PredBegin.begin(), PredBegin.end() - 1);
+  for (EdgeId E = 0; E < NumEdgeSlots; ++E) {
+    if (!G.isLive(E))
+      continue;
+    const Digraph::Edge &Ed = G.edge(E);
+    Succ[SuccFill[Ed.From]++] = {Ed.To, Ed.Label, E};
+    Pred[PredFill[Ed.To]++] = {Ed.From, Ed.Label, E};
+  }
+}

@@ -1,0 +1,156 @@
+//===--- graph/GraphView.h - CSR adjacency and uniform view ----*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flat, index-based graph representation every traversal kernel in
+/// the pipeline consumes:
+///
+///   - CsrGraph freezes a Digraph's live edges into compressed-sparse-row
+///     adjacency arrays (both directions), preserving per-node insertion
+///     order and the original EdgeIds so side tables indexed by EdgeId
+///     keep working;
+///   - GraphView is the cheap non-owning window over those arrays: two
+///     pointers per direction plus the node/edge counts. DepthFirst,
+///     Dominators, Scc, the interval analysis and the control-dependence
+///     builder are all written once against this view, so TimeAnalysis
+///     and the frequency recurrences never see a node-object shape.
+///
+/// Iteration contracts (what makes results bit-identical to the old
+/// pointer-walking code):
+///
+///   - succs(N) lists live out-edges of N in edge-insertion order —
+///     exactly Digraph::outEdges(N)/successors(N);
+///   - preds(N) lists live in-edges of N in edge-insertion order, which
+///     (because Digraph ids edges monotonically) equals the successor
+///     order of Digraph::reversed() — so postdominator construction over
+///     reversed() and over GraphView::reversed() see identical orders;
+///   - reversed() just swaps the two directions; no copy, no allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_GRAPH_GRAPHVIEW_H
+#define PTRAN_GRAPH_GRAPHVIEW_H
+
+#include "graph/Digraph.h"
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ptran {
+
+/// One adjacency entry of a CSR graph: the neighbor, the edge's label and
+/// the original Digraph EdgeId (stable across the flattening, so EdgeId-
+/// indexed side tables — DFS edge kinds, interval latch sets — carry over).
+struct CsrEdgeRef {
+  NodeId Node = InvalidNode;   ///< Successor (or predecessor) node.
+  LabelId Label = 0;           ///< The edge's label.
+  EdgeId Edge = InvalidEdge;   ///< Original edge id in the source Digraph.
+};
+
+/// Non-owning view over CSR adjacency arrays. Copyable, 56 bytes, no
+/// allocation anywhere; reversed() is a pointer swap. The backing arrays
+/// (normally a CsrGraph) must outlive the view.
+class GraphView {
+public:
+  /// A contiguous run of adjacency entries; supports range-for.
+  class Range {
+  public:
+    Range(const CsrEdgeRef *B, const CsrEdgeRef *E) : B(B), E(E) {}
+    const CsrEdgeRef *begin() const { return B; }
+    const CsrEdgeRef *end() const { return E; }
+    size_t size() const { return static_cast<size_t>(E - B); }
+    bool empty() const { return B == E; }
+    const CsrEdgeRef &operator[](size_t I) const { return B[I]; }
+
+  private:
+    const CsrEdgeRef *B;
+    const CsrEdgeRef *E;
+  };
+
+  GraphView() = default;
+  GraphView(unsigned NumNodes, unsigned NumEdgeSlots, unsigned NumEdges,
+            const uint32_t *SuccBegin, const CsrEdgeRef *Succ,
+            const uint32_t *PredBegin, const CsrEdgeRef *Pred)
+      : NumNodes(NumNodes), NumEdgeSlots(NumEdgeSlots), NumEdges(NumEdges),
+        SuccBegin(SuccBegin), Succ(Succ), PredBegin(PredBegin), Pred(Pred) {}
+
+  unsigned numNodes() const { return NumNodes; }
+  /// Edge-id space of the source Digraph (including erased slots), for
+  /// sizing EdgeId-indexed side tables.
+  unsigned numEdgeSlots() const { return NumEdgeSlots; }
+  /// Live edges in the view.
+  unsigned numEdges() const { return NumEdges; }
+
+  /// Live out-edges of \p N in insertion order.
+  Range succs(NodeId N) const {
+    assert(N < NumNodes && "node id out of range");
+    return {Succ + SuccBegin[N], Succ + SuccBegin[N + 1]};
+  }
+
+  /// Live in-edges of \p N in edge-insertion order (CsrEdgeRef::Node is
+  /// the *source* of each edge).
+  Range preds(NodeId N) const {
+    assert(N < NumNodes && "node id out of range");
+    return {Pred + PredBegin[N], Pred + PredBegin[N + 1]};
+  }
+
+  unsigned outDegree(NodeId N) const {
+    return static_cast<unsigned>(succs(N).size());
+  }
+  unsigned inDegree(NodeId N) const {
+    return static_cast<unsigned>(preds(N).size());
+  }
+
+  /// The same graph with every edge flipped: succs and preds swap roles.
+  /// Edge ids are preserved (unlike Digraph::reversed(), which renumbers).
+  GraphView reversed() const {
+    return GraphView(NumNodes, NumEdgeSlots, NumEdges, PredBegin, Pred,
+                     SuccBegin, Succ);
+  }
+
+private:
+  unsigned NumNodes = 0;
+  unsigned NumEdgeSlots = 0;
+  unsigned NumEdges = 0;
+  const uint32_t *SuccBegin = nullptr;
+  const CsrEdgeRef *Succ = nullptr;
+  const uint32_t *PredBegin = nullptr;
+  const CsrEdgeRef *Pred = nullptr;
+};
+
+/// Owning CSR snapshot of a Digraph's live edges. Build once per graph,
+/// hand out views. Erased edges are dropped from adjacency but keep their
+/// slot in the EdgeId space (numEdgeSlots()).
+class CsrGraph {
+public:
+  CsrGraph() = default;
+  explicit CsrGraph(const Digraph &G);
+
+  GraphView view() const {
+    return GraphView(NumNodes, NumEdgeSlots, NumEdges, SuccBegin.data(),
+                     Succ.data(), PredBegin.data(), Pred.data());
+  }
+  operator GraphView() const { return view(); }
+
+  unsigned numNodes() const { return NumNodes; }
+  unsigned numEdgeSlots() const { return NumEdgeSlots; }
+  unsigned numEdges() const { return NumEdges; }
+
+private:
+  unsigned NumNodes = 0;
+  unsigned NumEdgeSlots = 0;
+  unsigned NumEdges = 0;
+  std::vector<uint32_t> SuccBegin; ///< NumNodes + 1 offsets into Succ.
+  std::vector<CsrEdgeRef> Succ;
+  std::vector<uint32_t> PredBegin; ///< NumNodes + 1 offsets into Pred.
+  std::vector<CsrEdgeRef> Pred;
+};
+
+} // namespace ptran
+
+#endif // PTRAN_GRAPH_GRAPHVIEW_H

@@ -6,18 +6,22 @@
 
 using namespace ptran;
 
-bool SccResult::isInCycle(const Digraph &G, NodeId N) const {
+bool SccResult::isInCycle(const GraphView &G, NodeId N) const {
   const std::vector<NodeId> &Comp = Members[Component[N]];
   if (Comp.size() > 1)
     return true;
   // Single-node component: cyclic only with a self-loop.
-  for (NodeId Succ : G.successors(N))
-    if (Succ == N)
+  for (const CsrEdgeRef &E : G.succs(N))
+    if (E.Node == N)
       return true;
   return false;
 }
 
-SccResult ptran::computeSccs(const Digraph &G) {
+bool SccResult::isInCycle(const Digraph &G, NodeId N) const {
+  return isInCycle(CsrGraph(G).view(), N);
+}
+
+SccResult ptran::computeSccs(const GraphView &G) {
   unsigned N = G.numNodes();
   SccResult Result;
   Result.Component.assign(N, 0);
@@ -29,13 +33,18 @@ SccResult ptran::computeSccs(const Digraph &G) {
   std::vector<NodeId> Stack;
   unsigned NextIndex = 0;
 
-  // Iterative Tarjan with explicit frames.
+  // Iterative Tarjan with explicit frames over borrowed CSR ranges.
   struct Frame {
     NodeId Node;
-    std::vector<NodeId> Succs;
-    size_t Next = 0;
+    const CsrEdgeRef *Next;
+    const CsrEdgeRef *End;
   };
   std::vector<Frame> Frames;
+
+  auto PushFrame = [&](NodeId Node) {
+    GraphView::Range Out = G.succs(Node);
+    Frames.push_back({Node, Out.begin(), Out.end()});
+  };
 
   for (NodeId Start = 0; Start < N; ++Start) {
     if (Index[Start] != Unvisited)
@@ -43,17 +52,17 @@ SccResult ptran::computeSccs(const Digraph &G) {
     Index[Start] = LowLink[Start] = NextIndex++;
     Stack.push_back(Start);
     OnStack[Start] = true;
-    Frames.push_back({Start, G.successors(Start), 0});
+    PushFrame(Start);
 
     while (!Frames.empty()) {
       Frame &F = Frames.back();
-      if (F.Next < F.Succs.size()) {
-        NodeId Succ = F.Succs[F.Next++];
+      if (F.Next != F.End) {
+        NodeId Succ = (F.Next++)->Node;
         if (Index[Succ] == Unvisited) {
           Index[Succ] = LowLink[Succ] = NextIndex++;
           Stack.push_back(Succ);
           OnStack[Succ] = true;
-          Frames.push_back({Succ, G.successors(Succ), 0});
+          PushFrame(Succ);
         } else if (OnStack[Succ]) {
           LowLink[F.Node] = std::min(LowLink[F.Node], Index[Succ]);
         }
@@ -82,4 +91,8 @@ SccResult ptran::computeSccs(const Digraph &G) {
     }
   }
   return Result;
+}
+
+SccResult ptran::computeSccs(const Digraph &G) {
+  return computeSccs(CsrGraph(G).view());
 }

@@ -103,8 +103,9 @@ IntervalStructure::compute(const Cfg &C, DiagnosticEngine &Diags) {
 
   NodeId Entry = C.entry();
   assert(Entry != InvalidNode && "CFG has no entry");
-  DfsResult Dfs(G, Entry);
-  DominatorTree Dom(G, Entry);
+  CsrGraph Csr(G);
+  DfsResult Dfs(Csr.view(), Entry);
+  DominatorTree Dom(Csr.view(), Entry);
 
   // Group back edges by header, rejecting irreducible retreating edges.
   std::map<NodeId, std::vector<EdgeId>> LatchesByHeader;
@@ -251,14 +252,15 @@ unsigned ptran::splitNodes(Cfg &C, DiagnosticEngine &Diags) {
   // Growth bound: give up rather than explode on adversarial graphs.
   unsigned MaxNodes = C.numNodes() * 8 + 16;
 
-  while (!isReducible(C.graph(), C.entry())) {
+  while (!isReducible(CsrGraph(C.graph()).view(), C.entry())) {
     if (C.numNodes() > MaxNodes) {
       Diags.error("node splitting exceeded its growth budget");
       return Copies;
     }
     const Digraph &G = C.graph();
-    DfsResult Dfs(G, C.entry());
-    DominatorTree Dom(G, C.entry());
+    CsrGraph Csr(G);
+    DfsResult Dfs(Csr.view(), C.entry());
+    DominatorTree Dom(Csr.view(), C.entry());
 
     // Find an offending retreating edge and split its target: the copy
     // takes over all offending retreating in-edges; both keep the

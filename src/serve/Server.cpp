@@ -168,6 +168,8 @@ WireMessage ServeCore::handle(const WireMessage &Request) {
     Resp = handleRun(Request);
   else if (Request.Verb == "estimate")
     Resp = handleEstimate(Request);
+  else if (Request.Verb == "estimate-batch")
+    Resp = handleEstimateBatch(Request);
   else if (Request.Verb == "ingest-profile")
     Resp = handleIngestProfile(Request);
   else if (Request.Verb == "capture-profile")
@@ -348,6 +350,103 @@ WireMessage ServeCore::handleEstimate(const WireMessage &Request) {
     Resp.Params["degrade-reason"] = R.DegradeReason;
   if (R.Quarantined)
     Resp.Params["quarantine-reason"] = R.QuarantineReason;
+  return Resp;
+}
+
+WireMessage ServeCore::handleEstimateBatch(const WireMessage &Request) {
+  std::shared_ptr<SessionEntry> Entry = findSession(Request.param("session"));
+  if (!Entry)
+    return errorResponse("unknown-session", "no session named '" +
+                                                Request.param("session") +
+                                                "'");
+  std::optional<unsigned> Count = parseUnsigned(Request.param("count"));
+  if (!Count || *Count == 0)
+    return errorResponse("bad-request",
+                         "estimate-batch needs count=N (N >= 1), got '" +
+                             Request.param("count") + "'");
+  // Backstop against a malformed client asking for millions of slots; real
+  // batches are tens of functions.
+  constexpr unsigned MaxBatch = 4096;
+  if (*Count > MaxBatch)
+    return errorResponse("bad-request",
+                         "estimate-batch count " + std::to_string(*Count) +
+                             " exceeds the cap of " +
+                             std::to_string(MaxBatch));
+
+  CancelToken Token;
+  bool Armed = false;
+  WireMessage Resp;
+  if (!armRequestToken(Request, Opts.DefaultStepBudget, Token, Armed, Resp))
+    return Resp;
+
+  // A batch-wide `loop-variance` is the default; `loop-variance.I`
+  // overrides it per query.
+  std::optional<LoopVarianceMode> BatchLV;
+  if (Request.hasParam("loop-variance")) {
+    BatchLV = parseLoopVariance(Request.param("loop-variance"));
+    if (!BatchLV)
+      return errorResponse("bad-request",
+                           "unknown loop-variance '" +
+                               Request.param("loop-variance") + "'");
+  }
+
+  std::vector<EstimateRequest> Reqs(*Count);
+  for (unsigned I = 0; I != *Count; ++I) {
+    std::string Key = "function." + std::to_string(I);
+    if (!Request.hasParam(Key))
+      return errorResponse("bad-request",
+                           "estimate-batch count=" + std::to_string(*Count) +
+                               " but parameter '" + Key + "' is missing");
+    Reqs[I].Function = Request.param(Key);
+    Reqs[I].LoopVariance = BatchLV;
+    std::string LVKey = "loop-variance." + std::to_string(I);
+    if (Request.hasParam(LVKey)) {
+      std::optional<LoopVarianceMode> LV =
+          parseLoopVariance(Request.param(LVKey));
+      if (!LV)
+        return errorResponse("bad-request", "unknown loop-variance '" +
+                                                Request.param(LVKey) +
+                                                "' for " + LVKey);
+      Reqs[I].LoopVariance = *LV;
+    }
+  }
+
+  // One session call for the whole batch: the session answers every query
+  // from one coherent analysis snapshot, and shared dirty functions are
+  // recomputed once instead of once per query.
+  std::vector<EstimateResult> Results =
+      Entry->Session->estimate(Reqs, Armed ? &Token : nullptr);
+  bump("serve.estimates", Results.size());
+  bump("serve.estimate-batches");
+
+  // Per-query failures are reported in-band (`ok.I` = 0 plus `error.I`)
+  // so one unknown function does not discard its batch-mates' answers.
+  Resp = okResponse();
+  Resp.Params["count"] = std::to_string(Results.size());
+  unsigned Failed = 0;
+  for (unsigned I = 0; I != Results.size(); ++I) {
+    const EstimateResult &R = Results[I];
+    const std::string Suffix = "." + std::to_string(I);
+    Resp.Params["ok" + Suffix] = R.Ok ? "1" : "0";
+    if (!R.Ok) {
+      ++Failed;
+      Resp.Params["error" + Suffix] = R.Error;
+      Resp.Params["error-code" + Suffix] =
+          Token.expired() ? "timeout" : "estimate-failed";
+      continue;
+    }
+    Resp.Params["function" + Suffix] = R.F ? R.F->name() : Reqs[I].Function;
+    Resp.Params["time" + Suffix] = preciseDouble(R.Time);
+    Resp.Params["var" + Suffix] = preciseDouble(R.Var);
+    Resp.Params["stddev" + Suffix] = preciseDouble(R.StdDev);
+    Resp.Params["degraded" + Suffix] = R.Degraded ? "1" : "0";
+    Resp.Params["quarantined" + Suffix] = R.Quarantined ? "1" : "0";
+    if (R.Degraded)
+      Resp.Params["degrade-reason" + Suffix] = R.DegradeReason;
+    if (R.Quarantined)
+      Resp.Params["quarantine-reason" + Suffix] = R.QuarantineReason;
+  }
+  Resp.Params["failed"] = std::to_string(Failed);
   return Resp;
 }
 

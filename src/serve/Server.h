@@ -100,6 +100,7 @@ private:
   WireMessage handleLoadProgram(const WireMessage &Request);
   WireMessage handleRun(const WireMessage &Request);
   WireMessage handleEstimate(const WireMessage &Request);
+  WireMessage handleEstimateBatch(const WireMessage &Request);
   WireMessage handleIngestProfile(const WireMessage &Request);
   WireMessage handleCaptureProfile(const WireMessage &Request);
   WireMessage handleStats();

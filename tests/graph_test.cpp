@@ -64,7 +64,7 @@ TEST(DepthFirst, ClassifiesEdgesOnDiamondWithLoop) {
   EdgeId Back = G.addEdge(4, 1, 0);
   EdgeId Fwd = G.addEdge(0, 4, 0);
 
-  DfsResult Dfs(G, 0);
+  DfsResult Dfs(CsrGraph(G).view(), 0);
   EXPECT_EQ(Dfs.edgeKind(ToTwo), DfsEdgeKind::Tree);
   EXPECT_EQ(Dfs.edgeKind(Back), DfsEdgeKind::Retreating);
   EXPECT_EQ(Dfs.edgeKind(Fwd), DfsEdgeKind::Forward);
@@ -81,7 +81,7 @@ TEST(DepthFirst, UnreachableNodesAreSkipped) {
   Digraph G(4);
   G.addEdge(0, 1, 0);
   G.addEdge(2, 3, 0); // 2, 3 unreachable from 0.
-  DfsResult Dfs(G, 0);
+  DfsResult Dfs(CsrGraph(G).view(), 0);
   EXPECT_TRUE(Dfs.isReachable(1));
   EXPECT_FALSE(Dfs.isReachable(2));
   EXPECT_EQ(Dfs.numReachable(), 2u);
@@ -93,7 +93,7 @@ TEST(Topological, OrdersDagsAndRejectsCycles) {
   Dag.addEdge(0, 2, 0);
   Dag.addEdge(1, 3, 0);
   Dag.addEdge(2, 3, 0);
-  auto Order = topologicalOrder(Dag);
+  auto Order = topologicalOrder(CsrGraph(Dag).view());
   ASSERT_TRUE(Order.has_value());
   std::vector<unsigned> Pos(4);
   for (unsigned I = 0; I < Order->size(); ++I)
@@ -103,7 +103,7 @@ TEST(Topological, OrdersDagsAndRejectsCycles) {
   EXPECT_LT(Pos[2], Pos[3]);
 
   Dag.addEdge(3, 0, 0);
-  EXPECT_FALSE(topologicalOrder(Dag).has_value());
+  EXPECT_FALSE(topologicalOrder(CsrGraph(Dag).view()).has_value());
 }
 
 /// Random digraph over N nodes, edges kept with probability P, always
@@ -127,9 +127,9 @@ TEST_P(DominatorProperty, MatchesBruteForceOnRandomGraphs) {
   unsigned N = static_cast<unsigned>(R.uniformInt(3, 14));
   Digraph G = randomDigraph(R, N, 0.18);
 
-  DominatorTree Dom(G, 0);
+  DominatorTree Dom(CsrGraph(G).view(), 0);
   std::vector<std::set<NodeId>> Truth = bruteForceDominators(G, 0);
-  DfsResult Dfs(G, 0);
+  DfsResult Dfs(CsrGraph(G).view(), 0);
 
   for (NodeId B = 0; B < N; ++B) {
     if (!Dfs.isReachable(B)) {
@@ -173,7 +173,7 @@ TEST(PostDominators, SimpleDiamond) {
   G.addEdge(0, 2, 0);
   G.addEdge(1, 3, 0);
   G.addEdge(2, 3, 0);
-  DominatorTree Pdt(G, 3, DominatorTree::Direction::Post);
+  DominatorTree Pdt(CsrGraph(G).view(), 3, DominatorTree::Direction::Post);
   EXPECT_TRUE(Pdt.dominates(3, 0));
   EXPECT_TRUE(Pdt.dominates(3, 1));
   EXPECT_FALSE(Pdt.dominates(1, 0));
@@ -187,14 +187,14 @@ TEST(Reducibility, DetectsClassicIrreducibleTriangle) {
   G.addEdge(0, 2, 0);
   G.addEdge(1, 2, 0);
   G.addEdge(2, 1, 0);
-  EXPECT_FALSE(isReducible(G, 0));
+  EXPECT_FALSE(isReducible(CsrGraph(G).view(), 0));
 
   // A natural loop is reducible.
   Digraph L(3);
   L.addEdge(0, 1, 0);
   L.addEdge(1, 2, 0);
   L.addEdge(2, 1, 0);
-  EXPECT_TRUE(isReducible(L, 0));
+  EXPECT_TRUE(isReducible(CsrGraph(L).view(), 0));
 }
 
 TEST(Scc, FindsComponentsInCalleeFirstOrder) {
@@ -204,21 +204,21 @@ TEST(Scc, FindsComponentsInCalleeFirstOrder) {
   G.addEdge(1, 2, 0);
   G.addEdge(2, 1, 0);
   G.addEdge(1, 3, 0);
-  SccResult S = computeSccs(G);
+  SccResult S = computeSccs(CsrGraph(G).view());
   EXPECT_EQ(S.numComponents(), 3u);
   EXPECT_EQ(S.Component[1], S.Component[2]);
   EXPECT_NE(S.Component[0], S.Component[1]);
   // Callee-first: an edge A -> B implies Component[A] > Component[B].
   EXPECT_GT(S.Component[0], S.Component[1]);
   EXPECT_GT(S.Component[1], S.Component[3]);
-  EXPECT_TRUE(S.isInCycle(G, 1));
-  EXPECT_FALSE(S.isInCycle(G, 0));
+  EXPECT_TRUE(S.isInCycle(CsrGraph(G).view(), 1));
+  EXPECT_FALSE(S.isInCycle(CsrGraph(G).view(), 0));
 
   // Self loops count as cycles.
   Digraph Self(1);
   Self.addEdge(0, 0, 0);
-  SccResult S2 = computeSccs(Self);
-  EXPECT_TRUE(S2.isInCycle(Self, 0));
+  SccResult S2 = computeSccs(CsrGraph(Self).view());
+  EXPECT_TRUE(S2.isInCycle(CsrGraph(Self).view(), 0));
 }
 
 class SccProperty : public ::testing::TestWithParam<uint64_t> {};
@@ -227,7 +227,7 @@ TEST_P(SccProperty, ComponentNumberingIsReverseTopological) {
   Rng R(GetParam());
   unsigned N = static_cast<unsigned>(R.uniformInt(3, 16));
   Digraph G = randomDigraph(R, N, 0.15);
-  SccResult S = computeSccs(G);
+  SccResult S = computeSccs(CsrGraph(G).view());
   for (NodeId A = 0; A < N; ++A)
     for (NodeId B : G.successors(A))
       if (S.Component[A] != S.Component[B]) {
@@ -235,7 +235,7 @@ TEST_P(SccProperty, ComponentNumberingIsReverseTopological) {
       }
   // Mutual reachability iff same component.
   for (NodeId A = 0; A < N; ++A) {
-    DfsResult FromA(G, A);
+    DfsResult FromA(CsrGraph(G).view(), A);
     for (NodeId B = 0; B < N; ++B) {
       if (S.Component[A] != S.Component[B])
         continue;

@@ -222,7 +222,7 @@ TEST(NodeSplitting, MakesIrreducibleGraphsReducible) {
   unsigned Copies = splitNodes(C, Diags);
   EXPECT_GT(Copies, 0u);
   EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
-  EXPECT_TRUE(isReducible(C.graph(), C.entry()));
+  EXPECT_TRUE(isReducible(CsrGraph(C.graph()).view(), C.entry()));
   // And the interval structure now computes.
   EXPECT_TRUE(IntervalStructure::compute(C, Diags).has_value())
       << Diags.str();

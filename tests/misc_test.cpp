@@ -70,7 +70,7 @@ TEST(NodeSplittingProperty, RandomIrreducibleGraphsBecomeReducible) {
     unsigned Copies = splitNodes(C, Diags);
     if (Diags.hasErrors())
       continue; // Growth budget exceeded: allowed, just not silent.
-    EXPECT_TRUE(isReducible(C.graph(), C.entry()))
+    EXPECT_TRUE(isReducible(CsrGraph(C.graph()).view(), C.entry()))
         << "seed " << Seed << " after " << Copies << " copies";
     EXPECT_TRUE(IntervalStructure::compute(C, Diags).has_value())
         << "seed " << Seed << "\n"

@@ -181,6 +181,129 @@ TEST(ServeCoreTest, LoadRunEstimateCaptureIngest) {
   EXPECT_EQ(Est2.param("time"), Est.param("time"));
 }
 
+TEST(ServeCoreTest, EstimateBatchRoundTripsAndMatchesSingleEstimates) {
+  ServeOptions Opts;
+  ServeCore Core(Opts);
+  loadAndRun(Core, "s0");
+
+  // Reference: two single estimates.
+  WireMessage EstMain = makeRequest("estimate", "s0");
+  EstMain.Params["function"] = "main";
+  WireMessage MainResp = Core.handle(EstMain);
+  ASSERT_EQ(MainResp.Verb, "ok") << MainResp.param("message");
+  WireMessage EstLeaf = makeRequest("estimate", "s0");
+  EstLeaf.Params["function"] = "leaf";
+  WireMessage LeafResp = Core.handle(EstLeaf);
+  ASSERT_EQ(LeafResp.Verb, "ok") << LeafResp.param("message");
+
+  // The batch goes through the frame codec (indexed params survive the
+  // wire) before it reaches the core.
+  WireMessage Batch = makeRequest("estimate-batch", "s0");
+  Batch.Params["count"] = "2";
+  Batch.Params["function.0"] = "main";
+  Batch.Params["function.1"] = "leaf";
+  std::string Error;
+  std::optional<std::vector<uint8_t>> Frame = encodeFrame(Batch, Error);
+  ASSERT_TRUE(Frame) << Error;
+  std::optional<WireMessage> Decoded =
+      decodeFrame(Frame->data(), Frame->size(), Error);
+  ASSERT_TRUE(Decoded) << Error;
+  ASSERT_EQ(Decoded->Params, Batch.Params);
+
+  WireMessage Resp = Core.handle(*Decoded);
+  ASSERT_EQ(Resp.Verb, "ok") << Resp.param("message");
+  EXPECT_EQ(Resp.param("count"), "2");
+  EXPECT_EQ(Resp.param("failed"), "0");
+  EXPECT_EQ(Resp.param("ok.0"), "1");
+  EXPECT_EQ(Resp.param("ok.1"), "1");
+  EXPECT_EQ(Resp.param("function.0"), "main");
+  EXPECT_EQ(Resp.param("function.1"), "leaf");
+  // Full-precision rendering: the batch answers are byte-identical to the
+  // single-estimate responses.
+  for (const char *Key : {"time", "var", "stddev", "degraded",
+                          "quarantined"}) {
+    EXPECT_EQ(Resp.param(std::string(Key) + ".0"), MainResp.param(Key))
+        << Key;
+    EXPECT_EQ(Resp.param(std::string(Key) + ".1"), LeafResp.param(Key))
+        << Key;
+  }
+
+  // The response itself round-trips the codec too.
+  std::optional<std::vector<uint8_t>> RespFrame = encodeFrame(Resp, Error);
+  ASSERT_TRUE(RespFrame) << Error;
+  std::optional<WireMessage> RespBack =
+      decodeFrame(RespFrame->data(), RespFrame->size(), Error);
+  ASSERT_TRUE(RespBack) << Error;
+  EXPECT_EQ(RespBack->Params, Resp.Params);
+}
+
+TEST(ServeCoreTest, EstimateBatchReportsPerItemFailures) {
+  ServeOptions Opts;
+  ServeCore Core(Opts);
+  loadAndRun(Core, "s0");
+
+  WireMessage Batch = makeRequest("estimate-batch", "s0");
+  Batch.Params["count"] = "3";
+  Batch.Params["function.0"] = "leaf";
+  Batch.Params["function.1"] = "nosuchfn";
+  Batch.Params["function.2"] = "main";
+  WireMessage Resp = Core.handle(Batch);
+  // One bad function does not discard its batch-mates' answers.
+  ASSERT_EQ(Resp.Verb, "ok") << Resp.param("message");
+  EXPECT_EQ(Resp.param("count"), "3");
+  EXPECT_EQ(Resp.param("failed"), "1");
+  EXPECT_EQ(Resp.param("ok.0"), "1");
+  EXPECT_EQ(Resp.param("ok.1"), "0");
+  EXPECT_EQ(Resp.param("ok.2"), "1");
+  EXPECT_EQ(Resp.param("error-code.1"), "estimate-failed");
+  EXPECT_NE(Resp.param("error.1").find("nosuchfn"), std::string::npos)
+      << Resp.param("error.1");
+  EXPECT_FALSE(Resp.hasParam("time.1"));
+  EXPECT_GT(std::stod(Resp.param("time.2")), 0.0);
+}
+
+TEST(ServeCoreTest, EstimateBatchValidatesItsShape) {
+  ServeOptions Opts;
+  ServeCore Core(Opts);
+  loadAndRun(Core, "s0");
+
+  // Missing / zero / garbage count.
+  for (const char *Count : {"", "0", "three"}) {
+    WireMessage Batch = makeRequest("estimate-batch", "s0");
+    if (*Count)
+      Batch.Params["count"] = Count;
+    WireMessage Resp = Core.handle(Batch);
+    EXPECT_EQ(Resp.Verb, "error") << Count;
+    EXPECT_EQ(Resp.param("code"), "bad-request") << Count;
+  }
+
+  // count promises more slots than were sent.
+  WireMessage Short = makeRequest("estimate-batch", "s0");
+  Short.Params["count"] = "2";
+  Short.Params["function.0"] = "main";
+  WireMessage Resp = Core.handle(Short);
+  EXPECT_EQ(Resp.Verb, "error");
+  EXPECT_NE(Resp.param("message").find("function.1"), std::string::npos)
+      << Resp.param("message");
+
+  // Per-index loop-variance is validated like the single-estimate one.
+  WireMessage BadLV = makeRequest("estimate-batch", "s0");
+  BadLV.Params["count"] = "1";
+  BadLV.Params["function.0"] = "main";
+  BadLV.Params["loop-variance.0"] = "sideways";
+  Resp = Core.handle(BadLV);
+  EXPECT_EQ(Resp.Verb, "error");
+  EXPECT_EQ(Resp.param("code"), "bad-request");
+
+  // Unknown session fails before any parsing.
+  WireMessage NoSession = makeRequest("estimate-batch", "nowhere");
+  NoSession.Params["count"] = "1";
+  NoSession.Params["function.0"] = "main";
+  Resp = Core.handle(NoSession);
+  EXPECT_EQ(Resp.Verb, "error");
+  EXPECT_EQ(Resp.param("code"), "unknown-session");
+}
+
 TEST(ServeCoreTest, ErrorsAreStructured) {
   ServeOptions Opts;
   ServeCore Core(Opts);

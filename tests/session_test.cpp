@@ -580,4 +580,31 @@ TEST(EstimationSession, IngestReportsObservabilityCounters) {
   EXPECT_EQ(Obs.counterValue("session.ingest.quarantined"), 1u);
 }
 
+TEST(EstimationSession, CsrSweepDoesNotAllocateOnWarmQueries) {
+  // The CSR kernel's TIME/VAR sweep runs on preallocated arena arrays and
+  // dense buffers; the cost.hotpath.allocs counter (fed by the global
+  // operator-new hook around the sweep) proves zero heap allocations per
+  // query — cold and warm alike.
+  std::unique_ptr<Program> Prog = parseDiamond();
+  ObsRegistry Obs;
+  DiagnosticEngine Diags;
+  auto S = runSession(*Prog, 1, Diags, BadProfilePolicy::Quarantine, &Obs);
+  ASSERT_NE(S, nullptr);
+
+  EstimateResult Cold = S->estimateEntry();
+  ASSERT_TRUE(Cold.Ok) << Cold.Error;
+  EXPECT_GT(S->lastEvaluations(), 0u);
+  EXPECT_EQ(Obs.counterValue("cost.hotpath.allocs"), 0u);
+
+  // Warm path: dirty one leaf so the next query re-sweeps {leafa, mid,
+  // main}; the sweep itself must still be allocation-free.
+  const Function *Leaf = Prog->findFunction("leafa");
+  ASSERT_NE(Leaf, nullptr);
+  S->accumulateTotals(*Leaf, invocationDelta(*S, *Leaf));
+  EstimateResult Warm = S->estimateEntry();
+  ASSERT_TRUE(Warm.Ok) << Warm.Error;
+  EXPECT_GT(S->lastEvaluations(), 0u);
+  EXPECT_EQ(Obs.counterValue("cost.hotpath.allocs"), 0u);
+}
+
 } // namespace
