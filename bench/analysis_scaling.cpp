@@ -15,6 +15,7 @@
 #include "obs/Observability.h"
 #include "session/EstimationSession.h"
 #include "cost/TimeAnalysis.h"
+#include "stream/DeltaStream.h"
 #include "support/FatalError.h"
 #include "freq/Frequencies.h"
 #include "profile/CounterPlan.h"
@@ -24,9 +25,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
 using namespace ptran;
 
@@ -630,6 +633,89 @@ void printProfileIngestionTable() {
   std::printf("%s\n", T.str().c_str());
 }
 
+// Streaming counter ingest: N writer threads firehosing deltas into a
+// CounterDeltaStream's sharded atomic cells, a periodic flusher folding
+// each sealed epoch into the session, and 0 / 1 / Q query threads
+// re-estimating concurrently. The updates/s column is the sustained
+// append rate measured over the writers' whole lifetime — the acceptance
+// gate watches it stay above 1M/s even with concurrent queries.
+void printStreamingIngestTable() {
+  constexpr unsigned Funcs = 255;
+  constexpr unsigned Writers = 4;
+  constexpr uint64_t OpsPerWriter = 250000;
+  std::unique_ptr<Program> Prog = makeManyFunctionProgram(Funcs, 3);
+  CostModel CM = CostModel::optimizing();
+
+  std::printf("=== Streaming counter ingest (%u functions, %u writers, "
+              "%llu updates) ===\n",
+              Funcs, Writers,
+              static_cast<unsigned long long>(Writers * OpsPerWriter));
+  TablePrinter T({"query threads", "wall [ms]", "updates/s", "epochs",
+                  "queries"});
+  for (unsigned QueryThreads : {0u, 1u, 4u}) {
+    DiagnosticEngine Diags;
+    auto S = EstimationSession::create(*Prog, CM,
+                                       EstimatorOptions(Diags).jobs(4));
+    if (!S || !S->profiledRun().Ok)
+      reportFatalError("session setup failed for streaming bench");
+    if (!S->estimateEntry().Ok)
+      reportFatalError("warm-up estimate failed");
+    auto Stream = CounterDeltaStream::create(*S);
+    const unsigned NumFns = Stream->numFunctions();
+
+    std::atomic<bool> WritersDone{false};
+    std::atomic<uint64_t> Queries{0};
+    auto Start = std::chrono::steady_clock::now();
+    {
+      std::vector<std::jthread> Pool;
+      // The flusher seals an epoch every millisecond until the writers
+      // retire, then drains whatever is left in one final epoch.
+      Pool.emplace_back([&] {
+        while (!WritersDone.load(std::memory_order_acquire)) {
+          Stream->flush();
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        Stream->flush();
+      });
+      for (unsigned Q = 0; Q < QueryThreads; ++Q)
+        Pool.emplace_back([&] {
+          while (!WritersDone.load(std::memory_order_acquire)) {
+            if (!S->estimateEntry().Ok)
+              reportFatalError("concurrent estimate failed");
+            Queries.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      {
+        std::vector<std::jthread> WriterPool;
+        for (unsigned W = 0; W < Writers; ++W)
+          WriterPool.emplace_back([&, W] {
+            CounterDeltaStream::Writer Wr = Stream->acquireWriter();
+            if (!Wr)
+              reportFatalError("no writer slot free");
+            for (uint64_t I = 0; I < OpsPerWriter; ++I)
+              Wr.add((W + I) % NumFns, 0, 1.0);
+          });
+      }
+      WritersDone.store(true, std::memory_order_release);
+    }
+    auto End = std::chrono::steady_clock::now();
+    double Wall = std::chrono::duration<double>(End - Start).count();
+    CounterDeltaStream::Stats St = Stream->stats();
+    if (St.Appended != Writers * OpsPerWriter || St.Dropped != 0)
+      reportFatalError("streaming bench lost updates");
+
+    char WallMs[32], Rate[32];
+    std::snprintf(WallMs, sizeof(WallMs), "%.1f", Wall * 1e3);
+    std::snprintf(Rate, sizeof(Rate), "%.2fM",
+                  static_cast<double>(St.Appended) / Wall / 1e6);
+    T.addRow({std::to_string(QueryThreads), WallMs, Rate,
+              std::to_string(static_cast<unsigned long long>(St.Epochs)),
+              std::to_string(static_cast<unsigned long long>(
+                  Queries.load()))});
+  }
+  std::printf("%s\n", T.str().c_str());
+}
+
 void printStaticScalingTable() {
   std::printf("=== Ablation A2: representation sizes vs program size ===\n");
   TablePrinter T({"units", "stmts", "ecfg nodes", "fcdg edges",
@@ -658,6 +744,7 @@ int main(int Argc, char **Argv) {
   printObservabilityOverheadTable();
   printCancellationOverheadTable();
   printProfileIngestionTable();
+  printStreamingIngestTable();
   benchmark::Initialize(&Argc, Argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -15,8 +15,11 @@
 # the dedicated *_tsan / *_ubsan ctest entries with halt-on-error runtime
 # options on top of the full suite. Every preset also runs the serve_smoke
 # end-to-end check (ptran-serve + ptran-bench-client over a scratch
-# socket); under tsan the serve_test concurrency suite reruns with
-# halt_on_error to certify the daemon core's locking.
+# socket); under tsan the serve_test and stream_test concurrency suites
+# rerun with halt_on_error to certify the daemon core's locking and the
+# streaming ingest epoch protocol (multi-writer appends racing the
+# flusher and concurrent estimate queries); under ubsan stream_test
+# reruns to certify the cell-index arithmetic and LE record decoding.
 #
 #===----------------------------------------------------------------------===#
 

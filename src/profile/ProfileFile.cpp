@@ -7,6 +7,7 @@
 #include "profile/ProfileFile.h"
 
 #include "support/FaultInjection.h"
+#include "support/Saturation.h"
 
 #include <algorithm>
 #include <array>
@@ -183,18 +184,6 @@ bool parsePayload(const uint8_t *Data, size_t Size, FunctionSection &S) {
     return false;
   }
   return true;
-}
-
-/// Adds \p Delta to \p Acc, clamping at ProfileFile::SaturationLimit.
-/// \returns true when the clamp was applied.
-bool saturatingAdd(double &Acc, double Delta) {
-  double Sum = Acc + Delta;
-  if (Sum > ProfileFile::SaturationLimit) {
-    Acc = ProfileFile::SaturationLimit;
-    return true;
-  }
-  Acc = Sum;
-  return false;
 }
 
 } // namespace

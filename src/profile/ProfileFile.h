@@ -41,6 +41,7 @@
 #include "profile/ProfileRuntime.h"
 #include "support/Diagnostics.h"
 #include "support/Retry.h"
+#include "support/Saturation.h"
 
 #include <cstdint>
 #include <optional>
@@ -100,9 +101,10 @@ class ProfileFile {
 public:
   static constexpr uint32_t MagicValue = 0x46505450; // "PTPF" little-endian.
   static constexpr uint32_t CurrentVersion = 1;
-  /// 2^53: the largest integer count a double holds exactly. Merges clamp
-  /// here (with a diagnostic) instead of silently losing precision.
-  static constexpr double SaturationLimit = 9007199254740992.0;
+  /// Alias of support/Saturation.h's CounterSaturationLimit (2^53), kept
+  /// on the class for existing callers; merges clamp here (with a
+  /// diagnostic) instead of silently losing precision.
+  static constexpr double SaturationLimit = CounterSaturationLimit;
 
   ProfileFile() = default;
 

@@ -10,8 +10,11 @@
 #include "support/StringUtils.h"
 #include "workloads/Workloads.h"
 
+#include <bit>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string_view>
 
 using namespace ptran;
 using namespace ptran::serve;
@@ -170,6 +173,8 @@ WireMessage ServeCore::handle(const WireMessage &Request) {
     Resp = handleEstimate(Request);
   else if (Request.Verb == "estimate-batch")
     Resp = handleEstimateBatch(Request);
+  else if (Request.Verb == "stream-deltas")
+    Resp = handleStreamDeltas(Request);
   else if (Request.Verb == "ingest-profile")
     Resp = handleIngestProfile(Request);
   else if (Request.Verb == "capture-profile")
@@ -411,6 +416,26 @@ WireMessage ServeCore::handleEstimateBatch(const WireMessage &Request) {
     }
   }
 
+  // Keys indexed at or past `count` would be silently dropped, and the
+  // caller's queries and our answers would no longer line up one-to-one;
+  // reject the disagreement instead of returning a misaligned response.
+  for (const auto &[Key, Value] : Request.Params) {
+    std::string_view K = Key;
+    for (std::string_view Prefix : {"function.", "loop-variance."}) {
+      if (K.size() <= Prefix.size() || K.substr(0, Prefix.size()) != Prefix)
+        continue;
+      std::optional<unsigned> Index =
+          parseUnsigned(std::string(K.substr(Prefix.size())));
+      if (!Index || *Index >= *Count)
+        return errorResponse(
+            "bad-request", "estimate-batch count=" + std::to_string(*Count) +
+                               " but parameter '" + Key +
+                               "' is outside indices 0.." +
+                               std::to_string(*Count - 1) +
+                               "; count disagrees with the keys sent");
+    }
+  }
+
   // One session call for the whole batch: the session answers every query
   // from one coherent analysis snapshot, and shared dirty functions are
   // recomputed once instead of once per query.
@@ -447,6 +472,101 @@ WireMessage ServeCore::handleEstimateBatch(const WireMessage &Request) {
       Resp.Params["quarantine-reason" + Suffix] = R.QuarantineReason;
   }
   Resp.Params["failed"] = std::to_string(Failed);
+  return Resp;
+}
+
+/// One stream-deltas record: u32 LE function index | u32 LE condition
+/// index | f64 LE delta.
+static constexpr size_t StreamRecordSize = 16;
+
+static uint32_t readU32LE(const uint8_t *B) {
+  return static_cast<uint32_t>(B[0]) | (static_cast<uint32_t>(B[1]) << 8) |
+         (static_cast<uint32_t>(B[2]) << 16) |
+         (static_cast<uint32_t>(B[3]) << 24);
+}
+
+static double readF64LE(const uint8_t *B) {
+  uint64_t V = 0;
+  for (int I = 7; I >= 0; --I)
+    V = (V << 8) | B[I];
+  return std::bit_cast<double>(V);
+}
+
+WireMessage ServeCore::handleStreamDeltas(const WireMessage &Request) {
+  std::shared_ptr<SessionEntry> Entry = findSession(Request.param("session"));
+  if (!Entry)
+    return errorResponse("unknown-session", "no session named '" +
+                                                Request.param("session") +
+                                                "'");
+  // Lazily build the session's stream; StreamMu covers only this
+  // construction race, never the append or flush paths.
+  CounterDeltaStream *Stream;
+  {
+    std::lock_guard<std::mutex> L(Entry->StreamMu);
+    if (!Entry->Stream) {
+      CounterDeltaStream::Options SO;
+      SO.Obs = Opts.Obs;
+      Entry->Stream = CounterDeltaStream::create(*Entry->Session, SO);
+    }
+    Stream = Entry->Stream.get();
+  }
+
+  // describe=1: serve the cell-address table clients encode records
+  // against (function index in stream order, condition count per row).
+  if (Request.param("describe") == "1") {
+    WireMessage Resp = okResponse();
+    Resp.Params["functions"] = std::to_string(Stream->numFunctions());
+    for (unsigned I = 0; I != Stream->numFunctions(); ++I) {
+      const std::string Suffix = "." + std::to_string(I);
+      Resp.Params["function" + Suffix] = Stream->functionAt(I)->name();
+      Resp.Params["conditions" + Suffix] =
+          std::to_string(Stream->numConditions(I));
+    }
+    Resp.Params["epoch"] = std::to_string(Stream->currentEpoch());
+    return Resp;
+  }
+
+  if (Request.Body.size() % StreamRecordSize != 0)
+    return errorResponse(
+        "bad-request",
+        "stream-deltas body is " + std::to_string(Request.Body.size()) +
+            " bytes, not a multiple of the " +
+            std::to_string(StreamRecordSize) +
+            "-byte record (u32 function | u32 condition | f64 delta)");
+
+  uint64_t Appended = 0, Dropped = 0;
+  if (!Request.Body.empty()) {
+    CounterDeltaStream::Writer W = Stream->acquireWriter();
+    if (!W)
+      return errorResponse("overloaded",
+                           "all stream writer slots are in use; retry");
+    const uint8_t *B = reinterpret_cast<const uint8_t *>(Request.Body.data());
+    for (size_t Off = 0; Off < Request.Body.size();
+         Off += StreamRecordSize) {
+      uint32_t FuncIdx = readU32LE(B + Off);
+      uint32_t CondIdx = readU32LE(B + Off + 4);
+      double Delta = readF64LE(B + Off + 8);
+      if (W.add(FuncIdx, CondIdx, Delta))
+        ++Appended;
+      else
+        ++Dropped;
+    }
+  }
+  bump("serve.stream-deltas");
+
+  WireMessage Resp = okResponse();
+  Resp.Params["appended"] = std::to_string(Appended);
+  Resp.Params["dropped"] = std::to_string(Dropped);
+  if (Request.param("flush") == "1") {
+    // Seal the epoch and fold it into the session as one atomic batch;
+    // the next estimate on this session re-runs only the dirty closure.
+    CounterDeltaStream::FlushReport FR = Stream->flush();
+    Resp.Params["epoch"] = std::to_string(FR.Epoch);
+    Resp.Params["flushed-functions"] = std::to_string(FR.Functions);
+    Resp.Params["flushed-cells"] = std::to_string(FR.Cells);
+  } else {
+    Resp.Params["epoch"] = std::to_string(Stream->currentEpoch());
+  }
   return Resp;
 }
 

@@ -32,6 +32,7 @@
 #include "obs/Observability.h"
 #include "serve/Protocol.h"
 #include "session/EstimationSession.h"
+#include "stream/DeltaStream.h"
 #include "support/Cancellation.h"
 
 #include <cstdint>
@@ -92,6 +93,13 @@ private:
     /// Diags points here), so the session lock covers them.
     DiagnosticEngine Diags;
     std::unique_ptr<EstimationSession> Session;
+    /// Streaming-ingest cells over this session, built lazily by the
+    /// first stream-deltas request (most sessions never stream).
+    /// StreamMu guards only the lazy construction; the stream itself is
+    /// its own synchronization domain (lock-free writers, serialized
+    /// flushers).
+    std::mutex StreamMu;
+    std::unique_ptr<CounterDeltaStream> Stream;
     uint64_t MemBytes = 0;
     /// Logical LRU stamp (registry clock value of the last touch).
     uint64_t LastUsed = 0;
@@ -101,6 +109,7 @@ private:
   WireMessage handleRun(const WireMessage &Request);
   WireMessage handleEstimate(const WireMessage &Request);
   WireMessage handleEstimateBatch(const WireMessage &Request);
+  WireMessage handleStreamDeltas(const WireMessage &Request);
   WireMessage handleIngestProfile(const WireMessage &Request);
   WireMessage handleCaptureProfile(const WireMessage &Request);
   WireMessage handleStats();

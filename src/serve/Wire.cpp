@@ -97,7 +97,11 @@ static bool writeAll(int Fd, const uint8_t *Data, size_t Size,
 }
 
 /// 1 = filled, 0 = clean EOF before the first byte, -1 = error/short EOF.
-static int readAll(int Fd, uint8_t *Data, size_t Size, std::string &Error) {
+/// A short EOF (the peer closed after some but not all of \p Size bytes of
+/// \p What) produces a structured "truncated frame" error naming the byte
+/// counts; the partially-filled buffer is never handed onward.
+static int readAll(int Fd, uint8_t *Data, size_t Size, const char *What,
+                   std::string &Error) {
   size_t Got = 0;
   while (Got < Size) {
     ssize_t N = ::recv(Fd, Data + Got, Size - Got, 0);
@@ -110,7 +114,8 @@ static int readAll(int Fd, uint8_t *Data, size_t Size, std::string &Error) {
     if (N == 0) {
       if (Got == 0)
         return 0;
-      Error = "peer closed the connection mid-frame";
+      Error = "truncated frame: peer closed after " + std::to_string(Got) +
+              " of " + std::to_string(Size) + " " + What + " bytes";
       return -1;
     }
     Got += static_cast<size_t>(N);
@@ -133,7 +138,7 @@ bool serve::writeFrame(int Fd, const WireMessage &M, std::string &Error) {
 
 int serve::readFrame(int Fd, WireMessage &M, std::string &Error) {
   uint8_t Prefix[4];
-  int Rc = readAll(Fd, Prefix, sizeof(Prefix), Error);
+  int Rc = readAll(Fd, Prefix, sizeof(Prefix), "length-prefix", Error);
   if (Rc <= 0)
     return Rc;
   uint32_t Len = static_cast<uint32_t>(Prefix[0]) |
@@ -146,10 +151,17 @@ int serve::readFrame(int Fd, WireMessage &M, std::string &Error) {
     return -1;
   }
   std::vector<uint8_t> Payload(Len);
-  if (Len > 0 && readAll(Fd, Payload.data(), Len, Error) != 1) {
-    if (Error.empty())
-      Error = "peer closed the connection mid-frame";
-    return -1;
+  if (Len > 0) {
+    int PayloadRc = readAll(Fd, Payload.data(), Len, "payload", Error);
+    if (PayloadRc != 1) {
+      // A clean EOF here still truncates the frame: the prefix promised
+      // Len payload bytes and none arrived. Nothing partial ever reaches
+      // the codec.
+      if (PayloadRc == 0)
+        Error = "truncated frame: peer closed after 0 of " +
+                std::to_string(Len) + " payload bytes";
+      return -1;
+    }
   }
   std::optional<WireMessage> Decoded =
       decodeFrame(Payload.data(), Payload.size(), Error);

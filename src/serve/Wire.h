@@ -38,7 +38,11 @@ bool writeFrame(int Fd, const WireMessage &M, std::string &Error);
 
 /// Reads one frame into \p M. Returns 1 on success, 0 on clean EOF before
 /// any byte of a frame (the peer hung up between messages), -1 (with
-/// \p Error set) on a malformed frame or IO failure.
+/// \p Error set) on a malformed frame or IO failure. A peer that closes
+/// mid-frame — after part of the 4-byte length prefix, or before the
+/// prefix's promised payload bytes all arrive — yields a structured
+/// "truncated frame: peer closed after N of M ... bytes" error; a
+/// partially-filled buffer is never handed to the codec.
 int readFrame(int Fd, WireMessage &M, std::string &Error);
 
 } // namespace serve

@@ -4,6 +4,7 @@
 
 #include "freq/StaticFrequencies.h"
 #include "profile/ConsistencyCheck.h"
+#include "support/Saturation.h"
 
 #include <bit>
 #include <cmath>
@@ -100,10 +101,29 @@ void EstimationSession::accumulateTotalsLocked(const Function &F,
     }
     return; // Reject the whole delta; good entries must not half-apply.
   }
+  // Each delta is bounded, but an unbounded stream of bounded deltas is
+  // not: clamp the accumulator at 2^53 exactly as the PTPF merge does, so
+  // repeated valid deltas degrade to a diagnosed lower bound instead of a
+  // silently imprecise double.
   std::map<ControlCondition, double> &Acc = External[&F];
+  bool Saturated = false;
   for (const auto &[Cond, Total] : Delta.Cond)
-    Acc[Cond] += Total;
+    Saturated |= saturatingAdd(Acc[Cond], Total);
+  if (Saturated)
+    noteSaturation(F);
   ExternalDirty.insert(&F);
+}
+
+void EstimationSession::accumulateTotalsBatch(
+    const std::vector<std::pair<const Function *, FrequencyTotals>> &Deltas) {
+  std::lock_guard<std::mutex> L(Mu);
+  for (const auto &[F, Delta] : Deltas)
+    accumulateTotalsLocked(*F, Delta);
+}
+
+void EstimationSession::noteExternalSaturation(const Function &F) {
+  std::lock_guard<std::mutex> L(Mu);
+  noteSaturation(F);
 }
 
 uint64_t EstimationSession::inputKeyOf(const Function &F,
@@ -171,6 +191,19 @@ void EstimationSession::quarantine(const Function &F,
                         "; estimates degrade to static frequencies");
 }
 
+void EstimationSession::noteSaturation(const Function &F) {
+  // Once per function, mirroring the PTPF merge diagnostic: from here on
+  // this function's totals (and estimates derived from them) are lower
+  // bounds, not exact counts.
+  if (!SaturatedFns.insert(&F).second)
+    return;
+  if (ObsRegistry *Obs = Opts.Obs.Registry)
+    Obs->addCounter("session.saturated_functions");
+  if (Opts.Diags)
+    Opts.Diags->warning("accumulate: totals for " + F.name() +
+                        " saturated at 2^53; totals are now lower bounds");
+}
+
 void EstimationSession::degradeForDeadline(const Function &F,
                                            const std::string &Reason) {
   // First reason wins within a query. Unlike quarantine this is not
@@ -211,8 +244,13 @@ std::string EstimationSession::refreshFunction(const Function &F,
   auto It = External.find(&F);
   bool HasExternal = It != External.end() && !It->second.empty();
   if (HasExternal) {
+    // Base and the external accumulator are each bounded by 2^53, but
+    // their sum is not; clamp it with the same lower-bounds diagnostic.
+    bool Saturated = false;
     for (const auto &[Cond, Total] : It->second)
-      Totals.Cond[Cond] += Total;
+      Saturated |= saturatingAdd(Totals.Cond[Cond], Total);
+    if (Saturated)
+      noteSaturation(F);
     // Node totals follow from condition totals via the FCDG recurrence.
     Totals.Node = nodeTotalsFromConds(Est->analysis().of(F), Totals.Cond);
     // Each delta was value-checked on arrival, but their sum can still

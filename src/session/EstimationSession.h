@@ -64,6 +64,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ptran {
@@ -157,6 +158,21 @@ public:
   /// session's BadProfilePolicy. Complete profiles should arrive through
   /// ingestProfile(), which additionally checks the paper's Σ identities.
   void accumulateTotals(const Function &F, const FrequencyTotals &Delta);
+
+  /// Folds many functions' deltas under ONE lock acquisition, so a
+  /// concurrent estimate() either sees none of the batch or all of it —
+  /// never a torn half-batch. This is the consistency primitive the
+  /// streaming ingest epoch flush is built on: one epoch = one batch.
+  /// Per-entry validation and saturation behave exactly as
+  /// accumulateTotals.
+  void accumulateTotalsBatch(
+      const std::vector<std::pair<const Function *, FrequencyTotals>> &Deltas);
+
+  /// Records that an external producer (e.g. the streaming ingest fold)
+  /// clamped \p F's counter totals at 2^53 before handing them over, so the
+  /// session's own accumulator never saw the overflow. Emits the same
+  /// once-per-function "lower bounds" diagnostic as internal saturation.
+  void noteExternalSaturation(const Function &F);
 
   /// Validates and folds a loaded profile file. Program fingerprint and
   /// counter mode must match the session's (whole-profile failure
@@ -287,6 +303,9 @@ private:
   /// Marks \p F quarantined (first reason wins) and schedules its switch
   /// to static frequencies.
   void quarantine(const Function &F, const std::string &Reason);
+  /// Emits the once-per-function "totals saturated at 2^53; lower bounds"
+  /// warning (same contract as the PTPF merge diagnostic).
+  void noteSaturation(const Function &F);
   /// Switches \p F to static frequencies for the current query because
   /// the token expired under DeadlinePolicy::Degrade (non-sticky; lifted
   /// at the start of the next estimate() call).
@@ -334,6 +353,9 @@ private:
   /// deltas failed validation (queries fail until the data is repaired;
   /// under Quarantine the function is quarantined instead).
   std::map<const Function *, std::string> ExternalBad;
+  /// Functions whose accumulated totals have clamped at 2^53 (diagnostic
+  /// already emitted; estimates are lower bounds from then on).
+  std::set<const Function *> SaturatedFns;
 
   uint64_t LastEvals = 0;
   uint64_t TotalEvals = 0;

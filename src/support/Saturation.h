@@ -1,0 +1,43 @@
+//===--- support/Saturation.h - Saturating counter arithmetic ---*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counter totals live in doubles, which hold integers exactly only up to
+/// 2^53. Every accumulation path that can grow without bound — the PTPF
+/// multi-run merge, a session's externally accumulated deltas, the
+/// streaming ingest cells — clamps there instead of silently losing
+/// integer precision, and tells the user that totals are now lower
+/// bounds. This header is the one definition of that limit and of the
+/// clamping add, so the clamp (and its diagnostic wording) cannot drift
+/// between subsystems.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_SUPPORT_SATURATION_H
+#define PTRAN_SUPPORT_SATURATION_H
+
+namespace ptran {
+
+/// 2^53: the largest integer count a double holds exactly. Accumulators
+/// clamp here (with a diagnostic) instead of silently losing precision.
+inline constexpr double CounterSaturationLimit = 9007199254740992.0;
+
+/// Adds \p Delta to \p Acc, clamping at CounterSaturationLimit.
+/// \returns true when the clamp was applied (the total is now a lower
+/// bound).
+inline bool saturatingAdd(double &Acc, double Delta) {
+  double Sum = Acc + Delta;
+  if (Sum > CounterSaturationLimit) {
+    Acc = CounterSaturationLimit;
+    return true;
+  }
+  Acc = Sum;
+  return false;
+}
+
+} // namespace ptran
+
+#endif // PTRAN_SUPPORT_SATURATION_H

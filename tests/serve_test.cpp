@@ -18,13 +18,19 @@
 
 #include "serve/Protocol.h"
 #include "serve/Server.h"
+#include "serve/Wire.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
 
 using namespace ptran;
 using namespace ptran::serve;
@@ -285,6 +291,41 @@ TEST(ServeCoreTest, EstimateBatchValidatesItsShape) {
   EXPECT_EQ(Resp.Verb, "error");
   EXPECT_NE(Resp.param("message").find("function.1"), std::string::npos)
       << Resp.param("message");
+
+  // count disagreeing with the keys actually sent: indexed parameters at
+  // or past count mean the client dropped requests on the floor (or
+  // miscounted); silently ignoring them would answer a different batch
+  // than the one sent. Regression: these used to be silently ignored.
+  WireMessage Extra = makeRequest("estimate-batch", "s0");
+  Extra.Params["count"] = "1";
+  Extra.Params["function.0"] = "main";
+  Extra.Params["function.2"] = "leaf";
+  Resp = Core.handle(Extra);
+  EXPECT_EQ(Resp.Verb, "error");
+  EXPECT_EQ(Resp.param("code"), "bad-request");
+  EXPECT_NE(Resp.param("message").find("function.2"), std::string::npos)
+      << Resp.param("message");
+  EXPECT_NE(Resp.param("message").find("disagrees"), std::string::npos)
+      << Resp.param("message");
+
+  // Same for a stray per-index override and for a garbled index.
+  WireMessage StrayLV = makeRequest("estimate-batch", "s0");
+  StrayLV.Params["count"] = "1";
+  StrayLV.Params["function.0"] = "main";
+  StrayLV.Params["loop-variance.7"] = "zero";
+  Resp = Core.handle(StrayLV);
+  EXPECT_EQ(Resp.Verb, "error");
+  EXPECT_EQ(Resp.param("code"), "bad-request");
+  EXPECT_NE(Resp.param("message").find("loop-variance.7"), std::string::npos)
+      << Resp.param("message");
+
+  WireMessage BadIdx = makeRequest("estimate-batch", "s0");
+  BadIdx.Params["count"] = "1";
+  BadIdx.Params["function.0"] = "main";
+  BadIdx.Params["function.x"] = "leaf";
+  Resp = Core.handle(BadIdx);
+  EXPECT_EQ(Resp.Verb, "error");
+  EXPECT_EQ(Resp.param("code"), "bad-request");
 
   // Per-index loop-variance is validated like the single-estimate one.
   WireMessage BadLV = makeRequest("estimate-batch", "s0");
@@ -575,4 +616,228 @@ TEST(ServeCoreTest, ConcurrentLoadsEvictionsAndQueriesStayCoherent) {
   }
   EXPECT_EQ(Failures.load(), 0u);
   EXPECT_LE(Core.sessionCount(), 3u);
+}
+
+//===--- Wire transport: mid-frame peer closes ----------------------------===//
+
+namespace {
+
+/// Writes \p Size bytes to \p Fd and closes it, simulating a peer that
+/// dies mid-frame.
+void writeThenClose(int Fd, const void *Data, size_t Size) {
+  ASSERT_EQ(::send(Fd, Data, Size, MSG_NOSIGNAL),
+            static_cast<ssize_t>(Size));
+  ::close(Fd);
+}
+
+} // namespace
+
+TEST(WireTest, CleanEofBetweenFramesIsNotAnError) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  ::close(Fds[0]); // Peer hangs up without sending a byte.
+  WireMessage M;
+  std::string Error;
+  EXPECT_EQ(readFrame(Fds[1], M, Error), 0);
+  EXPECT_TRUE(Error.empty()) << Error;
+  ::close(Fds[1]);
+}
+
+TEST(WireTest, PeerClosingInsideLengthPrefixIsATruncatedFrame) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  // Regression: a peer dying after 2 of the 4 length-prefix bytes used to
+  // surface as a bare read failure; it must name what was cut short.
+  const uint8_t Half[2] = {0x10, 0x00};
+  writeThenClose(Fds[0], Half, sizeof(Half));
+  WireMessage M;
+  std::string Error;
+  EXPECT_EQ(readFrame(Fds[1], M, Error), -1);
+  EXPECT_NE(Error.find("truncated frame"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("2 of 4"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("length-prefix"), std::string::npos) << Error;
+  ::close(Fds[1]);
+}
+
+TEST(WireTest, PeerClosingInsidePayloadIsATruncatedFrame) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  // A full prefix promising 10 payload bytes, then only 3 arrive. The
+  // partially-filled buffer must NOT reach the codec (which could
+  // misparse a half-written header as a shorter valid frame).
+  uint8_t Bytes[4 + 3] = {10, 0, 0, 0, 'o', 'k', '\n'};
+  writeThenClose(Fds[0], Bytes, sizeof(Bytes));
+  WireMessage M;
+  std::string Error;
+  EXPECT_EQ(readFrame(Fds[1], M, Error), -1);
+  EXPECT_NE(Error.find("truncated frame"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("3 of 10 payload bytes"), std::string::npos) << Error;
+  ::close(Fds[1]);
+}
+
+TEST(WireTest, PeerClosingAfterPrefixAloneIsATruncatedFrame) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  // EOF exactly on the payload boundary: the prefix promised bytes that
+  // never came, which is a truncated frame, not a clean hang-up.
+  const uint8_t Prefix[4] = {5, 0, 0, 0};
+  writeThenClose(Fds[0], Prefix, sizeof(Prefix));
+  WireMessage M;
+  std::string Error;
+  EXPECT_EQ(readFrame(Fds[1], M, Error), -1);
+  EXPECT_NE(Error.find("truncated frame"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("0 of 5 payload bytes"), std::string::npos) << Error;
+  ::close(Fds[1]);
+}
+
+TEST(WireTest, WholeFramesRoundTripOverASocketPair) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  WireMessage M;
+  M.Verb = "estimate";
+  M.Params["session"] = "s0";
+  M.Body = std::string("\x00\x01payload", 9);
+  std::string Error;
+  ASSERT_TRUE(writeFrame(Fds[0], M, Error)) << Error;
+  ::close(Fds[0]);
+  WireMessage Back;
+  ASSERT_EQ(readFrame(Fds[1], Back, Error), 1) << Error;
+  EXPECT_EQ(Back.Verb, M.Verb);
+  EXPECT_EQ(Back.Params, M.Params);
+  EXPECT_EQ(Back.Body, M.Body);
+  // And the hang-up after the frame is still a clean EOF.
+  EXPECT_EQ(readFrame(Fds[1], Back, Error), 0);
+  ::close(Fds[1]);
+}
+
+//===--- stream-deltas verb -----------------------------------------------===//
+
+namespace {
+
+/// Appends one 16-byte little-endian stream record to \p Body.
+void appendRecord(std::string &Body, uint32_t FuncIdx, uint32_t CondIdx,
+                  double Delta) {
+  auto PutU32 = [&Body](uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Body.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+  };
+  PutU32(FuncIdx);
+  PutU32(CondIdx);
+  uint64_t Bits;
+  std::memcpy(&Bits, &Delta, sizeof(Bits));
+  for (int I = 0; I < 8; ++I)
+    Body.push_back(static_cast<char>((Bits >> (8 * I)) & 0xff));
+}
+
+/// Runs describe on \p Session and returns the stream index of \p Fn.
+unsigned describeFunctionIndex(ServeCore &Core, const std::string &Session,
+                               const std::string &Fn) {
+  WireMessage Desc = makeRequest("stream-deltas", Session);
+  Desc.Params["describe"] = "1";
+  WireMessage Resp = Core.handle(Desc);
+  EXPECT_EQ(Resp.Verb, "ok") << Resp.param("message");
+  unsigned N = static_cast<unsigned>(std::stoul(Resp.param("functions")));
+  for (unsigned I = 0; I < N; ++I)
+    if (Resp.param("function." + std::to_string(I)) == Fn) {
+      EXPECT_GT(std::stoul(Resp.param("conditions." + std::to_string(I))),
+                0u);
+      return I;
+    }
+  ADD_FAILURE() << "function " << Fn << " not in stream describe";
+  return N;
+}
+
+} // namespace
+
+TEST(ServeCoreTest, StreamDeltasDescribeAppendFlushChangesEstimates) {
+  ServeOptions Opts;
+  ServeCore Core(Opts);
+  loadAndRun(Core, "s0");
+  loadAndRun(Core, "s1");
+
+  WireMessage Before = Core.handle([&] {
+    WireMessage E = makeRequest("estimate", "s0");
+    E.Params["function"] = "leaf";
+    return E;
+  }());
+  ASSERT_EQ(Before.Verb, "ok") << Before.param("message");
+
+  unsigned Leaf0 = describeFunctionIndex(Core, "s0", "leaf");
+  unsigned Leaf1 = describeFunctionIndex(Core, "s1", "leaf");
+  ASSERT_EQ(Leaf0, Leaf1); // Same program, same stream order.
+
+  // Stream the same deltas into both sessions and flush: the folds must
+  // be deterministic, so the two sessions answer byte-identically.
+  for (const char *Session : {"s0", "s1"}) {
+    WireMessage Ing = makeRequest("stream-deltas", Session);
+    for (int I = 0; I < 8; ++I)
+      appendRecord(Ing.Body, Leaf0, 0, 2.0);
+    Ing.Params["flush"] = "1";
+    WireMessage Resp = Core.handle(Ing);
+    ASSERT_EQ(Resp.Verb, "ok") << Resp.param("message");
+    EXPECT_EQ(Resp.param("appended"), "8");
+    EXPECT_EQ(Resp.param("dropped"), "0");
+    EXPECT_EQ(Resp.param("flushed-cells"), "1");
+    EXPECT_EQ(Resp.param("flushed-functions"), "1");
+    EXPECT_EQ(Resp.param("epoch"), "0");
+  }
+
+  WireMessage EstLeaf = makeRequest("estimate", "s0");
+  EstLeaf.Params["function"] = "leaf";
+  WireMessage After = Core.handle(EstLeaf);
+  ASSERT_EQ(After.Verb, "ok") << After.param("message");
+  // The streamed invocation deltas reached the estimator.
+  EXPECT_NE(After.param("time"), Before.param("time"));
+
+  WireMessage EstLeaf1 = makeRequest("estimate", "s1");
+  EstLeaf1.Params["function"] = "leaf";
+  WireMessage After1 = Core.handle(EstLeaf1);
+  ASSERT_EQ(After1.Verb, "ok") << After1.param("message");
+  for (const char *Key : {"time", "var", "stddev"})
+    EXPECT_EQ(After.param(Key), After1.param(Key)) << Key;
+}
+
+TEST(ServeCoreTest, StreamDeltasValidatesBodyAndRecords) {
+  ServeOptions Opts;
+  ServeCore Core(Opts);
+  loadAndRun(Core, "s0");
+
+  // Unknown session first.
+  WireMessage NoS = makeRequest("stream-deltas", "nowhere");
+  WireMessage Resp = Core.handle(NoS);
+  EXPECT_EQ(Resp.Verb, "error");
+  EXPECT_EQ(Resp.param("code"), "unknown-session");
+
+  // A body that is not a whole number of records is rejected outright.
+  WireMessage Ragged = makeRequest("stream-deltas", "s0");
+  Ragged.Body = std::string(7, '\0');
+  Resp = Core.handle(Ragged);
+  EXPECT_EQ(Resp.Verb, "error");
+  EXPECT_EQ(Resp.param("code"), "bad-request");
+  EXPECT_NE(Resp.param("message").find("16"), std::string::npos)
+      << Resp.param("message");
+
+  // Records with bad indices or bad values are dropped (and counted),
+  // while their batch-mates land.
+  unsigned Leaf = describeFunctionIndex(Core, "s0", "leaf");
+  WireMessage Mixed = makeRequest("stream-deltas", "s0");
+  appendRecord(Mixed.Body, Leaf, 0, 1.0);
+  appendRecord(Mixed.Body, 9999, 0, 1.0);     // No such function row.
+  appendRecord(Mixed.Body, Leaf, 9999, 1.0);  // No such condition cell.
+  appendRecord(Mixed.Body, Leaf, 0, -3.0);    // Negative count.
+  Mixed.Params["flush"] = "1";
+  Resp = Core.handle(Mixed);
+  ASSERT_EQ(Resp.Verb, "ok") << Resp.param("message");
+  EXPECT_EQ(Resp.param("appended"), "1");
+  EXPECT_EQ(Resp.param("dropped"), "3");
+  EXPECT_EQ(Resp.param("flushed-cells"), "1");
+
+  // An append-free flush still seals an epoch.
+  WireMessage Empty = makeRequest("stream-deltas", "s0");
+  Empty.Params["flush"] = "1";
+  Resp = Core.handle(Empty);
+  ASSERT_EQ(Resp.Verb, "ok") << Resp.param("message");
+  EXPECT_EQ(Resp.param("appended"), "0");
+  EXPECT_EQ(Resp.param("flushed-cells"), "0");
+  EXPECT_EQ(Resp.param("epoch"), "1");
 }

@@ -523,6 +523,52 @@ TEST(EstimationSession, BadExternalDeltaQuarantinesOrFails) {
   }
 }
 
+TEST(EstimationSession, RepeatedValidDeltasSaturateAtTwoPow53) {
+  // Regression test: each delta below passes the per-delta validation
+  // (finite, non-negative, <= 2^53), but their sum does not fit. The
+  // unfixed accumulator did a bare `Acc[Cond] += Total`, silently walking
+  // the total past 2^53 where doubles can no longer represent every
+  // count — this test fails on that code twice over: the estimates skew
+  // away from the clamped reference, and no diagnostic is emitted. The
+  // fixed accumulator clamps at exactly 2^53 (the PTPF-merge contract)
+  // and warns once per function that totals are now lower bounds.
+  std::unique_ptr<Program> Prog = parseDiamond();
+  DiagnosticEngine D1, D2;
+  auto S = runSession(*Prog, 1, D1, BadProfilePolicy::Quarantine);
+  auto Ref = runSession(*Prog, 1, D2, BadProfilePolicy::Quarantine);
+  ASSERT_NE(S, nullptr);
+  ASSERT_NE(Ref, nullptr);
+  const Function *LeafA = Prog->findFunction("leafa");
+  ASSERT_NE(LeafA, nullptr);
+
+  FrequencyTotals Limit = invocationDelta(*S, *LeafA);
+  Limit.Cond.begin()->second = ProfileFile::SaturationLimit;
+  S->accumulateTotals(*LeafA, Limit);
+  S->accumulateTotals(*LeafA, Limit);
+  Ref->accumulateTotals(*LeafA, Limit);
+
+  EstimateResult RS = S->estimateEntry();
+  EstimateResult RR = Ref->estimateEntry();
+  ASSERT_TRUE(RS.Ok) << RS.Error;
+  ASSERT_TRUE(RR.Ok) << RR.Error;
+  // Clamped at the limit, the doubled accumulator equals the single-delta
+  // reference bit for bit; the function is NOT quarantined (saturation is
+  // a diagnosed precision loss, not bad data).
+  expectBitIdentical(*Prog, *RS.Analysis, *RR.Analysis);
+  EXPECT_FALSE(S->isQuarantined(*LeafA));
+
+  // The lower-bounds warning names the function and fires exactly once,
+  // even after further saturating deltas.
+  S->accumulateTotals(*LeafA, Limit);
+  ASSERT_TRUE(S->estimateEntry().Ok);
+  std::string Log = D1.str();
+  size_t First = Log.find("saturated at 2^53");
+  ASSERT_NE(First, std::string::npos) << Log;
+  EXPECT_NE(Log.find("leafa"), std::string::npos) << Log;
+  EXPECT_EQ(Log.find("saturated at 2^53", First + 1), std::string::npos)
+      << Log;
+}
+
 TEST(EstimationSession, InjectedCounterCorruptionQuarantinesThatFunction) {
   std::unique_ptr<Program> Prog = parseDiamond();
   ObsRegistry Obs;
