@@ -12,7 +12,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Analysis.h"
+#include "durable/StateStore.h"
 #include "obs/Observability.h"
+#include "serve/Server.h"
 #include "session/EstimationSession.h"
 #include "cost/TimeAnalysis.h"
 #include "stream/DeltaStream.h"
@@ -28,8 +30,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
+
+#include <sys/stat.h>
+#include <unistd.h>
 
 using namespace ptran;
 
@@ -633,6 +639,145 @@ void printProfileIngestionTable() {
   std::printf("%s\n", T.str().c_str());
 }
 
+// Durable-state costs: what one write-ahead journal append costs under
+// each fsync policy, and how long recovery (StateStore::open + ServeCore
+// replay) takes as the journal grows — before and after a checkpoint
+// compacts it into a snapshot.
+void printDurableStateTable() {
+  char Template[] = "/tmp/ptran-bench-durable-XXXXXX";
+  if (!::mkdtemp(Template)) {
+    std::printf("=== Durable state: skipped (no scratch dir) ===\n\n");
+    return;
+  }
+  std::string Dir = Template;
+  auto CleanDir = [&Dir] {
+    std::string Cmd = "rm -rf " + Dir;
+    if (std::system(Cmd.c_str()) != 0) {
+    }
+  };
+
+  // A representative epoch-fold record (one function, eight cells).
+  durable::DurableRecord Fold;
+  Fold.Type = durable::RecordType::EpochFold;
+  Fold.Session = "bench";
+  durable::FoldEntry FE;
+  FE.Function = "leaf";
+  for (uint32_t C = 0; C < 8; ++C)
+    FE.Conds.push_back({C, static_cast<uint8_t>(C & 1), 16.0});
+  Fold.Folds.push_back(FE);
+
+  std::printf("=== Durable journal: append cost per fsync policy ===\n");
+  TablePrinter T({"fsync", "appends", "wall [ms]", "us/append"});
+  for (auto [Name, Policy] :
+       {std::pair("never", durable::FsyncPolicy::Never),
+        std::pair("batch", durable::FsyncPolicy::Batch),
+        std::pair("always", durable::FsyncPolicy::Always)}) {
+    constexpr unsigned Appends = 1024;
+    std::string Path = Dir + "/append-bench.ptwj";
+    ::unlink(Path.c_str());
+    std::string Error;
+    durable::DeltaJournal::OpenReport Report;
+    auto J = durable::DeltaJournal::open(Path, Policy, Report, nullptr,
+                                         Error);
+    if (!J)
+      reportFatalError("journal open failed: " + Error);
+    auto Start = std::chrono::steady_clock::now();
+    for (unsigned I = 0; I < Appends; ++I)
+      if (J->append(Fold, Error) == 0)
+        reportFatalError("journal append failed: " + Error);
+    auto End = std::chrono::steady_clock::now();
+    double Secs = std::chrono::duration<double>(End - Start).count();
+    char Wall[32], Per[32];
+    std::snprintf(Wall, sizeof(Wall), "%.2f", Secs * 1e3);
+    std::snprintf(Per, sizeof(Per), "%.2f", Secs / Appends * 1e6);
+    T.addRow({Name, std::to_string(Appends), Wall, Per});
+  }
+  std::printf("%s\n", T.str().c_str());
+
+  // Recovery wall clock vs journal length, and what a checkpoint's
+  // snapshot compaction buys on the next boot.
+  const char *Source = "      program main\n"
+                       "      integer i\n"
+                       "      do 10 i = 1, 8\n"
+                       "        call leaf(i)\n"
+                       " 10   continue\n"
+                       "      end\n"
+                       "      subroutine leaf(k)\n"
+                       "      integer k\n"
+                       "      k = k + 1\n"
+                       "      end\n";
+  std::printf("=== Durable recovery: journal replay vs snapshot boot ===\n");
+  TablePrinter R({"fold records", "journal [KB]", "replay boot [ms]",
+                  "snapshot boot [ms]"});
+  for (unsigned Records : {256u, 1024u, 4096u}) {
+    std::string StateDir = Dir + "/recover-" + std::to_string(Records);
+    if (::mkdir(StateDir.c_str(), 0755) != 0)
+      reportFatalError("mkdir failed for " + StateDir);
+    {
+      std::string Error;
+      durable::StateStore::Recovery Recovered;
+      auto Store = durable::StateStore::open(
+          StateDir, durable::FsyncPolicy::Never, Recovered, Error);
+      if (!Store)
+        reportFatalError("state store open failed: " + Error);
+      durable::DurableRecord Create;
+      Create.Type = durable::RecordType::SessionCreate;
+      Create.Session = "bench";
+      Create.Source = Source;
+      Create.Mode = 3; // Smart
+      if (Store->journal().append(Create, Error) == 0)
+        reportFatalError("append failed: " + Error);
+      durable::DurableRecord F = Fold;
+      for (uint32_t C = 0; C < F.Folds[0].Conds.size(); ++C)
+        F.Folds[0].Conds[C].Node = C % 2; // Real condition nodes.
+      for (unsigned I = 0; I < Records; ++I)
+        if (Store->journal().append(F, Error) == 0)
+          reportFatalError("append failed: " + Error);
+    }
+
+    auto BootOnce = [&StateDir](bool Checkpoint) {
+      std::string Error;
+      durable::StateStore::Recovery Recovered;
+      auto Start = std::chrono::steady_clock::now();
+      auto Store = durable::StateStore::open(
+          StateDir, durable::FsyncPolicy::Never, Recovered, Error);
+      if (!Store)
+        reportFatalError("state store open failed: " + Error);
+      serve::ServeOptions Opts;
+      Opts.Store = Store.get();
+      serve::ServeCore Core(Opts);
+      serve::ServeCore::RestoreReport RR;
+      Core.restore(Recovered, RR);
+      auto End = std::chrono::steady_clock::now();
+      if (Core.sessionCount() != 1)
+        reportFatalError("recovery lost the bench session");
+      if (Checkpoint && !Core.checkpoint(Error))
+        reportFatalError("checkpoint failed: " + Error);
+      return std::chrono::duration<double>(End - Start).count();
+    };
+
+    uint64_t JournalBytes = 0;
+    {
+      std::string Error;
+      durable::StateStore::Recovery Recovered;
+      auto Store = durable::StateStore::open(
+          StateDir, durable::FsyncPolicy::Never, Recovered, Error);
+      JournalBytes = Store ? Store->journal().sizeBytes() : 0;
+    }
+    double ReplaySecs = BootOnce(/*Checkpoint=*/true);
+    double SnapshotSecs = BootOnce(/*Checkpoint=*/false);
+
+    char KB[32], Replay[32], Snap[32];
+    std::snprintf(KB, sizeof(KB), "%.1f",
+                  static_cast<double>(JournalBytes) / 1024.0);
+    std::snprintf(Replay, sizeof(Replay), "%.2f", ReplaySecs * 1e3);
+    std::snprintf(Snap, sizeof(Snap), "%.2f", SnapshotSecs * 1e3);
+    R.addRow({std::to_string(Records), KB, Replay, Snap});
+  }
+  std::printf("%s\n", R.str().c_str());
+  CleanDir();
+}
+
 // Streaming counter ingest: N writer threads firehosing deltas into a
 // CounterDeltaStream's sharded atomic cells, a periodic flusher folding
 // each sealed epoch into the session, and 0 / 1 / Q query threads
@@ -745,6 +890,7 @@ int main(int Argc, char **Argv) {
   printCancellationOverheadTable();
   printProfileIngestionTable();
   printStreamingIngestTable();
+  printDurableStateTable();
   benchmark::Initialize(&Argc, Argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

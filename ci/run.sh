@@ -14,12 +14,15 @@
 # never disturbs a developer's ./build tree, and the sanitizer trees run
 # the dedicated *_tsan / *_ubsan ctest entries with halt-on-error runtime
 # options on top of the full suite. Every preset also runs the serve_smoke
-# end-to-end check (ptran-serve + ptran-bench-client over a scratch
-# socket); under tsan the serve_test and stream_test concurrency suites
-# rerun with halt_on_error to certify the daemon core's locking and the
+# and recover_smoke end-to-end checks (ptran-serve + ptran-bench-client
+# over a scratch socket; recover_smoke kill -9s a --state-dir daemon at
+# every injected crash point and byte-compares recovered estimates);
+# under tsan the serve_test and stream_test concurrency suites rerun
+# with halt_on_error to certify the daemon core's locking and the
 # streaming ingest epoch protocol (multi-writer appends racing the
-# flusher and concurrent estimate queries); under ubsan stream_test
-# reruns to certify the cell-index arithmetic and LE record decoding.
+# flusher and concurrent estimate queries); under ubsan stream_test and
+# durable_test rerun to certify the cell-index arithmetic, LE record
+# decoding, and the every-byte-length journal-truncation scan.
 #
 #===----------------------------------------------------------------------===#
 

@@ -1,0 +1,397 @@
+//===--- durable/Journal.cpp - Append-only write-ahead journal ------------===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "durable/Journal.h"
+
+#include "profile/ProfileFile.h"
+#include "support/FaultInjection.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace ptran;
+using namespace ptran::durable;
+
+namespace {
+
+constexpr uint32_t JournalMagic = 0x4A575450; // "PTWJ" little-endian.
+constexpr uint32_t JournalVersion = 1;
+constexpr size_t HeaderBytes = 16;
+
+std::string errnoString(const char *What, const std::string &Path) {
+  return std::string(What) + " '" + Path + "': " + std::strerror(errno);
+}
+
+uint32_t readU32(const uint8_t *B) {
+  uint32_t V = 0;
+  for (int I = 3; I >= 0; --I)
+    V = (V << 8) | B[I];
+  return V;
+}
+
+uint64_t readU64(const uint8_t *B) {
+  uint64_t V = 0;
+  for (int I = 7; I >= 0; --I)
+    V = (V << 8) | B[I];
+  return V;
+}
+
+void putU32(uint8_t *B, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    B[I] = static_cast<uint8_t>(V >> (8 * I));
+}
+
+void putU64(uint8_t *B, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    B[I] = static_cast<uint8_t>(V >> (8 * I));
+}
+
+/// Positional write loop: retries EINTR and continues short writes (both
+/// genuine and io.short_write-injected ones).
+bool writeAllAt(int Fd, uint64_t Offset, const uint8_t *Data, size_t Size,
+                const std::string &Path, std::string &Error) {
+  while (Size > 0) {
+    size_t Want = FaultInjection::maybeShortWrite(Size);
+    ssize_t N = ::pwrite(Fd, Data, Want, static_cast<off_t>(Offset));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = errnoString("write", Path);
+      return false;
+    }
+    Offset += static_cast<uint64_t>(N);
+    Data += N;
+    Size -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool readWholeFile(int Fd, std::vector<uint8_t> &Out, const std::string &Path,
+                   std::string &Error) {
+  struct stat St;
+  if (::fstat(Fd, &St) < 0) {
+    Error = errnoString("stat", Path);
+    return false;
+  }
+  Out.resize(static_cast<size_t>(St.st_size));
+  size_t Got = 0;
+  while (Got < Out.size()) {
+    ssize_t N = ::pread(Fd, Out.data() + Got, Out.size() - Got,
+                        static_cast<off_t>(Got));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = errnoString("read", Path);
+      return false;
+    }
+    if (N == 0) {
+      // The file shrank under us; trust what we got.
+      Out.resize(Got);
+      break;
+    }
+    Got += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool fsyncDirOf(const std::string &Path, std::string &Error) {
+  size_t Slash = Path.rfind('/');
+  std::string Dir =
+      Slash == std::string::npos ? "." : Path.substr(0, Slash ? Slash : 1);
+  int D = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (D < 0) {
+    Error = errnoString("open directory", Dir);
+    return false;
+  }
+  int Rc;
+  do {
+    Rc = ::fsync(D);
+  } while (Rc < 0 && errno == EINTR);
+  ::close(D);
+  if (Rc < 0) {
+    Error = errnoString("fsync directory", Dir);
+    return false;
+  }
+  return true;
+}
+
+/// Moves \p Bytes aside to `<path>.quarantine` (overwriting a previous
+/// quarantine — the newest torn tail is the interesting one). Best-effort:
+/// quarantine is for post-mortems, recovery proceeds regardless.
+void quarantineBytes(const std::string &JournalPath, const uint8_t *Bytes,
+                     size_t Len) {
+  std::string QPath = JournalPath + ".quarantine";
+  int Fd = ::open(QPath.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC,
+                  0644);
+  if (Fd < 0)
+    return;
+  std::string Ignored;
+  writeAllAt(Fd, 0, Bytes, Len, QPath, Ignored);
+  ::fsync(Fd);
+  ::close(Fd);
+}
+
+} // namespace
+
+DeltaJournal::~DeltaJournal() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+std::unique_ptr<DeltaJournal>
+DeltaJournal::open(const std::string &Path, FsyncPolicy Fsync,
+                   OpenReport &Report, std::vector<DurableRecord> *Records,
+                   std::string &Error) {
+  Report = OpenReport();
+  int Fd = ::open(Path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (Fd < 0) {
+    Error = errnoString("open", Path);
+    return nullptr;
+  }
+  auto J = std::unique_ptr<DeltaJournal>(new DeltaJournal());
+  J->Path = Path;
+  J->Fsync = Fsync;
+  J->Fd = Fd;
+
+  std::vector<uint8_t> Bytes;
+  if (!readWholeFile(Fd, Bytes, Path, Error))
+    return nullptr;
+
+  auto WriteFreshHeader = [&](uint64_t FirstLsn) -> bool {
+    uint8_t H[HeaderBytes];
+    putU32(H, JournalMagic);
+    putU32(H + 4, JournalVersion);
+    putU64(H + 8, FirstLsn);
+    if (::ftruncate(Fd, 0) < 0) {
+      Error = errnoString("truncate", Path);
+      return false;
+    }
+    if (!writeAllAt(Fd, 0, H, sizeof(H), Path, Error))
+      return false;
+    ::fsync(Fd);
+    return true;
+  };
+
+  if (Bytes.empty()) {
+    if (!WriteFreshHeader(1))
+      return nullptr;
+    J->FirstLsn = J->NextLsnValue = 1;
+    J->FileBytes = HeaderBytes;
+    Report.FirstLsn = Report.NextLsn = 1;
+    return J;
+  }
+
+  if (Bytes.size() < HeaderBytes || readU32(Bytes.data()) != JournalMagic ||
+      readU32(Bytes.data() + 4) != JournalVersion) {
+    // A torn or foreign header: nothing after it can be framed. Quarantine
+    // the whole file and start a fresh log — rotation fsyncs replacement
+    // headers before renaming them into place, so this can only be the
+    // very first header write of an empty store (no records to lose).
+    quarantineBytes(Path, Bytes.data(), Bytes.size());
+    Report.TailQuarantined = true;
+    Report.TailReason = "journal header is torn or garbled";
+    Report.TailOffset = 0;
+    Report.QuarantinedBytes = Bytes.size();
+    if (!WriteFreshHeader(1))
+      return nullptr;
+    J->FirstLsn = J->NextLsnValue = 1;
+    J->FileBytes = HeaderBytes;
+    Report.FirstLsn = Report.NextLsn = 1;
+    return J;
+  }
+
+  J->FirstLsn = readU64(Bytes.data() + 8);
+  if (J->FirstLsn == 0)
+    J->FirstLsn = 1;
+  uint64_t Lsn = J->FirstLsn;
+  size_t Off = HeaderBytes;
+  std::string TornReason;
+  while (Off < Bytes.size()) {
+    size_t Left = Bytes.size() - Off;
+    if (Left < 8) {
+      TornReason = "incomplete frame header (" + std::to_string(Left) +
+                   " of 8 bytes)";
+      break;
+    }
+    uint32_t Len = readU32(Bytes.data() + Off);
+    uint32_t Crc = readU32(Bytes.data() + Off + 4);
+    if (Len > MaxRecordBytes) {
+      TornReason = "frame length " + std::to_string(Len) + " is implausible";
+      break;
+    }
+    if (Left - 8 < Len) {
+      TornReason = "frame body truncated (" + std::to_string(Left - 8) +
+                   " of " + std::to_string(Len) + " bytes)";
+      break;
+    }
+    const uint8_t *Body = Bytes.data() + Off + 8;
+    if (crc32(Body, Len) != Crc) {
+      TornReason = "frame checksum mismatch";
+      break;
+    }
+    DurableRecord R;
+    std::string DecodeError;
+    if (!decodeRecord(Body, Len, R, DecodeError)) {
+      TornReason = "frame decodes to garbage: " + DecodeError;
+      break;
+    }
+    R.Lsn = Lsn++;
+    if (Records)
+      Records->push_back(std::move(R));
+    ++Report.RecordsScanned;
+    Off += 8 + Len;
+  }
+
+  if (Off < Bytes.size()) {
+    quarantineBytes(Path, Bytes.data() + Off, Bytes.size() - Off);
+    if (::ftruncate(Fd, static_cast<off_t>(Off)) < 0) {
+      Error = errnoString("truncate torn tail of", Path);
+      return nullptr;
+    }
+    ::fsync(Fd);
+    Report.TailQuarantined = true;
+    Report.TailReason = TornReason;
+    Report.TailOffset = Off;
+    Report.QuarantinedBytes = Bytes.size() - Off;
+  }
+
+  J->NextLsnValue = Lsn;
+  J->FileBytes = Off;
+  Report.FirstLsn = J->FirstLsn;
+  Report.NextLsn = Lsn;
+  return J;
+}
+
+uint64_t DeltaJournal::append(const DurableRecord &R, std::string &Error) {
+  std::vector<uint8_t> Body = encodeRecord(R);
+  std::vector<uint8_t> Frame(8 + Body.size());
+  putU32(Frame.data(), static_cast<uint32_t>(Body.size()));
+  putU32(Frame.data() + 4, crc32(Body.data(), Body.size()));
+  std::memcpy(Frame.data() + 8, Body.data(), Body.size());
+
+  std::lock_guard<std::mutex> L(M);
+  if (FaultInjection::maybeTornWrite()) {
+    // Simulate kill -9 landing mid-append: persist only a prefix of the
+    // frame (forced to disk so the torn tail is really there on restart),
+    // then die without any cleanup.
+    size_t Prefix = std::max<size_t>(1, Frame.size() / 2);
+    std::string Ignored;
+    writeAllAt(Fd, FileBytes, Frame.data(), Prefix, Path, Ignored);
+    ::fsync(Fd);
+    FaultInjection::dieAtCrashPoint();
+  }
+  if (!writeAllAt(Fd, FileBytes, Frame.data(), Frame.size(), Path, Error)) {
+    // Clear any partial frame so the next append starts on a clean
+    // boundary instead of burying garbage mid-file.
+    ::ftruncate(Fd, static_cast<off_t>(FileBytes));
+    return 0;
+  }
+  if (FaultInjection::maybeCrashAt("durable.append")) {
+    ::fsync(Fd);
+    FaultInjection::dieAtCrashPoint();
+  }
+  if (Fsync == FsyncPolicy::Always) {
+    int Rc;
+    do {
+      Rc = ::fsync(Fd);
+    } while (Rc < 0 && errno == EINTR);
+    if (Rc < 0) {
+      Error = errnoString("fsync", Path);
+      ::ftruncate(Fd, static_cast<off_t>(FileBytes));
+      return 0;
+    }
+  }
+  FileBytes += Frame.size();
+  return NextLsnValue++;
+}
+
+bool DeltaJournal::sync(std::string &Error) {
+  std::lock_guard<std::mutex> L(M);
+  if (Fsync == FsyncPolicy::Never)
+    return true;
+  int Rc;
+  do {
+    Rc = ::fsync(Fd);
+  } while (Rc < 0 && errno == EINTR);
+  if (Rc < 0) {
+    Error = errnoString("fsync", Path);
+    return false;
+  }
+  return true;
+}
+
+bool DeltaJournal::rotate(std::string &Error) {
+  std::lock_guard<std::mutex> L(M);
+  std::string NewPath = Path + ".new";
+  int NewFd =
+      ::open(NewPath.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (NewFd < 0) {
+    Error = errnoString("open", NewPath);
+    return false;
+  }
+  uint8_t H[HeaderBytes];
+  putU32(H, JournalMagic);
+  putU32(H + 4, JournalVersion);
+  putU64(H + 8, NextLsnValue);
+  if (!writeAllAt(NewFd, 0, H, sizeof(H), NewPath, Error)) {
+    ::close(NewFd);
+    ::unlink(NewPath.c_str());
+    return false;
+  }
+  // The replacement must be durable BEFORE it replaces the journal: a
+  // crash after the rename may otherwise leave a journal whose header was
+  // never written, losing the LSN chain.
+  int Rc;
+  do {
+    Rc = ::fsync(NewFd);
+  } while (Rc < 0 && errno == EINTR);
+  ::close(NewFd);
+  if (Rc < 0) {
+    Error = errnoString("fsync", NewPath);
+    ::unlink(NewPath.c_str());
+    return false;
+  }
+  if (FaultInjection::maybeCrashAt("durable.truncate"))
+    FaultInjection::dieAtCrashPoint();
+  if (::rename(NewPath.c_str(), Path.c_str()) < 0) {
+    Error = errnoString("rename", NewPath);
+    ::unlink(NewPath.c_str());
+    return false;
+  }
+  if (!fsyncDirOf(Path, Error))
+    return false;
+  // Our fd still names the old inode; adopt the replacement.
+  int ReFd = ::open(Path.c_str(), O_RDWR | O_CLOEXEC);
+  if (ReFd < 0) {
+    Error = errnoString("reopen", Path);
+    return false;
+  }
+  ::close(Fd);
+  Fd = ReFd;
+  FirstLsn = NextLsnValue;
+  FileBytes = HeaderBytes;
+  return true;
+}
+
+uint64_t DeltaJournal::nextLsn() const {
+  std::lock_guard<std::mutex> L(M);
+  return NextLsnValue;
+}
+
+uint64_t DeltaJournal::lastLsn() const {
+  std::lock_guard<std::mutex> L(M);
+  return NextLsnValue - 1;
+}
+
+uint64_t DeltaJournal::sizeBytes() const {
+  std::lock_guard<std::mutex> L(M);
+  return FileBytes;
+}

@@ -1,0 +1,106 @@
+//===--- durable/StateStore.h - Crash-safe daemon state store ---*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns a `--state-dir` as a unit: one write-ahead journal
+/// (`journal.ptwj`, see Journal.h) plus one snapshot file per session
+/// (`snap-*.snap`, see Snapshot.h). The serve layer talks to this class;
+/// it never touches the files directly.
+///
+/// Recovery (open): load every snapshot — a snapshot that fails its CRC is
+/// moved aside to `<file>.corrupt` and reported, never fatal — then scan
+/// the journal, quarantining a torn tail. The caller rebuilds each session
+/// from its snapshot and replays the journal records whose LSN exceeds
+/// that session's watermark; records at or below the watermark are already
+/// folded into the snapshot (the crash-during-checkpoint double-apply
+/// guard).
+///
+/// Checkpoint protocol (driven by the serve layer, under its structure
+/// lock so no mutation can slip between capture and rotation):
+///   1. flush every counter stream (their folds become journal records),
+///   2. W = journal().lastLsn(),
+///   3. capture + writeSnapshot(state, W) for every resident session
+///      (tmp + rename; crash leaves the old snapshot),
+///   4. pruneSnapshotsExcept(resident names) — evicted sessions must not
+///      resurrect from stale snapshot files once the journal (which held
+///      their SessionEvict record) rotates,
+///   5. rotateJournal() — the replacement journal starts at the old
+///      nextLsn, keeping LSNs globally monotonic.
+/// Abort (skip rotation) if any snapshot write fails: an over-long journal
+/// is safe, a rotated-away record that no snapshot covers is not.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_DURABLE_STATESTORE_H
+#define PTRAN_DURABLE_STATESTORE_H
+
+#include "durable/Journal.h"
+#include "durable/Snapshot.h"
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ptran {
+namespace durable {
+
+class StateStore {
+public:
+  struct RecoveredSession {
+    DurableSessionState State;
+    uint64_t Watermark = 0;
+  };
+
+  /// Everything recovery found on disk.
+  struct Recovery {
+    std::vector<RecoveredSession> Snapshots;
+    /// All valid journal records in LSN order.
+    std::vector<DurableRecord> Records;
+    DeltaJournal::OpenReport JournalReport;
+    /// One structured line per snapshot file that failed verification and
+    /// was moved aside to `<file>.corrupt`.
+    std::vector<std::string> SnapshotDiagnostics;
+  };
+
+  /// Opens (creating if absent) the state directory, loads all snapshots,
+  /// scans the journal. Corruption is reported through \p Recovery, never
+  /// through \p Error — only unrecoverable IO (unwritable directory, a
+  /// journal that cannot be opened) returns null.
+  static std::unique_ptr<StateStore> open(const std::string &Dir,
+                                          FsyncPolicy Fsync,
+                                          Recovery &Recovered,
+                                          std::string &Error);
+
+  DeltaJournal &journal() { return *J; }
+  const std::string &dir() const { return Dir; }
+
+  /// Checkpoint step 3: writes \p State's snapshot with \p Watermark.
+  bool writeSnapshot(const DurableSessionState &State, uint64_t Watermark,
+                     std::string &Error);
+
+  /// Checkpoint step 4: unlinks every `snap-*.snap` whose session is not
+  /// in \p ResidentNames. A failed unlink MUST abort the checkpoint before
+  /// rotation: the stale snapshot's session has its SessionEvict record in
+  /// the journal, and rotating that record away would let the snapshot
+  /// resurrect an evicted session at the next recovery.
+  bool pruneSnapshotsExcept(const std::set<std::string> &ResidentNames,
+                            std::string &Error);
+
+  /// Checkpoint step 5: rotates the journal (see DeltaJournal::rotate).
+  bool rotateJournal(std::string &Error) { return J->rotate(Error); }
+
+private:
+  StateStore() = default;
+
+  std::string Dir;
+  std::unique_ptr<DeltaJournal> J;
+};
+
+} // namespace durable
+} // namespace ptran
+
+#endif // PTRAN_DURABLE_STATESTORE_H

@@ -16,7 +16,7 @@
 
 using namespace ptran;
 
-uint32_t ptran::crc32(const uint8_t *Data, size_t Len) {
+uint32_t ptran::crc32Update(uint32_t State, const uint8_t *Data, size_t Len) {
   static const auto Table = [] {
     std::array<uint32_t, 256> T{};
     for (uint32_t I = 0; I < 256; ++I) {
@@ -27,10 +27,13 @@ uint32_t ptran::crc32(const uint8_t *Data, size_t Len) {
     }
     return T;
   }();
-  uint32_t Crc = 0xFFFFFFFFu;
   for (size_t I = 0; I < Len; ++I)
-    Crc = Table[(Crc ^ Data[I]) & 0xFFu] ^ (Crc >> 8);
-  return Crc ^ 0xFFFFFFFFu;
+    State = Table[(State ^ Data[I]) & 0xFFu] ^ (State >> 8);
+  return State;
+}
+
+uint32_t ptran::crc32(const uint8_t *Data, size_t Len) {
+  return crc32End(crc32Update(crc32Begin(), Data, Len));
 }
 
 uint64_t ptran::structuralFingerprintOf(const FunctionAnalysis &FA) {

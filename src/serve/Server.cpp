@@ -10,6 +10,7 @@
 #include "support/StringUtils.h"
 #include "workloads/Workloads.h"
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
 #include <cstdio>
@@ -154,8 +155,12 @@ void ServeCore::evictLocked(const SessionEntry *Keep) {
     // In-flight requests on the victim keep their shared_ptr; the
     // registry just forgets the name, and the entry dies with its last
     // reference.
+    durable::DurableRecord R;
+    R.Type = durable::RecordType::SessionEvict;
+    R.Session = Victim->first;
     TotalBytes -= Victim->second->MemBytes;
     Sessions.erase(Victim);
+    journalAppend(R);
     bump("serve.evictions");
   }
 }
@@ -179,6 +184,8 @@ WireMessage ServeCore::handle(const WireMessage &Request) {
     Resp = handleIngestProfile(Request);
   else if (Request.Verb == "capture-profile")
     Resp = handleCaptureProfile(Request);
+  else if (Request.Verb == "checkpoint")
+    Resp = handleCheckpoint();
   else if (Request.Verb == "stats")
     Resp = handleStats();
   else
@@ -189,14 +196,72 @@ WireMessage ServeCore::handle(const WireMessage &Request) {
   return Resp;
 }
 
+std::shared_ptr<ServeCore::SessionEntry>
+ServeCore::buildEntry(const std::string &Name, std::string Source,
+                      uint32_t Mode, uint32_t LoopVariance,
+                      uint32_t OnBadProfile, std::string &Error) {
+  auto Entry = std::make_shared<SessionEntry>();
+  Entry->Name = Name;
+  Entry->Source = std::move(Source);
+  Entry->Mode = Mode;
+  Entry->LoopVariance = LoopVariance;
+  Entry->OnBadProfile = OnBadProfile;
+
+  Entry->Prog = parseProgram(Entry->Source, Entry->Diags);
+  if (!Entry->Prog) {
+    Error = "program failed to parse: " + Entry->Diags.str();
+    return nullptr;
+  }
+
+  EstimatorOptions EOpts(Entry->Diags);
+  EOpts.jobs(Opts.Jobs).onDeadline(Opts.OnDeadline);
+  EOpts.mode(static_cast<ProfileMode>(Mode))
+      .loopVariance(static_cast<LoopVarianceMode>(LoopVariance))
+      .onBadProfile(static_cast<BadProfilePolicy>(OnBadProfile));
+  if (Opts.Obs)
+    EOpts.observability(*Opts.Obs);
+
+  Entry->Session = EstimationSession::create(*Entry->Prog, CostModel(), EOpts);
+  if (!Entry->Session) {
+    Error = "program failed analysis: " + Entry->Diags.str();
+    return nullptr;
+  }
+  Entry->MemBytes = sessionMemoryBytes(Entry->Source, *Entry->Prog);
+  return Entry;
+}
+
+void ServeCore::registerEntry(const std::shared_ptr<SessionEntry> &Entry,
+                              bool JournalCreate) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Sessions.find(Entry->Name);
+  if (It != Sessions.end()) {
+    // Reload replaces: the old entry's in-flight requests finish on
+    // their own reference.
+    TotalBytes -= It->second->MemBytes;
+    Sessions.erase(It);
+  }
+  Entry->LastUsed = ++Clock;
+  TotalBytes += Entry->MemBytes;
+  Sessions[Entry->Name] = Entry;
+  if (JournalCreate) {
+    durable::DurableRecord R;
+    R.Type = durable::RecordType::SessionCreate;
+    R.Session = Entry->Name;
+    R.Source = Entry->Source;
+    R.Mode = Entry->Mode;
+    R.LoopVariance = Entry->LoopVariance;
+    R.OnBadProfile = Entry->OnBadProfile;
+    journalAppend(R);
+  }
+  evictLocked(Entry.get());
+}
+
 WireMessage ServeCore::handleLoadProgram(const WireMessage &Request) {
   std::string Name = Request.param("session");
   if (Name.empty())
     return errorResponse("bad-request", "load-program needs session=NAME");
 
-  auto Entry = std::make_shared<SessionEntry>();
-  Entry->Name = Name;
-
+  std::string Source;
   if (Request.hasParam("workload")) {
     std::string W = toLower(Request.param("workload"));
     const Workload *WL = nullptr;
@@ -207,30 +272,27 @@ WireMessage ServeCore::handleLoadProgram(const WireMessage &Request) {
     else
       return errorResponse("bad-request",
                            "unknown workload '" + W + "' (loops|simple)");
-    Entry->Source = WL->Source;
+    Source = WL->Source;
   } else if (!Request.Body.empty()) {
-    Entry->Source = Request.Body;
+    Source = Request.Body;
   } else {
     return errorResponse("bad-request", "load-program needs program source "
                                         "in the body or workload=loops|simple");
   }
 
-  Entry->Prog = parseProgram(Entry->Source, Entry->Diags);
-  if (!Entry->Prog)
-    return errorResponse("bad-program",
-                         "program failed to parse: " + Entry->Diags.str());
-
-  EstimatorOptions EOpts(Entry->Diags);
-  EOpts.jobs(Opts.Jobs).onDeadline(Opts.OnDeadline);
-  if (Opts.Obs)
-    EOpts.observability(*Opts.Obs);
+  // Resolve the creation parameters to their wire (u32) encoding up front:
+  // the SessionCreate record and every snapshot carry exactly these values,
+  // so recovery rebuilds the session with the same configuration.
+  uint32_t Mode = static_cast<uint32_t>(ProfileMode::Smart);
+  uint32_t LoopVariance = static_cast<uint32_t>(LoopVarianceMode::Zero);
+  uint32_t OnBadProfile = static_cast<uint32_t>(BadProfilePolicy::Fail);
   if (Request.hasParam("mode")) {
     std::optional<ProfileMode> M = parseMode(Request.param("mode"));
     if (!M)
       return errorResponse("bad-request", "unknown mode '" +
                                               Request.param("mode") +
                                               "' (naive|opt1|opt12|smart)");
-    EOpts.mode(*M);
+    Mode = static_cast<uint32_t>(*M);
   }
   if (Request.hasParam("loop-variance")) {
     std::optional<LoopVarianceMode> LV =
@@ -240,38 +302,30 @@ WireMessage ServeCore::handleLoadProgram(const WireMessage &Request) {
                            "unknown loop-variance '" +
                                Request.param("loop-variance") +
                                "' (zero|profiled|geometric|uniform)");
-    EOpts.loopVariance(*LV);
+    LoopVariance = static_cast<uint32_t>(*LV);
   }
   if (Request.hasParam("on-bad-profile")) {
     std::string P = toLower(Request.param("on-bad-profile"));
     if (P == "fail")
-      EOpts.onBadProfile(BadProfilePolicy::Fail);
+      OnBadProfile = static_cast<uint32_t>(BadProfilePolicy::Fail);
     else if (P == "quarantine")
-      EOpts.onBadProfile(BadProfilePolicy::Quarantine);
+      OnBadProfile = static_cast<uint32_t>(BadProfilePolicy::Quarantine);
     else
       return errorResponse("bad-request", "unknown on-bad-profile '" + P +
                                               "' (fail|quarantine)");
   }
 
-  Entry->Session = EstimationSession::create(*Entry->Prog, CostModel(), EOpts);
-  if (!Entry->Session)
-    return errorResponse("bad-program",
-                         "program failed analysis: " + Entry->Diags.str());
-  Entry->MemBytes = sessionMemoryBytes(Entry->Source, *Entry->Prog);
+  // Parse + analyze outside every lock (the expensive part), then insert
+  // and journal the SessionCreate as one structure-shared critical step.
+  std::string Error;
+  std::shared_ptr<SessionEntry> Entry = buildEntry(
+      Name, std::move(Source), Mode, LoopVariance, OnBadProfile, Error);
+  if (!Entry)
+    return errorResponse("bad-program", Error);
 
   {
-    std::lock_guard<std::mutex> L(Mu);
-    auto It = Sessions.find(Name);
-    if (It != Sessions.end()) {
-      // Reload replaces: the old entry's in-flight requests finish on
-      // their own reference.
-      TotalBytes -= It->second->MemBytes;
-      Sessions.erase(It);
-    }
-    Entry->LastUsed = ++Clock;
-    TotalBytes += Entry->MemBytes;
-    Sessions[Name] = Entry;
-    evictLocked(Entry.get());
+    std::shared_lock<std::shared_mutex> SL(StructureMu);
+    registerEntry(Entry, /*JournalCreate=*/true);
   }
   bump("serve.loads");
 
@@ -299,11 +353,30 @@ WireMessage ServeCore::handleRun(const WireMessage &Request) {
     Runs = *N;
   }
   RunResult Last;
-  for (unsigned I = 0; I < Runs; ++I) {
-    Last = Entry->Session->profiledRun();
-    if (!Last.Ok)
-      return errorResponse("run-failed", Last.Error);
+  unsigned Done = 0;
+  {
+    // Shared structure lock + DurableMu: the runs and their RunExec
+    // record are one atomic step against a concurrent checkpoint. The
+    // journal records the runs that actually EXECUTED — a mid-loop
+    // failure still mutated the session's counters Done times.
+    std::shared_lock<std::shared_mutex> SL(StructureMu);
+    std::lock_guard<std::mutex> DL(Entry->DurableMu);
+    for (unsigned I = 0; I < Runs; ++I) {
+      Last = Entry->Session->profiledRun();
+      if (!Last.Ok)
+        break;
+      ++Done;
+    }
+    if (Done > 0) {
+      durable::DurableRecord R;
+      R.Type = durable::RecordType::RunExec;
+      R.Session = Entry->Name;
+      R.RunCount = Done;
+      journalAppend(R);
+    }
   }
+  if (Done != Runs)
+    return errorResponse("run-failed", Last.Error);
   bump("serve.runs", Runs);
   WireMessage Resp = okResponse();
   Resp.Params["runs"] = std::to_string(Entry->Session->runsExecuted());
@@ -498,18 +571,7 @@ WireMessage ServeCore::handleStreamDeltas(const WireMessage &Request) {
     return errorResponse("unknown-session", "no session named '" +
                                                 Request.param("session") +
                                                 "'");
-  // Lazily build the session's stream; StreamMu covers only this
-  // construction race, never the append or flush paths.
-  CounterDeltaStream *Stream;
-  {
-    std::lock_guard<std::mutex> L(Entry->StreamMu);
-    if (!Entry->Stream) {
-      CounterDeltaStream::Options SO;
-      SO.Obs = Opts.Obs;
-      Entry->Stream = CounterDeltaStream::create(*Entry->Session, SO);
-    }
-    Stream = Entry->Stream.get();
-  }
+  CounterDeltaStream *Stream = streamFor(*Entry);
 
   // describe=1: serve the cell-address table clients encode records
   // against (function index in stream order, condition count per row).
@@ -560,7 +622,13 @@ WireMessage ServeCore::handleStreamDeltas(const WireMessage &Request) {
   if (Request.param("flush") == "1") {
     // Seal the epoch and fold it into the session as one atomic batch;
     // the next estimate on this session re-runs only the dirty closure.
-    CounterDeltaStream::FlushReport FR = Stream->flush();
+    // StructureMu shared is taken OUTSIDE flush() — the fold observer
+    // cannot take it (checkpoint calls flush holding it unique).
+    CounterDeltaStream::FlushReport FR;
+    {
+      std::shared_lock<std::shared_mutex> SL(StructureMu);
+      FR = Stream->flush();
+    }
     Resp.Params["epoch"] = std::to_string(FR.Epoch);
     Resp.Params["flushed-functions"] = std::to_string(FR.Functions);
     Resp.Params["flushed-cells"] = std::to_string(FR.Cells);
@@ -592,8 +660,22 @@ WireMessage ServeCore::handleIngestProfile(const WireMessage &Request) {
     return errorResponse("bad-profile",
                          "profile image failed to parse: " + LoadDiags.str());
 
-  ProfileIngestReport Report =
-      Entry->Session->ingestProfile(*PF, Armed ? &Token : nullptr);
+  ProfileIngestReport Report;
+  {
+    // {ingest, journal} is one atomic step against checkpoint capture.
+    // The journal stores the raw PTPF image: replay re-ingests the exact
+    // bytes, so recovery reproduces the same accept/quarantine decisions.
+    std::shared_lock<std::shared_mutex> SL(StructureMu);
+    std::lock_guard<std::mutex> DL(Entry->DurableMu);
+    Report = Entry->Session->ingestProfile(*PF, Armed ? &Token : nullptr);
+    if (Report.Ok) {
+      durable::DurableRecord R;
+      R.Type = durable::RecordType::ProfileIngest;
+      R.Session = Entry->Name;
+      R.Profile = Bytes;
+      journalAppend(R);
+    }
+  }
   bump("serve.ingests");
   if (!Report.Ok)
     return errorResponse(Token.expired() ? "timeout" : "bad-profile",
@@ -626,5 +708,453 @@ WireMessage ServeCore::handleStats() {
                          "(restart ptran-serve with --stats)");
   WireMessage Resp = okResponse();
   Resp.Body = Opts.Obs->statsTable();
+  return Resp;
+}
+
+//===----------------------------------------------------------------------===//
+// Durable state: journaling, checkpoint, restore, background flusher
+//===----------------------------------------------------------------------===//
+
+uint64_t ServeCore::journalAppend(durable::DurableRecord &R) {
+  if (!Opts.Store)
+    return 0;
+  std::string Err;
+  uint64_t Lsn = Opts.Store->journal().append(R, Err);
+  if (!Lsn) {
+    // Degrade durability, keep serving: the record is lost to recovery
+    // but the live session stays correct, and the reference a recovery
+    // is compared against is rebuilt from the same journal.
+    bump("durable.append_failures");
+    std::fprintf(stderr,
+                 "ptran-serve: journal append failed (durability degraded): "
+                 "%s\n",
+                 Err.c_str());
+  }
+  return Lsn;
+}
+
+/// Brackets every stream epoch fold of one session: under the session's
+/// DurableMu, apply the batch and journal the EpochFold (plus a one-time
+/// SaturationMark per newly clamped function) as one atomic step. Takes
+/// NO StructureMu — checkpoint() calls flush() while holding it unique;
+/// every other flush call site takes it shared around flush() instead.
+class ServeCore::DurableFoldObserver : public EpochFoldObserver {
+public:
+  DurableFoldObserver(ServeCore &Core, SessionEntry &Entry)
+      : Core(Core), Entry(Entry) {}
+
+  void onEpochFold(
+      const std::vector<std::pair<const Function *, FrequencyTotals>> &Batch,
+      const std::vector<const Function *> &Clamped,
+      const std::function<void()> &Apply) override {
+    std::lock_guard<std::mutex> L(Entry.DurableMu);
+    Apply();
+    durable::DurableRecord R;
+    R.Type = durable::RecordType::EpochFold;
+    R.Session = Entry.Name;
+    for (const auto &[F, Totals] : Batch) {
+      durable::FoldEntry FE;
+      FE.Function = F->name();
+      for (const auto &[Cond, Total] : Totals.Cond)
+        FE.Conds.push_back(
+            {Cond.Node, static_cast<uint8_t>(Cond.Label), Total});
+      R.Folds.push_back(std::move(FE));
+    }
+    for (const Function *F : Clamped)
+      R.Clamped.push_back(F->name());
+    Core.journalAppend(R);
+    // A clamped function's saturation diagnostic must survive restarts;
+    // mark it once (the EpochFold's Clamped list already re-arms it on
+    // replay, the standalone record covers journals whose fold rotated
+    // into a snapshot that predates the saturation API).
+    for (const Function *F : Clamped) {
+      if (!Entry.JournaledSaturation.insert(F->name()).second)
+        continue;
+      durable::DurableRecord S;
+      S.Type = durable::RecordType::SaturationMark;
+      S.Session = Entry.Name;
+      S.FunctionName = F->name();
+      Core.journalAppend(S);
+    }
+  }
+
+private:
+  ServeCore &Core;
+  SessionEntry &Entry;
+};
+
+CounterDeltaStream *ServeCore::streamFor(SessionEntry &Entry) {
+  // StreamMu covers only the lazy construction race, never the append or
+  // flush paths.
+  std::lock_guard<std::mutex> L(Entry.StreamMu);
+  if (!Entry.Stream) {
+    CounterDeltaStream::Options SO;
+    SO.Obs = Opts.Obs;
+    Entry.Stream = CounterDeltaStream::create(*Entry.Session, SO);
+    if (Opts.Store) {
+      // Installed before the stream sees any traffic (the observer
+      // pointer is read unsynchronized by flush()).
+      Entry.FoldObs = std::make_unique<DurableFoldObserver>(*this, Entry);
+      Entry.Stream->setFoldObserver(Entry.FoldObs.get());
+    }
+  }
+  return Entry.Stream.get();
+}
+
+bool ServeCore::checkpoint(std::string &Error) {
+  if (!Opts.Store)
+    return true;
+  // UNIQUE structure lock: every durable mutation holds StructureMu
+  // shared around its {mutate, journal} pair, so between here and the
+  // rotation the sessions and the journal cannot diverge.
+  std::unique_lock<std::shared_mutex> SL(StructureMu);
+
+  std::vector<std::shared_ptr<SessionEntry>> Entries;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    for (const auto &[Name, Entry] : Sessions)
+      Entries.push_back(Entry);
+  }
+
+  // 1. Seal outstanding stream epochs: their folds become journal
+  // records below the watermark read next.
+  for (const auto &Entry : Entries) {
+    CounterDeltaStream *Stream = nullptr;
+    {
+      std::lock_guard<std::mutex> L(Entry->StreamMu);
+      Stream = Entry->Stream.get();
+    }
+    if (Stream)
+      Stream->flush();
+  }
+
+  // 2+3. Watermark, then snapshot every resident session at it.
+  uint64_t W = Opts.Store->journal().lastLsn();
+  std::set<std::string> Resident;
+  for (const auto &Entry : Entries) {
+    durable::DurableSessionState S;
+    S.Name = Entry->Name;
+    S.Source = Entry->Source;
+    S.Mode = Entry->Mode;
+    S.LoopVariance = Entry->LoopVariance;
+    S.OnBadProfile = Entry->OnBadProfile;
+    Entry->Session->captureDurableState(S);
+    if (!Opts.Store->writeSnapshot(S, W, Error))
+      return false; // Journal NOT rotated: nothing is lost, only long.
+    Resident.insert(Entry->Name);
+  }
+
+  // 4. Evicted sessions must not resurrect from stale snapshots once the
+  // journal (holding their SessionEvict record) rotates; a failed unlink
+  // therefore aborts before rotation.
+  if (!Opts.Store->pruneSnapshotsExcept(Resident, Error))
+    return false;
+
+  // 5. Every journal record is now covered by a watermark-W snapshot.
+  if (!Opts.Store->rotateJournal(Error))
+    return false;
+  bump("durable.checkpoints");
+  return true;
+}
+
+void ServeCore::applySnapshotState(SessionEntry &Entry,
+                                   const durable::DurableSessionState &State,
+                                   std::vector<std::string> &Diagnostics) {
+  // Order matters: quarantines first (an ingest skips quarantined
+  // functions' sections, matching the original session's decisions), then
+  // the profile image (run counters + loop moments), then the external
+  // totals, then the saturation diagnostics.
+  for (const auto &[Fn, Reason] : State.Quarantined)
+    if (!Entry.Session->markQuarantined(Fn, Reason))
+      Diagnostics.push_back("snapshot '" + State.Name +
+                            "': quarantined function '" + Fn +
+                            "' not found in the rebuilt program");
+  if (!State.ProfileImage.empty()) {
+    DiagnosticEngine LoadDiags;
+    std::optional<ProfileFile> PF =
+        ProfileFile::deserialize(State.ProfileImage, &LoadDiags);
+    if (!PF) {
+      Diagnostics.push_back("snapshot '" + State.Name +
+                            "': profile image failed to parse: " +
+                            LoadDiags.str());
+    } else {
+      ProfileIngestReport Rep = Entry.Session->ingestProfile(*PF, nullptr);
+      if (!Rep.Ok)
+        Diagnostics.push_back("snapshot '" + State.Name +
+                              "': profile image failed to ingest: " +
+                              Rep.Error);
+    }
+  }
+  std::vector<std::pair<const Function *, FrequencyTotals>> Batch;
+  for (const durable::FoldEntry &FE : State.External) {
+    const Function *F = Entry.Prog->findFunction(FE.Function);
+    if (!F) {
+      Diagnostics.push_back("snapshot '" + State.Name + "': function '" +
+                            FE.Function + "' not found; its totals dropped");
+      continue;
+    }
+    FrequencyTotals T;
+    T.Ok = true;
+    for (const durable::CondTotal &C : FE.Conds)
+      T.Cond[ControlCondition{C.Node, static_cast<CfgLabel>(C.Label)}] =
+          C.Total;
+    Batch.emplace_back(F, std::move(T));
+  }
+  if (!Batch.empty())
+    Entry.Session->accumulateTotalsBatch(Batch);
+  for (const std::string &Fn : State.Saturated) {
+    const Function *F = Entry.Prog->findFunction(Fn);
+    if (!F) {
+      Diagnostics.push_back("snapshot '" + State.Name +
+                            "': saturated function '" + Fn + "' not found");
+      continue;
+    }
+    Entry.Session->noteExternalSaturation(*F);
+    Entry.JournaledSaturation.insert(Fn);
+  }
+}
+
+void ServeCore::restore(const durable::StateStore::Recovery &Recovered,
+                        RestoreReport &Out) {
+  // Boot-time only (before any connection thread exists), so no
+  // StructureMu is needed; registerEntry with JournalCreate=false never
+  // re-journals a replayed mutation — but evictions it triggers DO
+  // journal their SessionEvict (a new state change, not a replayed one).
+  std::map<std::string, uint64_t> Watermark;
+  for (const durable::StateStore::RecoveredSession &RS :
+       Recovered.Snapshots) {
+    std::string Error;
+    std::shared_ptr<SessionEntry> Entry =
+        buildEntry(RS.State.Name, RS.State.Source, RS.State.Mode,
+                   RS.State.LoopVariance, RS.State.OnBadProfile, Error);
+    if (!Entry) {
+      Out.Diagnostics.push_back("snapshot session '" + RS.State.Name +
+                                "' no longer builds: " + Error);
+      continue;
+    }
+    applySnapshotState(*Entry, RS.State, Out.Diagnostics);
+    registerEntry(Entry, /*JournalCreate=*/false);
+    Watermark[RS.State.Name] = RS.Watermark;
+  }
+
+  for (const durable::DurableRecord &R : Recovered.Records) {
+    // Records at or below the session's snapshot watermark are already
+    // folded into that snapshot (the crash-during-checkpoint double-apply
+    // guard; LSNs are monotonic across rotations, so this stays sound no
+    // matter where the crash landed).
+    auto WIt = Watermark.find(R.Session);
+    if (WIt != Watermark.end() && R.Lsn <= WIt->second) {
+      ++Out.RecordsSkipped;
+      continue;
+    }
+    ++Out.RecordsReplayed;
+    const std::string Where =
+        "journal LSN " + std::to_string(R.Lsn) + " ('" + R.Session + "')";
+    switch (R.Type) {
+    case durable::RecordType::SessionCreate: {
+      std::string Error;
+      std::shared_ptr<SessionEntry> Entry = buildEntry(
+          R.Session, R.Source, R.Mode, R.LoopVariance, R.OnBadProfile, Error);
+      if (!Entry) {
+        Out.Diagnostics.push_back(Where + ": session no longer builds: " +
+                                  Error);
+        break;
+      }
+      registerEntry(Entry, /*JournalCreate=*/false);
+      break;
+    }
+    case durable::RecordType::SessionEvict: {
+      std::lock_guard<std::mutex> L(Mu);
+      auto It = Sessions.find(R.Session);
+      if (It != Sessions.end()) {
+        TotalBytes -= It->second->MemBytes;
+        Sessions.erase(It);
+      }
+      break;
+    }
+    case durable::RecordType::RunExec: {
+      std::shared_ptr<SessionEntry> Entry = findSession(R.Session);
+      if (!Entry) {
+        Out.Diagnostics.push_back(Where + ": no such session; runs dropped");
+        break;
+      }
+      for (uint32_t I = 0; I < R.RunCount; ++I) {
+        RunResult RR = Entry->Session->profiledRun();
+        if (!RR.Ok) {
+          Out.Diagnostics.push_back(Where + ": replayed run failed: " +
+                                    RR.Error);
+          break;
+        }
+      }
+      break;
+    }
+    case durable::RecordType::EpochFold: {
+      std::shared_ptr<SessionEntry> Entry = findSession(R.Session);
+      if (!Entry) {
+        Out.Diagnostics.push_back(Where + ": no such session; fold dropped");
+        break;
+      }
+      std::vector<std::pair<const Function *, FrequencyTotals>> Batch;
+      for (const durable::FoldEntry &FE : R.Folds) {
+        const Function *F = Entry->Prog->findFunction(FE.Function);
+        if (!F) {
+          Out.Diagnostics.push_back(Where + ": function '" + FE.Function +
+                                    "' not found; its totals dropped");
+          continue;
+        }
+        FrequencyTotals T;
+        T.Ok = true;
+        for (const durable::CondTotal &C : FE.Conds)
+          T.Cond[ControlCondition{C.Node, static_cast<CfgLabel>(C.Label)}] =
+              C.Total;
+        Batch.emplace_back(F, std::move(T));
+      }
+      if (!Batch.empty())
+        Entry->Session->accumulateTotalsBatch(Batch);
+      for (const std::string &Fn : R.Clamped) {
+        const Function *F = Entry->Prog->findFunction(Fn);
+        if (!F)
+          continue;
+        Entry->Session->noteExternalSaturation(*F);
+        Entry->JournaledSaturation.insert(Fn);
+      }
+      break;
+    }
+    case durable::RecordType::ProfileIngest: {
+      std::shared_ptr<SessionEntry> Entry = findSession(R.Session);
+      if (!Entry) {
+        Out.Diagnostics.push_back(Where +
+                                  ": no such session; profile dropped");
+        break;
+      }
+      DiagnosticEngine LoadDiags;
+      std::optional<ProfileFile> PF =
+          ProfileFile::deserialize(R.Profile, &LoadDiags);
+      if (!PF) {
+        Out.Diagnostics.push_back(Where + ": profile failed to parse: " +
+                                  LoadDiags.str());
+        break;
+      }
+      ProfileIngestReport Rep = Entry->Session->ingestProfile(*PF, nullptr);
+      if (!Rep.Ok)
+        Out.Diagnostics.push_back(Where + ": profile failed to ingest: " +
+                                  Rep.Error);
+      break;
+    }
+    case durable::RecordType::SaturationMark: {
+      std::shared_ptr<SessionEntry> Entry = findSession(R.Session);
+      if (!Entry) {
+        Out.Diagnostics.push_back(Where + ": no such session; mark dropped");
+        break;
+      }
+      const Function *F = Entry->Prog->findFunction(R.FunctionName);
+      if (!F) {
+        Out.Diagnostics.push_back(Where + ": function '" + R.FunctionName +
+                                  "' not found; mark dropped");
+        break;
+      }
+      Entry->Session->noteExternalSaturation(*F);
+      Entry->JournaledSaturation.insert(R.FunctionName);
+      break;
+    }
+    }
+  }
+  Out.SessionsRestored = sessionCount();
+}
+
+void ServeCore::startFlusher() {
+  if (!Opts.Store)
+    return;
+  {
+    std::lock_guard<std::mutex> L(FlusherMu);
+    FlusherStop = false;
+  }
+  Flusher = std::thread([this] { flusherLoop(); });
+}
+
+void ServeCore::stopFlusher() {
+  {
+    std::lock_guard<std::mutex> L(FlusherMu);
+    FlusherStop = true;
+  }
+  FlusherCv.notify_all();
+  if (Flusher.joinable())
+    Flusher.join();
+}
+
+void ServeCore::flusherLoop() {
+  using SteadyClock = std::chrono::steady_clock;
+  // Tick faster than the flush cadence so the cell-count threshold is
+  // checked promptly between staleness deadlines.
+  const auto Tick =
+      std::chrono::milliseconds(std::max(10u, Opts.FlushIntervalMs / 4));
+  auto LastSync = SteadyClock::now();
+  auto LastCheckpoint = SteadyClock::now();
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> L(FlusherMu);
+      if (FlusherCv.wait_for(L, Tick, [this] { return FlusherStop; }))
+        return;
+    }
+    auto Now = SteadyClock::now();
+    bool SyncDue =
+        Now - LastSync >= std::chrono::milliseconds(Opts.FlushIntervalMs);
+
+    std::vector<std::shared_ptr<SessionEntry>> Entries;
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      for (const auto &[Name, Entry] : Sessions)
+        Entries.push_back(Entry);
+    }
+    for (const auto &Entry : Entries) {
+      CounterDeltaStream *Stream = nullptr;
+      {
+        std::lock_guard<std::mutex> L(Entry->StreamMu);
+        Stream = Entry->Stream.get();
+      }
+      if (!Stream || Stream->pendingAppends() == 0)
+        continue;
+      // Seal stale (or threshold-crossing) epochs so their deltas reach
+      // the journal; bounds loss under FsyncPolicy::Batch to one flush
+      // interval of appends.
+      if (SyncDue || Stream->pendingAppends() >= Opts.FlushCellThreshold) {
+        std::shared_lock<std::shared_mutex> SL(StructureMu);
+        Stream->flush();
+      }
+    }
+    if (SyncDue) {
+      // FsyncPolicy::Batch's flush point.
+      std::string Err;
+      if (!Opts.Store->journal().sync(Err))
+        std::fprintf(stderr, "ptran-serve: journal sync failed: %s\n",
+                     Err.c_str());
+      LastSync = Now;
+    }
+    if (Opts.SnapshotIntervalMs != 0 &&
+        Now - LastCheckpoint >=
+            std::chrono::milliseconds(Opts.SnapshotIntervalMs)) {
+      std::string Err;
+      if (!checkpoint(Err))
+        std::fprintf(stderr, "ptran-serve: periodic checkpoint failed: %s\n",
+                     Err.c_str());
+      LastCheckpoint = Now;
+    }
+  }
+}
+
+WireMessage ServeCore::handleCheckpoint() {
+  if (!Opts.Store)
+    return errorResponse("bad-request",
+                         "this daemon runs without durable state "
+                         "(restart ptran-serve with --state-dir)");
+  std::string Error;
+  if (!checkpoint(Error))
+    return errorResponse("durable-failure", Error);
+  bump("serve.checkpoints");
+  WireMessage Resp = okResponse();
+  Resp.Params["journal-next-lsn"] =
+      std::to_string(Opts.Store->journal().nextLsn());
+  Resp.Params["journal-bytes"] =
+      std::to_string(Opts.Store->journal().sizeBytes());
   return Resp;
 }

@@ -29,17 +29,24 @@
 #ifndef PTRAN_SERVE_SERVER_H
 #define PTRAN_SERVE_SERVER_H
 
+#include "durable/StateStore.h"
 #include "obs/Observability.h"
 #include "serve/Protocol.h"
 #include "session/EstimationSession.h"
 #include "stream/DeltaStream.h"
 #include "support/Cancellation.h"
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
+#include <shared_mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 namespace ptran {
 namespace serve {
@@ -63,6 +70,19 @@ struct ServeOptions {
   /// Registry every session and the dispatcher report into; the `stats`
   /// verb serializes it. Null disables counting.
   ObsRegistry *Obs = nullptr;
+  /// Crash-safe persistence (--state-dir). Null = ephemeral daemon, the
+  /// historical behavior. The store must outlive the core.
+  durable::StateStore *Store = nullptr;
+  /// Background flusher cadence: stale stream epochs are sealed and the
+  /// journal fsynced (FsyncPolicy::Batch's flush point) this often.
+  unsigned FlushIntervalMs = 200;
+  /// Periodic checkpoint cadence (snapshot every session + rotate the
+  /// journal). 0 disables the timer; the `checkpoint` verb and graceful
+  /// shutdown still checkpoint.
+  unsigned SnapshotIntervalMs = 5000;
+  /// Pending stream appends that trigger an epoch flush before the
+  /// staleness timer does (bounds journal loss under Batch fsync).
+  uint64_t FlushCellThreshold = 8192;
 };
 
 /// Thread-safe dispatcher over the session registry. One instance serves
@@ -70,6 +90,7 @@ struct ServeOptions {
 class ServeCore {
 public:
   explicit ServeCore(const ServeOptions &Opts) : Opts(Opts) {}
+  ~ServeCore() { stopFlusher(); }
 
   /// Handles one request and returns the response. Safe to call from any
   /// number of threads concurrently: the registry has its own lock, and
@@ -80,6 +101,40 @@ public:
   unsigned sessionCount() const;
   /// Sum of the resident sessions' memory-heuristic charges.
   uint64_t residentBytes() const;
+
+  /// -- Durable state (all no-ops when ServeOptions::Store is null) ------
+
+  /// What restore() rebuilt (the daemon logs it at boot).
+  struct RestoreReport {
+    unsigned SessionsRestored = 0;
+    uint64_t RecordsReplayed = 0;
+    /// Records already covered by a snapshot watermark (the crash-during-
+    /// checkpoint double-apply guard skipped them).
+    uint64_t RecordsSkipped = 0;
+    /// One line per partial failure (a snapshot session that no longer
+    /// parses, a record naming an evicted session, ...). Recovery itself
+    /// never fails: a bad piece costs that piece, not the store.
+    std::vector<std::string> Diagnostics;
+  };
+
+  /// Rebuilds sessions from \p Recovered: one session per snapshot, then
+  /// the journal records above each session's watermark replayed in LSN
+  /// order. Call once at boot, before serving traffic.
+  void restore(const durable::StateStore::Recovery &Recovered,
+               RestoreReport &Out);
+
+  /// Flushes every stream epoch, snapshots every resident session at the
+  /// journal's last LSN, prunes stale snapshots, and rotates the journal.
+  /// Runs under the structure lock: no mutation can slip between the
+  /// capture and the rotation. False (journal NOT rotated — an over-long
+  /// journal is safe, a lost record is not) with \p Error on IO failure.
+  bool checkpoint(std::string &Error);
+
+  /// Starts/stops the background flusher (stream staleness + journal sync
+  /// + periodic checkpoints, per ServeOptions cadences). stopFlusher is
+  /// idempotent and also runs from the destructor.
+  void startFlusher();
+  void stopFlusher();
 
 private:
   /// One loaded program and its session. Name-keyed in the registry;
@@ -103,7 +158,25 @@ private:
     uint64_t MemBytes = 0;
     /// Logical LRU stamp (registry clock value of the last touch).
     uint64_t LastUsed = 0;
+
+    /// Resolved creation parameters in their wire (u32) encoding, kept so
+    /// SessionCreate records and snapshots can rebuild the session with
+    /// the exact same configuration.
+    uint32_t Mode = 0;
+    uint32_t LoopVariance = 0;
+    uint32_t OnBadProfile = 0;
+    /// Orders this session's {mutate, journal append} pairs against each
+    /// other (so the journal order matches the apply order) — see the
+    /// lock-ordering note above ServeCore::StructureMu.
+    std::mutex DurableMu;
+    /// Functions whose SaturationMark record is already journaled or was
+    /// restored from a snapshot (guarded by DurableMu).
+    std::set<std::string> JournaledSaturation;
+    /// The durable fold observer installed on Stream (EpochFold records);
+    /// owned here so it lives exactly as long as the stream.
+    std::unique_ptr<EpochFoldObserver> FoldObs;
   };
+  class DurableFoldObserver;
 
   WireMessage handleLoadProgram(const WireMessage &Request);
   WireMessage handleRun(const WireMessage &Request);
@@ -112,20 +185,69 @@ private:
   WireMessage handleStreamDeltas(const WireMessage &Request);
   WireMessage handleIngestProfile(const WireMessage &Request);
   WireMessage handleCaptureProfile(const WireMessage &Request);
+  WireMessage handleCheckpoint();
   WireMessage handleStats();
 
   /// Looks up \p Name and stamps its LRU clock. Null when unknown.
   std::shared_ptr<SessionEntry> findSession(const std::string &Name);
   /// Evicts least-recently-used entries (never \p Keep) until the memory
-  /// budget and session cap hold. Caller holds Mu.
+  /// budget and session cap hold, journaling a SessionEvict per victim.
+  /// Caller holds Mu (and, when durable, StructureMu shared).
   void evictLocked(const SessionEntry *Keep);
   void bump(const char *Counter, uint64_t Delta = 1);
 
+  /// Parses + analyzes one session (the expensive part, done outside any
+  /// core lock). Shared by load-program and the restore path. Null with
+  /// \p Error on parse/analysis failure.
+  std::shared_ptr<SessionEntry> buildEntry(const std::string &Name,
+                                           std::string Source, uint32_t Mode,
+                                           uint32_t LoopVariance,
+                                           uint32_t OnBadProfile,
+                                           std::string &Error);
+  /// Inserts \p Entry into the registry (replacing a same-name entry),
+  /// charges the memory budget, evicts over-budget sessions, and — when
+  /// \p JournalCreate — appends the SessionCreate record inside the same
+  /// registry-lock hold, so journal order matches apply order.
+  void registerEntry(const std::shared_ptr<SessionEntry> &Entry,
+                     bool JournalCreate);
+  /// Lazily builds Entry's stream (and installs the durable fold observer
+  /// when a store is configured).
+  CounterDeltaStream *streamFor(SessionEntry &Entry);
+  /// Appends \p R to the journal. Returns the LSN, or 0 when there is no
+  /// store or the append failed — failure degrades durability (the record
+  /// is lost to recovery), it never fails the request; it is counted
+  /// (`durable.append_failures`) and logged instead.
+  uint64_t journalAppend(durable::DurableRecord &R);
+  /// Applies one snapshot's accumulated state to a freshly built entry.
+  void applySnapshotState(SessionEntry &Entry,
+                          const durable::DurableSessionState &State,
+                          std::vector<std::string> &Diagnostics);
+  void flusherLoop();
+
   ServeOptions Opts;
+
+  /// LOCK ORDER: StructureMu -> Mu/StreamMu -> (stream FlushMu) ->
+  /// DurableMu -> session lock -> journal lock. Every durable mutation
+  /// (load/run/ingest/fold/evict) holds StructureMu SHARED around its
+  /// whole {mutate + journal} pair; checkpoint() holds it UNIQUE across
+  /// {flush streams, read watermark, capture, write snapshots, prune,
+  /// rotate} — so a record can neither land between a session's capture
+  /// and the rotation (it would be rotated away uncovered) nor between a
+  /// fold's application and its journal append (the snapshot would
+  /// double-count it on replay). Stream flushes take StructureMu shared
+  /// OUTSIDE CounterDeltaStream::flush (the observer cannot: checkpoint
+  /// calls flush while holding StructureMu unique).
+  std::shared_mutex StructureMu;
+
   mutable std::mutex Mu;
   std::map<std::string, std::shared_ptr<SessionEntry>> Sessions;
   uint64_t Clock = 0;
   uint64_t TotalBytes = 0;
+
+  std::thread Flusher;
+  std::mutex FlusherMu;
+  std::condition_variable FlusherCv;
+  bool FlusherStop = false;
 };
 
 } // namespace serve

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -34,18 +35,49 @@ static bool fillAddress(const std::string &Path, sockaddr_un &Addr,
   return true;
 }
 
+/// True when a socket file at \p Path has a live listener behind it,
+/// decided by actually connecting: ECONNREFUSED (or ENOENT) means the
+/// daemon that bound it is gone and the file is a stale leftover.
+static bool socketIsLive(const sockaddr_un &Addr) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return false; // Cannot probe; bind will report the conflict.
+  int Rc;
+  do {
+    Rc = ::connect(Fd, reinterpret_cast<const sockaddr *>(&Addr),
+                   sizeof(Addr));
+  } while (Rc < 0 && errno == EINTR);
+  ::close(Fd);
+  return Rc == 0;
+}
+
 int serve::listenUnix(const std::string &Path, std::string &Error) {
   sockaddr_un Addr;
   if (!fillAddress(Path, Addr, Error))
     return -1;
+  // A stale socket file from a crashed daemon would make bind fail with
+  // EADDRINUSE — but unlinking unconditionally would steal the path from
+  // a RUNNING daemon (its listener keeps working, invisible to new
+  // clients). Probe with a real connect first: only a dead socket file is
+  // removed, a live one (or a non-socket file) is refused.
+  struct stat St;
+  if (::lstat(Path.c_str(), &St) == 0) {
+    if (!S_ISSOCK(St.st_mode)) {
+      Error = "path '" + Path + "' exists and is not a socket; refusing to "
+              "remove it";
+      return -1;
+    }
+    if (socketIsLive(Addr)) {
+      Error = "another daemon is already listening on '" + Path + "'";
+      return -1;
+    }
+    ::unlink(Path.c_str());
+  }
   int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (Fd < 0) {
     Error = errnoString("socket");
     return -1;
   }
-  // A stale socket file from a crashed daemon would make bind fail with
-  // EADDRINUSE; remove it first (fresh daemons own their path).
-  ::unlink(Path.c_str());
   if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
     Error = errnoString("bind");
     ::close(Fd);

@@ -569,6 +569,47 @@ bool EstimationSession::saveProfile(const std::string &Path,
                                            Opts.Obs.Registry);
 }
 
+void EstimationSession::captureDurableState(
+    durable::DurableSessionState &Out) const {
+  std::lock_guard<std::mutex> L(Mu);
+  Out.Runs = Runs;
+  Out.ProfileImage = captureProfileLocked().serialize();
+  Out.External.clear();
+  Out.Saturated.clear();
+  Out.Quarantined.clear();
+  // Program order throughout: External/SaturatedFns/QuarantinedFns are
+  // pointer-keyed, and pointer order is not deterministic across runs of
+  // the daemon — iterating them directly would break the equal-state ⇒
+  // equal-bytes contract the snapshot format promises.
+  for (const auto &FPtr : P->functions()) {
+    const Function *F = FPtr.get();
+    auto EIt = External.find(F);
+    if (EIt != External.end() && !EIt->second.empty()) {
+      durable::FoldEntry FE;
+      FE.Function = F->name();
+      for (const auto &[Cond, Total] : EIt->second)
+        FE.Conds.push_back({Cond.Node,
+                            static_cast<uint8_t>(Cond.Label), Total});
+      Out.External.push_back(std::move(FE));
+    }
+    if (SaturatedFns.count(F))
+      Out.Saturated.push_back(F->name());
+    auto QIt = QuarantinedFns.find(F);
+    if (QIt != QuarantinedFns.end())
+      Out.Quarantined.emplace_back(F->name(), QIt->second);
+  }
+}
+
+bool EstimationSession::markQuarantined(const std::string &FunctionName,
+                                        const std::string &Reason) {
+  std::lock_guard<std::mutex> L(Mu);
+  const Function *F = P->findFunction(FunctionName);
+  if (!F)
+    return false;
+  quarantine(*F, Reason);
+  return true;
+}
+
 ProfileIngestReport EstimationSession::ingestProfile(const ProfileFile &PF) {
   std::lock_guard<std::mutex> L(Mu);
   return ingestProfileLocked(PF);

@@ -56,6 +56,7 @@
 #define PTRAN_SESSION_ESTIMATIONSESSION_H
 
 #include "cost/Estimator.h"
+#include "durable/Snapshot.h"
 #include "pdb/ProgramDatabase.h"
 
 #include <map>
@@ -200,6 +201,21 @@ public:
   /// retry policy (EstimatorOptions::IoRetry): transient IO failures are
   /// absorbed, only persistent ones surface.
   bool saveProfile(const std::string &Path, DiagnosticEngine *Diags) const;
+
+  /// Fills the session-owned slice of a durable snapshot (the serve layer
+  /// owns Name/Source/Mode): run count, the serialized PTPF image of the
+  /// accumulated counter state, the external totals, and the saturation/
+  /// quarantine sets — everything in program order, so identical session
+  /// state always produces identical snapshot bytes (the kill-and-recover
+  /// test memcmps them). One lock acquisition: the capture is a consistent
+  /// cut, never a torn view.
+  void captureDurableState(durable::DurableSessionState &Out) const;
+
+  /// Re-applies a sticky quarantine recorded in a snapshot (the restore
+  /// path; quarantine reasons must survive a daemon restart verbatim).
+  /// False when \p FunctionName names no function of this program.
+  bool markQuarantined(const std::string &FunctionName,
+                       const std::string &Reason);
 
   /// Functions currently quarantined, with reasons. Quarantine is sticky
   /// for the session's lifetime: later clean data does not lift it.

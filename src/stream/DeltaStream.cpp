@@ -166,22 +166,31 @@ CounterDeltaStream::FlushReport CounterDeltaStream::flush() {
     }
   }
   // One batch = one session lock acquisition: a concurrent estimate()
-  // sees the whole epoch or none of it.
-  if (!Batch.empty())
-    Session->accumulateTotalsBatch(Batch);
-  for (const Function *F : Clamped)
-    Session->noteExternalSaturation(*F);
+  // sees the whole epoch or none of it. The fold observer, when present,
+  // brackets the application so it can journal the epoch atomically with
+  // applying it.
+  auto Apply = [&] {
+    if (!Batch.empty())
+      Session->accumulateTotalsBatch(Batch);
+    for (const Function *F : Clamped)
+      Session->noteExternalSaturation(*F);
+  };
+  if (Observer && !Batch.empty())
+    Observer->onEpochFold(Batch, Clamped, Apply);
+  else
+    Apply();
 
   FlushedCells.fetch_add(R.Cells, std::memory_order_relaxed);
   EpochsDone.fetch_add(1, std::memory_order_relaxed);
+  uint64_t App = 0, Drop = 0;
+  for (const SlotState &St : Slots) {
+    App += St.Appended.load(std::memory_order_relaxed);
+    Drop += St.Dropped.load(std::memory_order_relaxed);
+  }
+  AppendsAtLastFlush.store(App, std::memory_order_relaxed);
   if (Obs) {
     // Counters are reported per flush, not per append: ObsRegistry locks,
     // and a lock per delta would cap the whole pipeline.
-    uint64_t App = 0, Drop = 0;
-    for (const SlotState &St : Slots) {
-      App += St.Appended.load(std::memory_order_relaxed);
-      Drop += St.Dropped.load(std::memory_order_relaxed);
-    }
     Obs->addCounter("stream.appended", App - ReportedAppended);
     Obs->addCounter("stream.dropped", Drop - ReportedDropped);
     ReportedAppended = App;
@@ -190,6 +199,14 @@ CounterDeltaStream::FlushReport CounterDeltaStream::flush() {
     Obs->addCounter("stream.epochs");
   }
   return R;
+}
+
+uint64_t CounterDeltaStream::pendingAppends() const {
+  uint64_t App = 0;
+  for (const SlotState &St : Slots)
+    App += St.Appended.load(std::memory_order_relaxed);
+  uint64_t Base = AppendsAtLastFlush.load(std::memory_order_relaxed);
+  return App > Base ? App - Base : 0;
 }
 
 CounterDeltaStream::Stats CounterDeltaStream::stats() const {

@@ -59,11 +59,34 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 namespace ptran {
+
+/// Brackets one epoch fold so a layer above the stream can make "apply
+/// the batch to the session" and "record that it happened" one atomic
+/// step (the durable journal appends an EpochFold record under the same
+/// lock that applies it — a checkpoint can then never capture the
+/// application without its journal record or vice versa).
+class EpochFoldObserver {
+public:
+  virtual ~EpochFoldObserver() = default;
+
+  /// Called by flush() instead of applying the batch itself, once per
+  /// flush that drained a nonzero batch. \p Apply performs the fold
+  /// (accumulateTotalsBatch + the per-function saturation notes); the
+  /// observer MUST invoke it exactly once. \p Batch is in the stream's
+  /// deterministic drain order; \p Clamped lists the functions whose cell
+  /// totals clamped at 2^53 during the drain.
+  virtual void onEpochFold(
+      const std::vector<std::pair<const Function *, FrequencyTotals>> &Batch,
+      const std::vector<const Function *> &Clamped,
+      const std::function<void()> &Apply) = 0;
+};
 
 class CounterDeltaStream {
 public:
@@ -186,6 +209,16 @@ public:
   /// are a momentary cut, not a synchronized snapshot).
   Stats stats() const;
 
+  /// Installs \p O as the fold observer (null restores direct
+  /// application). Install before traffic starts: the pointer is read
+  /// unsynchronized by flush().
+  void setFoldObserver(EpochFoldObserver *O) { Observer = O; }
+
+  /// Deltas appended since the last completed flush (approximate — a
+  /// momentary cut across writer slots). The daemon's background flusher
+  /// uses this as its cell-count flush threshold.
+  uint64_t pendingAppends() const;
+
   /// The epoch writers are currently appending into.
   uint64_t currentEpoch() const {
     return Epoch.load(std::memory_order_relaxed);
@@ -222,6 +255,7 @@ private:
 
   EstimationSession *Session = nullptr;
   ObsRegistry *Obs = nullptr;
+  EpochFoldObserver *Observer = nullptr;
   std::vector<FuncEntry> Funcs;
   size_t NumCells = 0;
   unsigned Shards = 1;
@@ -238,6 +272,9 @@ private:
   std::mutex FlushMu;
   std::atomic<uint64_t> FlushedCells{0};
   std::atomic<uint64_t> EpochsDone{0};
+  /// Sum of slot Appended counters as of the last completed flush
+  /// (pendingAppends() subtracts it from the live sum).
+  std::atomic<uint64_t> AppendsAtLastFlush{0};
   uint64_t ReportedAppended = 0;
   uint64_t ReportedDropped = 0;
 };

@@ -9,7 +9,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <limits>
+
+#include <unistd.h>
 
 namespace ptran {
 
@@ -49,6 +52,8 @@ const SiteName SiteNames[] = {
     {"counter.corrupt", FaultInjection::Site::CounterCorrupt},
     {"io.fail", FaultInjection::Site::FileIo},
     {"pool.throw", FaultInjection::Site::PoolTask},
+    {"io.torn_write", FaultInjection::Site::TornWrite},
+    {"io.short_write", FaultInjection::Site::ShortWrite},
 };
 
 } // namespace
@@ -57,6 +62,7 @@ bool FaultInjection::configure(const std::string &Spec, std::string &Error) {
   disarm();
 
   SiteState NewSites[static_cast<unsigned>(Site::NumSites)];
+  std::string NewCrashPoint;
   uint64_t Seed = 1;
   bool Any = false;
 
@@ -86,6 +92,36 @@ bool FaultInjection::configure(const std::string &Spec, std::string &Error) {
         return false;
       }
       Seed = V;
+      continue;
+    }
+
+    if (Key == "crash.at") {
+      // Value is POINT or POINT:N — a crash-point name, not a count, so it
+      // bypasses the numeric grammar below. A probability form would make
+      // a nondeterministic kill, which defeats the point of the harness.
+      std::string Point = Value;
+      uint64_t Nth = 1;
+      size_t Colon = Value.rfind(':');
+      if (Colon != std::string::npos) {
+        Point = Value.substr(0, Colon);
+        unsigned long long V =
+            std::strtoull(Value.c_str() + Colon + 1, &ValueEnd, 10);
+        if (!ValueEnd || *ValueEnd != '\0' || V == 0) {
+          Error = "crash.at wants POINT or POINT:N with N >= 1, got '" +
+                  Value + "'";
+          return false;
+        }
+        Nth = V;
+      }
+      if (Point.empty()) {
+        Error = "crash.at wants a crash-point name, got '" + Value + "'";
+        return false;
+      }
+      SiteState &SS = NewSites[static_cast<unsigned>(Site::Crash)];
+      SS.Enabled = true;
+      SS.Nth = Nth;
+      SS.NthHi = Nth;
+      NewCrashPoint = Point;
       continue;
     }
 
@@ -144,6 +180,7 @@ bool FaultInjection::configure(const std::string &Spec, std::string &Error) {
     std::lock_guard<std::mutex> L(M);
     for (unsigned I = 0; I < static_cast<unsigned>(Site::NumSites); ++I)
       Sites[I] = NewSites[I];
+    CrashPoint = NewCrashPoint;
     // splitmix64 rejects a zero state only by convention; keep it nonzero.
     State = Seed ? Seed : 0x9e3779b97f4a7c15ULL;
   }
@@ -156,6 +193,7 @@ void FaultInjection::disarm() {
   std::lock_guard<std::mutex> L(M);
   for (SiteState &SS : Sites)
     SS = SiteState();
+  CrashPoint.clear();
   State = 1;
 }
 
@@ -211,6 +249,22 @@ void FaultInjection::corruptCounters(std::vector<double> &Counters) {
     Index = nextRandom() % Counters.size();
   }
   Counters[Index] = std::numeric_limits<double>::quiet_NaN();
+}
+
+bool FaultInjection::crashPointFires(const char *Point) {
+  {
+    std::lock_guard<std::mutex> L(M);
+    if (CrashPoint.empty() || std::strcmp(Point, CrashPoint.c_str()) != 0)
+      return false;
+  }
+  return shouldFire(Site::Crash);
+}
+
+void FaultInjection::dieAtCrashPoint() {
+  // _exit skips atexit handlers, stream flushes and destructors — the
+  // closest in-process stand-in for kill -9. Status 42 marks the exit as
+  // an injected crash so a harness can tell it from a genuine failure.
+  ::_exit(42);
 }
 
 void FaultInjection::flipByte(std::vector<uint8_t> &Bytes) {

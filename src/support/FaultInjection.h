@@ -19,6 +19,17 @@
 ///   counter.corrupt=V overwrite one recovered counter with NaN
 ///   io.fail=V         fail a profile file open/read/write
 ///   pool.throw=V      throw FaultInjected inside a ThreadPool task
+///   io.torn_write=V   durable-store write: persist only a prefix of the
+///                     buffer, then kill the process (what power loss or
+///                     kill -9 mid-write leaves on disk)
+///   io.short_write=V  durable-store write: one write(2) call transfers
+///                     only part of its buffer and returns (the caller's
+///                     continuation loop must finish the record)
+///   crash.at=P[:V]    kill the process (_exit, no cleanup — a stand-in
+///                     for kill -9) when execution reaches the named
+///                     crash point P, e.g. durable.append,
+///                     durable.snapshot or durable.truncate; the optional
+///                     :V picks which opportunity fires (default 1)
 ///
 /// where V is an integer N >= 1 (fire exactly once, on the Nth
 /// opportunity), a range A-B with 1 <= A <= B (fire on every opportunity
@@ -67,6 +78,9 @@ public:
     CounterCorrupt,      ///< Poison one recovered counter with NaN.
     FileIo,              ///< Fail a profile file IO operation.
     PoolTask,            ///< Throw inside a ThreadPool task.
+    TornWrite,           ///< Persist a prefix of a durable write, then die.
+    ShortWrite,          ///< One write(2) transfers only part of its buffer.
+    Crash,               ///< Die at a named crash point (crash.at=POINT).
     NumSites
   };
 
@@ -117,12 +131,44 @@ public:
     return armed() && instance().shouldFire(Site::FileIo);
   }
 
+  /// TornWrite: true when the caller must write only a prefix of its
+  /// buffer and then terminate the process (see dieAtCrashPoint) — the
+  /// deterministic stand-in for kill -9 landing mid-append.
+  static bool maybeTornWrite() {
+    return armed() && instance().shouldFire(Site::TornWrite);
+  }
+
+  /// ShortWrite: the byte count one write(2) call may transfer. Returns
+  /// \p Want normally; when the site fires, a strictly smaller nonzero
+  /// count, so the caller's short-write continuation loop is exercised.
+  static size_t maybeShortWrite(size_t Want) {
+    if (Want > 1 && armed() && instance().shouldFire(Site::ShortWrite))
+      return Want / 2;
+    return Want;
+  }
+
+  /// Crash: true when execution reached the crash point named \p Point
+  /// and a matching `crash.at=` spec fires. The caller is expected to
+  /// finish whatever torn state it is simulating and call
+  /// dieAtCrashPoint() (kept separate so the caller can leave a
+  /// deliberately half-written record behind first).
+  static bool maybeCrashAt(const char *Point) {
+    return armed() && instance().crashPointFires(Point);
+  }
+
+  /// Terminates the process without running any cleanup — atexit
+  /// handlers, flushes and destructors are all skipped, exactly as
+  /// kill -9 would skip them. Exit status 42 lets a harness tell an
+  /// injected crash from a genuine one.
+  [[noreturn]] static void dieAtCrashPoint();
+
 private:
   FaultInjection();
 
   void throwPoolTask();
   void corruptCounters(std::vector<double> &Counters);
   void flipByte(std::vector<uint8_t> &Bytes);
+  bool crashPointFires(const char *Point);
 
   /// One site's arming: fire on opportunities [Nth, NthHi] (Nth > 0;
   /// NthHi == Nth for the single-shot form) or independently with
@@ -143,6 +189,8 @@ private:
 
   mutable std::mutex M;
   SiteState Sites[static_cast<unsigned>(Site::NumSites)];
+  /// Crash-point name the Crash site is armed for (crash.at=POINT[:N]).
+  std::string CrashPoint;
   uint64_t State = 1;
 };
 

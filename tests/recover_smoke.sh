@@ -1,0 +1,219 @@
+#!/usr/bin/env bash
+#===--- tests/recover_smoke.sh - Kill-9-and-recover e2e test -------------===//
+#
+# Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+#
+# The crash-safety acceptance run: populate a ptran-serve with sessions,
+# runs, streamed deltas and ingested profiles, then kill it (plain kill -9
+# and every injected crash point: torn append, post-append, mid-snapshot,
+# mid-rotate) and prove a restarted daemon answers full-precision probe
+# estimates byte-for-byte identical to a reference recovery of the same
+# durable prefix. A torn journal tail must be quarantined with a
+# structured diagnostic, never rejected wholesale. Usage:
+#
+#   recover_smoke.sh <ptran-serve> <ptran-bench-client> <work-dir>
+#
+#===----------------------------------------------------------------------===//
+
+set -u
+
+SERVE=$1
+CLIENT=$2
+WORK=$3
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+STATE="$WORK/state"
+# Unix socket paths are capped at ~107 bytes; build trees can be deep, so
+# fall back to /tmp when the work dir would not fit.
+SOCK="$WORK/serve.sock"
+SOCK2="$WORK/serve2.sock"
+if [ ${#SOCK2} -ge 100 ]; then
+  SOCK=$(mktemp -u /tmp/ptran-recover-XXXXXX.sock)
+  SOCK2="$SOCK.2"
+fi
+
+PROBES="--probe=bench-0 --probe=bench-0:work --probe=bench-1 --probe=bench-1:tail"
+RC=0
+SERVE_PID=
+
+fail() {
+  echo "recover_smoke: $*" >&2
+  RC=1
+}
+
+# start_daemon <log-file> <socket> [extra daemon args...]; the PTRAN_FAULT
+# environment (if exported by the caller) rides along. Waits for the
+# "listening on" log line — a kill -9 leaves a stale socket FILE behind,
+# so the file existing does not mean the new daemon has bound yet.
+start_daemon() {
+  local LOG=$1 S=$2
+  shift 2
+  "$SERVE" --socket="$S" --state-dir="$STATE" --fsync=always \
+    --snapshot-interval-ms=0 "$@" >"$LOG" 2>&1 &
+  SERVE_PID=$!
+  for _ in $(seq 1 100); do
+    grep -q "listening on" "$LOG" 2>/dev/null && return 0
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+      return 1
+    fi
+    sleep 0.1
+  done
+  grep -q "listening on" "$LOG" 2>/dev/null
+}
+
+# wait_exit <pid> <expected-rc> <what>
+wait_exit() {
+  local PID=$1 WANT=$2 WHAT=$3 GOT
+  wait "$PID"
+  GOT=$?
+  if [ "$GOT" -ne "$WANT" ]; then
+    fail "$WHAT exited with rc=$GOT, wanted $WANT"
+  fi
+}
+
+#--- 1. Populate a daemon, record reference probes, kill -9 it. ----------===//
+
+if ! start_daemon "$WORK/boot.log" "$SOCK"; then
+  echo "recover_smoke: daemon never came up" >&2
+  cat "$WORK/boot.log" >&2
+  exit 1
+fi
+"$CLIENT" --socket="$SOCK" --setup-only --sessions=2 \
+  >"$WORK/setup.log" 2>&1 || fail "session setup failed"
+"$CLIENT" --socket="$SOCK" --connections=8 --requests=12 --sessions=2 \
+  --ingest-every=4 --stream-every=3 >"$WORK/traffic.log" 2>&1 \
+  || fail "mixed traffic failed"
+"$CLIENT" --socket="$SOCK" $PROBES >"$WORK/ref.out" 2>&1 \
+  || fail "reference probes failed"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null
+
+#--- 2. Restart on the same socket path (stale file left behind by the ---===//
+#--- kill must be probed and reclaimed) and demand identical answers. ----===//
+
+if ! start_daemon "$WORK/recover1.log" "$SOCK"; then
+  fail "restart after kill -9 failed"
+  cat "$WORK/recover1.log" >&2
+  exit 1
+fi
+grep -q "recovered 2 session(s)" "$WORK/recover1.log" \
+  || fail "recovery log does not report 2 sessions"
+"$CLIENT" --socket="$SOCK" $PROBES >"$WORK/recover1.out" 2>&1 \
+  || fail "post-recovery probes failed"
+diff -u "$WORK/ref.out" "$WORK/recover1.out" >&2 \
+  || fail "recovered estimates differ from the pre-kill reference"
+
+# Graceful shutdown: drains, checkpoints (snapshots + rotated journal),
+# removes the socket.
+kill -TERM "$SERVE_PID"
+wait_exit "$SERVE_PID" 0 "daemon (graceful shutdown)"
+[ -e "$SOCK" ] && fail "socket file left behind after graceful shutdown"
+ls "$STATE"/snap-*.snap >/dev/null 2>&1 \
+  || fail "graceful shutdown wrote no snapshots"
+
+#--- 3. Restart from snapshots + empty journal; answers still identical. -===//
+
+start_daemon "$WORK/recover2.log" "$SOCK" || fail "snapshot restart failed"
+"$CLIENT" --socket="$SOCK" $PROBES >"$WORK/recover2.out" 2>&1 \
+  || fail "snapshot-recovery probes failed"
+diff -u "$WORK/ref.out" "$WORK/recover2.out" >&2 \
+  || fail "snapshot-recovered estimates differ from the reference"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null
+
+#--- 4. Torn append: the injected kill -9 lands mid-frame; recovery must -===//
+#--- quarantine exactly the torn tail and keep every prior answer. -------===//
+
+export PTRAN_FAULT="io.torn_write=1"
+start_daemon "$WORK/torn.log" "$SOCK" || fail "torn-write daemon failed to boot"
+unset PTRAN_FAULT
+# The first journaled mutation dies mid-append; the client sees the hangup.
+"$CLIENT" --socket="$SOCK" --setup-only --sessions=1 >/dev/null 2>&1
+wait_exit "$SERVE_PID" 42 "daemon (torn append)"
+
+start_daemon "$WORK/recover3.log" "$SOCK" || fail "restart after torn append failed"
+grep -q "journal tail quarantined" "$WORK/recover3.log" \
+  || fail "torn tail was not quarantined with a diagnostic"
+[ -f "$STATE/journal.ptwj.quarantine" ] \
+  || fail "no quarantine file after a torn append"
+"$CLIENT" --socket="$SOCK" $PROBES >"$WORK/recover3.out" 2>&1 \
+  || fail "post-torn-append probes failed"
+diff -u "$WORK/ref.out" "$WORK/recover3.out" >&2 \
+  || fail "a torn (unacknowledged) append changed recovered estimates"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null
+
+# probe_both_recoveries <tag> — recover the state dir twice (original +
+# a byte copy) in two independent daemons and demand byte-identical probe
+# answers: the "reference session built from the durable prefix" check.
+probe_both_recoveries() {
+  local TAG=$1
+  rm -rf "$STATE.copy"
+  cp -a "$STATE" "$STATE.copy"
+  start_daemon "$WORK/$TAG-a.log" "$SOCK" || fail "$TAG: recovery A failed"
+  local PID_A=$SERVE_PID
+  "$SERVE" --socket="$SOCK2" --state-dir="$STATE.copy" --fsync=always \
+    --snapshot-interval-ms=0 >"$WORK/$TAG-b.log" 2>&1 &
+  local PID_B=$!
+  for _ in $(seq 1 100); do
+    grep -q "listening on" "$WORK/$TAG-b.log" 2>/dev/null && break
+    kill -0 "$PID_B" 2>/dev/null || break
+    sleep 0.1
+  done
+  "$CLIENT" --socket="$SOCK" $PROBES >"$WORK/$TAG-a.out" 2>&1 \
+    || fail "$TAG: probes on recovery A failed"
+  "$CLIENT" --socket="$SOCK2" $PROBES >"$WORK/$TAG-b.out" 2>&1 \
+    || fail "$TAG: probes on recovery B failed"
+  diff -u "$WORK/$TAG-a.out" "$WORK/$TAG-b.out" >&2 \
+    || fail "$TAG: two recoveries of the same durable prefix disagree"
+  kill -9 "$PID_A" "$PID_B" 2>/dev/null
+  wait "$PID_A" 2>/dev/null
+  wait "$PID_B" 2>/dev/null
+  rm -rf "$STATE.copy"
+}
+
+#--- 5. Crash right after a durable append: the acknowledged-or-durable --===//
+#--- frame survives whole, and replaying it is deterministic. ------------===//
+
+export PTRAN_FAULT="crash.at=durable.append"
+start_daemon "$WORK/append.log" "$SOCK" || fail "append-crash daemon failed to boot"
+unset PTRAN_FAULT
+"$CLIENT" --socket="$SOCK" --setup-only --sessions=1 >/dev/null 2>&1
+wait_exit "$SERVE_PID" 42 "daemon (crash at durable.append)"
+probe_both_recoveries append
+
+#--- 6. Crash mid-snapshot (between the tmp write and the rename): the ---===//
+#--- periodic checkpoint dies; recovery still has journal + old snaps. ---===//
+
+export PTRAN_FAULT="crash.at=durable.snapshot"
+"$SERVE" --socket="$SOCK" --state-dir="$STATE" --fsync=always \
+  --snapshot-interval-ms=200 >"$WORK/snapshot.log" 2>&1 &
+SERVE_PID=$!
+unset PTRAN_FAULT
+wait_exit "$SERVE_PID" 42 "daemon (crash at durable.snapshot)"
+probe_both_recoveries snapshot
+
+#--- 7. Crash mid-rotate (after the snapshots, before the journal is -----===//
+#--- replaced): the old journal survives; watermarks skip the replay. ----===//
+
+export PTRAN_FAULT="crash.at=durable.truncate"
+"$SERVE" --socket="$SOCK" --state-dir="$STATE" --fsync=always \
+  --snapshot-interval-ms=200 >"$WORK/rotate.log" 2>&1 &
+SERVE_PID=$!
+unset PTRAN_FAULT
+wait_exit "$SERVE_PID" 42 "daemon (crash at durable.truncate)"
+probe_both_recoveries rotate
+
+#--- 8. One final clean boot and graceful exit on the battered state. ----===//
+
+start_daemon "$WORK/final.log" "$SOCK" || fail "final restart failed"
+"$CLIENT" --socket="$SOCK" $PROBES --shutdown >"$WORK/final.out" 2>&1 \
+  || fail "final probes + shutdown failed"
+wait_exit "$SERVE_PID" 0 "daemon (final shutdown)"
+
+if [ "$RC" -ne 0 ]; then
+  echo "=== daemon logs ===" >&2
+  tail -n 20 "$WORK"/*.log >&2
+fi
+exit $RC

@@ -29,7 +29,9 @@
 #include <thread>
 #include <vector>
 
+#include <fcntl.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 using namespace ptran;
@@ -708,6 +710,59 @@ TEST(WireTest, WholeFramesRoundTripOverASocketPair) {
   // And the hang-up after the frame is still a clean EOF.
   EXPECT_EQ(readFrame(Fds[1], Back, Error), 0);
   ::close(Fds[1]);
+}
+
+TEST(WireTest, WritingToAClosedPeerFailsInsteadOfRaisingSigpipe) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  ::close(Fds[1]); // Peer gone: an unsuppressed SIGPIPE would kill us here.
+  WireMessage M;
+  M.Verb = "estimate";
+  M.Body = std::string(4096, 'x');
+  std::string Error;
+  bool Ok = writeFrame(Fds[0], M, Error);
+  for (int I = 0; Ok && I < 64; ++I) // Drain the buffer until EPIPE.
+    Ok = writeFrame(Fds[0], M, Error);
+  EXPECT_FALSE(Ok);
+  EXPECT_FALSE(Error.empty());
+  ::close(Fds[0]);
+}
+
+TEST(WireTest, ListenProbesLivenessBeforeRemovingAnExistingSocket) {
+  std::string Path =
+      "/tmp/ptran-wire-live-" + std::to_string(::getpid()) + ".sock";
+  ::unlink(Path.c_str());
+  std::string Error;
+
+  // A live listener on the path must be refused, not unlinked.
+  int Live = listenUnix(Path, Error);
+  ASSERT_GE(Live, 0) << Error;
+  EXPECT_EQ(listenUnix(Path, Error), -1);
+  EXPECT_NE(Error.find("already listening"), std::string::npos) << Error;
+  // ... and the original listener still owns the path.
+  int Probe = connectUnix(Path, Error);
+  EXPECT_GE(Probe, 0) << Error;
+  if (Probe >= 0)
+    ::close(Probe);
+  ::close(Live);
+
+  // Once the listener is gone the socket file is stale; a new daemon
+  // reclaims the path.
+  int Reclaimed = listenUnix(Path, Error);
+  EXPECT_GE(Reclaimed, 0) << Error;
+  if (Reclaimed >= 0)
+    ::close(Reclaimed);
+  ::unlink(Path.c_str());
+
+  // A plain file at the path is never unlinked, whatever its state.
+  int Fd = ::open(Path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  ASSERT_GE(Fd, 0);
+  ::close(Fd);
+  EXPECT_EQ(listenUnix(Path, Error), -1);
+  EXPECT_NE(Error.find("not a socket"), std::string::npos) << Error;
+  struct stat St;
+  EXPECT_EQ(::stat(Path.c_str(), &St), 0); // Still there.
+  ::unlink(Path.c_str());
 }
 
 //===--- stream-deltas verb -----------------------------------------------===//

@@ -51,8 +51,16 @@ options:
   --sessions=N        distinct sessions to spread load over (default 4)
   --ingest-every=N    every Nth request is an ingest-profile (default 4,
                       0 = estimates only)
+  --stream-every=N    every Nth request is a stream-deltas append+flush
+                      (default 0 = no streaming traffic)
   --deadline-ms=MS    per-request deadline sent with every estimate
                       (default none)
+  --setup-only        load + run + capture the sessions, then exit (used
+                      to populate a daemon whose state-dir is under test)
+  --probe=S[:FUNC]    skip the load phase; send one estimate for session S
+                      (optionally function FUNC) and print the full-
+                      precision answer. Repeatable; recovery tests diff
+                      the output of two daemons byte-for-byte.
   --scrape-stats      fetch and print the daemon's stats table afterwards
   --shutdown          send a shutdown request when done
   --help              show this help
@@ -64,7 +72,10 @@ struct Options {
   unsigned Requests = 20;
   unsigned Sessions = 4;
   unsigned IngestEvery = 4;
+  unsigned StreamEvery = 0;
   double DeadlineMs = 0;
+  bool SetupOnly = false;
+  std::vector<std::string> Probes;
   bool ScrapeStats = false;
   bool Shutdown = false;
 };
@@ -124,6 +135,12 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
     }
     if (Arg == "--scrape-stats") {
       Opts.ScrapeStats = true;
+    } else if (Arg == "--setup-only") {
+      Opts.SetupOnly = true;
+    } else if (auto V = Value(Arg, "--probe=")) {
+      if (V->empty())
+        return Invalid("--probe", *V, "SESSION or SESSION:FUNCTION");
+      Opts.Probes.push_back(*V);
     } else if (Arg == "--shutdown") {
       Opts.Shutdown = true;
     } else if (auto V = Value(Arg, "--socket=")) {
@@ -148,6 +165,11 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       if (!N)
         return Invalid("--ingest-every", *V, "an unsigned integer");
       Opts.IngestEvery = *N;
+    } else if (auto V = Value(Arg, "--stream-every=")) {
+      std::optional<unsigned> N = parseUnsigned(*V);
+      if (!N)
+        return Invalid("--stream-every", *V, "an unsigned integer");
+      Opts.StreamEvery = *N;
     } else if (auto V = Value(Arg, "--deadline-ms=")) {
       std::optional<double> D = parseDouble(*V);
       if (!D || *D < 0)
@@ -169,18 +191,21 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
 
 enum class Outcome { Ok, Degraded, Shed, Error };
 
+/// Request kinds the latency table reports separately.
+enum Kind : unsigned { KindEstimate = 0, KindIngest = 1, KindStream = 2 };
+
 struct Sample {
   uint64_t LatencyNs = 0;
-  bool IsIngest = false;
+  unsigned Kind = KindEstimate;
   Outcome What = Outcome::Error;
 };
 
 /// One request/response round trip, timed. Returns nullopt on transport
 /// failure (connection gone).
 std::optional<Sample> roundTrip(int Fd, const WireMessage &Request,
-                                bool IsIngest) {
+                                unsigned Kind) {
   Sample S;
-  S.IsIngest = IsIngest;
+  S.Kind = Kind;
   std::string Error;
   auto Start = std::chrono::steady_clock::now();
   WireMessage Resp;
@@ -201,9 +226,37 @@ std::optional<Sample> roundTrip(int Fd, const WireMessage &Request,
 
 std::string sessionName(unsigned I) { return "bench-" + std::to_string(I); }
 
+/// Builds a stream-deltas body from a describe response: one 16-byte
+/// record (u32 function LE | u32 condition 0 LE | f64 delta 1.0 LE) per
+/// function that has at least one condition. Deterministic, so reference
+/// and recovered daemons fed the same stream traffic agree bit-for-bit.
+std::string streamBodyFromDescribe(const WireMessage &Describe) {
+  std::optional<unsigned> Funcs = parseUnsigned(Describe.param("functions"));
+  std::string Body;
+  if (!Funcs)
+    return Body;
+  for (unsigned I = 0; I < *Funcs; ++I) {
+    std::optional<unsigned> Conds =
+        parseUnsigned(Describe.param("conditions." + std::to_string(I)));
+    if (!Conds || *Conds == 0)
+      continue;
+    uint8_t Rec[16] = {0};
+    Rec[0] = static_cast<uint8_t>(I);
+    Rec[1] = static_cast<uint8_t>(I >> 8);
+    Rec[2] = static_cast<uint8_t>(I >> 16);
+    Rec[3] = static_cast<uint8_t>(I >> 24);
+    // Condition 0; delta = 1.0 (IEEE 754 LE: 0x3FF0000000000000).
+    Rec[14] = 0xF0;
+    Rec[15] = 0x3F;
+    Body.append(reinterpret_cast<const char *>(Rec), sizeof(Rec));
+  }
+  return Body;
+}
+
 /// Loads the bench sessions, runs each once and captures its profile.
 /// False (with a message) on any setup failure.
-bool setUpSessions(const Options &Opts, std::string &ProfileBytes) {
+bool setUpSessions(const Options &Opts, std::string &ProfileBytes,
+                   std::string &StreamBody) {
   std::string Error;
   int Fd = connectUnix(Opts.SocketPath, Error);
   if (Fd < 0) {
@@ -240,12 +293,82 @@ bool setUpSessions(const Options &Opts, std::string &ProfileBytes) {
         ProfileBytes = Resp.Body;
     }
   }
+  // Every session runs the same program, so one describe (session 0)
+  // yields the stream body all workers share.
+  if (Ok && Opts.StreamEvery > 0) {
+    WireMessage Req, Resp;
+    Req.Verb = "stream-deltas";
+    Req.Params["session"] = sessionName(0);
+    Req.Params["describe"] = "1";
+    if (!writeFrame(Fd, Req, Error) || readFrame(Fd, Resp, Error) != 1 ||
+        Resp.Verb != "ok") {
+      std::fprintf(stderr, "ptran-bench-client: setup describe failed\n");
+      Ok = false;
+    } else {
+      StreamBody = streamBodyFromDescribe(Resp);
+    }
+  }
   ::close(Fd);
   return Ok;
 }
 
+/// `--probe` mode: one estimate per probe spec against an already-running,
+/// already-populated daemon, printed at full precision. Two daemons whose
+/// durable state agrees print byte-identical output.
+int runProbes(const Options &Opts) {
+  std::string Error;
+  int Fd = connectUnix(Opts.SocketPath, Error);
+  if (Fd < 0) {
+    std::fprintf(stderr, "ptran-bench-client: %s\n", Error.c_str());
+    return 1;
+  }
+  int Exit = 0;
+  for (const std::string &P : Opts.Probes) {
+    std::string Session = P, Func;
+    size_t Colon = P.find(':');
+    if (Colon != std::string::npos) {
+      Session = P.substr(0, Colon);
+      Func = P.substr(Colon + 1);
+    }
+    WireMessage Req, Resp;
+    Req.Verb = "estimate";
+    Req.Params["session"] = Session;
+    Req.Params["function"] = Func;
+    if (!writeFrame(Fd, Req, Error) || readFrame(Fd, Resp, Error) != 1) {
+      std::fprintf(stderr, "ptran-bench-client: probe transport failed: %s\n",
+                   Error.c_str());
+      ::close(Fd);
+      return 1;
+    }
+    if (Resp.Verb != "ok") {
+      std::printf("probe %s error code=%s message=%s\n", P.c_str(),
+                  Resp.param("code").c_str(), Resp.param("message").c_str());
+      Exit = 1;
+      continue;
+    }
+    std::printf("probe %s function=%s time=%s var=%s stddev=%s degraded=%s "
+                "quarantined=%s\n",
+                P.c_str(), Resp.param("function").c_str(),
+                Resp.param("time").c_str(), Resp.param("var").c_str(),
+                Resp.param("stddev").c_str(), Resp.param("degraded").c_str(),
+                Resp.param("quarantined").c_str());
+  }
+  if (Opts.Shutdown) {
+    WireMessage Req, Resp;
+    Req.Verb = "shutdown";
+    if (!writeFrame(Fd, Req, Error) || readFrame(Fd, Resp, Error) != 1 ||
+        Resp.Verb != "ok") {
+      std::fprintf(stderr, "ptran-bench-client: shutdown failed\n");
+      Exit = 1;
+    }
+  }
+  ::close(Fd);
+  return Exit;
+}
+
 void workerLoop(const Options &Opts, unsigned Worker,
-                const std::string &ProfileBytes, std::vector<Sample> &Out,
+                const std::string &ProfileBytes,
+                const std::string &StreamBody, std::vector<Sample> &Out,
                 std::atomic<bool> &TransportFailed) {
   std::string Error;
   int Fd = connectUnix(Opts.SocketPath, Error);
@@ -256,9 +379,19 @@ void workerLoop(const Options &Opts, unsigned Worker,
   for (unsigned I = 0; I < Opts.Requests; ++I) {
     std::string Session = sessionName((Worker + I) % Opts.Sessions);
     WireMessage Req;
-    bool IsIngest =
-        Opts.IngestEvery > 0 && (I % Opts.IngestEvery) == Opts.IngestEvery - 1;
-    if (IsIngest) {
+    unsigned Kind = KindEstimate;
+    if (Opts.StreamEvery > 0 && !StreamBody.empty() &&
+        (I % Opts.StreamEvery) == Opts.StreamEvery - 1)
+      Kind = KindStream;
+    else if (Opts.IngestEvery > 0 &&
+             (I % Opts.IngestEvery) == Opts.IngestEvery - 1)
+      Kind = KindIngest;
+    if (Kind == KindStream) {
+      Req.Verb = "stream-deltas";
+      Req.Params["session"] = Session;
+      Req.Params["flush"] = "1";
+      Req.Body = StreamBody;
+    } else if (Kind == KindIngest) {
       Req.Verb = "ingest-profile";
       Req.Params["session"] = Session;
       Req.Body = ProfileBytes;
@@ -268,7 +401,7 @@ void workerLoop(const Options &Opts, unsigned Worker,
       if (Opts.DeadlineMs > 0)
         Req.Params["deadline-ms"] = formatDouble(Opts.DeadlineMs, 6);
     }
-    std::optional<Sample> S = roundTrip(Fd, Req, IsIngest);
+    std::optional<Sample> S = roundTrip(Fd, Req, Kind);
     if (!S) {
       TransportFailed.store(true);
       break;
@@ -296,9 +429,14 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, Opts))
     return 1;
 
-  std::string ProfileBytes;
-  if (!setUpSessions(Opts, ProfileBytes))
+  if (!Opts.Probes.empty())
+    return runProbes(Opts);
+
+  std::string ProfileBytes, StreamBody;
+  if (!setUpSessions(Opts, ProfileBytes, StreamBody))
     return 1;
+  if (Opts.SetupOnly)
+    return 0;
 
   std::vector<std::vector<Sample>> PerWorker(Opts.Connections);
   std::atomic<bool> TransportFailed{false};
@@ -307,7 +445,8 @@ int main(int Argc, char **Argv) {
     std::vector<std::jthread> Workers;
     for (unsigned W = 0; W < Opts.Connections; ++W)
       Workers.emplace_back([&, W] {
-        workerLoop(Opts, W, ProfileBytes, PerWorker[W], TransportFailed);
+        workerLoop(Opts, W, ProfileBytes, StreamBody, PerWorker[W],
+                   TransportFailed);
       });
   }
   double Seconds = std::chrono::duration<double>(
@@ -319,10 +458,10 @@ int main(int Argc, char **Argv) {
     std::vector<uint64_t> Latencies;
     uint64_t Count = 0, Ok = 0, Degraded = 0, Shed = 0, Errors = 0;
   };
-  Agg ByKind[2]; // [0] estimate, [1] ingest.
+  Agg ByKind[3]; // [0] estimate, [1] ingest, [2] stream.
   for (const std::vector<Sample> &Samples : PerWorker)
     for (const Sample &S : Samples) {
-      Agg &A = ByKind[S.IsIngest ? 1 : 0];
+      Agg &A = ByKind[S.Kind];
       ++A.Count;
       A.Latencies.push_back(S.LatencyNs);
       switch (S.What) {
@@ -341,7 +480,7 @@ int main(int Argc, char **Argv) {
       }
     }
 
-  uint64_t Total = ByKind[0].Count + ByKind[1].Count;
+  uint64_t Total = ByKind[0].Count + ByKind[1].Count + ByKind[2].Count;
   std::printf("%llu requests over %u connections in %s s: %s req/s\n",
               static_cast<unsigned long long>(Total), Opts.Connections,
               formatDouble(Seconds, 4).c_str(),
@@ -349,8 +488,8 @@ int main(int Argc, char **Argv) {
 
   TablePrinter Table({"kind", "count", "ok", "degraded", "shed", "errors",
                       "p50 ms", "p95 ms", "p99 ms", "max ms"});
-  const char *Names[2] = {"estimate", "ingest"};
-  for (int K = 0; K < 2; ++K) {
+  const char *Names[3] = {"estimate", "ingest", "stream"};
+  for (int K = 0; K < 3; ++K) {
     Agg &A = ByKind[K];
     if (A.Count == 0)
       continue;
@@ -374,10 +513,10 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "ptran-bench-client: no estimate ever succeeded\n");
     Exit = 1;
   }
-  if (ByKind[0].Errors + ByKind[1].Errors > 0) {
+  uint64_t Errors = ByKind[0].Errors + ByKind[1].Errors + ByKind[2].Errors;
+  if (Errors > 0) {
     std::fprintf(stderr, "ptran-bench-client: %llu request(s) errored\n",
-                 static_cast<unsigned long long>(ByKind[0].Errors +
-                                                 ByKind[1].Errors));
+                 static_cast<unsigned long long>(Errors));
     Exit = 1;
   }
 

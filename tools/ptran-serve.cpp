@@ -33,6 +33,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -64,6 +65,15 @@ options:
                          (default degrade)
   --step-budget=N        default per-request step budget, 0 = unbounded
                          (default 0)
+  --state-dir=DIR        crash-safe state: write-ahead journal + snapshots
+                         in DIR; boot replays them (default: ephemeral)
+  --flush-interval-ms=N  background flusher cadence: seal stale stream
+                         epochs and fsync the journal (default 200)
+  --snapshot-interval-ms=N
+                         periodic checkpoint cadence, 0 = only on the
+                         `checkpoint` verb and shutdown (default 5000)
+  --fsync=POLICY         always|batch|never journal durability
+                         (default batch)
   --stats                print the stats table on shutdown
   --help                 show this help
 )";
@@ -78,6 +88,10 @@ struct Options {
   DeadlinePolicy OnDeadline = DeadlinePolicy::Degrade;
   uint64_t StepBudget = 0;
   bool PrintStats = false;
+  std::string StateDir;
+  unsigned FlushIntervalMs = 200;
+  unsigned SnapshotIntervalMs = 5000;
+  durable::FsyncPolicy Fsync = durable::FsyncPolicy::Batch;
 };
 
 bool parseArgs(int Argc, char **Argv, Options &Opts) {
@@ -141,6 +155,28 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       if (!N)
         return Invalid("--step-budget", *V, "an unsigned integer");
       Opts.StepBudget = *N;
+    } else if (auto V = Value(Arg, "--state-dir=")) {
+      Opts.StateDir = *V;
+    } else if (auto V = Value(Arg, "--flush-interval-ms=")) {
+      std::optional<unsigned> N = parseUnsigned(*V);
+      if (!N || *N == 0)
+        return Invalid("--flush-interval-ms", *V, "a positive integer");
+      Opts.FlushIntervalMs = *N;
+    } else if (auto V = Value(Arg, "--snapshot-interval-ms=")) {
+      std::optional<unsigned> N = parseUnsigned(*V);
+      if (!N)
+        return Invalid("--snapshot-interval-ms", *V, "an unsigned integer");
+      Opts.SnapshotIntervalMs = *N;
+    } else if (auto V = Value(Arg, "--fsync=")) {
+      std::string P = toLower(*V);
+      if (P == "always")
+        Opts.Fsync = durable::FsyncPolicy::Always;
+      else if (P == "batch")
+        Opts.Fsync = durable::FsyncPolicy::Batch;
+      else if (P == "never")
+        Opts.Fsync = durable::FsyncPolicy::Never;
+      else
+        return Invalid("--fsync", *V, "always, batch or never");
     } else {
       std::fprintf(stderr, "ptran-serve: unknown argument '%s'\n%s",
                    Arg.c_str(), UsageText);
@@ -251,13 +287,31 @@ int main(int Argc, char **Argv) {
   std::signal(SIGINT, onSignal);
   std::signal(SIGTERM, onSignal);
 
+  // Open the state store and replay its journal BEFORE the socket exists:
+  // no client can observe a half-restored daemon.
   std::string Error;
-  int ListenFd = listenUnix(Opts.SocketPath, Error);
-  if (ListenFd < 0) {
-    std::fprintf(stderr, "ptran-serve: %s\n", Error.c_str());
-    return 1;
+  std::unique_ptr<durable::StateStore> Store;
+  durable::StateStore::Recovery Recovered;
+  if (!Opts.StateDir.empty()) {
+    Store = durable::StateStore::open(Opts.StateDir, Opts.Fsync, Recovered,
+                                      Error);
+    if (!Store) {
+      std::fprintf(stderr, "ptran-serve: cannot open --state-dir=%s: %s\n",
+                   Opts.StateDir.c_str(), Error.c_str());
+      return 1;
+    }
+    for (const std::string &D : Recovered.SnapshotDiagnostics)
+      std::fprintf(stderr, "ptran-serve: recovery: %s\n", D.c_str());
+    const durable::DeltaJournal::OpenReport &JR = Recovered.JournalReport;
+    if (JR.TailQuarantined)
+      std::fprintf(stderr,
+                   "ptran-serve: recovery: journal tail quarantined at "
+                   "offset %llu (%llu bytes moved to journal.ptwj"
+                   ".quarantine): %s\n",
+                   static_cast<unsigned long long>(JR.TailOffset),
+                   static_cast<unsigned long long>(JR.QuarantinedBytes),
+                   JR.TailReason.c_str());
   }
-  ListenFdForSignal.store(ListenFd);
 
   ObsRegistry Obs;
   ServeOptions SOpts;
@@ -267,7 +321,31 @@ int main(int Argc, char **Argv) {
   SOpts.OnDeadline = Opts.OnDeadline;
   SOpts.DefaultStepBudget = Opts.StepBudget;
   SOpts.Obs = &Obs;
+  SOpts.Store = Store.get();
+  SOpts.FlushIntervalMs = Opts.FlushIntervalMs;
+  SOpts.SnapshotIntervalMs = Opts.SnapshotIntervalMs;
   ServeCore Core(SOpts);
+
+  if (Store) {
+    ServeCore::RestoreReport RR;
+    Core.restore(Recovered, RR);
+    for (const std::string &D : RR.Diagnostics)
+      std::fprintf(stderr, "ptran-serve: recovery: %s\n", D.c_str());
+    std::fprintf(stderr,
+                 "ptran-serve: recovered %u session(s) from %s (%llu "
+                 "journal record(s) replayed, %llu covered by snapshots)\n",
+                 RR.SessionsRestored, Opts.StateDir.c_str(),
+                 static_cast<unsigned long long>(RR.RecordsReplayed),
+                 static_cast<unsigned long long>(RR.RecordsSkipped));
+    Core.startFlusher();
+  }
+
+  int ListenFd = listenUnix(Opts.SocketPath, Error);
+  if (ListenFd < 0) {
+    std::fprintf(stderr, "ptran-serve: %s\n", Error.c_str());
+    return 1;
+  }
+  ListenFdForSignal.store(ListenFd);
 
   ThreadPool Pool(ThreadPool::resolveJobs(Opts.Jobs));
   std::atomic<unsigned> InFlight{0};
@@ -295,6 +373,15 @@ int main(int Argc, char **Argv) {
   Conns.shutdownAll();
   for (std::jthread &T : Threads)
     T.join();
+  // Graceful shutdown: in-flight requests are drained (threads joined),
+  // so this checkpoint captures the final state — the next boot restores
+  // from snapshots alone, with an empty journal.
+  if (Store) {
+    Core.stopFlusher();
+    if (!Core.checkpoint(Error))
+      std::fprintf(stderr, "ptran-serve: shutdown checkpoint failed: %s\n",
+                   Error.c_str());
+  }
   ::unlink(Opts.SocketPath.c_str());
 
   if (Opts.PrintStats)
