@@ -14,7 +14,10 @@
 #include "core/Analysis.h"
 #include "durable/StateStore.h"
 #include "obs/Observability.h"
+#include "repl/Replication.h"
+#include "repl/Standby.h"
 #include "serve/Server.h"
+#include "serve/Wire.h"
 #include "session/EstimationSession.h"
 #include "cost/TimeAnalysis.h"
 #include "stream/DeltaStream.h"
@@ -32,8 +35,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <thread>
 
+#include <sys/socket.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -861,6 +866,178 @@ void printStreamingIngestTable() {
   std::printf("%s\n", T.str().c_str());
 }
 
+// Replication lag per ack mode: an in-process primary (ServeCore +
+// JournalShipper) connected to a standby (read-only ServeCore +
+// StandbyReplicator) over a socketpair. Each row ships the same burst of
+// epoch-fold mutations and reports the primary-side append wall clock
+// (which under ack=always includes the standby-durability wait baked into
+// every acknowledgement) and the residual catch-up lag after the last
+// append — the window an unacked failover could lose.
+void printReplicationLagTable() {
+  char Template[] = "/tmp/ptran-bench-repl-XXXXXX";
+  if (!::mkdtemp(Template)) {
+    std::printf("=== Replication lag: skipped (no scratch dir) ===\n\n");
+    return;
+  }
+  std::string Dir = Template;
+  auto CleanDir = [&Dir] {
+    std::string Cmd = "rm -rf " + Dir;
+    if (std::system(Cmd.c_str()) != 0) {
+    }
+  };
+
+  const char *Source = "      program main\n"
+                       "      integer i\n"
+                       "      do 10 i = 1, 8\n"
+                       "        call leaf(i)\n"
+                       " 10   continue\n"
+                       "      end\n"
+                       "      subroutine leaf(k)\n"
+                       "      integer k\n"
+                       "      k = k + 1\n"
+                       "      end\n";
+  constexpr unsigned Burst = 512;
+
+  // Accepts shipper subscriptions the way the daemon's accept loop does,
+  // one thread per socketpair connection.
+  struct SubscriptionServer {
+    repl::JournalShipper &Shipper;
+    std::vector<std::thread> Threads;
+    std::mutex Mu;
+    explicit SubscriptionServer(repl::JournalShipper &S) : Shipper(S) {}
+    ~SubscriptionServer() {
+      Shipper.stop();
+      std::lock_guard<std::mutex> L(Mu);
+      for (std::thread &T : Threads)
+        T.join();
+    }
+    int connect(std::string &Error) {
+      int Sv[2];
+      if (::socketpair(AF_UNIX, SOCK_STREAM, 0, Sv) < 0) {
+        Error = "socketpair failed";
+        return -1;
+      }
+      std::lock_guard<std::mutex> L(Mu);
+      Threads.emplace_back([this, Fd = Sv[0]] {
+        serve::WireMessage Sub;
+        std::string Err;
+        if (serve::readFrame(Fd, Sub, Err) == 1 &&
+            Sub.Verb == "repl-subscribe")
+          Shipper.runSubscription(Fd, Sub);
+        ::close(Fd);
+      });
+      return Sv[1];
+    }
+  };
+
+  std::printf("=== Replication lag per ack mode (%u epoch folds, "
+              "socketpair standby) ===\n",
+              Burst);
+  TablePrinter T({"ack", "records", "append wall [ms]", "us/append",
+                  "records/s", "catch-up [ms]"});
+  for (repl::AckMode Ack :
+       {repl::AckMode::None, repl::AckMode::Batch, repl::AckMode::Always}) {
+    std::string PDir = Dir + "/p-" + repl::ackModeName(Ack);
+    std::string SDir = Dir + "/s-" + repl::ackModeName(Ack);
+    if (::mkdir(PDir.c_str(), 0755) != 0 ||
+        ::mkdir(SDir.c_str(), 0755) != 0)
+      reportFatalError("mkdir failed for replication bench");
+    std::string Error;
+    durable::StateStore::Recovery RecP, RecS;
+    auto StoreP =
+        durable::StateStore::open(PDir, durable::FsyncPolicy::Never, RecP,
+                                  Error);
+    auto StoreS =
+        durable::StateStore::open(SDir, durable::FsyncPolicy::Never, RecS,
+                                  Error);
+    if (!StoreP || !StoreS)
+      reportFatalError("state store open failed: " + Error);
+
+    repl::JournalShipper::Options ShipOpts;
+    ShipOpts.Store = StoreP.get();
+    ShipOpts.Ack = Ack;
+    repl::JournalShipper Shipper(ShipOpts);
+    SubscriptionServer Server(Shipper);
+
+    serve::ServeOptions POpts;
+    POpts.Store = StoreP.get();
+    POpts.Repl = &Shipper;
+    serve::ServeCore Primary(POpts);
+    Shipper.setCore(&Primary);
+
+    serve::ServeOptions SOpts;
+    SOpts.Store = StoreS.get();
+    serve::ServeCore Standby(SOpts);
+
+    repl::StandbyReplicator::Options StandOpts;
+    StandOpts.Core = &Standby;
+    StandOpts.Store = StoreS.get();
+    StandOpts.Ack = Ack;
+    StandOpts.Backoff = RetryPolicy().retries(1u << 30).baseDelay(
+        std::chrono::milliseconds(1));
+    StandOpts.Connect = [&Server](std::string &Err) {
+      return Server.connect(Err);
+    };
+    repl::StandbyReplicator Replica(StandOpts);
+    if (!Replica.start(Error))
+      reportFatalError("standby start failed: " + Error);
+
+    serve::WireMessage Load;
+    Load.Verb = "load-program";
+    Load.Params["session"] = "bench";
+    Load.Body = Source;
+    if (Primary.handle(Load).Verb != "ok")
+      reportFatalError("load-program failed in replication bench");
+    if (Primary.handle([&] {
+                 serve::WireMessage R;
+                 R.Verb = "run";
+                 R.Params["session"] = "bench";
+                 return R;
+               }())
+            .Verb != "ok")
+      reportFatalError("run failed in replication bench");
+
+    // One 16-byte delta record against cell (0, 0), flushed per request so
+    // every iteration journals (and ships) exactly one EpochFold.
+    serve::WireMessage Fold;
+    Fold.Verb = "stream-deltas";
+    Fold.Params["session"] = "bench";
+    Fold.Params["flush"] = "1";
+    uint64_t Bits;
+    double Delta = 1.0;
+    std::memcpy(&Bits, &Delta, sizeof(Bits));
+    Fold.Body.assign(8, '\0'); // FuncIdx = 0, CondIdx = 0.
+    for (int I = 0; I < 8; ++I)
+      Fold.Body.push_back(static_cast<char>((Bits >> (8 * I)) & 0xff));
+
+    auto Start = std::chrono::steady_clock::now();
+    for (unsigned I = 0; I < Burst; ++I)
+      if (Primary.handle(Fold).Verb != "ok")
+        reportFatalError("stream-deltas failed in replication bench");
+    auto AppendEnd = std::chrono::steady_clock::now();
+    const uint64_t Target = StoreP->journal().lastLsn();
+    while (Replica.lastAppliedLsn() < Target)
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    auto CaughtUp = std::chrono::steady_clock::now();
+    Replica.stop();
+
+    double AppendSecs =
+        std::chrono::duration<double>(AppendEnd - Start).count();
+    double CatchUpSecs =
+        std::chrono::duration<double>(CaughtUp - AppendEnd).count();
+    char Wall[32], Per[32], Rate[32], Lag[32];
+    std::snprintf(Wall, sizeof(Wall), "%.2f", AppendSecs * 1e3);
+    std::snprintf(Per, sizeof(Per), "%.2f", AppendSecs / Burst * 1e6);
+    std::snprintf(Rate, sizeof(Rate), "%.0f", Burst / AppendSecs);
+    std::snprintf(Lag, sizeof(Lag), "%.2f", CatchUpSecs * 1e3);
+    T.addRow({repl::ackModeName(Ack),
+              std::to_string(static_cast<unsigned long long>(Target)), Wall,
+              Per, Rate, Lag});
+  }
+  std::printf("%s\n", T.str().c_str());
+  CleanDir();
+}
+
 void printStaticScalingTable() {
   std::printf("=== Ablation A2: representation sizes vs program size ===\n");
   TablePrinter T({"units", "stmts", "ecfg nodes", "fcdg edges",
@@ -891,6 +1068,7 @@ int main(int Argc, char **Argv) {
   printProfileIngestionTable();
   printStreamingIngestTable();
   printDurableStateTable();
+  printReplicationLagTable();
   benchmark::Initialize(&Argc, Argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

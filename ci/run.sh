@@ -13,16 +13,23 @@
 # Each preset builds into its own directory (build-ci-*), so a CI run
 # never disturbs a developer's ./build tree, and the sanitizer trees run
 # the dedicated *_tsan / *_ubsan ctest entries with halt-on-error runtime
-# options on top of the full suite. Every preset also runs the serve_smoke
-# and recover_smoke end-to-end checks (ptran-serve + ptran-bench-client
-# over a scratch socket; recover_smoke kill -9s a --state-dir daemon at
-# every injected crash point and byte-compares recovered estimates);
-# under tsan the serve_test and stream_test concurrency suites rerun
-# with halt_on_error to certify the daemon core's locking and the
-# streaming ingest epoch protocol (multi-writer appends racing the
-# flusher and concurrent estimate queries); under ubsan stream_test and
-# durable_test rerun to certify the cell-index arithmetic, LE record
-# decoding, and the every-byte-length journal-truncation scan.
+# options on top of the full suite. Every preset also runs the serve_smoke,
+# recover_smoke and failover_smoke end-to-end checks (ptran-serve +
+# ptran-bench-client over a scratch socket; recover_smoke kill -9s a
+# --state-dir daemon at every injected crash point and byte-compares
+# recovered estimates; failover_smoke pairs a primary with a --standby-of
+# follower, kills the primary and promotes the standby, then sweeps the
+# repl.* crash points on both sides). The recovery smokes run under
+# explicit availability budgets — boot recovery and standby promotion must
+# land inside the PTRAN_RECOVERY_SLO_MS / PTRAN_PROMOTE_SLO_MS wall-clock
+# SLOs exported below (pre-set either variable to tighten or loosen the
+# gate). Under tsan the serve_test, stream_test and repl_test concurrency
+# suites rerun with halt_on_error to certify the daemon core's locking,
+# the streaming ingest epoch protocol, and the shipper/standby hook
+# contract; under ubsan stream_test, durable_test and repl_test rerun to
+# certify the cell-index arithmetic, LE record decoding, the
+# every-byte-length journal-truncation scan, and the appendRaw frame
+# validator on garbled replication input.
 #
 #===----------------------------------------------------------------------===#
 
@@ -31,6 +38,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+# Recovery-time SLO budgets for the crash/failover smokes: a recovered
+# daemon must be serving inside RECOVERY_SLO_MS of exec, and a standby
+# must finish promotion inside PROMOTE_SLO_MS of the signal. Generous
+# enough for sanitizer builds on loaded CI machines, tight enough to catch
+# an accidental O(journal^2) replay or a promotion that waits on a dead
+# primary.
+export PTRAN_RECOVERY_SLO_MS="${PTRAN_RECOVERY_SLO_MS:-60000}"
+export PTRAN_PROMOTE_SLO_MS="${PTRAN_PROMOTE_SLO_MS:-30000}"
 
 run_preset() {
   local name="$1" sanitize="$2"

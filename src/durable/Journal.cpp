@@ -328,8 +328,205 @@ bool DeltaJournal::sync(std::string &Error) {
   return true;
 }
 
+DeltaJournal::ReadResult
+DeltaJournal::readFrames(ReadCursor &Cursor, uint64_t MaxBytes,
+                         uint32_t MaxRecords, std::vector<uint8_t> &Raw,
+                         uint32_t &Count, std::string &Error) {
+  Count = 0;
+  std::lock_guard<std::mutex> L(M);
+  if (Cursor.NextLsn < FirstLsn)
+    return ReadResult::Rotated;
+  if (Cursor.NextLsn >= NextLsnValue)
+    return ReadResult::AtEnd;
+
+  auto ReadAt = [&](uint64_t Off, uint8_t *Buf, size_t Len) -> bool {
+    size_t Got = 0;
+    while (Got < Len) {
+      ssize_t N = ::pread(Fd, Buf + Got, Len - Got,
+                          static_cast<off_t>(Off + Got));
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        Error = errnoString("read", Path);
+        return false;
+      }
+      if (N == 0) {
+        Error = "journal '" + Path + "' ends before its committed bytes";
+        return false;
+      }
+      Got += static_cast<size_t>(N);
+    }
+    return true;
+  };
+
+  // Revalidate (or rebuild) the cached byte offset of the cursor's frame.
+  // A rotation replaces the file, so any offset computed against a
+  // different firstLsn is meaningless.
+  uint64_t Off = Cursor.Offset;
+  if (Cursor.OffsetFirstLsn != FirstLsn || Off < HeaderBytes) {
+    Off = HeaderBytes;
+    for (uint64_t Lsn = FirstLsn; Lsn < Cursor.NextLsn; ++Lsn) {
+      uint8_t FH[8];
+      if (!ReadAt(Off, FH, sizeof(FH)))
+        return ReadResult::IoError;
+      uint32_t Len = readU32(FH);
+      if (Len > MaxRecordBytes || Off + 8 + Len > FileBytes) {
+        Error = "journal '" + Path + "' frame at offset " +
+                std::to_string(Off) + " is garbled below the append point";
+        return ReadResult::IoError;
+      }
+      Off += 8 + Len;
+    }
+  }
+
+  std::vector<uint8_t> Body;
+  while (Cursor.NextLsn + Count < NextLsnValue && Count < MaxRecords &&
+         static_cast<uint64_t>(Raw.size()) < MaxBytes) {
+    if (Off + 8 > FileBytes) {
+      Error = "journal '" + Path + "' is shorter than its committed frames";
+      return ReadResult::IoError;
+    }
+    uint8_t FH[8];
+    if (!ReadAt(Off, FH, sizeof(FH)))
+      return ReadResult::IoError;
+    uint32_t Len = readU32(FH);
+    uint32_t Crc = readU32(FH + 4);
+    if (Len > MaxRecordBytes || Off + 8 + Len > FileBytes) {
+      Error = "journal '" + Path + "' frame at offset " + std::to_string(Off) +
+              " is garbled below the append point";
+      return ReadResult::IoError;
+    }
+    Body.resize(Len);
+    if (Len > 0 && !ReadAt(Off + 8, Body.data(), Len))
+      return ReadResult::IoError;
+    // Never ship a frame whose bytes no longer match their checksum: local
+    // corruption must surface here, not on the standby.
+    if (crc32(Body.data(), Len) != Crc) {
+      Error = "journal '" + Path + "' frame at offset " + std::to_string(Off) +
+              " fails its checksum";
+      return ReadResult::IoError;
+    }
+    Raw.insert(Raw.end(), FH, FH + sizeof(FH));
+    Raw.insert(Raw.end(), Body.begin(), Body.end());
+    Off += 8 + Len;
+    ++Count;
+  }
+  Cursor.NextLsn += Count;
+  Cursor.Offset = Off;
+  Cursor.OffsetFirstLsn = FirstLsn;
+  return ReadResult::Ok;
+}
+
+bool DeltaJournal::appendRaw(const uint8_t *Frames, size_t Len,
+                             uint64_t ExpectedFirstLsn,
+                             uint32_t ExpectedCount,
+                             std::vector<DurableRecord> *Records,
+                             std::string &Error) {
+  std::lock_guard<std::mutex> L(M);
+  if (ExpectedFirstLsn != NextLsnValue) {
+    Error = "replicated batch starts at LSN " +
+            std::to_string(ExpectedFirstLsn) + " but this journal's next "
+            "LSN is " + std::to_string(NextLsnValue);
+    return false;
+  }
+  // Validate every frame BEFORE writing a byte: a garbled shipped batch
+  // must not bury garbage mid-file.
+  size_t FirstRecord = Records ? Records->size() : 0;
+  uint64_t Lsn = ExpectedFirstLsn;
+  uint32_t Seen = 0;
+  size_t Off = 0;
+  while (Off < Len) {
+    if (Len - Off < 8) {
+      Error = "replicated batch has a torn frame header (" +
+              std::to_string(Len - Off) + " of 8 bytes)";
+      if (Records)
+        Records->resize(FirstRecord);
+      return false;
+    }
+    uint32_t BodyLen = readU32(Frames + Off);
+    uint32_t Crc = readU32(Frames + Off + 4);
+    if (BodyLen > MaxRecordBytes || Len - Off - 8 < BodyLen) {
+      Error = "replicated batch frame at offset " + std::to_string(Off) +
+              " overruns the batch (" + std::to_string(BodyLen) + " bytes)";
+      if (Records)
+        Records->resize(FirstRecord);
+      return false;
+    }
+    const uint8_t *Body = Frames + Off + 8;
+    if (crc32(Body, BodyLen) != Crc) {
+      Error = "replicated batch frame at offset " + std::to_string(Off) +
+              " fails its checksum";
+      if (Records)
+        Records->resize(FirstRecord);
+      return false;
+    }
+    DurableRecord R;
+    std::string DecodeError;
+    if (!decodeRecord(Body, BodyLen, R, DecodeError)) {
+      Error = "replicated batch frame at offset " + std::to_string(Off) +
+              " decodes to garbage: " + DecodeError;
+      if (Records)
+        Records->resize(FirstRecord);
+      return false;
+    }
+    R.Lsn = Lsn++;
+    if (Records)
+      Records->push_back(std::move(R));
+    Off += 8 + BodyLen;
+    ++Seen;
+  }
+  if (Seen != ExpectedCount) {
+    Error = "replicated batch carries " + std::to_string(Seen) +
+            " frame(s) but announced " + std::to_string(ExpectedCount);
+    if (Records)
+      Records->resize(FirstRecord);
+    return false;
+  }
+  if (Seen == 0)
+    return true;
+
+  if (FaultInjection::maybeTornWrite()) {
+    size_t Prefix = std::max<size_t>(1, Len / 2);
+    std::string Ignored;
+    writeAllAt(Fd, FileBytes, Frames, Prefix, Path, Ignored);
+    ::fsync(Fd);
+    FaultInjection::dieAtCrashPoint();
+  }
+  if (!writeAllAt(Fd, FileBytes, Frames, Len, Path, Error)) {
+    ::ftruncate(Fd, static_cast<off_t>(FileBytes));
+    if (Records)
+      Records->resize(FirstRecord);
+    return false;
+  }
+  if (Fsync == FsyncPolicy::Always) {
+    int Rc;
+    do {
+      Rc = ::fsync(Fd);
+    } while (Rc < 0 && errno == EINTR);
+    if (Rc < 0) {
+      Error = errnoString("fsync", Path);
+      ::ftruncate(Fd, static_cast<off_t>(FileBytes));
+      if (Records)
+        Records->resize(FirstRecord);
+      return false;
+    }
+  }
+  FileBytes += Len;
+  NextLsnValue += Seen;
+  return true;
+}
+
 bool DeltaJournal::rotate(std::string &Error) {
   std::lock_guard<std::mutex> L(M);
+  return rotateToLocked(NextLsnValue, Error);
+}
+
+bool DeltaJournal::resetTo(uint64_t FirstLsn, std::string &Error) {
+  std::lock_guard<std::mutex> L(M);
+  return rotateToLocked(FirstLsn, Error);
+}
+
+bool DeltaJournal::rotateToLocked(uint64_t NewFirstLsn, std::string &Error) {
   std::string NewPath = Path + ".new";
   int NewFd =
       ::open(NewPath.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
@@ -340,7 +537,7 @@ bool DeltaJournal::rotate(std::string &Error) {
   uint8_t H[HeaderBytes];
   putU32(H, JournalMagic);
   putU32(H + 4, JournalVersion);
-  putU64(H + 8, NextLsnValue);
+  putU64(H + 8, NewFirstLsn);
   if (!writeAllAt(NewFd, 0, H, sizeof(H), NewPath, Error)) {
     ::close(NewFd);
     ::unlink(NewPath.c_str());
@@ -376,7 +573,8 @@ bool DeltaJournal::rotate(std::string &Error) {
   }
   ::close(Fd);
   Fd = ReFd;
-  FirstLsn = NextLsnValue;
+  FirstLsn = NewFirstLsn;
+  NextLsnValue = NewFirstLsn; // No-op for rotate(); the reset for resetTo().
   FileBytes = HeaderBytes;
   return true;
 }

@@ -107,6 +107,54 @@ public:
   /// watermark covering lastLsn() — rotation forgets those records.
   bool rotate(std::string &Error);
 
+  /// -- Replication (raw-frame shipping between daemons) ------------------
+
+  /// A shipper's read position. NextLsn is the contract; Offset and
+  /// OffsetFirstLsn are a cache of where that LSN's frame starts, revalidated
+  /// against the journal's current incarnation (a rotation moves firstLsn,
+  /// invalidating every cached offset).
+  struct ReadCursor {
+    uint64_t NextLsn = 1;
+    uint64_t Offset = 0;
+    uint64_t OffsetFirstLsn = 0;
+  };
+
+  enum class ReadResult {
+    Ok,      ///< One or more frames landed in the output.
+    AtEnd,   ///< Cursor is caught up; nothing to read yet.
+    Rotated, ///< The cursor's LSN rotated away; the subscriber must
+             ///< re-bootstrap from snapshots.
+    IoError, ///< Read failure or on-disk corruption below the append point.
+  };
+
+  /// Reads whole raw frames (the exact on-disk `len|crc|body` bytes)
+  /// starting at \p Cursor's LSN, appending them to \p Raw until
+  /// \p MaxBytes / \p MaxRecords is reached or the journal end is hit.
+  /// Every frame is CRC-verified before it ships. On Ok, \p Count frames
+  /// were appended and the cursor advanced past them.
+  ReadResult readFrames(ReadCursor &Cursor, uint64_t MaxBytes,
+                        uint32_t MaxRecords, std::vector<uint8_t> &Raw,
+                        uint32_t &Count, std::string &Error);
+
+  /// Appends \p Len bytes of pre-framed records (a standby persisting the
+  /// exact bytes the primary shipped). The frames are validated — framing,
+  /// CRC, record decode, and that their LSNs are exactly
+  /// [\p ExpectedFirstLsn, \p ExpectedFirstLsn + \p ExpectedCount) starting
+  /// at this journal's nextLsn() — before any byte is written; decoded
+  /// records (with LSNs assigned) land in \p Records when non-null. Under
+  /// FsyncPolicy::Always the append is fsynced. False with \p Error set on
+  /// a validation or IO failure (nothing half-written survives: the file is
+  /// truncated back to the last good frame boundary).
+  bool appendRaw(const uint8_t *Frames, size_t Len, uint64_t ExpectedFirstLsn,
+                 uint32_t ExpectedCount,
+                 std::vector<DurableRecord> *Records, std::string &Error);
+
+  /// Bootstrap reset: like rotate(), but the replacement journal's
+  /// firstLsn is \p FirstLsn (a standby adopting the primary's snapshot
+  /// watermark W calls resetTo(W + 1); everything it held before is
+  /// forgotten).
+  bool resetTo(uint64_t FirstLsn, std::string &Error);
+
   /// LSN the next append will get.
   uint64_t nextLsn() const;
   /// LSN of the last appended/recovered record (nextLsn()-1; equals
@@ -119,6 +167,9 @@ public:
 
 private:
   DeltaJournal() = default;
+
+  /// rotate()/resetTo() body; caller holds M.
+  bool rotateToLocked(uint64_t NewFirstLsn, std::string &Error);
 
   std::string Path;
   FsyncPolicy Fsync = FsyncPolicy::Batch;

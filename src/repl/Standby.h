@@ -1,0 +1,120 @@
+//===--- repl/Standby.h - Warm-standby replication applier ------*- C++ -*-===//
+//
+// Part of the ptran-times project (Sarkar, PLDI 1989 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Standby side of warm-standby replication: StandbyReplicator subscribes
+/// to a primary (see Replication.h for the wire protocol), bootstraps
+/// from its snapshot images when needed, and feeds every shipped frame
+/// batch through ServeCore::applyReplicatedBatch — journal write-ahead,
+/// then apply — so the standby's disk state IS a valid `--state-dir` at
+/// every instant. The owning daemon keeps its core read-only
+/// (ServeCore::setReadOnly) while this runs: `estimate`/`stats` answer
+/// from replicated state, mutations get the structured `read-only` error.
+///
+/// Bootstrap crash-safety: before applying the first snapshot image, the
+/// standby touches `<state-dir>/repl-bootstrap.pending`; the marker is
+/// removed only after the journal was reset to the bootstrap watermark.
+/// A standby that boots with the marker present had died mid-bootstrap —
+/// its registry and snapshots are a half-adopted mix — so it drops every
+/// session and demands a fresh bootstrap (from-lsn=0) instead of trusting
+/// them. crash.at=repl.bootstrap dies between the first adopted snapshot
+/// and the journal reset, exercising exactly that path.
+///
+/// Reconnect: connection loss never kills the standby; it redials with
+/// the support/Retry backoff schedule and resubscribes from its journal's
+/// nextLsn (the watermark handshake — nothing is ever double-applied,
+/// because applyReplicatedBatch only accepts the exact next LSN run).
+///
+/// Promotion (the `promote` verb or SIGUSR1): seals catch-up — stop the
+/// applier, fsync the journal, lift read-only — after which the daemon
+/// accepts writes and appends to the journal it inherited at the LSN the
+/// primary left off. crash.at=repl.promote dies after the seal, before
+/// read-only lifts; the restarted daemon recovers as a normal primary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTRAN_REPL_STANDBY_H
+#define PTRAN_REPL_STANDBY_H
+
+#include "repl/Replication.h"
+#include "support/Retry.h"
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace ptran {
+namespace repl {
+
+class StandbyReplicator {
+public:
+  struct Options {
+    /// The primary's Unix socket (--standby-of=PATH).
+    std::string PrimarySocket;
+    serve::ServeCore *Core = nullptr;     ///< Required.
+    durable::StateStore *Store = nullptr; ///< Required.
+    AckMode Ack = AckMode::None;
+    ObsRegistry *Obs = nullptr;
+    /// Redial pacing after a connect failure or lost subscription.
+    RetryPolicy Backoff = RetryPolicy().retries(1u << 30);
+    /// Test/bench hook: replaces connectUnix(PrimarySocket). Returns a
+    /// connected fd or -1 with the error set.
+    std::function<int(std::string &)> Connect;
+  };
+
+  explicit StandbyReplicator(const Options &O);
+  ~StandbyReplicator() { stop(); }
+
+  StandbyReplicator(const StandbyReplicator &) = delete;
+  StandbyReplicator &operator=(const StandbyReplicator &) = delete;
+
+  /// Marks the core read-only, handles a leftover bootstrap marker, and
+  /// starts the applier thread. False with \p Error when the state dir's
+  /// marker cannot be probed/cleared.
+  bool start(std::string &Error);
+
+  /// Seals catch-up and opens the core for writes (see file comment).
+  /// Idempotent; safe from a signal-watcher thread. False with \p Error
+  /// when the standby is mid-bootstrap (promoting would serve a half-
+  /// adopted registry) or the final journal fsync fails.
+  bool promote(std::string &Error);
+
+  /// Stops the applier without promoting (daemon shutdown). Idempotent.
+  void stop();
+
+  uint64_t lastAppliedLsn() const {
+    return AppliedLsn.load(std::memory_order_acquire);
+  }
+  bool connected() const { return Connected.load(std::memory_order_acquire); }
+  bool promoted() const { return Promoted.load(std::memory_order_acquire); }
+
+private:
+  void applierLoop();
+  /// One connected subscription: subscribe, then apply bootstraps and
+  /// frame batches until disconnect/stop. False = transient (redial).
+  bool runSession(int Fd);
+  /// Applies one full bootstrap starting from its `repl-bootstrap` head
+  /// message. False aborts the session (redial re-subscribes).
+  bool applyBootstrap(int Fd, const serve::WireMessage &Head);
+  std::string markerPath() const;
+  void bump(const char *Counter, uint64_t Delta = 1);
+
+  Options O;
+  std::thread Applier;
+  std::atomic<bool> StopFlag{false};
+  std::atomic<bool> Promoted{false};
+  std::atomic<bool> Connected{false};
+  std::atomic<uint64_t> AppliedLsn{0};
+  std::atomic<int> LiveFd{-1};
+  /// True while a bootstrap is in flight (the marker file is on disk).
+  std::atomic<bool> Bootstrapping{false};
+};
+
+} // namespace repl
+} // namespace ptran
+
+#endif // PTRAN_REPL_STANDBY_H

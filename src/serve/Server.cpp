@@ -7,6 +7,7 @@
 #include "serve/Server.h"
 
 #include "parser/Parser.h"
+#include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 #include "workloads/Workloads.h"
 
@@ -139,6 +140,13 @@ ServeCore::findSession(const std::string &Name) {
 }
 
 void ServeCore::evictLocked(const SessionEntry *Keep) {
+  // A standby never evicts on its own: its registry must track the
+  // primary's byte-for-byte, and only a replicated SessionEvict record
+  // (applied through applyRecord, not here) removes a session. Budget
+  // pressure on a replica is a capacity-planning problem, not a
+  // correctness lever.
+  if (isReadOnly())
+    return;
   while (Sessions.size() > 1 &&
          (TotalBytes > Opts.MemoryBudgetBytes ||
           Sessions.size() > Opts.MaxSessions)) {
@@ -167,10 +175,42 @@ void ServeCore::evictLocked(const SessionEntry *Keep) {
 
 WireMessage ServeCore::handle(const WireMessage &Request) {
   bump("serve.requests");
+  // A standby answers reads and refuses every state change with a
+  // structured error the client can route on (retry against the primary,
+  // or wait for promotion). stream-deltas describe=1 is a read: it only
+  // serves the cell-address table.
+  if (isReadOnly() &&
+      (Request.Verb == "load-program" || Request.Verb == "run" ||
+       Request.Verb == "ingest-profile" || Request.Verb == "checkpoint" ||
+       (Request.Verb == "stream-deltas" &&
+        Request.param("describe") != "1"))) {
+    bump("serve.read-only-rejects");
+    bump("serve.errors");
+    return errorResponse("read-only",
+                         "this daemon is a standby replica: '" +
+                             Request.Verb +
+                             "' mutates state, which only the primary "
+                             "accepts until this replica is promoted");
+  }
   WireMessage Resp;
   if (Request.Verb == "ping" || Request.Verb == "shutdown")
     Resp = okResponse();
-  else if (Request.Verb == "load-program")
+  else if (Request.Verb == "promote") {
+    if (!Opts.Promote)
+      Resp = errorResponse("bad-request",
+                           "this daemon is not a standby (start ptran-serve "
+                           "with --standby-of=SOCKET to replicate)");
+    else {
+      std::string Err;
+      if (Opts.Promote(Err)) {
+        bump("serve.promotions");
+        Resp = okResponse();
+        Resp.Params["role"] = "primary";
+      } else {
+        Resp = errorResponse("promote-failed", Err);
+      }
+    }
+  } else if (Request.Verb == "load-program")
     Resp = handleLoadProgram(Request);
   else if (Request.Verb == "run")
     Resp = handleRun(Request);
@@ -718,6 +758,13 @@ WireMessage ServeCore::handleStats() {
 uint64_t ServeCore::journalAppend(durable::DurableRecord &R) {
   if (!Opts.Store)
     return 0;
+  // A standby's journal is written ONLY through applyReplicatedBatch (the
+  // primary's exact frames, primary's LSNs). Anything that would append
+  // here on a standby — replay-triggered evictions, a stray fold — must
+  // not: one local record would shift every subsequent LSN off the
+  // primary's numbering.
+  if (isReadOnly())
+    return 0;
   std::string Err;
   uint64_t Lsn = Opts.Store->journal().append(R, Err);
   if (!Lsn) {
@@ -729,6 +776,16 @@ uint64_t ServeCore::journalAppend(durable::DurableRecord &R) {
                  "ptran-serve: journal append failed (durability degraded): "
                  "%s\n",
                  Err.c_str());
+    return 0;
+  }
+  if (Opts.Repl) {
+    // Wake shippers, then (ack=always) hold this request until a standby
+    // reports the record fsynced. The hook takes no ServeCore locks and
+    // its wait is bounded, so the locks held here (StructureMu shared,
+    // DurableMu) stall at worst briefly when every standby is down.
+    Opts.Repl->onAppend(Lsn);
+    if (!Opts.Repl->waitDurable(Lsn))
+      bump("repl.ack_timeouts");
   }
   return Lsn;
 }
@@ -851,6 +908,19 @@ bool ServeCore::checkpoint(std::string &Error) {
     return false;
 
   // 5. Every journal record is now covered by a watermark-W snapshot.
+  // But a live subscriber still reading the tail would be forced into a
+  // full re-bootstrap if we rotate it away — defer rotation until it
+  // catches up, unless the journal has grown past the point where an
+  // unbounded file is the bigger risk.
+  if (Opts.Repl) {
+    constexpr uint64_t RotateForceBytes = 256ull << 20;
+    if (Opts.Repl->minSubscriberLsn() <= W &&
+        Opts.Store->journal().sizeBytes() < RotateForceBytes) {
+      bump("durable.checkpoints");
+      bump("repl.rotations_deferred");
+      return true;
+    }
+  }
   if (!Opts.Store->rotateJournal(Error))
     return false;
   bump("durable.checkpoints");
@@ -948,118 +1018,240 @@ void ServeCore::restore(const durable::StateStore::Recovery &Recovered,
       continue;
     }
     ++Out.RecordsReplayed;
-    const std::string Where =
-        "journal LSN " + std::to_string(R.Lsn) + " ('" + R.Session + "')";
-    switch (R.Type) {
-    case durable::RecordType::SessionCreate: {
-      std::string Error;
-      std::shared_ptr<SessionEntry> Entry = buildEntry(
-          R.Session, R.Source, R.Mode, R.LoopVariance, R.OnBadProfile, Error);
-      if (!Entry) {
-        Out.Diagnostics.push_back(Where + ": session no longer builds: " +
-                                  Error);
-        break;
-      }
-      registerEntry(Entry, /*JournalCreate=*/false);
-      break;
-    }
-    case durable::RecordType::SessionEvict: {
-      std::lock_guard<std::mutex> L(Mu);
-      auto It = Sessions.find(R.Session);
-      if (It != Sessions.end()) {
-        TotalBytes -= It->second->MemBytes;
-        Sessions.erase(It);
-      }
-      break;
-    }
-    case durable::RecordType::RunExec: {
-      std::shared_ptr<SessionEntry> Entry = findSession(R.Session);
-      if (!Entry) {
-        Out.Diagnostics.push_back(Where + ": no such session; runs dropped");
-        break;
-      }
-      for (uint32_t I = 0; I < R.RunCount; ++I) {
-        RunResult RR = Entry->Session->profiledRun();
-        if (!RR.Ok) {
-          Out.Diagnostics.push_back(Where + ": replayed run failed: " +
-                                    RR.Error);
-          break;
-        }
-      }
-      break;
-    }
-    case durable::RecordType::EpochFold: {
-      std::shared_ptr<SessionEntry> Entry = findSession(R.Session);
-      if (!Entry) {
-        Out.Diagnostics.push_back(Where + ": no such session; fold dropped");
-        break;
-      }
-      std::vector<std::pair<const Function *, FrequencyTotals>> Batch;
-      for (const durable::FoldEntry &FE : R.Folds) {
-        const Function *F = Entry->Prog->findFunction(FE.Function);
-        if (!F) {
-          Out.Diagnostics.push_back(Where + ": function '" + FE.Function +
-                                    "' not found; its totals dropped");
-          continue;
-        }
-        FrequencyTotals T;
-        T.Ok = true;
-        for (const durable::CondTotal &C : FE.Conds)
-          T.Cond[ControlCondition{C.Node, static_cast<CfgLabel>(C.Label)}] =
-              C.Total;
-        Batch.emplace_back(F, std::move(T));
-      }
-      if (!Batch.empty())
-        Entry->Session->accumulateTotalsBatch(Batch);
-      for (const std::string &Fn : R.Clamped) {
-        const Function *F = Entry->Prog->findFunction(Fn);
-        if (!F)
-          continue;
-        Entry->Session->noteExternalSaturation(*F);
-        Entry->JournaledSaturation.insert(Fn);
-      }
-      break;
-    }
-    case durable::RecordType::ProfileIngest: {
-      std::shared_ptr<SessionEntry> Entry = findSession(R.Session);
-      if (!Entry) {
-        Out.Diagnostics.push_back(Where +
-                                  ": no such session; profile dropped");
-        break;
-      }
-      DiagnosticEngine LoadDiags;
-      std::optional<ProfileFile> PF =
-          ProfileFile::deserialize(R.Profile, &LoadDiags);
-      if (!PF) {
-        Out.Diagnostics.push_back(Where + ": profile failed to parse: " +
-                                  LoadDiags.str());
-        break;
-      }
-      ProfileIngestReport Rep = Entry->Session->ingestProfile(*PF, nullptr);
-      if (!Rep.Ok)
-        Out.Diagnostics.push_back(Where + ": profile failed to ingest: " +
-                                  Rep.Error);
-      break;
-    }
-    case durable::RecordType::SaturationMark: {
-      std::shared_ptr<SessionEntry> Entry = findSession(R.Session);
-      if (!Entry) {
-        Out.Diagnostics.push_back(Where + ": no such session; mark dropped");
-        break;
-      }
-      const Function *F = Entry->Prog->findFunction(R.FunctionName);
-      if (!F) {
-        Out.Diagnostics.push_back(Where + ": function '" + R.FunctionName +
-                                  "' not found; mark dropped");
-        break;
-      }
-      Entry->Session->noteExternalSaturation(*F);
-      Entry->JournaledSaturation.insert(R.FunctionName);
-      break;
-    }
-    }
+    applyRecord(R, Out.Diagnostics);
   }
   Out.SessionsRestored = sessionCount();
+}
+
+void ServeCore::applyRecord(const durable::DurableRecord &R,
+                            std::vector<std::string> &Diagnostics) {
+  const std::string Where =
+      "journal LSN " + std::to_string(R.Lsn) + " ('" + R.Session + "')";
+  switch (R.Type) {
+  case durable::RecordType::SessionCreate: {
+    std::string Error;
+    std::shared_ptr<SessionEntry> Entry = buildEntry(
+        R.Session, R.Source, R.Mode, R.LoopVariance, R.OnBadProfile, Error);
+    if (!Entry) {
+      Diagnostics.push_back(Where + ": session no longer builds: " + Error);
+      break;
+    }
+    registerEntry(Entry, /*JournalCreate=*/false);
+    break;
+  }
+  case durable::RecordType::SessionEvict: {
+    std::lock_guard<std::mutex> L(Mu);
+    auto It = Sessions.find(R.Session);
+    if (It != Sessions.end()) {
+      TotalBytes -= It->second->MemBytes;
+      Sessions.erase(It);
+    }
+    break;
+  }
+  case durable::RecordType::RunExec: {
+    std::shared_ptr<SessionEntry> Entry = findSession(R.Session);
+    if (!Entry) {
+      Diagnostics.push_back(Where + ": no such session; runs dropped");
+      break;
+    }
+    for (uint32_t I = 0; I < R.RunCount; ++I) {
+      RunResult RR = Entry->Session->profiledRun();
+      if (!RR.Ok) {
+        Diagnostics.push_back(Where + ": replayed run failed: " + RR.Error);
+        break;
+      }
+    }
+    break;
+  }
+  case durable::RecordType::EpochFold: {
+    std::shared_ptr<SessionEntry> Entry = findSession(R.Session);
+    if (!Entry) {
+      Diagnostics.push_back(Where + ": no such session; fold dropped");
+      break;
+    }
+    std::vector<std::pair<const Function *, FrequencyTotals>> Batch;
+    for (const durable::FoldEntry &FE : R.Folds) {
+      const Function *F = Entry->Prog->findFunction(FE.Function);
+      if (!F) {
+        Diagnostics.push_back(Where + ": function '" + FE.Function +
+                              "' not found; its totals dropped");
+        continue;
+      }
+      FrequencyTotals T;
+      T.Ok = true;
+      for (const durable::CondTotal &C : FE.Conds)
+        T.Cond[ControlCondition{C.Node, static_cast<CfgLabel>(C.Label)}] =
+            C.Total;
+      Batch.emplace_back(F, std::move(T));
+    }
+    if (!Batch.empty())
+      Entry->Session->accumulateTotalsBatch(Batch);
+    for (const std::string &Fn : R.Clamped) {
+      const Function *F = Entry->Prog->findFunction(Fn);
+      if (!F)
+        continue;
+      Entry->Session->noteExternalSaturation(*F);
+      Entry->JournaledSaturation.insert(Fn);
+    }
+    break;
+  }
+  case durable::RecordType::ProfileIngest: {
+    std::shared_ptr<SessionEntry> Entry = findSession(R.Session);
+    if (!Entry) {
+      Diagnostics.push_back(Where + ": no such session; profile dropped");
+      break;
+    }
+    DiagnosticEngine LoadDiags;
+    std::optional<ProfileFile> PF =
+        ProfileFile::deserialize(R.Profile, &LoadDiags);
+    if (!PF) {
+      Diagnostics.push_back(Where + ": profile failed to parse: " +
+                            LoadDiags.str());
+      break;
+    }
+    ProfileIngestReport Rep = Entry->Session->ingestProfile(*PF, nullptr);
+    if (!Rep.Ok)
+      Diagnostics.push_back(Where + ": profile failed to ingest: " +
+                            Rep.Error);
+    break;
+  }
+  case durable::RecordType::SaturationMark: {
+    std::shared_ptr<SessionEntry> Entry = findSession(R.Session);
+    if (!Entry) {
+      Diagnostics.push_back(Where + ": no such session; mark dropped");
+      break;
+    }
+    const Function *F = Entry->Prog->findFunction(R.FunctionName);
+    if (!F) {
+      Diagnostics.push_back(Where + ": function '" + R.FunctionName +
+                            "' not found; mark dropped");
+      break;
+    }
+    Entry->Session->noteExternalSaturation(*F);
+    Entry->JournaledSaturation.insert(R.FunctionName);
+    break;
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Replication: primary-side capture, standby-side apply
+//===----------------------------------------------------------------------===//
+
+bool ServeCore::captureBootstrap(BootstrapCapture &Out, std::string &Error) {
+  if (!Opts.Store) {
+    Error = "this daemon runs without durable state; nothing to replicate";
+    return false;
+  }
+  // checkpoint()'s barrier without its disk IO: under StructureMu unique
+  // no mutation can land between the stream flushes, the watermark read,
+  // and the captures, so every image covers exactly LSNs <= Watermark.
+  std::unique_lock<std::shared_mutex> SL(StructureMu);
+
+  std::vector<std::shared_ptr<SessionEntry>> Entries;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    for (const auto &[Name, Entry] : Sessions)
+      Entries.push_back(Entry);
+  }
+  for (const auto &Entry : Entries) {
+    CounterDeltaStream *Stream = nullptr;
+    {
+      std::lock_guard<std::mutex> L(Entry->StreamMu);
+      Stream = Entry->Stream.get();
+    }
+    if (Stream)
+      Stream->flush();
+  }
+
+  Out.Watermark = Opts.Store->journal().lastLsn();
+  Out.Snapshots.clear();
+  for (const auto &Entry : Entries) {
+    durable::DurableSessionState S;
+    S.Name = Entry->Name;
+    S.Source = Entry->Source;
+    S.Mode = Entry->Mode;
+    S.LoopVariance = Entry->LoopVariance;
+    S.OnBadProfile = Entry->OnBadProfile;
+    Entry->Session->captureDurableState(S);
+    Out.Snapshots.push_back(
+        {Entry->Name, durable::encodeSnapshot(S, Out.Watermark)});
+  }
+  bump("repl.bootstraps_served");
+  return true;
+}
+
+bool ServeCore::adoptSnapshotImage(const std::vector<uint8_t> &Image,
+                                   std::vector<std::string> &Diagnostics,
+                                   std::string &Error) {
+  durable::DurableSessionState State;
+  uint64_t Watermark = 0;
+  if (!durable::decodeSnapshot(Image.data(), Image.size(), State, Watermark,
+                               Error))
+    return false;
+  std::shared_ptr<SessionEntry> Entry =
+      buildEntry(State.Name, State.Source, State.Mode, State.LoopVariance,
+                 State.OnBadProfile, Error);
+  if (!Entry)
+    return false;
+  applySnapshotState(*Entry, State, Diagnostics);
+  // Persist the image locally BEFORE adopting it: a standby that crashes
+  // mid-bootstrap recovers from its own snapshots like any daemon, and
+  // the watermark carried inside the image keeps the double-apply guard
+  // sound against the journal tail resetTo() installs next.
+  if (!Opts.Store->writeSnapshot(State, Watermark, Error))
+    return false;
+  std::shared_lock<std::shared_mutex> SL(StructureMu);
+  registerEntry(Entry, /*JournalCreate=*/false);
+  return true;
+}
+
+void ServeCore::clearAllSessions() {
+  std::unique_lock<std::shared_mutex> SL(StructureMu);
+  std::lock_guard<std::mutex> L(Mu);
+  Sessions.clear();
+  TotalBytes = 0;
+}
+
+bool ServeCore::applyReplicatedBatch(const uint8_t *Frames, size_t Len,
+                                     uint64_t FirstLsn, uint32_t Count,
+                                     bool Sync, uint64_t &AppliedLsn,
+                                     std::vector<std::string> &Diagnostics,
+                                     std::string &Error) {
+  if (!Opts.Store) {
+    Error = "this daemon runs without durable state; cannot apply frames";
+    return false;
+  }
+  // ONE StructureMu hold across {journal write-ahead, fsync, apply}: a
+  // concurrent standby checkpoint (StructureMu unique) can run before or
+  // after this batch but never between its journal write and its apply —
+  // in between, the snapshot watermark would cover LSNs the sessions have
+  // not absorbed yet, and rotation would drop them forever.
+  std::shared_lock<std::shared_mutex> SL(StructureMu);
+  std::vector<durable::DurableRecord> Records;
+  if (!Opts.Store->journal().appendRaw(Frames, Len, FirstLsn, Count, &Records,
+                                       Error))
+    return false;
+  if (FaultInjection::maybeCrashAt("repl.journal"))
+    FaultInjection::dieAtCrashPoint();
+  if (Sync) {
+    std::string SyncErr;
+    if (!Opts.Store->journal().sync(SyncErr))
+      // The frames are journaled and WILL be applied (skipping them here
+      // would desync the live sessions from the journal); the failed
+      // fsync only weakens the durability this ack level promised.
+      Diagnostics.push_back("journal fsync failed (ack overstates "
+                            "durability): " +
+                            SyncErr);
+  }
+  for (const durable::DurableRecord &R : Records)
+    applyRecord(R, Diagnostics);
+  if (FaultInjection::maybeCrashAt("repl.apply"))
+    FaultInjection::dieAtCrashPoint();
+  AppliedLsn = FirstLsn + Count - 1;
+  bump("repl.batches_applied");
+  bump("repl.records_applied", Count);
+  return true;
 }
 
 void ServeCore::startFlusher() {
@@ -1085,11 +1277,18 @@ void ServeCore::stopFlusher() {
 void ServeCore::flusherLoop() {
   using SteadyClock = std::chrono::steady_clock;
   // Tick faster than the flush cadence so the cell-count threshold is
-  // checked promptly between staleness deadlines.
-  const auto Tick =
+  // checked promptly between staleness deadlines; a staleness bound
+  // tighter than the sync cadence tightens the tick with it.
+  auto Tick =
       std::chrono::milliseconds(std::max(10u, Opts.FlushIntervalMs / 4));
+  if (Opts.FlushMaxStalenessMs != 0)
+    Tick = std::min(Tick, std::chrono::milliseconds(
+                              std::max(5u, Opts.FlushMaxStalenessMs / 2)));
   auto LastSync = SteadyClock::now();
   auto LastCheckpoint = SteadyClock::now();
+  // When each session's stream FIRST showed pending appends (erased on
+  // flush): the epoch's age for the --flush-max-staleness-ms bound.
+  std::map<const SessionEntry *, SteadyClock::time_point> PendingSince;
   for (;;) {
     {
       std::unique_lock<std::mutex> L(FlusherMu);
@@ -1106,20 +1305,46 @@ void ServeCore::flusherLoop() {
       for (const auto &[Name, Entry] : Sessions)
         Entries.push_back(Entry);
     }
+    // Drop staleness stamps of evicted sessions so the map tracks only
+    // live entries.
+    for (auto It = PendingSince.begin(); It != PendingSince.end();) {
+      bool Live = false;
+      for (const auto &Entry : Entries)
+        if (Entry.get() == It->first) {
+          Live = true;
+          break;
+        }
+      It = Live ? std::next(It) : PendingSince.erase(It);
+    }
     for (const auto &Entry : Entries) {
       CounterDeltaStream *Stream = nullptr;
       {
         std::lock_guard<std::mutex> L(Entry->StreamMu);
         Stream = Entry->Stream.get();
       }
-      if (!Stream || Stream->pendingAppends() == 0)
+      if (!Stream || Stream->pendingAppends() == 0) {
+        PendingSince.erase(Entry.get());
         continue;
+      }
+      bool Stale = false;
+      if (Opts.FlushMaxStalenessMs != 0) {
+        auto [It, Fresh] = PendingSince.try_emplace(Entry.get(), Now);
+        Stale = !Fresh &&
+                Now - It->second >=
+                    std::chrono::milliseconds(Opts.FlushMaxStalenessMs);
+      }
       // Seal stale (or threshold-crossing) epochs so their deltas reach
       // the journal; bounds loss under FsyncPolicy::Batch to one flush
-      // interval of appends.
-      if (SyncDue || Stream->pendingAppends() >= Opts.FlushCellThreshold) {
-        std::shared_lock<std::shared_mutex> SL(StructureMu);
-        Stream->flush();
+      // interval (or staleness bound) of appends.
+      if (SyncDue || Stale ||
+          Stream->pendingAppends() >= Opts.FlushCellThreshold) {
+        {
+          std::shared_lock<std::shared_mutex> SL(StructureMu);
+          Stream->flush();
+        }
+        PendingSince.erase(Entry.get());
+        if (Stale)
+          bump("stream.staleness_flushes");
       }
     }
     if (SyncDue) {

@@ -39,6 +39,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -50,6 +51,27 @@
 
 namespace ptran {
 namespace serve {
+
+/// What a primary-side replication shipper plugs into ServeCore (the
+/// interface lives here, not in src/repl/, so serve never links repl).
+/// Implementations must be callable from any request thread and MUST NOT
+/// take ServeCore locks: onAppend fires inside journalAppend (StructureMu
+/// shared + DurableMu held), waitDurable blocks a request thread until a
+/// standby acknowledges fsyncing the LSN (--repl-ack=always; bounded — a
+/// dead standby degrades durability, it never wedges the primary).
+class ReplicationHooks {
+public:
+  virtual ~ReplicationHooks() = default;
+  /// A record with \p Lsn just landed in the journal; wake shippers.
+  virtual void onAppend(uint64_t Lsn) = 0;
+  /// Block until some subscriber reports \p Lsn durable (or a bounded
+  /// timeout / no-subscriber fallthrough). True = acknowledged durable.
+  virtual bool waitDurable(uint64_t Lsn) = 0;
+  /// Smallest next-LSN over live subscribers (UINT64_MAX when none):
+  /// checkpoint() keeps the journal un-rotated while a subscriber still
+  /// needs its tail.
+  virtual uint64_t minSubscriberLsn() = 0;
+};
 
 /// Daemon-wide configuration shared by every session ServeCore creates.
 struct ServeOptions {
@@ -83,6 +105,17 @@ struct ServeOptions {
   /// Pending stream appends that trigger an epoch flush before the
   /// staleness timer does (bounds journal loss under Batch fsync).
   uint64_t FlushCellThreshold = 8192;
+  /// Upper bound (ms) on how long a stream epoch with pending appends may
+  /// sit unsealed: the flusher folds it once it is this stale even when
+  /// neither the cell threshold nor the sync cadence has fired. 0 keeps
+  /// the historical timer-only cadence.
+  unsigned FlushMaxStalenessMs = 0;
+  /// Primary-side replication hooks (owned by the caller, must outlive
+  /// the core). Null = no replication, the historical behavior.
+  ReplicationHooks *Repl = nullptr;
+  /// Handles the `promote` verb (and SIGUSR1): seals standby catch-up and
+  /// reopens the core for writes. Unset = the verb reports not-a-standby.
+  std::function<bool(std::string &)> Promote;
 };
 
 /// Thread-safe dispatcher over the session registry. One instance serves
@@ -135,6 +168,62 @@ public:
   /// idempotent and also runs from the destructor.
   void startFlusher();
   void stopFlusher();
+
+  /// -- Replication (primary capture + standby apply) --------------------
+
+  /// Read-only mode (a standby): mutating verbs answer a structured
+  /// `read-only` error, journalAppend and budget eviction become no-ops
+  /// (the standby's journal is written ONLY through applyReplicatedBatch,
+  /// so its LSNs stay byte-identical to the primary's). Promotion flips
+  /// it back off.
+  void setReadOnly(bool V) { ReadOnly.store(V, std::memory_order_release); }
+  bool isReadOnly() const { return ReadOnly.load(std::memory_order_acquire); }
+
+  /// One session's snapshot image (the encodeSnapshot byte format that
+  /// also lives in *.snap files) captured for wire transfer.
+  struct BootstrapSnapshot {
+    std::string Session;
+    std::vector<uint8_t> Image;
+  };
+  struct BootstrapCapture {
+    /// Journal LSN every image covers; streaming resumes at Watermark+1.
+    uint64_t Watermark = 0;
+    std::vector<BootstrapSnapshot> Snapshots;
+  };
+  /// Captures a consistent {snapshot images, watermark} pair for a
+  /// subscriber that cannot catch up from the journal alone. Same barrier
+  /// discipline as checkpoint() (StructureMu unique across flush +
+  /// capture) but touches no disk. False with \p Error when a stream
+  /// flush fails.
+  bool captureBootstrap(BootstrapCapture &Out, std::string &Error);
+
+  /// Standby bootstrap: decodes \p Image, rebuilds that session, and
+  /// applies its accumulated state — the restore() snapshot path driven
+  /// from wire bytes instead of a *.snap file. False with \p Error when
+  /// the image is garbled or the program no longer parses; \p Diagnostics
+  /// collects partial-state warnings.
+  bool adoptSnapshotImage(const std::vector<uint8_t> &Image,
+                          std::vector<std::string> &Diagnostics,
+                          std::string &Error);
+
+  /// Standby bootstrap: forgets every resident session without journaling
+  /// (the bootstrap replaces the whole registry).
+  void clearAllSessions();
+
+  /// Standby apply path: journals \p Len bytes of primary frames
+  /// write-ahead (validated byte-for-byte, LSNs [FirstLsn, FirstLsn+
+  /// Count)), optionally fsyncs (--repl-ack=always), then applies each
+  /// decoded record through the restore machinery — all under one
+  /// StructureMu hold, so a standby checkpoint can never slip between the
+  /// journal write and the apply (the rotation would silently drop the
+  /// unapplied tail). On success AppliedLsn = FirstLsn + Count - 1. False
+  /// with \p Error on validation/IO failure (the journal kept its old
+  /// tail; the caller must resubscribe).
+  bool applyReplicatedBatch(const uint8_t *Frames, size_t Len,
+                            uint64_t FirstLsn, uint32_t Count, bool Sync,
+                            uint64_t &AppliedLsn,
+                            std::vector<std::string> &Diagnostics,
+                            std::string &Error);
 
 private:
   /// One loaded program and its session. Name-keyed in the registry;
@@ -222,6 +311,13 @@ private:
   void applySnapshotState(SessionEntry &Entry,
                           const durable::DurableSessionState &State,
                           std::vector<std::string> &Diagnostics);
+  /// Applies one decoded journal record to the live registry — the replay
+  /// step shared by restore() and applyReplicatedBatch(). Problems (a
+  /// record naming an evicted session, a profile that no longer
+  /// deserializes) land in \p Diagnostics; the record is skipped, never
+  /// fatal.
+  void applyRecord(const durable::DurableRecord &R,
+                   std::vector<std::string> &Diagnostics);
   void flusherLoop();
 
   ServeOptions Opts;
@@ -243,6 +339,8 @@ private:
   std::map<std::string, std::shared_ptr<SessionEntry>> Sessions;
   uint64_t Clock = 0;
   uint64_t TotalBytes = 0;
+
+  std::atomic<bool> ReadOnly{false};
 
   std::thread Flusher;
   std::mutex FlusherMu;

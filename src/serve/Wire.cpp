@@ -6,10 +6,13 @@
 
 #include "serve/Wire.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <vector>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/un.h>
@@ -128,14 +131,47 @@ static bool writeAll(int Fd, const uint8_t *Data, size_t Size,
   return true;
 }
 
-/// 1 = filled, 0 = clean EOF before the first byte, -1 = error/short EOF.
-/// A short EOF (the peer closed after some but not all of \p Size bytes of
-/// \p What) produces a structured "truncated frame" error naming the byte
-/// counts; the partially-filled buffer is never handed onward.
+/// 1 = filled, 0 = clean EOF before the first byte, -1 = error/short EOF/
+/// stall. A short EOF (the peer closed after some but not all of \p Size
+/// bytes of \p What) produces a structured "truncated frame" error naming
+/// the byte counts; the partially-filled buffer is never handed onward.
+///
+/// \p TimeoutMs >= 0 bounds mid-transfer stalls: once the deadline is
+/// armed, each recv is preceded by a poll for the remaining budget, and
+/// running it dry yields the same structured error with "stalled" in
+/// place of "closed". \p ArmImmediately arms the deadline before the
+/// first byte (payload reads: the prefix already promised data);
+/// otherwise it arms after the first byte lands (prefix reads: a
+/// connection idling between requests is not a stall).
 static int readAll(int Fd, uint8_t *Data, size_t Size, const char *What,
-                   std::string &Error) {
+                   std::string &Error, int TimeoutMs = -1,
+                   bool ArmImmediately = true) {
   size_t Got = 0;
+  bool Armed = TimeoutMs >= 0 && ArmImmediately;
+  std::chrono::steady_clock::time_point Deadline;
+  if (Armed)
+    Deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(TimeoutMs);
   while (Got < Size) {
+    if (Armed) {
+      auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          Deadline - std::chrono::steady_clock::now());
+      struct pollfd Pf = {Fd, POLLIN, 0};
+      int Ready;
+      do {
+        Ready = ::poll(&Pf, 1,
+                       static_cast<int>(std::max<int64_t>(0, Left.count())));
+      } while (Ready < 0 && errno == EINTR);
+      if (Ready < 0) {
+        Error = errnoString("poll");
+        return -1;
+      }
+      if (Ready == 0) {
+        Error = "truncated frame: peer stalled after " + std::to_string(Got) +
+                " of " + std::to_string(Size) + " " + What + " bytes";
+        return -1;
+      }
+    }
     ssize_t N = ::recv(Fd, Data + Got, Size - Got, 0);
     if (N < 0) {
       if (errno == EINTR)
@@ -151,6 +187,11 @@ static int readAll(int Fd, uint8_t *Data, size_t Size, const char *What,
       return -1;
     }
     Got += static_cast<size_t>(N);
+    if (TimeoutMs >= 0 && !Armed) {
+      Armed = true;
+      Deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(TimeoutMs);
+    }
   }
   return 1;
 }
@@ -168,9 +209,11 @@ bool serve::writeFrame(int Fd, const WireMessage &M, std::string &Error) {
          writeAll(Fd, Payload->data(), Payload->size(), Error);
 }
 
-int serve::readFrame(int Fd, WireMessage &M, std::string &Error) {
+int serve::readFrame(int Fd, WireMessage &M, std::string &Error,
+                     int MidFrameTimeoutMs) {
   uint8_t Prefix[4];
-  int Rc = readAll(Fd, Prefix, sizeof(Prefix), "length-prefix", Error);
+  int Rc = readAll(Fd, Prefix, sizeof(Prefix), "length-prefix", Error,
+                   MidFrameTimeoutMs, /*ArmImmediately=*/false);
   if (Rc <= 0)
     return Rc;
   uint32_t Len = static_cast<uint32_t>(Prefix[0]) |
@@ -184,7 +227,8 @@ int serve::readFrame(int Fd, WireMessage &M, std::string &Error) {
   }
   std::vector<uint8_t> Payload(Len);
   if (Len > 0) {
-    int PayloadRc = readAll(Fd, Payload.data(), Len, "payload", Error);
+    int PayloadRc = readAll(Fd, Payload.data(), Len, "payload", Error,
+                            MidFrameTimeoutMs, /*ArmImmediately=*/true);
     if (PayloadRc != 1) {
       // A clean EOF here still truncates the frame: the prefix promised
       // Len payload bytes and none arrived. Nothing partial ever reaches

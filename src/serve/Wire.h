@@ -43,7 +43,16 @@ bool writeFrame(int Fd, const WireMessage &M, std::string &Error);
 /// prefix's promised payload bytes all arrive — yields a structured
 /// "truncated frame: peer closed after N of M ... bytes" error; a
 /// partially-filled buffer is never handed to the codec.
-int readFrame(int Fd, WireMessage &M, std::string &Error);
+///
+/// \p MidFrameTimeoutMs (when >= 0) bounds how long the peer may STALL
+/// inside a frame: the deadline arms once the first prefix byte arrives
+/// (an idle connection between requests may block forever — that is the
+/// server's normal wait state) and covers the rest of the frame. A stall
+/// past the deadline yields the same structured error shape with
+/// "stalled" in place of "closed", so a half-sent length prefix can no
+/// longer pin a pool thread for the life of the process.
+int readFrame(int Fd, WireMessage &M, std::string &Error,
+              int MidFrameTimeoutMs = -1);
 
 } // namespace serve
 } // namespace ptran

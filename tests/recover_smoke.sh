@@ -9,7 +9,9 @@
 # mid-rotate) and prove a restarted daemon answers full-precision probe
 # estimates byte-for-byte identical to a reference recovery of the same
 # durable prefix. A torn journal tail must be quarantined with a
-# structured diagnostic, never rejected wholesale. Usage:
+# structured diagnostic, never rejected wholesale. Every daemon start is
+# held to a boot-recovery wall-clock SLO (override the default budget with
+# PTRAN_RECOVERY_SLO_MS). Usage:
 #
 #   recover_smoke.sh <ptran-serve> <ptran-bench-client> <work-dir>
 #
@@ -20,6 +22,8 @@ set -u
 SERVE=$1
 CLIENT=$2
 WORK=$3
+
+RECOVERY_SLO_MS=${PTRAN_RECOVERY_SLO_MS:-60000}
 
 rm -rf "$WORK"
 mkdir -p "$WORK"
@@ -49,17 +53,26 @@ fail() {
 start_daemon() {
   local LOG=$1 S=$2
   shift 2
+  local T0
+  T0=$(date +%s%3N)
   "$SERVE" --socket="$S" --state-dir="$STATE" --fsync=always \
     --snapshot-interval-ms=0 "$@" >"$LOG" 2>&1 &
   SERVE_PID=$!
   for _ in $(seq 1 100); do
-    grep -q "listening on" "$LOG" 2>/dev/null && return 0
+    grep -q "listening on" "$LOG" 2>/dev/null && break
     if ! kill -0 "$SERVE_PID" 2>/dev/null; then
       return 1
     fi
     sleep 0.1
   done
-  grep -q "listening on" "$LOG" 2>/dev/null
+  grep -q "listening on" "$LOG" 2>/dev/null || return 1
+  # Boot recovery (journal replay + snapshot restore) is an availability
+  # promise, not just a correctness one: hold it to the CI SLO budget.
+  local MS=$(( $(date +%s%3N) - T0 ))
+  if [ "$MS" -gt "$RECOVERY_SLO_MS" ]; then
+    fail "boot recovery took ${MS}ms (SLO ${RECOVERY_SLO_MS}ms)"
+  fi
+  return 0
 }
 
 # wait_exit <pid> <expected-rc> <what>

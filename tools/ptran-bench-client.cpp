@@ -53,6 +53,9 @@ options:
                       0 = estimates only)
   --stream-every=N    every Nth request is a stream-deltas append+flush
                       (default 0 = no streaming traffic)
+  --stream-writers=N  dedicated writer threads that loop stream-deltas
+                      appends (no flush) for the whole run, on top of the
+                      request mix (default 0)
   --deadline-ms=MS    per-request deadline sent with every estimate
                       (default none)
   --setup-only        load + run + capture the sessions, then exit (used
@@ -73,6 +76,7 @@ struct Options {
   unsigned Sessions = 4;
   unsigned IngestEvery = 4;
   unsigned StreamEvery = 0;
+  unsigned StreamWriters = 0;
   double DeadlineMs = 0;
   bool SetupOnly = false;
   std::vector<std::string> Probes;
@@ -170,6 +174,11 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       if (!N)
         return Invalid("--stream-every", *V, "an unsigned integer");
       Opts.StreamEvery = *N;
+    } else if (auto V = Value(Arg, "--stream-writers=")) {
+      std::optional<unsigned> N = parseUnsigned(*V);
+      if (!N)
+        return Invalid("--stream-writers", *V, "an unsigned integer");
+      Opts.StreamWriters = *N;
     } else if (auto V = Value(Arg, "--deadline-ms=")) {
       std::optional<double> D = parseDouble(*V);
       if (!D || *D < 0)
@@ -192,7 +201,12 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
 enum class Outcome { Ok, Degraded, Shed, Error };
 
 /// Request kinds the latency table reports separately.
-enum Kind : unsigned { KindEstimate = 0, KindIngest = 1, KindStream = 2 };
+enum Kind : unsigned {
+  KindEstimate = 0,
+  KindIngest = 1,
+  KindStream = 2,
+  KindStreamWriter = 3,
+};
 
 struct Sample {
   uint64_t LatencyNs = 0;
@@ -295,7 +309,7 @@ bool setUpSessions(const Options &Opts, std::string &ProfileBytes,
   }
   // Every session runs the same program, so one describe (session 0)
   // yields the stream body all workers share.
-  if (Ok && Opts.StreamEvery > 0) {
+  if (Ok && (Opts.StreamEvery > 0 || Opts.StreamWriters > 0)) {
     WireMessage Req, Resp;
     Req.Verb = "stream-deltas";
     Req.Params["session"] = sessionName(0);
@@ -411,6 +425,39 @@ void workerLoop(const Options &Opts, unsigned Worker,
   ::close(Fd);
 }
 
+/// A dedicated stream writer: loops un-flushed stream-deltas appends on
+/// its own connection until the request workers finish. This is the
+/// firehose shape the sharded delta ingest (and the replication shipper
+/// behind it) is sized for: many tiny appends folded by the epoch
+/// flusher, not by the client.
+void streamWriterLoop(const Options &Opts, unsigned Writer,
+                      const std::string &StreamBody,
+                      std::atomic<bool> &MainDone, std::vector<Sample> &Out,
+                      std::atomic<bool> &TransportFailed) {
+  std::string Error;
+  int Fd = connectUnix(Opts.SocketPath, Error);
+  if (Fd < 0) {
+    TransportFailed.store(true);
+    return;
+  }
+  WireMessage Req;
+  Req.Verb = "stream-deltas";
+  Req.Params["session"] = sessionName(Writer % Opts.Sessions);
+  Req.Body = StreamBody;
+  while (!MainDone.load(std::memory_order_acquire)) {
+    std::optional<Sample> S = roundTrip(Fd, Req, KindStreamWriter);
+    if (!S) {
+      // The daemon may shut down while we are mid-append; only a failure
+      // before the main workers finished is a real transport error.
+      if (!MainDone.load(std::memory_order_acquire))
+        TransportFailed.store(true);
+      break;
+    }
+    Out.push_back(*S);
+  }
+  ::close(Fd);
+}
+
 uint64_t percentile(std::vector<uint64_t> &Sorted, double P) {
   if (Sorted.empty())
     return 0;
@@ -439,15 +486,29 @@ int main(int Argc, char **Argv) {
     return 0;
 
   std::vector<std::vector<Sample>> PerWorker(Opts.Connections);
+  std::vector<std::vector<Sample>> PerWriter(Opts.StreamWriters);
   std::atomic<bool> TransportFailed{false};
+  std::atomic<bool> MainDone{false};
   auto Start = std::chrono::steady_clock::now();
   {
-    std::vector<std::jthread> Workers;
-    for (unsigned W = 0; W < Opts.Connections; ++W)
-      Workers.emplace_back([&, W] {
-        workerLoop(Opts, W, ProfileBytes, StreamBody, PerWorker[W],
-                   TransportFailed);
+    // Writers outlive the request workers (they stop when MainDone flips),
+    // so the destruction order matters: workers join first, then MainDone,
+    // then the writer jthreads join on scope exit.
+    std::vector<std::jthread> Writers;
+    for (unsigned W = 0; W < Opts.StreamWriters; ++W)
+      Writers.emplace_back([&, W] {
+        streamWriterLoop(Opts, W, StreamBody, MainDone, PerWriter[W],
+                         TransportFailed);
       });
+    {
+      std::vector<std::jthread> Workers;
+      for (unsigned W = 0; W < Opts.Connections; ++W)
+        Workers.emplace_back([&, W] {
+          workerLoop(Opts, W, ProfileBytes, StreamBody, PerWorker[W],
+                     TransportFailed);
+        });
+    }
+    MainDone.store(true, std::memory_order_release);
   }
   double Seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - Start)
@@ -458,8 +519,10 @@ int main(int Argc, char **Argv) {
     std::vector<uint64_t> Latencies;
     uint64_t Count = 0, Ok = 0, Degraded = 0, Shed = 0, Errors = 0;
   };
-  Agg ByKind[3]; // [0] estimate, [1] ingest, [2] stream.
-  for (const std::vector<Sample> &Samples : PerWorker)
+  Agg ByKind[4]; // [0] estimate, [1] ingest, [2] stream, [3] writer.
+  std::vector<std::vector<Sample>> AllSamples = PerWorker;
+  AllSamples.insert(AllSamples.end(), PerWriter.begin(), PerWriter.end());
+  for (const std::vector<Sample> &Samples : AllSamples)
     for (const Sample &S : Samples) {
       Agg &A = ByKind[S.Kind];
       ++A.Count;
@@ -480,7 +543,8 @@ int main(int Argc, char **Argv) {
       }
     }
 
-  uint64_t Total = ByKind[0].Count + ByKind[1].Count + ByKind[2].Count;
+  uint64_t Total =
+      ByKind[0].Count + ByKind[1].Count + ByKind[2].Count + ByKind[3].Count;
   std::printf("%llu requests over %u connections in %s s: %s req/s\n",
               static_cast<unsigned long long>(Total), Opts.Connections,
               formatDouble(Seconds, 4).c_str(),
@@ -488,8 +552,8 @@ int main(int Argc, char **Argv) {
 
   TablePrinter Table({"kind", "count", "ok", "degraded", "shed", "errors",
                       "p50 ms", "p95 ms", "p99 ms", "max ms"});
-  const char *Names[3] = {"estimate", "ingest", "stream"};
-  for (int K = 0; K < 3; ++K) {
+  const char *Names[4] = {"estimate", "ingest", "stream", "stream-writer"};
+  for (int K = 0; K < 4; ++K) {
     Agg &A = ByKind[K];
     if (A.Count == 0)
       continue;
@@ -513,7 +577,8 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "ptran-bench-client: no estimate ever succeeded\n");
     Exit = 1;
   }
-  uint64_t Errors = ByKind[0].Errors + ByKind[1].Errors + ByKind[2].Errors;
+  uint64_t Errors = ByKind[0].Errors + ByKind[1].Errors + ByKind[2].Errors +
+                    ByKind[3].Errors;
   if (Errors > 0) {
     std::fprintf(stderr, "ptran-bench-client: %llu request(s) errored\n",
                  static_cast<unsigned long long>(Errors));

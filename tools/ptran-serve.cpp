@@ -23,6 +23,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "obs/Observability.h"
+#include "repl/Replication.h"
+#include "repl/Standby.h"
 #include "serve/Server.h"
 #include "serve/Wire.h"
 #include "support/StringUtils.h"
@@ -30,6 +32,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -69,11 +72,28 @@ options:
                          in DIR; boot replays them (default: ephemeral)
   --flush-interval-ms=N  background flusher cadence: seal stale stream
                          epochs and fsync the journal (default 200)
+  --flush-cells=N        pending stream appends that trigger an epoch
+                         flush before the timer (default 8192)
+  --flush-max-staleness-ms=N
+                         seal a stream epoch once its oldest pending
+                         append is this old, even before the flush
+                         interval; 0 = timer-only (default 0)
   --snapshot-interval-ms=N
                          periodic checkpoint cadence, 0 = only on the
                          `checkpoint` verb and shutdown (default 5000)
   --fsync=POLICY         always|batch|never journal durability
                          (default batch)
+  --read-timeout-ms=N    per-frame stall deadline on server connections:
+                         a peer that stops mid-frame for this long is
+                         dropped with a truncated-frame error; 0 = wait
+                         forever (default 30000)
+  --standby-of=PATH      run as a warm standby replicating the primary
+                         at socket PATH (requires --state-dir); serves
+                         reads, refuses writes until promoted via the
+                         `promote` verb or SIGUSR1
+  --repl-ack=MODE        none|batch|always replication acknowledgement:
+                         always = the primary acks a mutation only after
+                         a standby fsynced it (default none)
   --stats                print the stats table on shutdown
   --help                 show this help
 )";
@@ -90,8 +110,13 @@ struct Options {
   bool PrintStats = false;
   std::string StateDir;
   unsigned FlushIntervalMs = 200;
+  uint64_t FlushCells = 8192;
+  unsigned FlushMaxStalenessMs = 0;
   unsigned SnapshotIntervalMs = 5000;
   durable::FsyncPolicy Fsync = durable::FsyncPolicy::Batch;
+  unsigned ReadTimeoutMs = 30000;
+  std::string StandbyOf;
+  repl::AckMode ReplAck = repl::AckMode::None;
 };
 
 bool parseArgs(int Argc, char **Argv, Options &Opts) {
@@ -162,6 +187,29 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       if (!N || *N == 0)
         return Invalid("--flush-interval-ms", *V, "a positive integer");
       Opts.FlushIntervalMs = *N;
+    } else if (auto V = Value(Arg, "--flush-cells=")) {
+      std::optional<unsigned> N = parseUnsigned(*V);
+      if (!N || *N == 0)
+        return Invalid("--flush-cells", *V, "a positive integer");
+      Opts.FlushCells = *N;
+    } else if (auto V = Value(Arg, "--flush-max-staleness-ms=")) {
+      std::optional<unsigned> N = parseUnsigned(*V);
+      if (!N)
+        return Invalid("--flush-max-staleness-ms", *V,
+                       "an unsigned integer");
+      Opts.FlushMaxStalenessMs = *N;
+    } else if (auto V = Value(Arg, "--read-timeout-ms=")) {
+      std::optional<unsigned> N = parseUnsigned(*V);
+      if (!N)
+        return Invalid("--read-timeout-ms", *V, "an unsigned integer");
+      Opts.ReadTimeoutMs = *N;
+    } else if (auto V = Value(Arg, "--standby-of=")) {
+      Opts.StandbyOf = *V;
+    } else if (auto V = Value(Arg, "--repl-ack=")) {
+      std::optional<repl::AckMode> M = repl::parseAckMode(*V);
+      if (!M)
+        return Invalid("--repl-ack", *V, "none, batch or always");
+      Opts.ReplAck = *M;
     } else if (auto V = Value(Arg, "--snapshot-interval-ms=")) {
       std::optional<unsigned> N = parseUnsigned(*V);
       if (!N)
@@ -188,6 +236,13 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
                  UsageText);
     return false;
   }
+  if (!Opts.StandbyOf.empty() && Opts.StateDir.empty()) {
+    std::fprintf(stderr,
+                 "ptran-serve: --standby-of needs --state-dir=DIR: a "
+                 "standby persists the replicated journal so promotion "
+                 "inherits a durable history\n");
+    return false;
+  }
   return true;
 }
 
@@ -195,6 +250,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
 /// loop and the listener fd, closed so a blocked accept() wakes up.
 std::atomic<bool> ShuttingDown{false};
 std::atomic<int> ListenFdForSignal{-1};
+/// SIGUSR1 = promote this standby; a watcher thread does the real work.
+std::atomic<bool> PromoteRequested{false};
 
 void requestShutdown() {
   ShuttingDown.store(true);
@@ -208,6 +265,8 @@ void requestShutdown() {
 }
 
 void onSignal(int) { requestShutdown(); }
+
+void onPromoteSignal(int) { PromoteRequested.store(true); }
 
 /// Open connection fds, tracked so shutdown can unblock their readers
 /// with shutdown(2) (never close(2) from another thread: the fd number
@@ -236,19 +295,43 @@ private:
 void serveConnection(int Fd, ServeCore &Core, ThreadPool &Pool,
                      ObsRegistry &Obs, const Options &Opts,
                      std::atomic<unsigned> &InFlight,
-                     ConnectionRegistry &Conns) {
+                     ConnectionRegistry &Conns,
+                     repl::JournalShipper *Shipper) {
+  // 0 = wait forever; otherwise a peer stalling mid-frame this long is
+  // dropped rather than pinning the reader thread.
+  int FrameTimeoutMs =
+      Opts.ReadTimeoutMs == 0 ? -1 : static_cast<int>(Opts.ReadTimeoutMs);
   while (!ShuttingDown.load()) {
     WireMessage Request;
     std::string Error;
-    int Rc = readFrame(Fd, Request, Error);
-    if (Rc <= 0)
-      break; // EOF, shutdown wakeup, or a garbled frame: drop the peer.
+    int Rc = readFrame(Fd, Request, Error, FrameTimeoutMs);
+    if (Rc <= 0) {
+      if (Rc < 0 && Error.find("stalled") != std::string::npos) {
+        Obs.addCounter("serve.stalled_peers");
+        std::fprintf(stderr, "ptran-serve: dropping connection: %s\n",
+                     Error.c_str());
+      }
+      break; // EOF, shutdown wakeup, stall, or a garbled frame.
+    }
 
     WireMessage Resp;
     if (Request.Verb == "shutdown") {
       Resp = Core.handle(Request);
       writeFrame(Fd, Resp, Error);
       requestShutdown();
+      break;
+    }
+    if (Request.Verb == "repl-subscribe") {
+      if (!Shipper) {
+        Resp = errorResponse("bad-request",
+                             "this daemon has no durable state to replicate "
+                             "(start it with --state-dir=DIR)");
+        writeFrame(Fd, Resp, Error);
+        break;
+      }
+      // The subscription owns this connection thread until the standby
+      // disconnects; replication frames bypass the request pool.
+      Shipper->runSubscription(Fd, Request);
       break;
     }
     // Admission control: shed instead of queueing past the limit. The
@@ -286,6 +369,8 @@ int main(int Argc, char **Argv) {
   std::signal(SIGPIPE, SIG_IGN);
   std::signal(SIGINT, onSignal);
   std::signal(SIGTERM, onSignal);
+  if (!Opts.StandbyOf.empty())
+    std::signal(SIGUSR1, onPromoteSignal);
 
   // Open the state store and replay its journal BEFORE the socket exists:
   // no client can observe a half-restored daemon.
@@ -314,6 +399,20 @@ int main(int Argc, char **Argv) {
   }
 
   ObsRegistry Obs;
+  // Construction order is circular by nature: ServeOptions carries the
+  // shipper (as ReplicationHooks) and the promote callback, but both the
+  // shipper and the standby need the ServeCore. The shipper gets the core
+  // via setCore() below; the promote lambda reads Standby through a
+  // pointer that is filled in before the socket starts accepting.
+  std::unique_ptr<repl::JournalShipper> Shipper;
+  std::unique_ptr<repl::StandbyReplicator> Standby;
+  if (Store) {
+    repl::JournalShipper::Options ShipOpts;
+    ShipOpts.Store = Store.get();
+    ShipOpts.Ack = Opts.ReplAck;
+    ShipOpts.Obs = &Obs;
+    Shipper = std::make_unique<repl::JournalShipper>(ShipOpts);
+  }
   ServeOptions SOpts;
   SOpts.Jobs = Opts.SessionJobs;
   SOpts.MemoryBudgetBytes = Opts.MemoryBudgetMb << 20;
@@ -323,8 +422,21 @@ int main(int Argc, char **Argv) {
   SOpts.Obs = &Obs;
   SOpts.Store = Store.get();
   SOpts.FlushIntervalMs = Opts.FlushIntervalMs;
+  SOpts.FlushCellThreshold = Opts.FlushCells;
+  SOpts.FlushMaxStalenessMs = Opts.FlushMaxStalenessMs;
   SOpts.SnapshotIntervalMs = Opts.SnapshotIntervalMs;
+  SOpts.Repl = Shipper.get();
+  if (!Opts.StandbyOf.empty())
+    SOpts.Promote = [&Standby](std::string &Err) {
+      if (!Standby) {
+        Err = "standby replicator not running";
+        return false;
+      }
+      return Standby->promote(Err);
+    };
   ServeCore Core(SOpts);
+  if (Shipper)
+    Shipper->setCore(&Core);
 
   if (Store) {
     ServeCore::RestoreReport RR;
@@ -340,6 +452,38 @@ int main(int Argc, char **Argv) {
     Core.startFlusher();
   }
 
+  // Standby mode: start replicating before the socket opens, so the first
+  // client already sees a read-only replica (never a half-role daemon).
+  std::thread PromoteWatcher;
+  if (!Opts.StandbyOf.empty()) {
+    repl::StandbyReplicator::Options ROpts;
+    ROpts.PrimarySocket = Opts.StandbyOf;
+    ROpts.Core = &Core;
+    ROpts.Store = Store.get();
+    ROpts.Ack = Opts.ReplAck;
+    ROpts.Obs = &Obs;
+    Standby = std::make_unique<repl::StandbyReplicator>(ROpts);
+    if (!Standby->start(Error)) {
+      std::fprintf(stderr, "ptran-serve: cannot start standby: %s\n",
+                   Error.c_str());
+      return 1;
+    }
+    PromoteWatcher = std::thread([&Standby] {
+      while (!ShuttingDown.load()) {
+        if (PromoteRequested.exchange(false)) {
+          std::string Err;
+          if (Standby->promote(Err))
+            std::fprintf(stderr,
+                         "ptran-serve: promoted to primary (SIGUSR1)\n");
+          else
+            std::fprintf(stderr, "ptran-serve: promotion failed: %s\n",
+                         Err.c_str());
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    });
+  }
+
   int ListenFd = listenUnix(Opts.SocketPath, Error);
   if (ListenFd < 0) {
     std::fprintf(stderr, "ptran-serve: %s\n", Error.c_str());
@@ -353,8 +497,9 @@ int main(int Argc, char **Argv) {
   std::vector<std::jthread> Threads;
 
   std::fprintf(stderr,
-               "ptran-serve: listening on %s (%u workers, queue limit %u)\n",
-               Opts.SocketPath.c_str(), Pool.workerCount(), Opts.QueueLimit);
+               "ptran-serve: listening on %s (%u workers, queue limit %u%s)\n",
+               Opts.SocketPath.c_str(), Pool.workerCount(), Opts.QueueLimit,
+               Opts.StandbyOf.empty() ? "" : ", standby");
 
   while (!ShuttingDown.load()) {
     int Fd = ::accept(ListenFd, nullptr, nullptr);
@@ -364,15 +509,23 @@ int main(int Argc, char **Argv) {
       break; // Listener closed by shutdown, or a fatal accept error.
     }
     Conns.add(Fd);
-    Threads.emplace_back([Fd, &Core, &Pool, &Obs, &Opts, &InFlight, &Conns] {
-      serveConnection(Fd, Core, Pool, Obs, Opts, InFlight, Conns);
+    Threads.emplace_back([Fd, &Core, &Pool, &Obs, &Opts, &InFlight, &Conns,
+                          &Shipper] {
+      serveConnection(Fd, Core, Pool, Obs, Opts, InFlight, Conns,
+                      Shipper.get());
     });
   }
 
   requestShutdown();
+  if (Shipper)
+    Shipper->stop(); // Unblock subscription threads before joining them.
+  if (Standby)
+    Standby->stop();
   Conns.shutdownAll();
   for (std::jthread &T : Threads)
     T.join();
+  if (PromoteWatcher.joinable())
+    PromoteWatcher.join();
   // Graceful shutdown: in-flight requests are drained (threads joined),
   // so this checkpoint captures the final state — the next boot restores
   // from snapshots alone, with an empty journal.
